@@ -1,0 +1,177 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Bechamel micro-benchmarks — one Test.make per experiment family
+      (build cost for T3/T6, query latency for F6, hash-family and
+      histogram primitives for T4, the contention engine and the
+      recurrence solver for F1/F3).
+
+   2. The full experiment suite — every table (T1-T8) and figure
+      (F1-F6) of DESIGN.md §4, regenerated and printed, so that
+      `dune exec bench/main.exe | tee bench_output.txt` is the complete
+      reproduction record. *)
+
+open Bechamel
+open Toolkit
+
+module Rng = Lc_prim.Rng
+
+let universe = 1 lsl 20
+let bench_n = 1024
+
+(* Shared fixtures, built once. *)
+let fixture_rng = Rng.create 4242
+let keys = Lc_workload.Keyset.random fixture_rng ~universe ~n:bench_n
+let lc = Lc_core.Dictionary.build fixture_rng ~universe ~keys
+let lc_inst = Lc_core.Dictionary.instance lc
+let fks = Lc_dict.Fks.build fixture_rng ~universe ~keys
+let fks_inst = Lc_dict.Fks.instance fks
+let dm = Lc_dict.Dm_dict.build fixture_rng ~universe ~keys
+let dm_inst = Lc_dict.Dm_dict.instance dm
+let cuckoo = Lc_dict.Cuckoo.build fixture_rng ~universe ~keys
+let cuckoo_inst = Lc_dict.Cuckoo.instance cuckoo
+let bs_inst = Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys)
+let pos_dist = Lc_cellprobe.Qdist.uniform ~name:"pos" keys
+
+let params = Lc_core.Dictionary.params lc
+
+let histogram_words =
+  let loads = Array.make params.g_per_group 0 in
+  loads.(0) <- 3;
+  loads.(1) <- 2;
+  loads.(2) <- 1;
+  Lc_core.Histogram.encode params ~loads
+
+let poly = Lc_hash.Poly_hash.create fixture_rng ~d:3 ~p:params.p ~m:params.s
+
+let dm_hash =
+  Lc_hash.Dm_family.create fixture_rng ~d:3 ~p:params.p ~r:params.r ~m:params.s
+
+let query_bench name (inst : Lc_dict.Instance.t) =
+  let rng = Rng.create 7 in
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         i := (!i + 97) mod bench_n;
+         ignore (inst.mem rng keys.(!i) : bool)))
+
+let build_bench name f =
+  let rng = Rng.create 11 in
+  Test.make ~name (Staged.stage (fun () -> ignore (f rng)))
+
+let tests =
+  Test.make_grouped ~name:"lowcon"
+    [
+      Test.make_grouped ~name:"build(T3/T6)"
+        [
+          build_bench "low-contention" (fun rng -> Lc_core.Dictionary.build rng ~universe ~keys);
+          build_bench "fks" (fun rng -> Lc_dict.Fks.build rng ~universe ~keys);
+          build_bench "dm" (fun rng -> Lc_dict.Dm_dict.build rng ~universe ~keys);
+          build_bench "cuckoo" (fun rng -> Lc_dict.Cuckoo.build rng ~universe ~keys);
+          build_bench "binary-search" (fun _ -> Lc_dict.Sorted_array.build ~universe ~keys);
+        ];
+      Test.make_grouped ~name:"query(F6)"
+        [
+          query_bench "low-contention" lc_inst;
+          query_bench "fks" fks_inst;
+          query_bench "dm" dm_inst;
+          query_bench "cuckoo" cuckoo_inst;
+          query_bench "binary-search" bs_inst;
+        ];
+      Test.make_grouped ~name:"hash(T4)"
+        [
+          Test.make ~name:"poly_eval"
+            (Staged.stage (fun () -> ignore (Lc_hash.Poly_hash.eval poly 123_456)));
+          Test.make ~name:"dm_eval"
+            (Staged.stage (fun () -> ignore (Lc_hash.Dm_family.eval dm_hash 123_456)));
+          Test.make ~name:"tabulation_eval"
+            (let tab =
+               Lc_hash.Tabulation.create (Rng.create 29) ~universe_bits:20 ~chunk_bits:10
+                 ~m:bench_n
+             in
+             Staged.stage (fun () -> ignore (Lc_hash.Tabulation.eval tab 123_456)));
+          Test.make ~name:"perfect_find_8keys"
+            (let rng = Rng.create 13 in
+             let bucket = Array.sub keys 0 8 in
+             Staged.stage (fun () -> ignore (Lc_hash.Perfect.find rng ~p:params.p ~keys:bucket)));
+        ];
+      Test.make_grouped ~name:"histogram"
+        [
+          Test.make ~name:"decode"
+            (Staged.stage (fun () -> ignore (Lc_core.Histogram.decode params histogram_words)));
+        ];
+      Test.make_grouped ~name:"harness(T1/T2)"
+        [
+          Test.make ~name:"contention_exact_n1024"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Lc_cellprobe.Contention.exact ~cells:lc_inst.space ~qdist:pos_dist
+                      ~spec:lc_inst.spec)));
+        ];
+      Test.make_grouped ~name:"recurrence(F3)"
+        [
+          Test.make ~name:"min_rounds_2^4096"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Lc_lowerbound.Recursion.min_rounds ~b:4096.0 ~phi_s:16_777_216.0
+                      ~log2_n:4096.0)));
+        ];
+      Test.make_grouped ~name:"dynamic(T9)"
+        [
+          Test.make ~name:"insert_512_stream"
+            (let rng = Rng.create 17 in
+             Staged.stage (fun () ->
+                 let t = Lc_dynamic.Dynamic.create rng ~universe () in
+                 for x = 1 to 512 do
+                   Lc_dynamic.Dynamic.insert t x
+                 done));
+        ];
+      Test.make_grouped ~name:"lowerbound(F4/F9)"
+        [
+          Test.make ~name:"coupling_draw_64x128"
+            (let rng = Rng.create 19 in
+             let marginals =
+               Lc_lowerbound.Probe_spec.random rng ~rows:64 ~cols:128 ~support:4
+             in
+             Staged.stage (fun () ->
+                 ignore (Lc_lowerbound.Coupling.draw rng ~marginals)));
+          Test.make ~name:"adaptive_game_n64"
+            (let rng = Rng.create 23 in
+             let small_keys = Array.sub keys 0 64 in
+             let dict = Lc_core.Dictionary.build rng ~universe ~keys:small_keys in
+             let inst = Lc_core.Dictionary.instance dict in
+             Staged.stage (fun () ->
+                 ignore
+                   (Lc_lowerbound.Game.play_adaptive rng inst ~queries:small_keys ~phi:0.01
+                      ~bits:(Lc_cellprobe.Table.bits inst.table) ~rounds:inst.max_probes)));
+        ];
+    ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  Analyze.merge ols instances results
+
+let print_benchmarks results =
+  print_endline "== Bechamel micro-benchmarks (monotonic clock, ns/run) ==";
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-45s %14.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+    rows;
+  print_newline ()
+
+let () =
+  print_benchmarks (run_benchmarks ());
+  print_endline "== Experiment suite: every table and figure of DESIGN.md section 4 ==";
+  print_newline ();
+  Lc_experiments.Registry.install ();
+  print_string (Lc_analysis.Experiment.run_all ~seed:20100613)

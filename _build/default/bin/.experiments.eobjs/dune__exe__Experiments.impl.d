@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Lc_analysis Lc_experiments List Printf String Term

@@ -1,0 +1,1 @@
+bin/lowcon.ml: Arg Array Cmd Cmdliner Format Lc_analysis Lc_cellprobe Lc_core Lc_dict Lc_prim Lc_workload Printf String Term Unix

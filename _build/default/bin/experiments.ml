@@ -1,0 +1,59 @@
+(* Experiment driver: regenerate any table or figure of DESIGN.md §4.
+
+     experiments list            enumerate experiments
+     experiments run T1 [F3 ..]  run specific experiments
+     experiments run all         run everything (what EXPERIMENTS.md records)
+
+   A --seed flag makes every number in the output reproducible. *)
+
+open Cmdliner
+
+let setup () = Lc_experiments.Registry.install ()
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    setup ();
+    List.iter
+      (fun (e : Lc_analysis.Experiment.t) -> Printf.printf "%-4s %s\n" e.id e.title)
+      (Lc_analysis.Experiment.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let seed_arg =
+  let doc = "Random seed; every experiment is deterministic given the seed." in
+  Arg.(value & opt int 20100613 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let ids_arg =
+  let doc = "Experiment ids (T1..T8, F1..F6) or 'all'." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let run_cmd =
+  let doc = "Run experiments and print their tables/series." in
+  let run seed ids =
+    setup ();
+    let run_one id =
+      if String.lowercase_ascii id = "all" then begin
+        print_string (Lc_analysis.Experiment.run_all ~seed);
+        `Ok ()
+      end
+      else
+        match Lc_analysis.Experiment.find id with
+        | None -> `Error (false, Printf.sprintf "unknown experiment %S (try 'list')" id)
+        | Some e ->
+          Printf.printf "==== %s: %s ====\nClaim: %s\n%s\n" e.id e.title e.claim (e.run ~seed);
+          `Ok ()
+    in
+    let result =
+      List.fold_left
+        (fun acc id -> match acc with `Error _ -> acc | `Ok () -> run_one id)
+        (`Ok ()) ids
+    in
+    (result :> unit Cmdliner.Term.ret)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ seed_arg $ ids_arg))
+
+let () =
+  let doc = "Reproduction experiments for 'Low-Contention Data Structures' (SPAA 2010)" in
+  let info = Cmd.info "experiments" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

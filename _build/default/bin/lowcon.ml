@@ -1,0 +1,161 @@
+(* lowcon: a command-line workbench for the low-contention dictionary.
+
+     lowcon report  --n 1024                build, verify, and profile one dictionary
+     lowcon compare --n 1024 --dist zipf:1.0   contention of every structure under a distribution
+     lowcon hotspot --n 1024 --m 256        concurrent hot-spot simulation
+
+   Everything is deterministic given --seed. *)
+
+open Cmdliner
+
+module Rng = Lc_prim.Rng
+module Qdist = Lc_cellprobe.Qdist
+module Contention = Lc_cellprobe.Contention
+module Instance = Lc_dict.Instance
+module Keyset = Lc_workload.Keyset
+module Stats = Lc_analysis.Stats
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let n_arg =
+  Arg.(value & opt int 1024 & info [ "n"; "size" ] ~docv:"N" ~doc:"Number of keys.")
+
+let universe_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "universe" ] ~docv:"U" ~doc:"Universe size (default: max(16n, n^2) capped at 2^28).")
+
+let resolve_universe n = function
+  | Some u ->
+    if u < n then failwith "universe must be at least n";
+    u
+  | None -> min (max (16 * n) (n * n)) (1 lsl 28)
+
+let dist_arg =
+  let doc =
+    "Query distribution: 'pos' (uniform positive), 'neg' (uniform negative sample), \
+     'mix:P' (positive with probability P), 'zipf:S' (Zipf skew S over the keys), \
+     'point' (a single hot key)."
+  in
+  Arg.(value & opt string "pos" & info [ "dist" ] ~docv:"DIST" ~doc)
+
+let parse_dist rng ~universe ~keys spec =
+  let negs () = Keyset.negatives rng ~universe ~keys ~count:(8 * Array.length keys) in
+  match String.split_on_char ':' spec with
+  | [ "pos" ] -> Qdist.uniform ~name:"uniform-positive" keys
+  | [ "neg" ] -> Qdist.uniform ~name:"uniform-negative" (negs ())
+  | [ "point" ] -> Qdist.point keys.(0)
+  | [ "mix"; p ] -> Qdist.pos_neg ~pos:keys ~neg:(negs ()) ~p_pos:(float_of_string p)
+  | [ "zipf"; s ] -> Qdist.zipf ~skew:(float_of_string s) keys
+  | _ -> failwith (Printf.sprintf "unknown distribution %S" spec)
+
+let with_errors f = try `Ok (f ()) with Failure msg -> `Error (false, msg)
+
+(* ------------------------------------------------------------------ *)
+
+let report seed n universe_opt =
+  with_errors @@ fun () ->
+  let rng = Rng.create seed in
+  let universe = resolve_universe n universe_opt in
+  let keys = Keyset.random rng ~universe ~n in
+  let dict, build_s =
+    let t0 = Unix.gettimeofday () in
+    let d = Lc_core.Dictionary.build rng ~universe ~keys in
+    (d, Unix.gettimeofday () -. t0)
+  in
+  Format.printf "Parameters:@.%a@.@." Lc_core.Params.pp (Lc_core.Dictionary.params dict);
+  Printf.printf "Built in %.4f s (%d P(S) trial(s)).\n" build_s
+    (Lc_core.Dictionary.build_trials dict);
+  (match Lc_core.Dictionary.verify dict with
+  | Ok () -> print_endline "Structural verification: ok."
+  | Error e -> Printf.printf "Structural verification FAILED: %s\n" e);
+  let inst = Lc_core.Dictionary.instance dict in
+  let report_dist label qd =
+    let c = Instance.contention_exact inst qd in
+    let prof = Contention.profile c in
+    Printf.printf
+      "%-18s mean probes %.2f | s*maxPhi %.1f (per-step %.1f) | profile p50 %.1f p99 %.1f\n"
+      label c.mean_probes
+      (Contention.normalized_max c)
+      (Contention.normalized_step_max c)
+      (Stats.median prof) (Stats.quantile prof 0.99)
+  in
+  report_dist "uniform positive" (Qdist.uniform ~name:"pos" keys);
+  report_dist "uniform negative"
+    (Qdist.uniform ~name:"neg" (Keyset.negatives rng ~universe ~keys ~count:(8 * n)));
+  Printf.printf "Space: %d cells of %d bits (%.1f cells/key); max probes %d.\n" inst.space
+    (Lc_cellprobe.Table.bits inst.table)
+    (float_of_int inst.space /. float_of_int n)
+    inst.max_probes
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"Build one low-contention dictionary and profile it.")
+    Term.(ret (const report $ seed_arg $ n_arg $ universe_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let compare_structures seed n universe_opt dist =
+  with_errors @@ fun () ->
+  let rng = Rng.create seed in
+  let universe = resolve_universe n universe_opt in
+  let keys = Keyset.random rng ~universe ~n in
+  let qd = parse_dist rng ~universe ~keys dist in
+  Printf.printf "Distribution: %s (entropy %.2f bits)\n\n" (Qdist.name qd) (Qdist.entropy qd);
+  Printf.printf "%-20s %10s %12s %12s %12s\n" "structure" "cells" "max probes" "mean probes"
+    "s*maxPhi";
+  let arm label inst =
+    let c = Instance.contention_exact inst qd in
+    Printf.printf "%-20s %10d %12d %12.2f %12.1f\n" label inst.Instance.space
+      inst.Instance.max_probes c.mean_probes
+      (Contention.normalized_max c)
+  in
+  arm "low-contention" (Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys));
+  arm "fks" (Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys));
+  arm "fks-replicated" (Lc_dict.Fks.instance (Lc_dict.Fks.build rng ~universe ~keys));
+  arm "dm-replicated" (Lc_dict.Dm_dict.instance (Lc_dict.Dm_dict.build rng ~universe ~keys));
+  arm "cuckoo-replicated" (Lc_dict.Cuckoo.instance (Lc_dict.Cuckoo.build rng ~universe ~keys));
+  arm "binary-search" (Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys));
+  arm "repl-bst (pred.)" (Lc_dict.Repl_bst.instance (Lc_dict.Repl_bst.build ~universe ~keys))
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all structures' contention under a query distribution.")
+    Term.(ret (const compare_structures $ seed_arg $ n_arg $ universe_arg $ dist_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let m_arg =
+  Arg.(value & opt int 256 & info [ "m"; "concurrency" ] ~docv:"M" ~doc:"Concurrent queries per trial.")
+
+let hotspot seed n universe_opt m dist =
+  with_errors @@ fun () ->
+  let rng = Rng.create seed in
+  let universe = resolve_universe n universe_opt in
+  let keys = Keyset.random rng ~universe ~n in
+  let qd = parse_dist rng ~universe ~keys dist in
+  Printf.printf
+    "Hot spot = max queries probing one cell in one lock-step round (m = %d, 50 trials).\n\n" m;
+  Printf.printf "%-20s %14s %14s\n" "structure" "mean hotspot" "worst hotspot";
+  let arm label (inst : Instance.t) =
+    let stats =
+      Lc_cellprobe.Concurrency.simulate ~rng ~cells:inst.space ~qdist:qd ~spec:inst.spec ~m
+        ~trials:50
+    in
+    Printf.printf "%-20s %14.1f %14d\n" label stats.mean_hotspot stats.max_hotspot
+  in
+  arm "low-contention" (Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys));
+  arm "fks-replicated" (Lc_dict.Fks.instance (Lc_dict.Fks.build rng ~universe ~keys));
+  arm "cuckoo-replicated" (Lc_dict.Cuckoo.instance (Lc_dict.Cuckoo.build rng ~universe ~keys));
+  arm "binary-search" (Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys))
+
+let hotspot_cmd =
+  Cmd.v
+    (Cmd.info "hotspot" ~doc:"Simulate m concurrent queries and report the hottest cell.")
+    Term.(ret (const hotspot $ seed_arg $ n_arg $ universe_arg $ m_arg $ dist_arg))
+
+let () =
+  let doc = "Workbench for low-contention static dictionaries (SPAA 2010)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "lowcon" ~version:"1.0.0" ~doc) [ report_cmd; compare_cmd; hotspot_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversarial_workload.ml: Array Float Lc_cellprobe Lc_core Lc_dict Lc_lowerbound Lc_prim Lc_workload List Printf

@@ -1,0 +1,1 @@
+examples/adversarial_workload.mli:

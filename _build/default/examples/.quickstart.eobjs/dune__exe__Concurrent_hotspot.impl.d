@@ -1,0 +1,1 @@
+examples/concurrent_hotspot.ml: Lc_cellprobe Lc_core Lc_dict Lc_prim Lc_workload List Printf

@@ -1,0 +1,1 @@
+examples/contention_profile.ml: Array Float Lc_analysis Lc_cellprobe Lc_core Lc_dict Lc_prim Lc_workload Printf String

@@ -1,0 +1,1 @@
+examples/contention_profile.mli:

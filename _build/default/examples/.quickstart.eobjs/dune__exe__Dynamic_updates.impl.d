@@ -1,0 +1,1 @@
+examples/dynamic_updates.ml: Array Float Lc_cellprobe Lc_dynamic Lc_prim Lc_workload List Printf

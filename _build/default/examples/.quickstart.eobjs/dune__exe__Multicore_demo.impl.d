@@ -1,0 +1,1 @@
+examples/multicore_demo.ml: Array Atomic Domain Lc_cellprobe Lc_core Lc_dict Lc_prim Lc_workload List Printf Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Hashtbl Lc_cellprobe Lc_core Lc_dict Lc_prim Lc_workload Printf

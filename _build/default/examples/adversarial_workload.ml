@@ -1,0 +1,102 @@
+(* The other side of the paper: when the query distribution is not the
+   uniform positive/negative mixture, load levelling breaks down — and
+   Section 3 proves it must (for balanced-probe algorithms, contention
+   near-optimal for every q costs Omega(log log n) probes).
+
+     dune exec examples/adversarial_workload.exe
+
+   Demonstrates (1) skewed distributions defeating every structure, and
+   (2) the Lemma 15 adversary constructing a distribution increment that
+   rules out a given probe specification. *)
+
+module Qdist = Lc_cellprobe.Qdist
+module Instance = Lc_dict.Instance
+module Contention = Lc_cellprobe.Contention
+module Lb = Lc_lowerbound
+
+let () =
+  let rng = Lc_prim.Rng.create 99 in
+  let universe = 1 lsl 20 in
+  let n = 1024 in
+  let keys = Lc_workload.Keyset.random rng ~universe ~n in
+  let dict = Lc_core.Dictionary.build rng ~universe ~keys in
+  let inst = Lc_core.Dictionary.instance dict in
+
+  (* Part 1: skew. The dictionary's final probe is deterministic per
+     key, so a point mass turns one data cell into a hot spot. *)
+  Printf.printf "Part 1 - skewed query distributions against the low-contention dictionary\n\n";
+  Printf.printf "%-14s %-14s %s\n" "distribution" "entropy(bits)" "s * max Phi";
+  List.iter
+    (fun (name, qd) ->
+      let c = Instance.contention_exact inst qd in
+      Printf.printf "%-14s %-14.2f %.1f\n" name (Qdist.entropy qd)
+        (Contention.normalized_max c))
+    [
+      ("uniform", Qdist.zipf ~skew:0.0 keys);
+      ("zipf 1.0", Qdist.zipf ~skew:1.0 keys);
+      ("zipf 1.5", Qdist.zipf ~skew:1.5 keys);
+      ("point mass", Qdist.point keys.(0));
+    ];
+  Printf.printf
+    "\nUniform is flat; the point mass forces s * Phi = Theta(s). No balanced-probe\n\
+     structure can avoid this without more probes (Theorem 13).\n\n";
+
+  (* Part 2: the Lemma 15 adversary. Take the step-0 probe spec of the
+     dictionary on the key set; the adversary builds a q-increment that
+     violates the contention constraint of every candidate spec row. *)
+  Printf.printf "Part 2 - the Lemma 15 adversary\n\n";
+  let phi =
+    (Instance.contention_exact inst (Qdist.uniform ~name:"pos" keys)).max_step
+  in
+  (* The proof's matrix M(u, i) = phi / max_j P_u(i, j); we use a small
+     family of candidate specs: the dictionary's own rounds. *)
+  let rounds = inst.max_probes in
+  let all_rows =
+    Array.init rounds (fun step ->
+        let spec = Lb.Probe_spec.of_instance inst ~queries:keys ~step in
+        ( step,
+          Array.init (Array.length keys) (fun i ->
+              let mx = Lb.Probe_spec.row_max spec i in
+              if mx > 0.0 then phi /. mx else 1e9) ))
+  in
+  (* The proof's dichotomy: the adversary only needs to kill the "good"
+     (probe-concentrated) specifications — spread-out rounds are already
+     information-poor by Lemma 16. A row is good when its r smallest
+     entries sum below delta = phi * s. *)
+  let delta = phi *. float_of_int inst.space in
+  let epsilon = 0.5 in
+  let n_q = Array.length keys in
+  let ln_n = Float.log (float_of_int rounds) in
+  let r =
+    max 2 (int_of_float (Float.ceil (Float.sqrt (5.0 /. epsilon *. delta *. float_of_int n_q *. ln_n))))
+  in
+  let row_is_good (_, row) =
+    let sorted = Array.copy row in
+    Array.sort compare sorted;
+    let sum = ref 0.0 in
+    for k = 0 to min r (Array.length sorted) - 1 do
+      sum := !sum +. sorted.(k)
+    done;
+    !sum <= delta
+  in
+  let good, bad = Array.to_list all_rows |> List.partition row_is_good in
+  Printf.printf
+    "Dichotomy over the dictionary's %d rounds: %d good (concentrated, attackable)\n\
+     vs %d bad (spread so thin they are information-poor; Lemma 16 caps them).\n"
+    rounds (List.length good) (List.length bad);
+  let m = Array.of_list (List.map snd good) in
+  let out = Lb.Adversary.build rng ~m ~delta ~epsilon in
+  Printf.printf
+    "Adversary parameters: r = %d, |T| = %d, transversal found in %d attempt(s).\n" out.r
+    (Array.length out.t_set) out.attempts;
+  Printf.printf "q-increment mass: %.3f spread over %d queries (%.4f each).\n"
+    (Array.fold_left ( +. ) 0.0 out.q)
+    (Array.length out.t_set)
+    (epsilon /. float_of_int (Array.length out.t_set));
+  Printf.printf "Violates the contention constraint of every good round: %b\n"
+    (Lb.Adversary.violates_all ~q:out.q ~m);
+  Printf.printf
+    "\nInterpretation: if the adversary may pick q after seeing the algorithm's\n\
+     balanced probe plan, it can always concentrate just enough mass to break\n\
+     the per-round contention budget - the engine inside the Omega(log log n)\n\
+     lower bound.\n"

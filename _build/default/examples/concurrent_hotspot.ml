@@ -1,0 +1,53 @@
+(* The paper's motivating scenario: m processors query a shared
+   read-only table at the same time. How many of them collide on the
+   hottest memory cell?
+
+     dune exec examples/concurrent_hotspot.exe
+
+   Think of the key set as a routing table / feature dictionary that
+   every worker thread consults. With binary search every worker hits
+   the root cell in round one — a serialisation point. The
+   low-contention dictionary spreads each round across Theta(n) cells. *)
+
+module Concurrency = Lc_cellprobe.Concurrency
+
+let () =
+  let rng = Lc_prim.Rng.create 2025 in
+  let universe = 1 lsl 20 in
+  let n = 2048 in
+  let keys = Lc_workload.Keyset.random rng ~universe ~n in
+  let qdist = Lc_cellprobe.Qdist.uniform ~name:"pos" keys in
+
+  let arms =
+    [
+      ("low-contention", Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys));
+      ("fks-replicated", Lc_dict.Fks.instance (Lc_dict.Fks.build rng ~universe ~keys));
+      ("cuckoo-replicated", Lc_dict.Cuckoo.instance (Lc_dict.Cuckoo.build rng ~universe ~keys));
+      ("binary-search", Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys));
+    ]
+  in
+
+  Printf.printf
+    "Mean hot-spot: the largest number of the m concurrent queries that\n\
+     probe the same cell in the same round (m readers in lock step,\n\
+     %d keys, uniform positive queries, 50 trials).\n\n"
+    n;
+  Printf.printf "%-18s" "m =";
+  List.iter (fun m -> Printf.printf "%8d" m) [ 16; 64; 256; 1024 ];
+  print_newline ();
+  List.iter
+    (fun (name, (inst : Lc_dict.Instance.t)) ->
+      Printf.printf "%-18s" name;
+      List.iter
+        (fun m ->
+          let stats =
+            Concurrency.simulate ~rng ~cells:inst.space ~qdist ~spec:inst.spec ~m ~trials:50
+          in
+          Printf.printf "%8.1f" stats.mean_hotspot)
+        [ 16; 64; 256; 1024 ];
+      print_newline ())
+    arms;
+  Printf.printf
+    "\nReading: binary-search = m every time (all readers hit the root).\n\
+     fks/cuckoo hold until the per-bucket hot cells saturate.\n\
+     The low-contention dictionary stays near the balls-in-bins optimum.\n"

@@ -1,0 +1,88 @@
+(* The paper's closing question, explored: what does dynamization do to
+   contention?
+
+     dune exec examples/dynamic_updates.exe
+
+   We dynamize the static low-contention dictionary with the classic
+   logarithmic method, stream inserts and deletes through it, and watch
+   the contention guarantee: it survives for hits (largest-level-first
+   search) but breaks for misses, because every miss probes every level
+   and small levels have few cells. Replicating small levels repairs it
+   at a measured space premium. *)
+
+module Rng = Lc_prim.Rng
+module Dynamic = Lc_dynamic.Dynamic
+module Qdist = Lc_cellprobe.Qdist
+module Keyset = Lc_workload.Keyset
+
+let () =
+  let rng = Rng.create 31337 in
+  let universe = 1 lsl 20 in
+
+  (* Stream a workload: 1500 inserts, then delete a third. *)
+  let t = Dynamic.create rng ~universe () in
+  let keys = Keyset.random rng ~universe ~n:1500 in
+  Array.iter (Dynamic.insert t) keys;
+  for i = 0 to 499 do
+    Dynamic.delete t keys.(i)
+  done;
+  Printf.printf "After 1500 inserts and 500 deletes:\n";
+  Printf.printf "  live keys         %d\n" (Dynamic.size t);
+  Printf.printf "  cells             %d (%.1f per key)\n" (Dynamic.space t)
+    (float_of_int (Dynamic.space t) /. float_of_int (Dynamic.size t));
+  Printf.printf "  rebuild work      %.1f keys/insert (log2 n = %.1f)\n"
+    (float_of_int (Dynamic.keys_rebuilt t) /. 1500.0)
+    (Float.log 1500.0 /. Float.log 2.0);
+  Printf.printf "  purges            %d\n" (Dynamic.purges t);
+  Printf.printf "  levels            ";
+  List.iter (fun (i, k, r) -> Printf.printf "[2^%d: %d keys x%d] " i k r) (Dynamic.level_sizes t);
+  print_newline ();
+  (match Dynamic.check t rng with
+  | Ok () -> Printf.printf "  self-check        ok\n\n"
+  | Error e -> Printf.printf "  self-check        FAILED: %s\n\n" e);
+
+  (* Contention of the layered structure, for hits and for misses. *)
+  let live = Array.sub keys 500 1000 in
+  let negs = Keyset.negatives rng ~universe ~keys ~count:2000 in
+  let measure label d =
+    let cpos = Dynamic.contention_exact d (Qdist.uniform ~name:"pos" live) in
+    let cneg = Dynamic.contention_exact d (Qdist.uniform ~name:"neg" negs) in
+    Printf.printf "  %-22s hits: worst %6.0f   misses: worst %6.0f (hot level %d)   cells %d\n"
+      label cpos.worst cneg.worst cneg.worst_level (Dynamic.space d)
+  in
+  Printf.printf "Normalized worst-cell contention (s_total * max Phi):\n";
+  measure "plain log-method" t;
+  List.iter
+    (fun boost ->
+      let d = Dynamic.create ~small_level_boost:boost rng ~universe () in
+      Array.iter (Dynamic.insert d) keys;
+      for i = 0 to 499 do
+        Dynamic.delete d keys.(i)
+      done;
+      measure (Printf.sprintf "small-level boost %d" boost) d)
+    [ 16; 128 ];
+  Printf.printf
+    "\nTakeaway: hits stay cheap (largest level first), but a miss probes every\n\
+     level and the smallest level becomes the hot spot. Replicating level i\n\
+     max(1, B/2^i) times divides its contention by the replica count - full\n\
+     O(1/n) dynamic contention in O(n) space remains open, as the paper says.\n\n";
+
+  (* A sustained mixed workload through the operation-stream generator:
+     the structure self-checks at the end and reports its churn costs. *)
+  let stream_rng = Rng.create 555 in
+  let ops =
+    Lc_workload.Opstream.generate stream_rng ~universe ~length:20_000 ~working_set:3_000
+  in
+  let d = Dynamic.create stream_rng ~universe () in
+  let ins, dels, hits = Lc_workload.Opstream.apply d stream_rng ops in
+  Printf.printf
+    "Churn run: 20000 ops (default 40/10/50 insert/delete/query mix, working set 3000)\n";
+  Printf.printf "  applied           %d inserts, %d deletes; %d query hits\n" ins dels hits;
+  Printf.printf "  live keys         %d across %d levels; %d purge(s)\n" (Dynamic.size d)
+    (List.length (Dynamic.level_sizes d))
+    (Dynamic.purges d);
+  Printf.printf "  rebuild work      %.1f keys per update\n"
+    (float_of_int (Dynamic.keys_rebuilt d) /. float_of_int (max 1 (ins + dels)));
+  match Dynamic.check d stream_rng with
+  | Ok () -> Printf.printf "  self-check        ok\n"
+  | Error e -> Printf.printf "  self-check        FAILED: %s\n" e

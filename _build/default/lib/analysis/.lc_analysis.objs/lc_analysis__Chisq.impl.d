@@ -1,0 +1,1 @@
+lib/analysis/chisq.ml: Array Float

@@ -1,0 +1,1 @@
+lib/analysis/experiment.ml: Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/analysis/experiment.mli:

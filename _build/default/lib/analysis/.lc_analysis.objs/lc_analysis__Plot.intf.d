@@ -1,0 +1,1 @@
+lib/analysis/plot.mli:

@@ -1,0 +1,1 @@
+lib/analysis/stats.ml: Array Float Printf

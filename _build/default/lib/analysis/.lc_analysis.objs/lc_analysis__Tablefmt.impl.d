@@ -1,0 +1,1 @@
+lib/analysis/tablefmt.ml: Array List Printf String

@@ -1,0 +1,91 @@
+let statistic ~observed ~expected =
+  let k = Array.length observed in
+  if k = 0 || k <> Array.length expected then
+    invalid_arg "Chisq.statistic: need equal, non-empty arrays";
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    if expected.(i) <= 0.0 then invalid_arg "Chisq.statistic: non-positive expectation";
+    let d = float_of_int observed.(i) -. expected.(i) in
+    acc := !acc +. (d *. d /. expected.(i))
+  done;
+  !acc
+
+let statistic_uniform counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  let k = Array.length counts in
+  if k = 0 then invalid_arg "Chisq.statistic_uniform: empty";
+  let e = float_of_int total /. float_of_int k in
+  statistic ~observed:counts ~expected:(Array.make k e)
+
+(* ln Gamma by Lanczos approximation. *)
+let ln_gamma x =
+  let cof =
+    [|
+      76.18009172947146; -86.50532032941677; 24.01409824083091; -1.231739572450155;
+      0.1208650973866179e-2; -0.5395239384953e-5;
+    |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. Float.log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.0;
+      ser := !ser +. (c /. !y))
+    cof;
+  -.tmp +. Float.log (2.5066282746310005 *. !ser /. x)
+
+(* Regularised lower incomplete gamma P(a, x): series for x < a + 1,
+   continued fraction otherwise. *)
+let gamma_p ~a ~x =
+  if a <= 0.0 || x < 0.0 then invalid_arg "Chisq.gamma_p: need a > 0 and x >= 0";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then begin
+    (* Series representation. *)
+    let ap = ref a in
+    let sum = ref (1.0 /. a) in
+    let del = ref !sum in
+    (try
+       for _ = 1 to 500 do
+         ap := !ap +. 1.0;
+         del := !del *. x /. !ap;
+         sum := !sum +. !del;
+         if Float.abs !del < Float.abs !sum *. 1e-14 then raise Exit
+       done
+     with Exit -> ());
+    !sum *. Float.exp (-.x +. (a *. Float.log x) -. ln_gamma a)
+  end
+  else begin
+    (* Continued fraction for Q(a, x), then P = 1 - Q (Lentz's method). *)
+    let fpmin = 1e-300 in
+    let b = ref (x +. 1.0 -. a) in
+    let c = ref (1.0 /. fpmin) in
+    let d = ref (1.0 /. !b) in
+    let h = ref !d in
+    (try
+       for i = 1 to 500 do
+         let an = -.float_of_int i *. (float_of_int i -. a) in
+         b := !b +. 2.0;
+         d := (an *. !d) +. !b;
+         if Float.abs !d < fpmin then d := fpmin;
+         c := !b +. (an /. !c);
+         if Float.abs !c < fpmin then c := fpmin;
+         d := 1.0 /. !d;
+         let del = !d *. !c in
+         h := !h *. del;
+         if Float.abs (del -. 1.0) < 1e-14 then raise Exit
+       done
+     with Exit -> ());
+    let q = Float.exp (-.x +. (a *. Float.log x) -. ln_gamma a) *. !h in
+    1.0 -. q
+  end
+
+let p_value ~dof x2 =
+  if dof < 1 then invalid_arg "Chisq.p_value: dof must be >= 1";
+  if x2 < 0.0 then invalid_arg "Chisq.p_value: negative statistic";
+  1.0 -. gamma_p ~a:(float_of_int dof /. 2.0) ~x:(x2 /. 2.0)
+
+let test_uniform ?(alpha = 0.001) counts =
+  let x2 = statistic_uniform counts in
+  p_value ~dof:(Array.length counts - 1) x2 >= alpha

@@ -1,0 +1,31 @@
+(** Chi-square goodness-of-fit testing.
+
+    The hash-family tests need a principled "is this sample compatible
+    with the uniform (or given) distribution?" primitive rather than
+    ad-hoc deviation thresholds. This module computes the Pearson
+    statistic and a p-value via the regularised incomplete gamma
+    function (implemented from scratch: series expansion for small
+    arguments, continued fraction for large — the standard Numerical
+    Recipes decomposition). *)
+
+val statistic : observed:int array -> expected:float array -> float
+(** Pearson's [X^2 = sum (O_i - E_i)^2 / E_i]. Arrays must have equal
+    length and positive expectations. *)
+
+val statistic_uniform : int array -> float
+(** [statistic_uniform counts] against the uniform expectation (total
+    spread evenly over the cells). *)
+
+val gamma_p : a:float -> x:float -> float
+(** The regularised lower incomplete gamma [P(a, x)]; exposed for its
+    own tests. Requires [a > 0], [x >= 0]. *)
+
+val p_value : dof:int -> float -> float
+(** [p_value ~dof x2] is the upper-tail probability of a chi-square
+    variable with [dof] degrees of freedom exceeding [x2] — small means
+    "reject uniformity". *)
+
+val test_uniform : ?alpha:float -> int array -> bool
+(** [test_uniform counts] is [true] when uniformity is {e not} rejected
+    at level [alpha] (default 0.001 — the tests want very few false
+    alarms across hundreds of runs). *)

@@ -1,0 +1,33 @@
+type t = { id : string; title : string; claim : string; run : seed:int -> string }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let canon id = String.lowercase_ascii id
+
+let register e =
+  let key = canon e.id in
+  if Hashtbl.mem registry key then invalid_arg (Printf.sprintf "Experiment: duplicate id %s" e.id);
+  Hashtbl.replace registry key e
+
+let find id = Hashtbl.find_opt registry (canon id)
+
+(* Sort ids like T1 < T2 < ... < T10 < F1 < F2: letter class first
+   (T before F, then others), then numeric suffix. *)
+let id_order id =
+  let letter = if id = "" then ' ' else Char.uppercase_ascii id.[0] in
+  let klass = match letter with 'T' -> 0 | 'F' -> 1 | _ -> 2 in
+  let num = try int_of_string (String.sub id 1 (String.length id - 1)) with _ -> 0 in
+  (klass, num, id)
+
+let all () =
+  Hashtbl.fold (fun _ e acc -> e :: acc) registry []
+  |> List.sort (fun a b -> compare (id_order a.id) (id_order b.id))
+
+let run_all ~seed =
+  all ()
+  |> List.map (fun e ->
+         let header =
+           Printf.sprintf "==== %s: %s ====\nClaim: %s\n" e.id e.title e.claim
+         in
+         header ^ e.run ~seed ^ "\n")
+  |> String.concat "\n"

@@ -1,0 +1,26 @@
+(** The experiment registry.
+
+    Each table/figure of DESIGN.md §4 registers itself as an
+    {!t}: an id ("T1", "F3", ...), the paper claim it reproduces, and a
+    seeded run function producing printable output. [bin/experiments.exe]
+    and the benchmark driver iterate the registry, so adding an
+    experiment is one [register] call. *)
+
+type t = {
+  id : string;  (** "T1" ... "F6"; unique, case-insensitive lookup. *)
+  title : string;
+  claim : string;  (** The paper statement being reproduced. *)
+  run : seed:int -> string;  (** Produce the full printable report. *)
+}
+
+val register : t -> unit
+(** Raises [Invalid_argument] on duplicate ids. *)
+
+val find : string -> t option
+(** Case-insensitive lookup. *)
+
+val all : unit -> t list
+(** Registered experiments in id order (T's then F's, numerically). *)
+
+val run_all : seed:int -> string
+(** Run everything, concatenating reports with headers. *)

@@ -1,0 +1,91 @@
+type series = { label : string; points : (float * float) array }
+type scale = Linear | Log
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '='; '~' |]
+
+let transform scale v =
+  match scale with
+  | Linear -> v
+  | Log ->
+    if v <= 0.0 then invalid_arg "Plot.render: non-positive value under log scale";
+    Float.log v
+
+let render ?(width = 64) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear) ~title ~x_label
+    ~y_label series =
+  if series = [] then invalid_arg "Plot.render: no series";
+  if List.for_all (fun s -> Array.length s.points = 0) series then
+    invalid_arg "Plot.render: no points";
+  let all_x =
+    List.concat_map (fun s -> Array.to_list (Array.map fst s.points)) series
+  in
+  let all_y =
+    List.concat_map (fun s -> Array.to_list (Array.map snd s.points)) series
+  in
+  let tx = transform x_scale and ty = transform y_scale in
+  let min_max l =
+    List.fold_left
+      (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+      (Float.infinity, Float.neg_infinity) l
+  in
+  let x_lo, x_hi = min_max (List.map tx all_x) in
+  let y_lo, y_hi = min_max (List.map ty all_y) in
+  (* Pad degenerate ranges so the projection is well defined. *)
+  let pad lo hi = if hi -. lo < 1e-12 then (lo -. 1.0, hi +. 1.0) else (lo, hi) in
+  let x_lo, x_hi = pad x_lo x_hi and y_lo, y_hi = pad y_lo y_hi in
+  let canvas = Array.make_matrix height width ' ' in
+  let plot_series idx s =
+    let glyph = glyphs.(idx mod Array.length glyphs) in
+    Array.iter
+      (fun (x, y) ->
+        let cx =
+          int_of_float
+            (Float.round ((tx x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+        in
+        let cy =
+          int_of_float
+            (Float.round ((ty y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+        in
+        (* canvas row 0 is the top. *)
+        canvas.(height - 1 - cy).(cx) <- glyph)
+      s.points
+  in
+  List.iteri plot_series series;
+  let buf = Buffer.create (width * height * 2) in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let fmt_tick scale v =
+    let v = match scale with Linear -> v | Log -> Float.exp v in
+    Printf.sprintf "%.3g" v
+  in
+  let y_hi_s = fmt_tick y_scale y_hi and y_lo_s = fmt_tick y_scale y_lo in
+  let margin = max (String.length y_hi_s) (String.length y_lo_s) in
+  Array.iteri
+    (fun i row ->
+      let tick =
+        if i = 0 then y_hi_s
+        else if i = height - 1 then y_lo_s
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "%*s |" margin tick);
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    canvas;
+  Buffer.add_string buf (String.make (margin + 2) ' ');
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let x_lo_s = fmt_tick x_scale x_lo and x_hi_s = fmt_tick x_scale x_hi in
+  Buffer.add_string buf
+    (Printf.sprintf "%*s  %s%*s\n" margin "" x_lo_s
+       (width - String.length x_lo_s)
+       x_hi_s);
+  Buffer.add_string buf
+    (Printf.sprintf "x: %s%s, y: %s%s\n" x_label
+       (if x_scale = Log then " (log)" else "")
+       y_label
+       (if y_scale = Log then " (log)" else ""));
+  List.iteri
+    (fun idx s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c %s\n" glyphs.(idx mod Array.length glyphs) s.label))
+    series;
+  Buffer.contents buf

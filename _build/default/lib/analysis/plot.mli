@@ -1,0 +1,31 @@
+(** Terminal plots for the figure experiments.
+
+    The F-series experiments are figures; this renders them as ASCII
+    scatter/line charts so `bench_output.txt` carries actual pictures of
+    the growth laws, not just tables. Multiple series share one canvas,
+    each with its own glyph; axes can be linear or log-scaled. *)
+
+type series = {
+  label : string;
+  points : (float * float) array;  (** (x, y) pairs; need not be sorted. *)
+}
+
+type scale = Linear | Log
+(** Axis scale. [Log] requires strictly positive coordinates. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** [render ~title ~x_label ~y_label series] draws all series on one
+    canvas (default 64x20 plot area). Each series gets a distinct glyph
+    (shown in the legend); coinciding points show the later series'
+    glyph. Degenerate ranges (a single x or y value) are padded.
+    Raises [Invalid_argument] on empty input or non-positive values
+    under a log scale. *)

@@ -1,0 +1,31 @@
+let linear_fit ~xs ~ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Series.linear_fit: length mismatch";
+  if n < 2 then invalid_arg "Series.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left ( +. ) 0.0 xs in
+  let sy = Array.fold_left ( +. ) 0.0 ys in
+  let sxx = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  let sxy = ref 0.0 in
+  for i = 0 to n - 1 do
+    sxy := !sxy +. (xs.(i) *. ys.(i))
+  done;
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Series.linear_fit: degenerate x values";
+  let slope = ((fn *. !sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (slope, intercept)
+
+let loglog_slope ~xs ~ys =
+  let logged a =
+    Array.map
+      (fun v ->
+        if v <= 0.0 then invalid_arg "Series.loglog_slope: non-positive value";
+        Float.log v)
+      a
+  in
+  fst (linear_fit ~xs:(logged xs) ~ys:(logged ys))
+
+let doubling_ratios ys =
+  if Array.length ys < 2 then [||]
+  else Array.init (Array.length ys - 1) (fun i -> ys.(i + 1) /. ys.(i))

@@ -1,0 +1,18 @@
+(** Growth-rate analysis of experiment series.
+
+    The paper's claims are asymptotic ([O(1/n)], [Theta(sqrt n)],
+    [Omega(log log n)]); with measurements at a geometric ladder of [n]
+    values, the log-log least-squares slope estimates the polynomial
+    exponent (slope 0 = the flat curve of Theorem 3, slope 1/2 = the FKS
+    worst case), which is how EXPERIMENTS.md states "shape holds". *)
+
+val loglog_slope : xs:float array -> ys:float array -> float
+(** Least-squares slope of [log y] against [log x]. All values must be
+    strictly positive; arrays of equal length [>= 2]. *)
+
+val linear_fit : xs:float array -> ys:float array -> float * float
+(** [(slope, intercept)] of ordinary least squares in plain coordinates. *)
+
+val doubling_ratios : float array -> float array
+(** [ys.(i+1) / ys.(i)] — for a geometric ladder of [n], the per-doubling
+    growth factor (≈1 means flat, ≈sqrt 2 means square-root growth). *)

@@ -1,0 +1,57 @@
+let check_nonempty xs = if Array.length xs = 0 then invalid_arg "Stats: empty sample"
+
+let mean xs =
+  check_nonempty xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty xs;
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let mu = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs in
+    ss /. float_of_int (n - 1)
+  end
+
+let stddev xs = Float.sqrt (variance xs)
+
+let minimum xs =
+  check_nonempty xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  check_nonempty xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let quantile xs p =
+  check_nonempty xs;
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.quantile: p outside [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = quantile xs 0.5
+
+let describe xs =
+  Printf.sprintf "mean=%.4g std=%.4g min=%.4g med=%.4g max=%.4g" (mean xs) (stddev xs)
+    (minimum xs) (median xs) (maximum xs)
+
+let geometric_mean xs =
+  check_nonempty xs;
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive entry";
+        acc +. Float.log x)
+      0.0 xs
+  in
+  Float.exp (acc /. float_of_int (Array.length xs))

@@ -1,0 +1,24 @@
+(** Summary statistics for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; raises on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (0 for fewer than two samples). *)
+
+val stddev : float array -> float
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p] in [0, 1], by linear interpolation on the
+    sorted data (type-7, the R default). Does not mutate the input. *)
+
+val median : float array -> float
+
+val describe : float array -> string
+(** One-line [mean/std/min/median/max] rendering. *)
+
+val geometric_mean : float array -> float
+(** Requires strictly positive entries. *)

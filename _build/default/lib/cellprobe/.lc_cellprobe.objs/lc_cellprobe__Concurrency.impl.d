@@ -1,0 +1,1 @@
+lib/cellprobe/concurrency.ml: Array Lc_prim List Qdist Spec

@@ -1,0 +1,1 @@
+lib/cellprobe/concurrency.mli: Lc_prim Qdist Spec

@@ -1,0 +1,1 @@
+lib/cellprobe/contention.ml: Array Float Hashtbl List Qdist Spec Table

@@ -1,0 +1,1 @@
+lib/cellprobe/contention.mli: Lc_prim Qdist Spec Table

@@ -1,0 +1,1 @@
+lib/cellprobe/qdist.ml: Array Float Hashtbl Lc_prim List Printf

@@ -1,0 +1,1 @@
+lib/cellprobe/qdist.mli: Lc_prim

@@ -1,0 +1,1 @@
+lib/cellprobe/spec.ml: Array Fun Lc_prim Printf Seq

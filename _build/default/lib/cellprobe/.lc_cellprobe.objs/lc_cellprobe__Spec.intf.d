@@ -1,0 +1,1 @@
+lib/cellprobe/spec.mli: Lc_prim Seq

@@ -1,0 +1,1 @@
+lib/cellprobe/table.ml: Array Lc_prim Printf

@@ -1,0 +1,1 @@
+lib/cellprobe/table.mli: Lc_prim

@@ -1,0 +1,1 @@
+lib/cellprobe/trace.ml: Array Buffer Contention Float List Printf Seq String Table

@@ -1,0 +1,1 @@
+lib/cellprobe/trace.mli: Contention Lc_prim Table

@@ -1,0 +1,110 @@
+module Rng = Lc_prim.Rng
+
+type stats = {
+  m : int;
+  trials : int;
+  mean_hotspot : float;
+  max_hotspot : int;
+  mean_round_hotspot : float array;
+}
+
+let simulate_async ~rng ~cells ~qdist ~spec ~m ~spread ~trials =
+  if m < 1 then invalid_arg "Concurrency.simulate_async: m must be >= 1";
+  if spread < 1 then invalid_arg "Concurrency.simulate_async: spread must be >= 1";
+  if trials < 1 then invalid_arg "Concurrency.simulate_async: trials must be >= 1";
+  let counts = Array.make cells 0 in
+  let sum_hotspot = ref 0.0 in
+  let max_hotspot = ref 0 in
+  let slot_sums = ref [||] in
+  let ensure_slots k =
+    if k > Array.length !slot_sums then begin
+      let old = !slot_sums in
+      let grown = Array.make k 0.0 in
+      Array.blit old 0 grown 0 (Array.length old);
+      slot_sums := grown
+    end
+  in
+  for _ = 1 to trials do
+    let plans = Array.init m (fun _ -> spec (Qdist.sample qdist rng)) in
+    let offsets = Array.init m (fun _ -> Rng.int rng spread) in
+    let horizon =
+      Array.fold_left max 0 (Array.mapi (fun i p -> offsets.(i) + Spec.probes p) plans)
+    in
+    ensure_slots horizon;
+    let trial_max = ref 0 in
+    for slot = 0 to horizon - 1 do
+      let touched = ref [] in
+      let slot_max = ref 0 in
+      Array.iteri
+        (fun i plan ->
+          let step = slot - offsets.(i) in
+          if step >= 0 && step < Spec.probes plan then begin
+            let j = Spec.sample_step rng plan.(step) in
+            if counts.(j) = 0 then touched := j :: !touched;
+            counts.(j) <- counts.(j) + 1;
+            if counts.(j) > !slot_max then slot_max := counts.(j)
+          end)
+        plans;
+      List.iter (fun j -> counts.(j) <- 0) !touched;
+      (!slot_sums).(slot) <- (!slot_sums).(slot) +. float_of_int !slot_max;
+      if !slot_max > !trial_max then trial_max := !slot_max
+    done;
+    sum_hotspot := !sum_hotspot +. float_of_int !trial_max;
+    if !trial_max > !max_hotspot then max_hotspot := !trial_max
+  done;
+  {
+    m;
+    trials;
+    mean_hotspot = !sum_hotspot /. float_of_int trials;
+    max_hotspot = !max_hotspot;
+    mean_round_hotspot = Array.map (fun s -> s /. float_of_int trials) !slot_sums;
+  }
+
+let simulate ~rng ~cells ~qdist ~spec ~m ~trials =
+  if m < 1 then invalid_arg "Concurrency.simulate: m must be >= 1";
+  if trials < 1 then invalid_arg "Concurrency.simulate: trials must be >= 1";
+  let counts = Array.make cells 0 in
+  (* Per-round touched-cell lists let us reset in O(probes) not O(cells). *)
+  let sum_hotspot = ref 0.0 in
+  let max_hotspot = ref 0 in
+  let round_sums = ref [||] in
+  let ensure_rounds k =
+    if k > Array.length !round_sums then begin
+      let old = !round_sums in
+      let grown = Array.make k 0.0 in
+      Array.blit old 0 grown 0 (Array.length old);
+      round_sums := grown
+    end
+  in
+  for _ = 1 to trials do
+    (* Sample the m probe plans for this trial. *)
+    let plans = Array.init m (fun _ -> spec (Qdist.sample qdist rng)) in
+    let rounds = Array.fold_left (fun acc p -> max acc (Spec.probes p)) 0 plans in
+    ensure_rounds rounds;
+    let trial_max = ref 0 in
+    for t = 0 to rounds - 1 do
+      let touched = ref [] in
+      let round_max = ref 0 in
+      Array.iter
+        (fun plan ->
+          if t < Spec.probes plan then begin
+            let j = Spec.sample_step rng plan.(t) in
+            if counts.(j) = 0 then touched := j :: !touched;
+            counts.(j) <- counts.(j) + 1;
+            if counts.(j) > !round_max then round_max := counts.(j)
+          end)
+        plans;
+      List.iter (fun j -> counts.(j) <- 0) !touched;
+      (!round_sums).(t) <- (!round_sums).(t) +. float_of_int !round_max;
+      if !round_max > !trial_max then trial_max := !round_max
+    done;
+    sum_hotspot := !sum_hotspot +. float_of_int !trial_max;
+    if !trial_max > !max_hotspot then max_hotspot := !trial_max
+  done;
+  {
+    m;
+    trials;
+    mean_hotspot = !sum_hotspot /. float_of_int trials;
+    max_hotspot = !max_hotspot;
+    mean_round_hotspot = Array.map (fun s -> s /. float_of_int trials) !round_sums;
+  }

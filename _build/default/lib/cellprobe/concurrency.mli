@@ -1,0 +1,52 @@
+(** Concurrent-query hot-spot simulation.
+
+    The paper motivates contention by [m] simultaneous queries: "the
+    expected number of probes to the cell for some fixed number m of
+    simultaneous queries can then be bounded using linearity of
+    expectation". This module runs that experiment directly: draw [m]
+    i.i.d. queries from [q], advance them in lock-step rounds (round [t]
+    = every query's probe number [t]), and record how many of the [m]
+    queries hit the same cell in the same round — the quantity a
+    shared-memory multiprocessor actually serialises on. *)
+
+type stats = {
+  m : int;  (** Queries per trial. *)
+  trials : int;
+  mean_hotspot : float;
+      (** Mean over trials of [max_{t,j}] (queries probing cell [j] in
+          round [t]). *)
+  max_hotspot : int;  (** Worst hot-spot seen in any trial. *)
+  mean_round_hotspot : float array;
+      (** Mean hot-spot per round, index = probe step. *)
+}
+
+val simulate :
+  rng:Lc_prim.Rng.t ->
+  cells:int ->
+  qdist:Qdist.t ->
+  spec:(int -> Spec.t) ->
+  m:int ->
+  trials:int ->
+  stats
+(** [simulate ~rng ~cells ~qdist ~spec ~m ~trials] samples the probe
+    plans (via {!Spec.sample_step}) rather than running the structure,
+    which is exact in distribution and much faster. *)
+
+val simulate_async :
+  rng:Lc_prim.Rng.t ->
+  cells:int ->
+  qdist:Qdist.t ->
+  spec:(int -> Spec.t) ->
+  m:int ->
+  spread:int ->
+  trials:int ->
+  stats
+(** Like {!simulate} but with staggered arrivals: each of the [m]
+    queries starts at a uniformly random time slot in [0, spread) and
+    performs one probe per subsequent slot. [spread = 1] degenerates to
+    lock-step. Staggering models asynchronous processors; it thins each
+    slot's population to roughly [m * probes / (spread + probes)], so a
+    hot cell's load drops accordingly — but a contention-1 cell (index
+    root) still serialises every in-flight query. In the returned
+    {!stats}, [mean_round_hotspot] is indexed by time slot rather than
+    probe step. *)

@@ -1,0 +1,67 @@
+(** Instrumented cell-probe tables.
+
+    The paper's table [T_{S,q} : [s] -> {0,1}^b] of [s] cells of [b] bits
+    each. Cells hold OCaml integers constrained to [b <= 62] bits; every
+    {!read} is counted per cell and per probe step, which is exactly the
+    quantity [Y^{(t)}(x, j)] of Definition 1, so empirical contention
+    falls directly out of the counters.
+
+    Writes are construction-time operations and are not counted: the
+    paper measures the contention of {e queries} against a static
+    table. *)
+
+type t
+
+val bits_for : int -> int
+(** [bits_for v] is the smallest cell width (in bits, at least 1) that
+    stores the non-negative value [v]. *)
+
+val create : ?init:int -> cells:int -> bits:int -> unit -> t
+(** [create ~cells ~bits ()] is a table of [cells] cells of [bits] bits,
+    each initialised to [init] (default 0). Requires [1 <= bits <= 62]
+    and [cells >= 0]; every stored value must fit in [bits] bits, except
+    that the sentinel [-1] ("empty cell") is always allowed. *)
+
+val size : t -> int
+(** Number of cells, the paper's [s]. *)
+
+val bits : t -> int
+(** Cell width in bits, the paper's [b]. *)
+
+val read : t -> step:int -> int -> int
+(** [read t ~step j] probes cell [j] as the [step]-th probe (0-indexed)
+    of the running query, returning its contents and incrementing the
+    per-cell and per-step counters. *)
+
+val peek : t -> int -> int
+(** [peek t j] reads cell [j] {e without} counting a probe; for
+    construction, verification and debugging only. *)
+
+val write : t -> int -> int -> unit
+(** [write t j v] stores [v] in cell [j] (construction-time; uncounted).
+    Raises [Invalid_argument] if [v] does not fit in [bits t] bits. *)
+
+val probes : t -> int -> int
+(** [probes t j] is the total number of counted probes to cell [j] since
+    the last {!reset_counters}. *)
+
+val probes_at : t -> step:int -> int -> int
+(** [probes_at t ~step j] is the number of counted probes to cell [j]
+    made as probe number [step]. *)
+
+val total_probes : t -> int
+(** Total counted probes across all cells. *)
+
+val max_step : t -> int
+(** One past the largest step index seen since the last reset (0 if no
+    probes have been counted). *)
+
+val reset_counters : t -> unit
+(** Zero all probe counters (cell contents are untouched). *)
+
+val copy_cells : t -> int array
+(** Snapshot of all cell contents. *)
+
+val corrupt : t -> Lc_prim.Rng.t -> unit
+(** [corrupt t rng] flips one uniformly random bit of one uniformly
+    random non-sentinel cell; failure injection for verifier tests. *)

@@ -1,0 +1,92 @@
+type event = { query : int; step : int; cell : int }
+
+type t = { cells : int; nqueries : int; events : event array }
+
+let record ~table ~mem ~rng ~queries =
+  Table.reset_counters table;
+  let cells = Table.size table in
+  let acc = ref [] in
+  Array.iteri
+    (fun qi x ->
+      ignore (mem rng x : bool);
+      (* Diff the counters: with fresh counters per query, every probe
+         of this query is visible as a positive count. *)
+      for step = 0 to Table.max_step table - 1 do
+        for cell = 0 to cells - 1 do
+          let c = Table.probes_at table ~step cell in
+          for _ = 1 to c do
+            acc := { query = qi; step; cell } :: !acc
+          done
+        done
+      done;
+      Table.reset_counters table)
+    queries;
+  { cells; nqueries = Array.length queries; events = Array.of_list (List.rev !acc) }
+
+let events t = Array.copy t.events
+let query_count t = t.nqueries
+let cells t = t.cells
+
+let probes_of_query t i =
+  Array.of_seq (Seq.filter (fun e -> e.query = i) (Array.to_seq t.events))
+
+let contention t =
+  if t.nqueries = 0 then invalid_arg "Trace.contention: empty trace";
+  let k = float_of_int t.nqueries in
+  let per_cell = Array.make t.cells 0.0 in
+  let max_steps = Array.fold_left (fun acc e -> max acc (e.step + 1)) 0 t.events in
+  let per_step = Array.init max_steps (fun _ -> Array.make t.cells 0.0) in
+  Array.iter
+    (fun e ->
+      per_cell.(e.cell) <- per_cell.(e.cell) +. (1.0 /. k);
+      per_step.(e.step).(e.cell) <- per_step.(e.step).(e.cell) +. (1.0 /. k))
+    t.events;
+  let per_step_max = Array.map (fun row -> Array.fold_left Float.max 0.0 row) per_step in
+  {
+    Contention.cells = t.cells;
+    per_cell;
+    per_step_max;
+    max_total = Array.fold_left Float.max 0.0 per_cell;
+    max_step = Array.fold_left Float.max 0.0 per_step_max;
+    mean_probes = float_of_int (Array.length t.events) /. k;
+  }
+
+let to_csv t =
+  let buf = Buffer.create (16 * Array.length t.events) in
+  Buffer.add_string buf "query,step,cell\n";
+  Array.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "%d,%d,%d\n" e.query e.step e.cell))
+    t.events;
+  Buffer.contents buf
+
+let of_csv ~cells csv =
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rows ->
+    if String.trim header <> "query,step,cell" then Error "bad header"
+    else begin
+      let parse_row acc line =
+        match acc with
+        | Error _ -> acc
+        | Ok evs -> (
+          match String.split_on_char ',' (String.trim line) with
+          | [ q; s; c ] -> (
+            match (int_of_string_opt q, int_of_string_opt s, int_of_string_opt c) with
+            | Some query, Some step, Some cell ->
+              if cell < 0 || cell >= cells then Error (Printf.sprintf "cell %d out of range" cell)
+              else if query < 0 || step < 0 then Error "negative field"
+              else Ok ({ query; step; cell } :: evs)
+            | _ -> Error (Printf.sprintf "non-integer field in %S" line))
+          | _ -> Error (Printf.sprintf "expected 3 fields in %S" line))
+      in
+      let rows = List.filter (fun l -> String.trim l <> "") rows in
+      match List.fold_left parse_row (Ok []) rows with
+      | Error e -> Error e
+      | Ok evs ->
+        let events = Array.of_list (List.rev evs) in
+        let nqueries =
+          Array.fold_left (fun acc e -> max acc (e.query + 1)) 0 events
+        in
+        Ok { cells; nqueries; events }
+    end

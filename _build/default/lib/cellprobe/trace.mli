@@ -1,0 +1,45 @@
+(** Probe traces: record, inspect, replay, export.
+
+    A trace is the flat record of what a query workload did to a table —
+    one event per counted probe. Traces serve three purposes here:
+    debugging (inspect exactly where a query went), estimation
+    (empirical contention from a trace equals the Monte-Carlo estimate,
+    checked by the tests), and export (CSV for external tooling).
+    Recording wraps a {!Table.t} observer around an existing [mem]
+    function without touching the structure. *)
+
+type event = { query : int; step : int; cell : int }
+
+type t
+(** An ordered sequence of probe events plus the table geometry. *)
+
+val record :
+  table:Table.t ->
+  mem:(Lc_prim.Rng.t -> int -> bool) ->
+  rng:Lc_prim.Rng.t ->
+  queries:int array ->
+  t
+(** [record ~table ~mem ~rng ~queries] runs each query once (in order)
+    and captures every probe it makes. Uses the table's counters
+    differentially, so the table must not be probed concurrently; the
+    counters are left reset. *)
+
+val events : t -> event array
+val query_count : t -> int
+val cells : t -> int
+
+val probes_of_query : t -> int -> event array
+(** Events belonging to the [i]-th recorded query (by position in the
+    recording, not key value). *)
+
+val contention : t -> Contention.result
+(** Empirical contention from the trace: each recorded query weighted
+    equally — identical in expectation to
+    {!Contention.monte_carlo} with the same inputs. *)
+
+val to_csv : t -> string
+(** ["query,step,cell"] header plus one line per event. *)
+
+val of_csv : cells:int -> string -> (t, string) result
+(** Parse a CSV produced by {!to_csv}; validates the header, field
+    counts, integer syntax and cell bounds. *)

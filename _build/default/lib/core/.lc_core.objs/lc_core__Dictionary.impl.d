@@ -1,0 +1,1 @@
+lib/core/dictionary.ml: Array Lc_cellprobe Lc_dict Params Query Structure Verify

@@ -1,0 +1,1 @@
+lib/core/dictionary.mli: Lc_cellprobe Lc_dict Lc_prim Params Structure

@@ -1,0 +1,1 @@
+lib/core/histogram.ml: Array Lc_prim Params Printf

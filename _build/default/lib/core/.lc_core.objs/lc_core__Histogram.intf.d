@@ -1,0 +1,1 @@
+lib/core/histogram.mli: Params

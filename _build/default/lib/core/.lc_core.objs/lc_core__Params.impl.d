@@ -1,0 +1,1 @@
+lib/core/params.ml: Float Format Lc_cellprobe Lc_prim Printf

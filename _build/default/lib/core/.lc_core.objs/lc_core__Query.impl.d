@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Histogram Layout Lc_cellprobe Lc_hash Lc_prim Params Structure

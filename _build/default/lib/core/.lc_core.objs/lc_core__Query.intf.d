@@ -1,0 +1,1 @@
+lib/core/query.mli: Lc_cellprobe Lc_prim Structure

@@ -1,0 +1,1 @@
+lib/core/structure.ml: Array Hashtbl Histogram Layout Lc_cellprobe Lc_hash Lc_prim Params Printf

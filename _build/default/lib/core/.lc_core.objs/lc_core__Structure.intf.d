@@ -1,0 +1,1 @@
+lib/core/structure.mli: Lc_cellprobe Lc_hash Lc_prim Params

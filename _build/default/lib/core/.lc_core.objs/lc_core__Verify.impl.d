@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Hashtbl Histogram Layout Lc_cellprobe Lc_hash Lc_prim Printf Query Structure

@@ -1,0 +1,27 @@
+type t = Structure.t
+
+let build ?d ?delta ?c ?alpha ?beta ?max_trials rng ~universe ~keys =
+  let params = Params.make ?d ?delta ?c ?alpha ?beta ~universe ~n:(Array.length keys) () in
+  Structure.build ?max_trials rng params ~keys
+
+let of_structure s = s
+
+let mem t rng x = Query.mem t rng x
+let params (t : t) = t.params
+let structure t = t
+let space (t : t) = Lc_cellprobe.Table.size t.table
+let max_probes t = Query.max_probes t
+let build_trials (t : t) = t.trials
+let spec t x = Query.spec t x
+
+let instance (t : t) =
+  {
+    Lc_dict.Instance.name = "low-contention";
+    table = t.table;
+    space = space t;
+    max_probes = max_probes t;
+    mem = (fun rng x -> mem t rng x);
+    spec = spec t;
+  }
+
+let verify t = Verify.check t

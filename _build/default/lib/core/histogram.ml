@@ -1,0 +1,39 @@
+module Bitpack = Lc_prim.Bitpack
+
+let bits_budget (p : Params.t) = p.rho * p.cell_bits
+
+let encode (p : Params.t) ~loads =
+  if Array.length loads <> p.g_per_group then
+    invalid_arg "Histogram.encode: expected one load per bucket in the group";
+  let total = Array.fold_left ( + ) 0 loads in
+  let needed = total + p.g_per_group in
+  if needed > bits_budget p then
+    invalid_arg
+      (Printf.sprintf "Histogram.encode: %d bits exceed the %d-bit budget (P(S) violated?)"
+         needed (bits_budget p));
+  let bp = Bitpack.create ~word_bits:p.cell_bits ~bits:(bits_budget p) in
+  let pos = ref 0 in
+  Array.iter (fun l -> pos := Bitpack.append_unary bp ~pos:!pos l) loads;
+  Bitpack.words bp
+
+let decode (p : Params.t) words =
+  if Array.length words <> p.rho then
+    invalid_arg "Histogram.decode: expected rho words";
+  let bp = Bitpack.of_words ~word_bits:p.cell_bits ~bits:(bits_budget p) words in
+  let loads = Array.make p.g_per_group 0 in
+  let pos = ref 0 in
+  for k = 0 to p.g_per_group - 1 do
+    let l, next = Bitpack.read_unary bp ~pos:!pos in
+    if l > p.cap_group then invalid_arg "Histogram.decode: load exceeds the group cap";
+    loads.(k) <- l;
+    pos := next
+  done;
+  loads
+
+let slot_range (p : Params.t) ~loads ~k =
+  if k < 0 || k >= p.g_per_group then invalid_arg "Histogram.slot_range: bucket index out of range";
+  let off = ref 0 in
+  for k' = 0 to k - 1 do
+    off := !off + (loads.(k') * loads.(k'))
+  done;
+  (!off, loads.(k) * loads.(k))

@@ -1,0 +1,29 @@
+(** Group histograms: bucket loads in unary, packed into [rho] words.
+
+    Section 2.2: "a group-histogram is a binary string where the load of
+    each bucket in the group is represented consecutively in unary code
+    separated by zeros". A group of [g_per_group] buckets with loads
+    summing to at most [cap_group] fits in [cap_group + g_per_group]
+    bits, hence in [rho] cells of [cell_bits] bits.
+
+    The query algorithm reads the [rho] words (one probe each, from a
+    random replica), decodes the loads, and computes the prefix sums of
+    {e squared} loads to locate its bucket's slot range inside the
+    group. *)
+
+val encode : Params.t -> loads:int array -> int array
+(** [encode p ~loads] packs the loads of one group's buckets (length
+    [g_per_group], in group order [k = 0, 1, ...]) into exactly [rho]
+    words. Raises [Invalid_argument] if the loads need more bits than the
+    histogram budget — the builder only calls this after [P(S)] holds, so
+    that would be a logic error. *)
+
+val decode : Params.t -> int array -> int array
+(** [decode p words] recovers the [g_per_group] loads. Raises
+    [Invalid_argument] on a malformed (e.g. corrupted) histogram. *)
+
+val slot_range : Params.t -> loads:int array -> k:int -> int * int
+(** [slot_range p ~loads ~k] is the paper's [(i_h(x), i'_h(x))] pair
+    relative to the group base address: the offset of bucket [k]'s slot
+    block within its group ([sum_{k' < k} loads(k')^2]) and its length
+    [loads(k)^2] (0 for an empty bucket). *)

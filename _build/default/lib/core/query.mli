@@ -1,0 +1,29 @@
+(** The four-phase query algorithm of Section 2.3.
+
+    [mem] answers a membership query using only table probes and the
+    problem-level parameters; its randomness is used solely to pick
+    replicas, never to decide anything (Definition 12's restriction).
+    Phases:
+
+    + read the [2d] coefficient words of [f] and [g], each from a
+      uniformly random cell of its row, and one replica of [z_{g(x)}];
+      compute [h(x)] and [h'(x) = h(x) mod m];
+    + read [GBAS(h'(x))] and the [rho] histogram words of group [h'(x)],
+      each from a uniformly random replica; decode the group's loads and
+      locate bucket [h(x)]'s slot range;
+    + if the range is empty, answer negative;
+    + otherwise read the bucket's perfect-hash word from a uniformly
+      random cell of the range, and compare the key at the hashed slot.
+
+    [spec] returns the exact distribution of those probes (using the
+    builder's retained metadata), which {!Lc_cellprobe.Contention.exact}
+    turns into contention numbers. *)
+
+val mem : Structure.t -> Lc_prim.Rng.t -> int -> bool
+(** [mem t rng x] answers "is [x] in [S]?" with at most
+    [2d + rho + 4] instrumented probes. *)
+
+val spec : Structure.t -> int -> Lc_cellprobe.Spec.t
+(** [spec t x] is the exact probe plan for query [x]. *)
+
+val max_probes : Structure.t -> int

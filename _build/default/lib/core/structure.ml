@@ -1,0 +1,161 @@
+module Rng = Lc_prim.Rng
+module Poly_hash = Lc_hash.Poly_hash
+module Dm_family = Lc_hash.Dm_family
+module Perfect = Lc_hash.Perfect
+module Loads = Lc_hash.Loads
+module Table = Lc_cellprobe.Table
+
+exception Build_failed of string
+
+type t = {
+  params : Params.t;
+  table : Table.t;
+  top : Dm_family.t;
+  loads : int array;
+  gbas : int array;
+  starts : int array;
+  multipliers : int array;
+  trials : int;
+  perfect_trials_total : int;
+  keys : int array;
+}
+
+let property_p (p : Params.t) ~g ~h ~keys =
+  if Dm_family.range h <> p.s then invalid_arg "Structure.property_p: h must map to [s]";
+  let g_loads = Loads.loads ~hash:(Poly_hash.eval g) ~buckets:p.r keys in
+  Loads.max_load g_loads <= p.cap_g
+  &&
+  let h' = Dm_family.reduce h p.m in
+  let group_loads = Loads.loads ~hash:(Dm_family.eval h') ~buckets:p.m keys in
+  Loads.max_load group_loads <= p.cap_group
+  &&
+  let bucket_loads = Loads.loads ~hash:(Dm_family.eval h) ~buckets:p.s keys in
+  Loads.sum_squares bucket_loads <= p.s
+
+let check_keys (p : Params.t) keys =
+  if Array.length keys <> p.n then
+    invalid_arg
+      (Printf.sprintf "Structure.build: %d keys but params.n = %d" (Array.length keys) p.n);
+  let seen = Hashtbl.create (2 * p.n) in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= p.universe then invalid_arg "Structure.build: key outside universe";
+      if Hashtbl.mem seen x then invalid_arg "Structure.build: duplicate key";
+      Hashtbl.add seen x ())
+    keys
+
+let sample_hashes rng (p : Params.t) =
+  let f = Poly_hash.create rng ~d:p.d ~p:p.p ~m:p.s in
+  let g = Poly_hash.create rng ~d:p.d ~p:p.p ~m:p.r in
+  let z = Array.init p.r (fun _ -> Rng.int rng p.s) in
+  (g, Dm_family.of_parts ~f ~g ~z)
+
+let build ?(max_trials = 10_000) rng (p : Params.t) ~keys =
+  check_keys p keys;
+  (* Rejection-sample (g, h', h) until P(S). *)
+  let rec search trials =
+    if trials > max_trials then
+      raise (Build_failed (Printf.sprintf "P(S) failed %d consecutive trials" max_trials));
+    let g, h = sample_hashes rng p in
+    if property_p p ~g ~h ~keys then (h, trials) else search (trials + 1)
+  in
+  let top, trials = search 1 in
+  let hash x = Dm_family.eval top x in
+  let buckets = Loads.bucket_keys ~hash ~buckets:p.s keys in
+  let loads = Array.map Array.length buckets in
+  (* Group base addresses, cumulative over groups (paper's GBAS). *)
+  let group_size i =
+    let acc = ref 0 in
+    for k = 0 to p.g_per_group - 1 do
+      let l = loads.(Layout.bucket_of_group_index p ~group:i k) in
+      acc := !acc + (l * l)
+    done;
+    !acc
+  in
+  let gbas = Array.make p.m 0 in
+  for i = 1 to p.m - 1 do
+    gbas.(i) <- gbas.(i - 1) + group_size (i - 1)
+  done;
+  (* Absolute slot start per bucket. *)
+  let starts = Array.make p.s 0 in
+  for i = 0 to p.m - 1 do
+    let off = ref gbas.(i) in
+    for k = 0 to p.g_per_group - 1 do
+      let bk = Layout.bucket_of_group_index p ~group:i k in
+      starts.(bk) <- !off;
+      off := !off + (loads.(bk) * loads.(bk))
+    done
+  done;
+  (* Per-bucket perfect hashing. *)
+  let multipliers = Array.make p.s 0 in
+  let perfect_trials_total = ref 0 in
+  Array.iteri
+    (fun bk bucket ->
+      if Array.length bucket > 0 then begin
+        let ph = Perfect.find rng ~p:p.p ~keys:bucket in
+        multipliers.(bk) <- Perfect.multiplier ph;
+        perfect_trials_total := !perfect_trials_total + Perfect.trials ph
+      end)
+    buckets;
+  (* Write all rows. *)
+  let table = Table.create ~init:(-1) ~cells:(Params.total_cells p) ~bits:p.cell_bits () in
+  let set ~row j v = Table.write table (Layout.cell p ~row j) v in
+  let fill_row row value =
+    for j = 0 to p.s - 1 do
+      set ~row j value
+    done
+  in
+  let f_coeffs = Poly_hash.coeffs (Dm_family.f top) in
+  let g_coeffs = Poly_hash.coeffs (Dm_family.g top) in
+  for i = 0 to p.d - 1 do
+    fill_row (Layout.f_row p i) f_coeffs.(i);
+    fill_row (Layout.g_row p i) g_coeffs.(i)
+  done;
+  let z = Dm_family.z top in
+  for j = 0 to p.s - 1 do
+    set ~row:(Layout.z_row p) j z.(j mod p.r)
+  done;
+  for j = 0 to p.s - 1 do
+    set ~row:(Layout.gbas_row p) j gbas.(j mod p.m)
+  done;
+  (* Histograms: encode each group's loads once, then replicate. *)
+  let group_words =
+    Array.init p.m (fun i ->
+        let gl =
+          Array.init p.g_per_group (fun k -> loads.(Layout.bucket_of_group_index p ~group:i k))
+        in
+        Histogram.encode p ~loads:gl)
+  in
+  for w = 0 to p.rho - 1 do
+    for j = 0 to p.s - 1 do
+      set ~row:(Layout.hist_row p w) j group_words.(j mod p.m).(w)
+    done
+  done;
+  (* Perfect-hash and data rows. *)
+  Array.iteri
+    (fun bk bucket ->
+      let l = loads.(bk) in
+      if l > 0 then begin
+        let sz = l * l in
+        for j = starts.(bk) to starts.(bk) + sz - 1 do
+          set ~row:(Layout.phash_row p) j multipliers.(bk)
+        done;
+        let ph = Perfect.of_multiplier ~p:p.p ~size:sz multipliers.(bk) in
+        Array.iter (fun x -> set ~row:(Layout.data_row p) (starts.(bk) + Perfect.eval ph x) x) bucket
+      end)
+    buckets;
+  {
+    params = p;
+    table;
+    top;
+    loads;
+    gbas;
+    starts;
+    multipliers;
+    trials;
+    perfect_trials_total = !perfect_trials_total;
+    keys = Array.copy keys;
+  }
+
+let bucket_of t x = Dm_family.eval t.top x
+let group_of t x = Dm_family.eval t.top x mod t.params.m

@@ -1,0 +1,152 @@
+module Poly_hash = Lc_hash.Poly_hash
+module Dm_family = Lc_hash.Dm_family
+module Perfect = Lc_hash.Perfect
+module Loads = Lc_hash.Loads
+module Table = Lc_cellprobe.Table
+module Rng = Lc_prim.Rng
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let check_row_constant (t : Structure.t) ~row ~expect ~what =
+  let p = t.params in
+  let rec go j =
+    if j >= p.s then Ok ()
+    else
+      let v = Table.peek t.table (Layout.cell p ~row j) in
+      if v <> expect j then err "%s: row %d cell %d holds %d, expected %d" what row j v (expect j)
+      else go (j + 1)
+  in
+  go 0
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f ()
+
+let check (t : Structure.t) =
+  let p = t.params in
+  let f_coeffs = Poly_hash.coeffs (Dm_family.f t.top) in
+  let g_coeffs = Poly_hash.coeffs (Dm_family.g t.top) in
+  let z = Dm_family.z t.top in
+  (* Hash-function rows. *)
+  let rec coeff_rows i =
+    if i >= p.d then Ok ()
+    else
+      let* () =
+        check_row_constant t ~row:(Layout.f_row p i) ~expect:(fun _ -> f_coeffs.(i)) ~what:"f row"
+      in
+      let* () =
+        check_row_constant t ~row:(Layout.g_row p i) ~expect:(fun _ -> g_coeffs.(i)) ~what:"g row"
+      in
+      coeff_rows (i + 1)
+  in
+  let* () = coeff_rows 0 in
+  let* () =
+    check_row_constant t ~row:(Layout.z_row p) ~expect:(fun j -> z.(j mod p.r)) ~what:"z row"
+  in
+  (* Recompute loads and GBAS from the retained hash function and keys. *)
+  let loads = Loads.loads ~hash:(Dm_family.eval t.top) ~buckets:p.s t.keys in
+  let* () =
+    if loads <> t.loads then err "stored loads differ from recomputed loads" else Ok ()
+  in
+  let* () =
+    if Loads.max_load (Loads.loads ~hash:(Poly_hash.eval (Dm_family.g t.top)) ~buckets:p.r t.keys)
+       > p.cap_g
+    then err "P(S) violated: a g-bucket exceeds cap_g"
+    else Ok ()
+  in
+  let* () =
+    let h' = Dm_family.reduce t.top p.m in
+    if Loads.max_load (Loads.loads ~hash:(Dm_family.eval h') ~buckets:p.m t.keys) > p.cap_group
+    then err "P(S) violated: a group exceeds cap_group"
+    else Ok ()
+  in
+  let* () =
+    if Loads.sum_squares loads > p.s then err "P(S) violated: sum of squared loads exceeds s"
+    else Ok ()
+  in
+  (* GBAS row against recomputed prefix sums. *)
+  let gbas = Array.make p.m 0 in
+  for i = 1 to p.m - 1 do
+    let acc = ref 0 in
+    for k = 0 to p.g_per_group - 1 do
+      let bk = Layout.bucket_of_group_index p ~group:(i - 1) k in
+      acc := !acc + (loads.(bk) * loads.(bk))
+    done;
+    gbas.(i) <- gbas.(i - 1) + !acc
+  done;
+  let* () =
+    if gbas <> t.gbas then err "stored GBAS differs from recomputed GBAS" else Ok ()
+  in
+  let* () =
+    check_row_constant t ~row:(Layout.gbas_row p) ~expect:(fun j -> gbas.(j mod p.m))
+      ~what:"GBAS row"
+  in
+  (* Histogram rows. *)
+  let group_words =
+    Array.init p.m (fun i ->
+        let gl =
+          Array.init p.g_per_group (fun k -> loads.(Layout.bucket_of_group_index p ~group:i k))
+        in
+        Histogram.encode p ~loads:gl)
+  in
+  let rec hist_rows w =
+    if w >= p.rho then Ok ()
+    else
+      let* () =
+        check_row_constant t ~row:(Layout.hist_row p w)
+          ~expect:(fun j -> group_words.(j mod p.m).(w))
+          ~what:"histogram row"
+      in
+      hist_rows (w + 1)
+  in
+  let* () = hist_rows 0 in
+  (* Perfect-hash and data rows, bucket by bucket, plus padding cells. *)
+  let expected_phash = Array.make p.s (-1) in
+  let expected_data = Array.make p.s (-1) in
+  let buckets = Loads.bucket_keys ~hash:(Dm_family.eval t.top) ~buckets:p.s t.keys in
+  let rec per_bucket bk =
+    if bk >= p.s then Ok ()
+    else begin
+      let l = loads.(bk) in
+      if l = 0 then per_bucket (bk + 1)
+      else begin
+        let len = l * l in
+        let start = t.starts.(bk) in
+        let ph = Perfect.of_multiplier ~p:p.p ~size:len t.multipliers.(bk) in
+        if not (Perfect.is_perfect_on ph buckets.(bk)) then
+          err "bucket %d: stored multiplier is not perfect on its keys" bk
+        else begin
+          for j = start to start + len - 1 do
+            expected_phash.(j) <- t.multipliers.(bk)
+          done;
+          Array.iter (fun x -> expected_data.(start + Perfect.eval ph x) <- x) buckets.(bk);
+          per_bucket (bk + 1)
+        end
+      end
+    end
+  in
+  let* () = per_bucket 0 in
+  let* () =
+    check_row_constant t ~row:(Layout.phash_row p)
+      ~expect:(fun j -> expected_phash.(j))
+      ~what:"perfect-hash row"
+  in
+  check_row_constant t ~row:(Layout.data_row p) ~expect:(fun j -> expected_data.(j)) ~what:"data row"
+
+let check_queries (t : Structure.t) rng =
+  let p = t.params in
+  let in_keys = Hashtbl.create (2 * p.n) in
+  Array.iter (fun x -> Hashtbl.add in_keys x ()) t.keys;
+  let rec positives i =
+    if i >= Array.length t.keys then Ok ()
+    else if Query.mem t rng t.keys.(i) then positives (i + 1)
+    else err "stored key %d not found" t.keys.(i)
+  in
+  let* () = positives 0 in
+  let rec negatives trials =
+    if trials = 0 then Ok ()
+    else
+      let x = Rng.int rng p.universe in
+      if Hashtbl.mem in_keys x then negatives trials
+      else if Query.mem t rng x then err "phantom key %d reported present" x
+      else negatives (trials - 1)
+  in
+  negatives (min 256 p.universe)

@@ -1,0 +1,21 @@
+(** Structural invariant checking and corruption detection.
+
+    The builder's output satisfies a long list of invariants — replica
+    rows constant, histogram words decoding to the true loads, [GBAS]
+    matching the prefix sums, every key stored at its perfect-hash slot,
+    the [P(S)] caps. [check] re-derives all of them from the cells and
+    the retained metadata; the failure-injection tests corrupt one bit
+    with {!Lc_cellprobe.Table.corrupt} and assert that [check] notices.
+
+    Note a genuinely unverifiable case exists: flipping a bit of an
+    unused cell (e.g. the padding of a data row slot of an empty region)
+    can be silent — [check] inspects those too, so every stored bit is
+    covered. *)
+
+val check : Structure.t -> (unit, string) result
+(** [check t] is [Ok ()] when every invariant holds, otherwise an
+    explanatory error. O(total cells + n) time. *)
+
+val check_queries : Structure.t -> Lc_prim.Rng.t -> (unit, string) result
+(** [check_queries t rng] runs [mem] for every stored key (expecting
+    [true]) and for a sample of non-keys (expecting [false]). *)

@@ -1,0 +1,1 @@
+lib/dict/cuckoo.mli: Instance Lc_prim

@@ -1,0 +1,1 @@
+lib/dict/dm_dict.ml: Array Float Hashtbl Instance Lc_cellprobe Lc_hash Lc_prim

@@ -1,0 +1,1 @@
+lib/dict/dm_dict.mli: Instance Lc_prim

@@ -1,0 +1,1 @@
+lib/dict/fks.ml: Array Hashtbl Instance Lc_cellprobe Lc_hash Lc_prim List

@@ -1,0 +1,1 @@
+lib/dict/fks.mli: Instance Lc_prim

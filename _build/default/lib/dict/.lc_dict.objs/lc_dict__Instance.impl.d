@@ -1,0 +1,1 @@
+lib/dict/instance.ml: Array Lc_cellprobe Lc_prim List Printf Seq

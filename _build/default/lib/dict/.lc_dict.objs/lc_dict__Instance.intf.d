@@ -1,0 +1,1 @@
+lib/dict/instance.mli: Lc_cellprobe Lc_prim

@@ -1,0 +1,1 @@
+lib/dict/repl_bst.ml: Array Instance Lc_cellprobe Lc_prim List

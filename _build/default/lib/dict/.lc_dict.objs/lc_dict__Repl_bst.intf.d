@@ -1,0 +1,1 @@
+lib/dict/repl_bst.mli: Instance Lc_prim

@@ -1,0 +1,1 @@
+lib/dict/sorted_array.ml: Array Instance Lc_cellprobe List

@@ -1,0 +1,1 @@
+lib/dict/sorted_array.mli: Instance

@@ -1,0 +1,67 @@
+module Table = Lc_cellprobe.Table
+module Spec = Lc_cellprobe.Spec
+module Contention = Lc_cellprobe.Contention
+
+type t = {
+  name : string;
+  table : Table.t;
+  space : int;
+  max_probes : int;
+  mem : Lc_prim.Rng.t -> int -> bool;
+  spec : int -> Spec.t;
+}
+
+let contention_exact t qdist =
+  Contention.exact ~cells:t.space ~qdist ~spec:t.spec
+
+let contention_mc t qdist ~rng ~queries =
+  Contention.monte_carlo ~table:t.table ~qdist ~mem:t.mem ~rng ~queries
+
+let check_spec_against_mem t ~rng ~queries =
+  let table = t.table in
+  let check_query x =
+    let plan = t.spec x in
+    (match Spec.validate ~cells:t.space plan with
+    | Error e -> Error (Printf.sprintf "query %d: invalid spec: %s" x e)
+    | Ok () -> Ok ())
+    |> function
+    | Error _ as e -> e
+    | Ok () ->
+      Table.reset_counters table;
+      ignore (t.mem rng x : bool);
+      let nsteps = Table.max_step table in
+      if nsteps <> Spec.probes plan then
+        Error
+          (Printf.sprintf "query %d: mem made %d probes but spec plans %d" x nsteps
+             (Spec.probes plan))
+      else begin
+        (* Each executed step must touch exactly one cell, inside the
+           planned step's support. *)
+        let bad = ref None in
+        for step = 0 to nsteps - 1 do
+          let touched = ref [] in
+          for j = 0 to t.space - 1 do
+            let c = Table.probes_at table ~step j in
+            if c > 0 then touched := (j, c) :: !touched
+          done;
+          match !touched with
+          | [ (j, 1) ] ->
+            let in_support =
+              Seq.exists (fun (cell, _) -> cell = j) (Spec.step_cells plan.(step))
+            in
+            if not in_support && !bad = None then
+              bad := Some (Printf.sprintf "query %d step %d probed cell %d outside spec" x step j)
+          | other ->
+            if !bad = None then
+              bad :=
+                Some
+                  (Printf.sprintf "query %d step %d probed %d cells (want exactly 1)" x step
+                     (List.length other))
+        done;
+        Table.reset_counters table;
+        match !bad with None -> Ok () | Some msg -> Error msg
+      end
+  in
+  Array.fold_left
+    (fun acc x -> match acc with Error _ -> acc | Ok () -> check_query x)
+    (Ok ()) queries

@@ -1,0 +1,34 @@
+(** A first-class membership structure in the cell-probe model.
+
+    Every dictionary in this repository — the four baselines here and the
+    paper's low-contention dictionary in [Lc_core] — exposes itself as an
+    {!t}: an instrumented table plus a probing query procedure [mem] and
+    the exact per-query probe plan [spec]. The experiment harness only
+    ever sees this record, so adding a structure to every experiment
+    means implementing one value. *)
+
+type t = {
+  name : string;  (** Human-readable structure name for tables. *)
+  table : Lc_cellprobe.Table.t;  (** The cells, with probe counters. *)
+  space : int;  (** Number of cells, the paper's [s]. *)
+  max_probes : int;  (** Worst-case probes per query, the paper's [t]. *)
+  mem : Lc_prim.Rng.t -> int -> bool;
+      (** [mem rng x] answers the membership query by real instrumented
+          probes; [rng] drives only probe balancing. *)
+  spec : int -> Lc_cellprobe.Spec.t;
+      (** [spec x] is the exact probe plan the query algorithm uses for
+          [x] on this table. *)
+}
+
+val contention_exact : t -> Lc_cellprobe.Qdist.t -> Lc_cellprobe.Contention.result
+(** Exact contention of this structure under a query distribution. *)
+
+val contention_mc :
+  t -> Lc_cellprobe.Qdist.t -> rng:Lc_prim.Rng.t -> queries:int -> Lc_cellprobe.Contention.result
+(** Monte-Carlo contention by replaying instrumented queries. *)
+
+val check_spec_against_mem :
+  t -> rng:Lc_prim.Rng.t -> queries:int array -> (unit, string) result
+(** Cross-validation used by the test suite: for each query, run [mem]
+    and confirm that every counted probe lands inside the support of the
+    corresponding [spec] step (and that probe counts match plan length). *)

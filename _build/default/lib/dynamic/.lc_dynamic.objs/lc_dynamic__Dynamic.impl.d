@@ -1,0 +1,1 @@
+lib/dynamic/dynamic.ml: Array Fun Hashtbl Lc_cellprobe Lc_core Lc_prim List Option Printf

@@ -1,0 +1,1 @@
+lib/dynamic/dynamic.mli: Lc_cellprobe Lc_prim

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Float Lc_cellprobe Lc_core Lc_dict Lc_prim Lc_workload List Unix

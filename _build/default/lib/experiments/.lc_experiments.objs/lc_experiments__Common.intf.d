@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Lc_cellprobe Lc_core Lc_dict Lc_prim

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Common Lc_analysis Lc_cellprobe Lc_core Lc_dict Lc_prim Lc_workload Printf

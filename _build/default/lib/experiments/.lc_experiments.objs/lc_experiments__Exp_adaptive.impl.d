@@ -1,0 +1,1 @@
+lib/experiments/exp_adaptive.ml: Array Buffer Common Lc_analysis Lc_cellprobe Lc_core Lc_dict Lc_lowerbound Lc_prim Lc_workload Printf

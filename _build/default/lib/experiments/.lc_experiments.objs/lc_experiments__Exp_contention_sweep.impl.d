@@ -1,0 +1,1 @@
+lib/experiments/exp_contention_sweep.ml: Array Buffer Common Lc_analysis List Printf String

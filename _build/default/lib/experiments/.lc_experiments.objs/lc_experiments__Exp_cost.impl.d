@@ -1,0 +1,1 @@
+lib/experiments/exp_cost.ml: Array Common Float Lc_analysis Lc_core Lc_dict Lc_prim Lc_workload List Printf

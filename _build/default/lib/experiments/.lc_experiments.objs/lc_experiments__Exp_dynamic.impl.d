@@ -1,0 +1,1 @@
+lib/experiments/exp_dynamic.ml: Array Common Float Lc_analysis Lc_cellprobe Lc_core Lc_dynamic Lc_prim Lc_workload List Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_lemma9.ml: Array Common Lc_analysis Lc_core Lc_hash Lc_prim Lc_workload Printf Seq

@@ -1,0 +1,1 @@
+lib/experiments/exp_lowerbound.ml: Array Buffer Common Float Lc_analysis Lc_cellprobe Lc_core Lc_dict Lc_lowerbound Lc_prim Lc_workload List Printf

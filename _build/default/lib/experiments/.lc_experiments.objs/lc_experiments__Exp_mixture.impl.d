@@ -1,0 +1,1 @@
+lib/experiments/exp_mixture.ml: Common Lc_analysis Lc_cellprobe Lc_prim Lc_workload List Printf

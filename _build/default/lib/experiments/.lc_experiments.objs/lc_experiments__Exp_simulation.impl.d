@@ -1,0 +1,1 @@
+lib/experiments/exp_simulation.ml: Array Common Lc_analysis Lc_core Lc_lowerbound Lc_prim Lc_workload Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp_skew.ml: Array Common Lc_analysis Lc_cellprobe Lc_prim Lc_workload List Printf

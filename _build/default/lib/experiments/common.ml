@@ -1,0 +1,78 @@
+module Rng = Lc_prim.Rng
+
+type arm = { label : string; inst : Lc_dict.Instance.t; keys : int array }
+
+let ladder = [| 256; 512; 1024; 2048; 4096 |]
+
+let universe_for n = min (max (16 * n) (n * n)) (1 lsl 28)
+
+let lc_build rng ~universe ~keys = Lc_core.Dictionary.build rng ~universe ~keys
+
+let structures ?(planted = false) rng ~universe ~keys =
+  let n = Array.length keys in
+  let arm label inst = { label; inst; keys } in
+  let base =
+    [
+      arm "low-contention" (Lc_core.Dictionary.instance (lc_build rng ~universe ~keys));
+      arm "fks" (Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys));
+      arm "fks-replicated"
+        (Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:true rng ~universe ~keys));
+      arm "dm-replicated"
+        (Lc_dict.Dm_dict.instance (Lc_dict.Dm_dict.build ~replicate:true rng ~universe ~keys));
+      arm "cuckoo-replicated"
+        (Lc_dict.Cuckoo.instance (Lc_dict.Cuckoo.build ~replicate:true rng ~universe ~keys));
+      arm "binary-search" (Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys));
+    ]
+  in
+  if not planted then base
+  else begin
+    let heavy = max 2 (int_of_float (Float.sqrt (1.5 *. float_of_int n))) in
+    let fks, planted_keys = Lc_dict.Fks.build_planted ~replicate:true rng ~universe ~n ~heavy in
+    base @ [ { label = "fks-planted"; inst = Lc_dict.Fks.instance fks; keys = planted_keys } ]
+  end
+
+let norm_contention inst qdist =
+  Lc_cellprobe.Contention.normalized_max (Lc_dict.Instance.contention_exact inst qdist)
+
+let pos_dist arm = Lc_cellprobe.Qdist.uniform ~name:"uniform-positive" arm.keys
+
+(* The uniform negative distribution lives on the whole of U \ S; we
+   stand in a uniform sample of non-keys. The sample must be decently
+   larger than n or the handful of negatives landing on one data cell
+   reads as a spurious point mass — 8n keeps that estimator bias small
+   while staying cheap. *)
+let neg_dist rng ~universe arm =
+  let n = Array.length arm.keys in
+  let count = min (8 * n) (universe - n) in
+  let negs = Lc_workload.Keyset.negatives rng ~universe ~keys:arm.keys ~count in
+  Lc_cellprobe.Qdist.uniform ~name:"uniform-negative" negs
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let sweep ~seed ~planted ~dist =
+  let per_n =
+    Array.map
+      (fun n ->
+        let rng = Rng.create (seed + (31 * n)) in
+        let universe = universe_for n in
+        let keys = Lc_workload.Keyset.random rng ~universe ~n in
+        let arms = structures ~planted rng ~universe ~keys in
+        List.map
+          (fun arm ->
+            let qd =
+              match dist with `Pos -> pos_dist arm | `Neg -> neg_dist rng ~universe arm
+            in
+            (arm.label, norm_contention arm.inst qd))
+          arms)
+      ladder
+  in
+  let labels = List.map fst per_n.(0) in
+  let ns = Array.map float_of_int ladder in
+  let series =
+    Array.of_list
+      (List.mapi (fun a _ -> Array.map (fun row -> snd (List.nth row a)) per_n) labels)
+  in
+  (labels, ns, series)

@@ -1,0 +1,49 @@
+(** Shared plumbing for the experiment implementations. *)
+
+type arm = {
+  label : string;
+  inst : Lc_dict.Instance.t;
+  keys : int array;
+      (** The key set this structure holds — usually the shared one, but
+          the planted-FKS arm builds its own adversarial set. *)
+}
+
+val ladder : int array
+(** The geometric ladder of key-set sizes used by the sweeps. *)
+
+val universe_for : int -> int
+(** A universe comfortably satisfying the paper's [N >= n^2] assumption,
+    capped at [2^28] to keep field arithmetic in native ints. *)
+
+val structures :
+  ?planted:bool -> Lc_prim.Rng.t -> universe:int -> keys:int array -> arm list
+(** Build every comparison structure on the same key set:
+    the low-contention dictionary, FKS and FKS-replicated, DM-replicated,
+    cuckoo-replicated, and binary search. With [planted], additionally an
+    FKS instance over an adversarial key set with a planted
+    [~sqrt n]-heavy bucket (its key set differs — that is the point). *)
+
+val lc_build : Lc_prim.Rng.t -> universe:int -> keys:int array -> Lc_core.Dictionary.t
+
+val norm_contention : Lc_dict.Instance.t -> Lc_cellprobe.Qdist.t -> float
+(** [s * max_j Phi(j)], exact. *)
+
+val pos_dist : arm -> Lc_cellprobe.Qdist.t
+(** Uniform positive queries for this arm's key set. *)
+
+val neg_dist : Lc_prim.Rng.t -> universe:int -> arm -> Lc_cellprobe.Qdist.t
+(** Uniform over a sample of non-keys, standing in for the uniform
+    negative distribution. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Result and wall-clock seconds. *)
+
+val sweep :
+  seed:int ->
+  planted:bool ->
+  dist:[ `Pos | `Neg ] ->
+  string list * float array * float array array
+(** The shared T1/T2/F1 computation: for every ladder size, build all
+    arms and measure exact normalized contention under the chosen
+    distribution. Returns [(labels, ns, series)] where [series.(a).(i)]
+    is arm [a]'s contention at ladder point [i]. *)

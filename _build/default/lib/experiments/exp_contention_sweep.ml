@@ -1,0 +1,107 @@
+(* T1, T2 and F1: the headline contention sweeps.
+
+   T1/T2 print the per-n table of normalized max contention (s * max_j
+   Phi(j)); a structure matching Theorem 3 shows a column that stays
+   O(1) as n doubles, while the Section 1.3 baselines grow. F1 reports
+   the same data as series with log-log slopes and doubling ratios. *)
+
+module Tablefmt = Lc_analysis.Tablefmt
+module Series = Lc_analysis.Series
+module Experiment = Lc_analysis.Experiment
+
+let table ~title ~dist ~seed =
+  let labels, ns, series = Common.sweep ~seed ~planted:true ~dist in
+  let tbl = Tablefmt.create ~title ~columns:("n" :: labels) in
+  Array.iteri
+    (fun i n ->
+      Tablefmt.add_row tbl
+        (string_of_int (int_of_float n)
+        :: List.mapi (fun a _ -> Tablefmt.fmt_g series.(a).(i)) labels))
+    ns;
+  (labels, ns, series, Tablefmt.render tbl)
+
+let verdict labels ns series =
+  let lines =
+    List.mapi
+      (fun a label ->
+        let slope = Series.loglog_slope ~xs:ns ~ys:series.(a) in
+        Printf.sprintf "  %-18s log-log slope vs n: %+.3f" label slope)
+      labels
+  in
+  "Growth (slope 0 = flat/optimal, 0.5 = sqrt n, 1 = linear):\n"
+  ^ String.concat "\n" lines
+
+let t1 =
+  {
+    Experiment.id = "T1";
+    title = "Max normalized contention, uniform positive queries";
+    claim =
+      "Theorem 3: the low-contention dictionary keeps s*max contention O(1); replicated FKS is \
+       Theta(sqrt n) in the worst case (planted), DM/cuckoo Theta(ln n/ln ln n), binary search \
+       Theta(n).";
+    run =
+      (fun ~seed ->
+        let labels, ns, series, rendered =
+          table ~title:"T1: s * max_j Phi(j), uniform positive" ~dist:`Pos ~seed
+        in
+        rendered ^ "\n" ^ verdict labels ns series);
+  }
+
+let t2 =
+  {
+    Experiment.id = "T2";
+    title = "Max normalized contention, uniform negative queries";
+    claim =
+      "Theorem 3 with Lemma 10: negative-query loads are asymptotically even, so the \
+       low-contention dictionary stays O(1) on negative queries too.";
+    run =
+      (fun ~seed ->
+        let labels, ns, series, rendered =
+          table ~title:"T2: s * max_j Phi(j), uniform negative" ~dist:`Neg ~seed
+        in
+        rendered ^ "\n" ^ verdict labels ns series);
+  }
+
+let f1 =
+  {
+    Experiment.id = "F1";
+    title = "Contention growth series (log-log) per structure";
+    claim =
+      "The data of T1 as growth series: slope ~0 for the low-contention dictionary, ~0.5 for \
+       planted FKS, small positive for DM/cuckoo, ~1 for binary search.";
+    run =
+      (fun ~seed ->
+        let labels, ns, series = Common.sweep ~seed ~planted:true ~dist:`Pos in
+        let buf = Buffer.create 2048 in
+        Buffer.add_string buf "F1 series (x = n, y = s * max Phi, uniform positive)\n";
+        List.iteri
+          (fun a label ->
+            let slope = Series.loglog_slope ~xs:ns ~ys:series.(a) in
+            let ratios = Series.doubling_ratios series.(a) in
+            Buffer.add_string buf
+              (Printf.sprintf "%-18s slope=%+.3f  y=[%s]  doubling=[%s]\n" label slope
+                 (String.concat "; "
+                    (Array.to_list (Array.map Tablefmt.fmt_g series.(a))))
+                 (String.concat "; " (Array.to_list (Array.map Tablefmt.fmt_g ratios)))))
+          labels;
+        let plot_series =
+          List.mapi
+            (fun a label ->
+              {
+                Lc_analysis.Plot.label;
+                points = Array.mapi (fun i n -> (n, series.(a).(i))) ns;
+              })
+            labels
+        in
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf
+          (Lc_analysis.Plot.render ~x_scale:Log ~y_scale:Log
+             ~title:"F1 (log-log): flat = Theorem 3; slope 1/2 = planted FKS; slope 1 = index"
+             ~x_label:"n" ~y_label:"s * max Phi" plot_series);
+        Buffer.contents buf);
+  }
+
+let register () =
+  Experiment.register t1;
+  Experiment.register t2;
+  Experiment.register f1

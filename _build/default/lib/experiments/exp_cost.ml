@@ -1,0 +1,95 @@
+(* T3 and T6: the non-contention performance parameters of Theorem 3 —
+   probes, space, construction time and construction trial counts. *)
+
+module Rng = Lc_prim.Rng
+module Tablefmt = Lc_analysis.Tablefmt
+module Stats = Lc_analysis.Stats
+module Experiment = Lc_analysis.Experiment
+
+let t3 =
+  {
+    Experiment.id = "T3";
+    title = "Time / space / construction cost";
+    claim =
+      "Theorem 3: O(n) cells, O(1) probes per query, expected O(n) construction on a unit-cost \
+       RAM; the constants must be flat as n grows.";
+    run =
+      (fun ~seed ->
+        let tbl =
+          Tablefmt.create ~title:"T3: structure costs across n"
+            ~columns:
+              [ "n"; "structure"; "cells"; "cells/n"; "max probes"; "mean probes"; "build s" ]
+        in
+        Array.iter
+          (fun n ->
+            let rng = Rng.create (seed + (17 * n)) in
+            let universe = Common.universe_for n in
+            let keys = Lc_workload.Keyset.random rng ~universe ~n in
+            let arms, dt = Common.timed (fun () -> Common.structures rng ~universe ~keys) in
+            ignore dt;
+            List.iter
+              (fun (arm : Common.arm) ->
+                let qd = Common.pos_dist arm in
+                let c = Lc_dict.Instance.contention_exact arm.inst qd in
+                let rebuild_time =
+                  if arm.label = "low-contention" then
+                    snd (Common.timed (fun () -> Common.lc_build rng ~universe ~keys))
+                  else Float.nan
+                in
+                Tablefmt.add_row tbl
+                  [
+                    string_of_int n;
+                    arm.label;
+                    string_of_int arm.inst.space;
+                    Printf.sprintf "%.1f" (float_of_int arm.inst.space /. float_of_int n);
+                    string_of_int arm.inst.max_probes;
+                    Printf.sprintf "%.2f" c.mean_probes;
+                    (if Float.is_nan rebuild_time then "-" else Printf.sprintf "%.4f" rebuild_time);
+                  ])
+              arms)
+          Common.ladder;
+        Tablefmt.render tbl);
+  }
+
+let t6 =
+  {
+    Experiment.id = "T6";
+    title = "P(S) rejection-sampling trial counts";
+    claim =
+      "Section 2.2: the hash triple (g, h', h) satisfies P(S) with probability >= 1/2 - o(1), so \
+       rejection sampling needs expected O(1) trials, independent of n.";
+    run =
+      (fun ~seed ->
+        let builds = 60 in
+        let tbl =
+          Tablefmt.create
+            ~title:(Printf.sprintf "T6: P(S) trials over %d builds" builds)
+            ~columns:[ "n"; "mean trials"; "max trials"; "est. accept prob"; "mean build s" ]
+        in
+        Array.iter
+          (fun n ->
+            let rng = Rng.create (seed + (13 * n)) in
+            let universe = Common.universe_for n in
+            let trials = Array.make builds 0.0 in
+            let times = Array.make builds 0.0 in
+            for b = 0 to builds - 1 do
+              let keys = Lc_workload.Keyset.random rng ~universe ~n in
+              let dict, dt = Common.timed (fun () -> Common.lc_build rng ~universe ~keys) in
+              trials.(b) <- float_of_int (Lc_core.Dictionary.build_trials dict);
+              times.(b) <- dt
+            done;
+            Tablefmt.add_row tbl
+              [
+                string_of_int n;
+                Printf.sprintf "%.2f" (Stats.mean trials);
+                Printf.sprintf "%.0f" (Stats.maximum trials);
+                Printf.sprintf "%.2f" (1.0 /. Stats.mean trials);
+                Printf.sprintf "%.4f" (Stats.mean times);
+              ])
+          Common.ladder;
+        Tablefmt.render tbl);
+  }
+
+let register () =
+  Experiment.register t3;
+  Experiment.register t6

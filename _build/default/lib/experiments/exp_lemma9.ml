@@ -1,0 +1,106 @@
+(* T4: empirical success probabilities of the three clauses of Lemma 9,
+   which together give P(S) the >= 1/2 - o(1) acceptance rate that makes
+   the construction expected-O(n). Because the paper's constants are
+   generous, the frequencies saturate at 1; the margin columns quantify
+   how far below their caps the observed loads sit (the lemma's o(1)
+   terms in action). *)
+
+module Rng = Lc_prim.Rng
+module Poly_hash = Lc_hash.Poly_hash
+module Dm_family = Lc_hash.Dm_family
+module Loads = Lc_hash.Loads
+module Tablefmt = Lc_analysis.Tablefmt
+module Stats = Lc_analysis.Stats
+module Experiment = Lc_analysis.Experiment
+
+type draw = {
+  c1 : bool;  (* g-loads within cap *)
+  c2 : bool;  (* group loads within cap *)
+  c3 : bool;  (* FKS sum-of-squares within s *)
+  g_margin : float;  (* max g-load / cap_g *)
+  group_margin : float;  (* max group load / cap_group *)
+  fks_margin : float;  (* sum l^2 / s *)
+}
+
+let sample_draw rng (p : Lc_core.Params.t) keys =
+  let f = Poly_hash.create rng ~d:p.d ~p:p.p ~m:p.s in
+  let g = Poly_hash.create rng ~d:p.d ~p:p.p ~m:p.r in
+  let z = Array.init p.r (fun _ -> Rng.int rng p.s) in
+  let h = Dm_family.of_parts ~f ~g ~z in
+  let g_max = Loads.max_load (Loads.loads ~hash:(Poly_hash.eval g) ~buckets:p.r keys) in
+  let h' = Dm_family.reduce h p.m in
+  let group_max = Loads.max_load (Loads.loads ~hash:(Dm_family.eval h') ~buckets:p.m keys) in
+  let sumsq = Loads.sum_squares (Loads.loads ~hash:(Dm_family.eval h) ~buckets:p.s keys) in
+  {
+    c1 = g_max <= p.cap_g;
+    c2 = group_max <= p.cap_group;
+    c3 = sumsq <= p.s;
+    g_margin = float_of_int g_max /. float_of_int p.cap_g;
+    group_margin = float_of_int group_max /. float_of_int p.cap_group;
+    fks_margin = float_of_int sumsq /. float_of_int p.s;
+  }
+
+let t4 =
+  {
+    Experiment.id = "T4";
+    title = "Lemma 9 empirical success probabilities";
+    claim =
+      "Lemma 9: (1) g-loads <= c n/r w.p. 1-o(1); (2) R-family loads <= c n/m w.p. 1-o(1); (3) \
+       the FKS condition sum l^2 <= s w.p. >= 1/2. Jointly P(S) holds w.p. >= 1/2 - o(1).";
+    run =
+      (fun ~seed ->
+        let trials = 400 in
+        let tbl =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf
+                 "T4: condition frequencies and load margins over %d hash draws (margin = \
+                  observed/cap; < 1 means satisfied)"
+                 trials)
+            ~columns:
+              [
+                "n";
+                "Pr[1]";
+                "Pr[2]";
+                "Pr[3]";
+                "Pr[P(S)]";
+                "g margin p50/max";
+                "group margin p50/max";
+                "FKS margin p50/max";
+              ]
+        in
+        Array.iter
+          (fun n ->
+            let rng = Rng.create (seed + (7 * n)) in
+            let universe = Common.universe_for n in
+            let keys = Lc_workload.Keyset.random rng ~universe ~n in
+            let params = Lc_core.Params.make ~universe ~n () in
+            let draws = Array.init trials (fun _ -> sample_draw rng params keys) in
+            let frac f =
+              Printf.sprintf "%.3f"
+                (float_of_int (Array.length (Array.of_seq (Seq.filter f (Array.to_seq draws))))
+                /. float_of_int trials)
+            in
+            let margins sel =
+              let m = Array.map sel draws in
+              Printf.sprintf "%.2f / %.2f" (Stats.median m) (Stats.maximum m)
+            in
+            Tablefmt.add_row tbl
+              [
+                string_of_int n;
+                frac (fun d -> d.c1);
+                frac (fun d -> d.c2);
+                frac (fun d -> d.c3);
+                frac (fun d -> d.c1 && d.c2 && d.c3);
+                margins (fun d -> d.g_margin);
+                margins (fun d -> d.group_margin);
+                margins (fun d -> d.fks_margin);
+              ])
+          Common.ladder;
+        Tablefmt.render tbl
+        ^ "\nExpected shape: probabilities >= the guaranteed 1/2 (here saturating at 1 — the \
+           Markov/moment bounds are loose); margins stay bounded away from 1 and shrink with n \
+           for (1)-(2), hover near 0.75 for the FKS sum (E[sum l^2] ~ 1.5n vs s = 2n).");
+  }
+
+let register () = Experiment.register t4

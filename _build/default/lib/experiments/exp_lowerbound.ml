@@ -1,0 +1,204 @@
+(* F3, F4, T7 and T8: Section 3 made quantitative — the recurrence curve,
+   the communication game on a real structure, numeric checks of Lemmas
+   16/21, and computed VC-dimensions. *)
+
+module Rng = Lc_prim.Rng
+module Tablefmt = Lc_analysis.Tablefmt
+module Experiment = Lc_analysis.Experiment
+module Lb = Lc_lowerbound
+
+let f3 =
+  {
+    Experiment.id = "F3";
+    title = "Theorem 13 recurrence: minimal feasible rounds vs n";
+    claim =
+      "Theorem 13: with b <= polylog(n) and phi* <= polylog(n)/s, the cell-probe complexity is \
+       Omega(log log n). Doubling log n should add about one feasible round.";
+    run =
+      (fun ~seed:_ ->
+        let tbl =
+          Tablefmt.create
+            ~title:"F3: minimal t* with total info >= n * 4^-t* (b = log2 n, phi*s = log2^2 n)"
+            ~columns:[ "log2 n"; "n"; "min t*"; "log2 log2 n"; "t*/loglog" ]
+        in
+        let points = ref [] in
+        List.iter
+          (fun log2n ->
+            let b = float_of_int log2n in
+            let phi_s = b *. b in
+            let t = Lb.Recursion.min_rounds ~b ~phi_s ~log2_n:(float_of_int log2n) in
+            let loglog = Float.log (float_of_int log2n) /. Float.log 2.0 in
+            points := (float_of_int log2n, float_of_int t) :: !points;
+            Tablefmt.add_row tbl
+              [
+                string_of_int log2n;
+                Printf.sprintf "2^%d" log2n;
+                string_of_int t;
+                Printf.sprintf "%.2f" loglog;
+                Printf.sprintf "%.2f" (float_of_int t /. loglog);
+              ])
+          [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ];
+        Tablefmt.render tbl ^ "\n"
+        ^ Lc_analysis.Plot.render ~x_scale:Lc_analysis.Plot.Log ~height:12
+            ~title:"F3: minimal feasible rounds vs log2 n (x log-scaled: straight = log log law)"
+            ~x_label:"log2 n" ~y_label:"min t*"
+            [ { Lc_analysis.Plot.label = "min t*"; points = Array.of_list (List.rev !points) } ]
+        ^ "\nExpected shape: 't*/loglog' settles near a constant — the Omega(log log n) law.");
+  }
+
+let f4 =
+  {
+    Experiment.id = "F4";
+    title = "The Lemma 14 communication game, played by the low-contention dictionary";
+    claim =
+      "Lemma 14 / proof of Theorem 13: n parallel query instances gain at most b * sum_j max_i \
+       P_t(i,j) bits per round, with E[C_t] <= sqrt(a * E[C_(t-1)]); the coupling of Lemma 21 \
+       realises the bound.";
+    run =
+      (fun ~seed ->
+        let n = 96 in
+        let rng = Rng.create seed in
+        let universe = Common.universe_for n in
+        let keys = Lc_workload.Keyset.random rng ~universe ~n in
+        let dict = Common.lc_build rng ~universe ~keys in
+        let inst = Lc_core.Dictionary.instance dict in
+        let q = Array.make n (1.0 /. float_of_int n) in
+        let c = Lc_dict.Instance.contention_exact inst (Lc_cellprobe.Qdist.uniform ~name:"pos" keys) in
+        let phi = c.max_step in
+        let bits = Lc_cellprobe.Table.bits inst.table in
+        let rounds = inst.max_probes in
+        let game =
+          Lb.Game.play rng inst ~queries:keys ~q ~phi ~bits ~rounds ~samples:40
+        in
+        let tbl =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf
+                 "F4: per-round information (n = %d, b = %d, phi = %.2g, s = %d)" n bits phi
+                 inst.space)
+            ~columns:[ "round"; "bound bits"; "sampled bits"; "(1) ok"; "(2) ok"; "good row" ]
+        in
+        Array.iter
+          (fun (r : Lb.Game.round) ->
+            Tablefmt.add_row tbl
+              [
+                string_of_int (r.step + 1);
+                Printf.sprintf "%.1f" r.info_bound_bits;
+                Printf.sprintf "%.1f" r.sampled_bits;
+                (if r.row_stochastic then "yes" else "NO");
+                (if r.contention_ok then "yes" else "NO");
+                (if r.good then "good" else "bad");
+              ])
+          game.rounds;
+        Tablefmt.render tbl
+        ^ Printf.sprintf "\nTotal info bound: %.1f bits; Lemma 14 requirement n*4^-t = %.3g bits.\n"
+            game.total_info_bits game.required_bits
+        ^ "Expected shape: balanced rounds stay information-poor (sampled <= bound); both \
+           constraints hold under uniform q.");
+  }
+
+let t7 =
+  {
+    Experiment.id = "T7";
+    title = "Numeric verification of Lemma 16 and Lemma 21";
+    claim =
+      "Lemma 16: sum_j max_i P(i,j) <= |R|; Lemma 21: a coupling exists with E|union L_i| <= \
+       sum_j max_i Pr[j in J_i]. Checked on random matrices and on matrices induced by the \
+       low-contention dictionary.";
+    run =
+      (fun ~seed ->
+        let rng = Rng.create seed in
+        let buf = Buffer.create 1024 in
+        (* Random matrices: the literal statement vs the corrected +1 and
+           fractional forms (see the erratum note in Lemma16's docs). *)
+        let strict_fail = ref 0 and corrected_fail = ref 0 and fractional_fail = ref 0 in
+        let cases = 400 in
+        for _ = 1 to cases do
+          let rows = 2 + Rng.int rng 20 and cols = 4 + Rng.int rng 60 in
+          let support = 1 + Rng.int rng (min cols 8) in
+          let p = Lb.Probe_spec.random rng ~rows ~cols ~support in
+          if not (Lb.Lemma16.holds_strict p ~budget:cols) then incr strict_fail;
+          if not (Lb.Lemma16.holds p ~budget:cols) then incr corrected_fail;
+          if not (Lb.Lemma16.holds_fractional p ~budget:cols) then incr fractional_fail
+        done;
+        Buffer.add_string buf
+          (Printf.sprintf
+             "Lemma 16 on %d random specs: literal form violated %d times (fractional-knapsack \
+              slack, see erratum note); corrected |R|+1 form violated %d times; fractional \
+              bound violated %d times.\n"
+             cases !strict_fail !corrected_fail !fractional_fail);
+        (* Coupling on a dictionary-induced matrix. *)
+        let n = 64 in
+        let universe = Common.universe_for n in
+        let keys = Lc_workload.Keyset.random rng ~universe ~n in
+        let dict = Common.lc_build rng ~universe ~keys in
+        let inst = Lc_core.Dictionary.instance dict in
+        let tbl =
+          Tablefmt.create ~title:"T7: Lemma 21 coupling vs bound, per probe step (n = 64)"
+            ~columns:[ "step"; "bound sum_j max_i"; "mean |union|"; "ok" ]
+        in
+        for step = 0 to inst.max_probes - 1 do
+          let spec = Lb.Probe_spec.of_instance inst ~queries:keys ~step in
+          let bound = Lb.Probe_spec.col_max_sum spec in
+          let samples = 60 in
+          let acc = ref 0.0 in
+          for _ = 1 to samples do
+            let s = Lb.Coupling.draw rng ~marginals:spec in
+            acc := !acc +. float_of_int (Lb.Coupling.union_size s)
+          done;
+          let mean = !acc /. float_of_int samples in
+          (* Allow Monte-Carlo slack of 3 standard errors, coarse bound. *)
+          let ok = mean <= bound +. (3.0 *. Float.sqrt (bound /. float_of_int samples)) +. 0.5 in
+          Tablefmt.add_row tbl
+            [
+              string_of_int (step + 1);
+              Printf.sprintf "%.2f" bound;
+              Printf.sprintf "%.2f" mean;
+              (if ok then "yes" else "NO");
+            ]
+        done;
+        Buffer.add_string buf (Tablefmt.render tbl);
+        Buffer.contents buf);
+  }
+
+let t8 =
+  {
+    Experiment.id = "T8";
+    title = "Computed VC-dimensions (Definition 11)";
+    claim =
+      "The membership problem on k-subsets has VC-dimension exactly k ('it is easy to see'), \
+       which is how Theorem 13 specialises to membership; parity has VC-dimension = universe.";
+    run =
+      (fun ~seed:_ ->
+        let tbl =
+          Tablefmt.create ~title:"T8: VC-dimension, computed by exhaustive shattering"
+            ~columns:[ "problem"; "expected"; "computed" ]
+        in
+        List.iter
+          (fun (u, k) ->
+            let p = Lb.Problem.membership ~universe:u ~k in
+            Tablefmt.add_row tbl
+              [
+                Printf.sprintf "membership N=%d k=%d" u k;
+                string_of_int k;
+                string_of_int (Lb.Vc_dim.vc_dim p);
+              ])
+          [ (6, 1); (6, 2); (8, 2); (8, 3); (10, 4) ];
+        List.iter
+          (fun u ->
+            let p = Lb.Problem.parity ~universe:u in
+            Tablefmt.add_row tbl
+              [
+                Printf.sprintf "parity u=%d" u;
+                string_of_int u;
+                string_of_int (Lb.Vc_dim.vc_dim p);
+              ])
+          [ 2; 3; 4 ];
+        Tablefmt.render tbl);
+  }
+
+let register () =
+  Experiment.register f3;
+  Experiment.register f4;
+  Experiment.register t7;
+  Experiment.register t8

@@ -1,0 +1,73 @@
+(* F10: the appendix (Lemmas 19-21) run end to end against the real
+   dictionary — per-step product-space success rates, the completion
+   curve with its 4^-t floor, and the coupled n-instance rounds. *)
+
+module Rng = Lc_prim.Rng
+module Tablefmt = Lc_analysis.Tablefmt
+module Experiment = Lc_analysis.Experiment
+module Lb = Lc_lowerbound
+
+let f10 =
+  {
+    Experiment.id = "F10";
+    title = "Product-space simulation of the dictionary (Appendix A)";
+    claim =
+      "Lemma 19: each probe simulates with failure probability <= 3/4 and exact conditional \
+       law; Lemma 20: after t steps a 4^-t fraction of parallel instances survives; Lemma 21: \
+       the coupled instances touch at most sum_j max_i P(i,j) distinct cells per round.";
+    run =
+      (fun ~seed ->
+        let n = 96 in
+        let rng = Rng.create seed in
+        let universe = Common.universe_for n in
+        let keys = Lc_workload.Keyset.random rng ~universe ~n in
+        let dict = Common.lc_build rng ~universe ~keys in
+        let inst = Lc_core.Dictionary.instance dict in
+        let trials = 3000 in
+        let steps = Lb.Simulation.step_success rng inst ~queries:keys ~trials in
+        let curve = Lb.Simulation.completion_curve rng inst ~queries:keys ~trials in
+        let tbl =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf
+                 "F10: per-step success and completion (n = %d, %d trials; Lemma 19 floor 0.25 \
+                  per step)"
+                 n trials)
+            ~columns:
+              [ "step"; "success rate"; ">= 1/4"; "completion to depth"; "4^-depth floor" ]
+        in
+        Array.iteri
+          (fun i (st : Lb.Simulation.step_stats) ->
+            let c = curve.(i) in
+            Tablefmt.add_row tbl
+              [
+                string_of_int (st.step + 1);
+                Printf.sprintf "%.3f" st.success_rate;
+                (if st.success_rate >= 0.25 -. 0.03 then "yes" else "NO");
+                Printf.sprintf "%.4f" c.completion_rate;
+                Printf.sprintf "%.2e" c.lemma_floor;
+              ])
+          steps;
+        let tbl2 =
+          Tablefmt.create
+            ~title:"F10b: coupled n-instance rounds (Lemma 20 + 21, 40 trials)"
+            ~columns:[ "step"; "mean surviving instances"; "mean distinct cells"; "cell bound" ]
+        in
+        for step = 0 to inst.max_probes - 1 do
+          let r = Lb.Simulation.parallel_round rng inst ~queries:keys ~step ~trials:40 in
+          Tablefmt.add_row tbl2
+            [
+              string_of_int (step + 1);
+              Printf.sprintf "%.1f" r.mean_successes;
+              Printf.sprintf "%.1f" r.mean_distinct_cells;
+              Printf.sprintf "%.1f" r.info_bound;
+            ]
+        done;
+        Tablefmt.render tbl ^ "\n" ^ Tablefmt.render tbl2
+        ^ "\nExpected shape: every per-step rate clears 1/4 (full-row steps approach 1/e ~ \
+           0.37 from the birthday structure; point steps reach 1/2); the completion curve \
+           decays geometrically but stays far above the worst-case floor; distinct cells track \
+           the Lemma 21 bound from below.");
+  }
+
+let register () = Experiment.register f10

@@ -1,0 +1,18 @@
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Exp_contention_sweep.register ();
+    Exp_cost.register ();
+    Exp_lemma9.register ();
+    Exp_skew.register ();
+    Exp_profile.register ();
+    Exp_lowerbound.register ();
+    Exp_dynamic.register ();
+    Exp_ablation.register ();
+    Exp_mixture.register ();
+    Exp_adaptive.register ();
+    Exp_simulation.register ();
+    Exp_predecessor.register ()
+  end

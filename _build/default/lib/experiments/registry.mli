@@ -1,0 +1,6 @@
+(** One-call registration of every experiment.
+
+    [install ()] populates {!Lc_analysis.Experiment}'s registry with all
+    tables (T1-T8) and figures (F1-F6); idempotent. *)
+
+val install : unit -> unit

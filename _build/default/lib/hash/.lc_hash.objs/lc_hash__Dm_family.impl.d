@@ -1,0 +1,1 @@
+lib/hash/dm_family.ml: Array Lc_prim Poly_hash

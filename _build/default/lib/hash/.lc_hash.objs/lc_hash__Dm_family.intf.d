@@ -1,0 +1,1 @@
+lib/hash/dm_family.mli: Lc_prim Poly_hash

@@ -1,0 +1,1 @@
+lib/hash/loads.ml: Array

@@ -1,0 +1,1 @@
+lib/hash/perfect.ml: Array Lc_prim

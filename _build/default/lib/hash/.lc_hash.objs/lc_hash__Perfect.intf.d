@@ -1,0 +1,1 @@
+lib/hash/perfect.mli: Lc_prim

@@ -1,0 +1,1 @@
+lib/hash/poly_hash.ml: Array Lc_prim

@@ -1,0 +1,1 @@
+lib/hash/poly_hash.mli: Lc_prim

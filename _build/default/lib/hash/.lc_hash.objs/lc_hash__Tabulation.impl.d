@@ -1,0 +1,1 @@
+lib/hash/tabulation.ml: Array Lc_prim

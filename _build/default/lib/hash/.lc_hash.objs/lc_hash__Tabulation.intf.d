@@ -1,0 +1,1 @@
+lib/hash/tabulation.mli: Lc_prim

@@ -1,0 +1,32 @@
+module Rng = Lc_prim.Rng
+
+type t = { f : Poly_hash.t; g : Poly_hash.t; z : int array; m : int }
+
+let of_parts ~f ~g ~z =
+  let r = Poly_hash.range g and m = Poly_hash.range f in
+  if Array.length z <> r then invalid_arg "Dm_family.of_parts: |z| must equal range of g";
+  Array.iter
+    (fun zi -> if zi < 0 || zi >= m then invalid_arg "Dm_family.of_parts: displacement out of range")
+    z;
+  { f; g; z = Array.copy z; m }
+
+let create rng ~d ~p ~r ~m =
+  let f = Poly_hash.create rng ~d ~p ~m in
+  let g = Poly_hash.create rng ~d ~p ~m:r in
+  let z = Array.init r (fun _ -> Rng.int rng m) in
+  { f; g; z; m }
+
+let eval h x =
+  let fx = Poly_hash.eval h.f x in
+  let gx = Poly_hash.eval h.g x in
+  (fx + h.z.(gx)) mod h.m
+
+let f h = h.f
+let g h = h.g
+let z h = Array.copy h.z
+let range h = h.m
+
+let reduce h m' =
+  if m' < 1 || h.m mod m' <> 0 then
+    invalid_arg "Dm_family.reduce: new range must divide the old range";
+  { f = Poly_hash.reduce h.f m'; g = h.g; z = Array.map (fun zi -> zi mod m') h.z; m = m' }

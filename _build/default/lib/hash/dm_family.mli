@@ -1,0 +1,43 @@
+(** The Dietzfelbinger-Meyer auf der Heide hash family [R^d_{r,m}].
+
+    Definition 4 in the paper: for [f] in [H^d_m], [g] in [H^d_r] and a
+    displacement vector [z] in [[m]^r],
+
+    {[ h_{f,g,z}(x) = (f(x) + z_{g(x)}) mod m ]}
+
+    The family's virtue (Lemma 9) is that its loads are far better
+    levelled than those of plain universal hashing: with probability
+    [1 - o(1)] every one of [m ~ n / (alpha ln n)] groups receives at
+    most [c n / m] keys, and the FKS square-sum condition holds with
+    probability at least 1/2. *)
+
+type t
+
+val create : Lc_prim.Rng.t -> d:int -> p:int -> r:int -> m:int -> t
+(** [create rng ~d ~p ~r ~m] draws a uniform member of [R^d_{r,m}]:
+    [f] uniform in [H^d_m], [g] uniform in [H^d_r], [z] uniform in
+    [[m]^r]. *)
+
+val of_parts : f:Poly_hash.t -> g:Poly_hash.t -> z:int array -> t
+(** [of_parts ~f ~g ~z] assembles a specific member. Requires
+    [Array.length z = Poly_hash.range g] and every [z.(i)] in
+    [0, range f - 1]. *)
+
+val eval : t -> int -> int
+(** [eval h x] is [(f(x) + z_{g(x)}) mod m]. *)
+
+val f : t -> Poly_hash.t
+val g : t -> Poly_hash.t
+
+val z : t -> int array
+(** A copy of the displacement vector. *)
+
+val range : t -> int
+(** The codomain size [m]. *)
+
+val reduce : t -> int -> t
+(** [reduce h m'] is [x -> h(x) mod m'] as a member of [R^d_{r,m'}],
+    valid when [m'] divides [range h]. This is the paper's Section 2.2
+    derivation of the group-assignment function [h' = h mod m] from the
+    bucket-assignment function [h : U -> [s]]: both [f mod m'] and
+    [z mod m'] remain uniform, so [h'] is uniform over [R^d_{r,m'}]. *)

@@ -1,0 +1,36 @@
+let loads ~hash ~buckets keys =
+  if buckets < 1 then invalid_arg "Loads.loads: buckets must be >= 1";
+  let v = Array.make buckets 0 in
+  Array.iter
+    (fun x ->
+      let i = hash x in
+      if i < 0 || i >= buckets then invalid_arg "Loads.loads: hash value out of range";
+      v.(i) <- v.(i) + 1)
+    keys;
+  v
+
+let max_load v = Array.fold_left max 0 v
+
+let sum_squares v = Array.fold_left (fun acc l -> acc + (l * l)) 0 v
+
+let collision_pairs v = Array.fold_left (fun acc l -> acc + (l * (l - 1))) 0 v
+
+let group_loads ~loads ~groups =
+  if groups < 1 then invalid_arg "Loads.group_loads: groups must be >= 1";
+  let g = Array.make groups 0 in
+  Array.iteri (fun i l -> g.(i mod groups) <- g.(i mod groups) + l) loads;
+  g
+
+let bucket_keys ~hash ~buckets keys =
+  let counts = loads ~hash ~buckets keys in
+  let out = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make buckets 0 in
+  Array.iter
+    (fun x ->
+      let i = hash x in
+      out.(i).(fill.(i)) <- x;
+      fill.(i) <- fill.(i) + 1)
+    keys;
+  out
+
+let fks_condition ~loads ~s = sum_squares loads <= s

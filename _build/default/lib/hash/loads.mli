@@ -1,0 +1,35 @@
+(** Bucket-load analytics for hash functions.
+
+    Definition 5 of the paper: for [h : U -> [m]] and a key set [S], the
+    load of bucket [i] is [|{x in S | h(x) = i}|]. The three clauses of
+    Lemma 9, the property [P(S)] of Section 2.2 and experiment T4 are all
+    statements about these load vectors, so they get a dedicated module. *)
+
+val loads : hash:(int -> int) -> buckets:int -> int array -> int array
+(** [loads ~hash ~buckets keys] is the load vector: entry [i] counts the
+    keys mapped to bucket [i]. Every hash value must fall in
+    [0, buckets-1]. *)
+
+val max_load : int array -> int
+(** Largest entry of a load vector (0 for an empty vector). *)
+
+val sum_squares : int array -> int
+(** [sum_squares loads] is the FKS quantity [sum_i l_i^2]. *)
+
+val collision_pairs : int array -> int
+(** Number of ordered collision pairs, [sum_i l_i * (l_i - 1)]; the
+    random variable [X] in the proof of Lemma 9(3). *)
+
+val group_loads : loads:int array -> groups:int -> int array
+(** [group_loads ~loads ~groups] sums bucket loads by congruence class
+    mod [groups]: group [i] collects buckets [i, i+groups, i+2*groups,
+    ...] — exactly how Section 2.2 arranges the [s] buckets into [m]
+    groups. Requires [groups >= 1] and [groups] dividing nothing in
+    particular; trailing partial classes are handled. *)
+
+val bucket_keys : hash:(int -> int) -> buckets:int -> int array -> int array array
+(** [bucket_keys ~hash ~buckets keys] partitions the keys by bucket,
+    preserving input order within each bucket. *)
+
+val fks_condition : loads:int array -> s:int -> bool
+(** [fks_condition ~loads ~s] is Lemma 9(3)'s event: [sum_i l_i^2 <= s]. *)

@@ -1,0 +1,38 @@
+module Rng = Lc_prim.Rng
+module Modarith = Lc_prim.Modarith
+
+type t = { p : int; size : int; k : int; trials : int }
+
+let eval h x = Modarith.mul h.p h.k x mod h.size
+
+let is_perfect_on h keys =
+  let seen = Array.make h.size false in
+  let ok = ref true in
+  Array.iter
+    (fun x ->
+      let slot = eval h x in
+      if seen.(slot) then ok := false else seen.(slot) <- true)
+    keys;
+  !ok
+
+let size h = h.size
+let multiplier h = h.k
+let trials h = h.trials
+
+let of_multiplier ~p ~size k =
+  Modarith.check_modulus p;
+  if size < 1 then invalid_arg "Perfect.of_multiplier: size must be >= 1";
+  if k < 0 || k >= p then invalid_arg "Perfect.of_multiplier: multiplier out of field";
+  { p; size; k; trials = 0 }
+
+let find rng ~p ~keys =
+  Modarith.check_modulus p;
+  let l = Array.length keys in
+  let size = max 1 (l * l) in
+  let rec search trials =
+    (* k = 0 maps everything to slot 0; skip it for l >= 2. *)
+    let k = if l >= 2 then 1 + Rng.int rng (p - 1) else Rng.int rng p in
+    let cand = { p; size; k; trials } in
+    if is_perfect_on cand keys then cand else search (trials + 1)
+  in
+  search 1

@@ -1,0 +1,40 @@
+(** FKS per-bucket perfect hashing.
+
+    The innermost level of both FKS and the paper's low-contention
+    dictionary: a bucket holding [l] keys is given [l^2] cells and a
+    single-word hash function [h*(x) = (k * x mod p) mod l^2] chosen so
+    that it is injective on the bucket. By the FKS analysis a uniform
+    multiplier [k] works with probability at least 1/2, so rejection
+    sampling finds one in expected [<= 2] trials.
+
+    The single word [k] is exactly what gets replicated across the
+    bucket's cells in the low-contention layout, so this module keeps the
+    parameter to one word on purpose. *)
+
+type t
+
+val find : Lc_prim.Rng.t -> p:int -> keys:int array -> t
+(** [find rng ~p ~keys] searches for a perfect hash function for [keys]
+    (all distinct, in [0, p-1]) into a table of [max 1 (l^2)] slots where
+    [l = Array.length keys]. Expected O(l) time. *)
+
+val of_multiplier : p:int -> size:int -> int -> t
+(** [of_multiplier ~p ~size k] reconstructs the function from its stored
+    word [k] and slot count [size] (used by query algorithms reading [k]
+    back out of the table). *)
+
+val eval : t -> int -> int
+(** [eval h x] is the slot of [x], in [0, size h - 1]. *)
+
+val size : t -> int
+(** Number of slots ([l^2], or 1 for an empty or singleton bucket). *)
+
+val multiplier : t -> int
+(** The one-word parameter [k] stored in the cell table. *)
+
+val trials : t -> int
+(** How many candidate multipliers were tested before success (1 when the
+    first candidate worked); statistics for experiment T6. *)
+
+val is_perfect_on : t -> int array -> bool
+(** [is_perfect_on h keys] checks injectivity of [h] on [keys]. *)

@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.ml: Array Float Lc_prim Printf

@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.mli: Lc_prim

@@ -1,0 +1,1 @@
+lib/lowerbound/coupling.ml: Array Hashtbl Lc_prim Probe_spec

@@ -1,0 +1,1 @@
+lib/lowerbound/coupling.mli: Lc_prim Probe_spec

@@ -1,0 +1,1 @@
+lib/lowerbound/game.ml: Array Coupling Float Lc_dict Probe_spec

@@ -1,0 +1,1 @@
+lib/lowerbound/game.mli: Lc_dict Lc_prim

@@ -1,0 +1,1 @@
+lib/lowerbound/lemma16.ml: Array List Probe_spec

@@ -1,0 +1,1 @@
+lib/lowerbound/lemma16.mli: Probe_spec

@@ -1,0 +1,1 @@
+lib/lowerbound/probe_spec.ml: Array Float Lc_cellprobe Lc_dict Lc_prim Seq

@@ -1,0 +1,1 @@
+lib/lowerbound/probe_spec.mli: Lc_dict Lc_prim

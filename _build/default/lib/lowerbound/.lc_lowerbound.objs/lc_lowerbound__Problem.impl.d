@@ -1,0 +1,1 @@
+lib/lowerbound/problem.ml: Array Bytes

@@ -1,0 +1,1 @@
+lib/lowerbound/product_probe.ml: Array Float Lc_prim Seq

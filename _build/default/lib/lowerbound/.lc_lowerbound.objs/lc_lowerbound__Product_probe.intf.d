@@ -1,0 +1,1 @@
+lib/lowerbound/product_probe.mli: Lc_prim

@@ -1,0 +1,1 @@
+lib/lowerbound/recursion.ml: Array Float

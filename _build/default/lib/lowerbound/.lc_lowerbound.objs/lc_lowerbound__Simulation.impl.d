@@ -1,0 +1,1 @@
+lib/lowerbound/simulation.ml: Array Coupling Float Lc_cellprobe Lc_dict Lc_prim Probe_spec Product_probe

@@ -1,0 +1,1 @@
+lib/lowerbound/simulation.mli: Lc_dict Lc_prim

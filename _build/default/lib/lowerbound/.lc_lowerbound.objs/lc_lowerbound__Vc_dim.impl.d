@@ -1,0 +1,1 @@
+lib/lowerbound/vc_dim.ml: Array Hashtbl Problem

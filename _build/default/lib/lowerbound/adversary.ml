@@ -1,0 +1,57 @@
+module Rng = Lc_prim.Rng
+
+type outcome = { q : float array; t_set : int array; r : int; attempts : int }
+
+let violates_all ~q ~m =
+  Array.for_all (fun row -> Array.exists2 (fun entry qi -> entry < qi) row q) m
+
+let build rng ~m ~delta ~epsilon =
+  let big_n = Array.length m in
+  if big_n = 0 then invalid_arg "Adversary.build: empty matrix";
+  let n = Array.length m.(0) in
+  if epsilon <= 0.0 || delta < 0.0 then invalid_arg "Adversary.build: bad delta/epsilon";
+  let ln_n = Float.log (float_of_int (max big_n 2)) in
+  let r_f = Float.sqrt (5.0 /. epsilon *. delta *. float_of_int n *. ln_n) in
+  let r = max 2 (min n (int_of_float (Float.ceil r_f))) in
+  (* R'_u: indices of the r/2 smallest entries of row u. First confirm
+     the hypothesis: the r smallest entries sum to <= delta. *)
+  let half = max 1 (r / 2) in
+  let smalls =
+    Array.mapi
+      (fun u row ->
+        if Array.length row <> n then invalid_arg "Adversary.build: ragged matrix";
+        let order = Array.init n (fun i -> i) in
+        Array.sort (fun a b -> compare row.(a) row.(b)) order;
+        let sum = ref 0.0 in
+        for k = 0 to r - 1 do
+          sum := !sum +. row.(order.(k))
+        done;
+        if !sum > delta +. 1e-9 then
+          invalid_arg
+            (Printf.sprintf
+               "Adversary.build: row %d violates the hypothesis (smallest %d entries sum to %g > \
+                delta = %g)"
+               u r !sum delta);
+        Array.sub order 0 half)
+      m
+  in
+  (* Transversal of size 2 n ln N / r by rejection; existence is
+     guaranteed by the probabilistic argument so retries terminate
+     quickly in practice. *)
+  let t_size = max 1 (min n (int_of_float (Float.ceil (2.0 *. float_of_int n *. ln_n /. float_of_int r)))) in
+  let hits t_set =
+    let mark = Array.make n false in
+    Array.iter (fun i -> mark.(i) <- true) t_set;
+    Array.for_all (fun r_u -> Array.exists (fun i -> mark.(i)) r_u) smalls
+  in
+  let rec draw attempts =
+    if attempts > 100_000 then
+      invalid_arg "Adversary.build: could not find a transversal (instance too small?)";
+    let t_set = Rng.sample_distinct rng ~bound:n ~count:t_size in
+    if hits t_set then (t_set, attempts) else draw (attempts + 1)
+  in
+  let t_set, attempts = draw 1 in
+  let q = Array.make n 0.0 in
+  let mass = epsilon /. float_of_int (Array.length t_set) in
+  Array.iter (fun i -> q.(i) <- mass) t_set;
+  { q; t_set; r; attempts }

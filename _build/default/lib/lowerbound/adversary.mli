@@ -1,0 +1,35 @@
+(** The Lemma 15 adversary: a query-distribution increment that violates
+    every "good" probe specification.
+
+    Setting of the lemma: [M] is an [N x n] nonnegative matrix (in the
+    Theorem 13 proof, [M(u, i) = phi* / max_j P^(u)_t(i, j)] over the [N]
+    possible next probe specifications). If every row has [r] entries
+    summing to at most [delta], then there is a stochastic vector [q]
+    with total mass [epsilon] such that every row has some entry strictly
+    below the corresponding [q_i] — i.e. [q] rules out (constraint (2))
+    every one of those probe specifications.
+
+    The proof is probabilistic but fully constructive: take the [r/2]
+    smallest entries of each row, find a transversal [T] of size
+    [2 n ln N / r] by random sampling (success probability is positive,
+    so retry), and put mass [epsilon / |T|] on [T]. [build] executes
+    exactly that. *)
+
+type outcome = {
+  q : float array;  (** The increment; sums to [epsilon] (length [n]). *)
+  t_set : int array;  (** The transversal [T] actually used. *)
+  r : int;  (** The [r] of the lemma, [sqrt(5 eps^-1 delta n ln N)]. *)
+  attempts : int;  (** Random transversal draws until one hit all rows. *)
+}
+
+val build :
+  Lc_prim.Rng.t -> m:float array array -> delta:float -> epsilon:float -> outcome
+(** [build rng ~m ~delta ~epsilon] runs the construction. Raises
+    [Invalid_argument] if some row fails the lemma's hypothesis (no [r]
+    entries summing to [<= delta]) or if the derived [r] or [|T|]
+    degenerate (instance too small for the asymptotic recipe — the lemma
+    is, after all, an asymptotic statement). *)
+
+val violates_all : q:float array -> m:float array array -> bool
+(** [violates_all ~q ~m]: every row [u] has some [i] with
+    [m.(u).(i) < q.(i)] — the lemma's conclusion. *)

@@ -1,0 +1,33 @@
+module Rng = Lc_prim.Rng
+
+type sample = { base : int array; sets : int array array }
+
+let draw rng ~marginals =
+  let n = Probe_spec.rows marginals and s = Probe_spec.cols marginals in
+  let base = ref [] in
+  let sets = Array.make n [] in
+  for j = s - 1 downto 0 do
+    let p_max = ref 0.0 in
+    for i = 0 to n - 1 do
+      let v = Probe_spec.get marginals i j in
+      if v > 1.0 +. 1e-9 then invalid_arg "Coupling.draw: marginal exceeds 1";
+      if v > !p_max then p_max := v
+    done;
+    if !p_max > 0.0 && Rng.float rng < !p_max then begin
+      base := j :: !base;
+      for i = 0 to n - 1 do
+        let ratio = Probe_spec.get marginals i j /. !p_max in
+        if Rng.float rng < ratio then sets.(i) <- j :: sets.(i)
+      done
+    end
+  done;
+  { base = Array.of_list !base; sets = Array.map Array.of_list sets }
+
+let union_size sample =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun set -> Array.iter (fun j -> if not (Hashtbl.mem seen j) then Hashtbl.add seen j ()) set)
+    sample.sets;
+  Hashtbl.length seen
+
+let expected_union_bound marginals = Probe_spec.col_max_sum marginals

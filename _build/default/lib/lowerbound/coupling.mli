@@ -1,0 +1,30 @@
+(** Lemma 21's coupling: run [n] product-space probes while touching as
+    few distinct cells as possible.
+
+    Given [n] product distributions (cell [j] joins [J_i] independently
+    with probability [P(i, j)]), there is a joint law for
+    [(L_1, ..., L_n)] with the correct marginals in which
+
+    {[ E[| L_1 ∪ ... ∪ L_n |] <= sum_j max_i P(i, j) ]}
+
+    Construction: flip one coin per cell with the {e maximum} probability
+    [p~_j = max_i P(i, j)] to form a base set [B], then thin [B]
+    independently per instance with ratio [P(i, j) / p~_j]. The union is
+    contained in [B], whose expected size is exactly the bound. This is
+    what lets the communication game charge the table's response only
+    [b * sum_j max_i P_t(i, j)] bits per round. *)
+
+type sample = {
+  base : int array;  (** The shared base set [B] (sorted). *)
+  sets : int array array;  (** [L_i] for each instance (each sorted). *)
+}
+
+val draw : Lc_prim.Rng.t -> marginals:Probe_spec.t -> sample
+(** [draw rng ~marginals] samples the coupled family; [marginals.(i).(j)]
+    is [Pr[j ∈ J_i]], each entry in [0, 1]. *)
+
+val union_size : sample -> int
+(** [|L_1 ∪ ... ∪ L_n|]. *)
+
+val expected_union_bound : Probe_spec.t -> float
+(** The right-hand side [sum_j max_i P(i, j)]. *)

@@ -1,0 +1,155 @@
+type round = {
+  step : int;
+  info_bound_bits : float;
+  sampled_bits : float;
+  row_stochastic : bool;
+  contention_ok : bool;
+  r_t : float;
+  good : bool;
+}
+
+type t = { rounds : round array; total_info_bits : float; required_bits : float }
+
+(* "Good" per the Theorem 13 proof: some r_t rows u (here: columns i of
+   the single announced spec) have sum_i phi / max_j P(i, j) <= phi * s.
+   Greedily summing the smallest reciprocals decides existence. *)
+let is_good spec ~phi ~r_t ~s =
+  let n = Probe_spec.rows spec in
+  let r_t_int = int_of_float (Float.ceil r_t) in
+  if r_t_int > n then false
+  else begin
+    let entries =
+      Array.init n (fun i ->
+          let mx = Probe_spec.row_max spec i in
+          if mx > 0.0 then phi /. mx else Float.infinity)
+    in
+    Array.sort compare entries;
+    let sum = ref 0.0 in
+    for k = 0 to r_t_int - 1 do
+      sum := !sum +. entries.(k)
+    done;
+    !sum <= (phi *. float_of_int s) +. 1e-9
+  end
+
+type adaptive_round = {
+  a_step : int;
+  a_good : bool;
+  a_attacked : bool;
+  a_q_mass : float;
+  a_contention_ok : bool;
+  a_info_bound_bits : float;
+}
+
+type adaptive = {
+  a_rounds : adaptive_round array;
+  final_q : float array;
+  rounds_killed : int;
+}
+
+let play_adaptive rng (inst : Lc_dict.Instance.t) ~queries ~phi ~bits ~rounds =
+  ignore rng;
+  let n = Array.length queries in
+  let b = float_of_int bits in
+  let q = Array.make n 0.0 in
+  let epsilon = 1.0 /. float_of_int rounds in
+  let played =
+    Array.init rounds (fun step ->
+        let spec = Probe_spec.of_instance inst ~queries ~step in
+        let info_bound = b *. Probe_spec.col_max_sum spec in
+        (* A round is attackable ("good" in the proof's dichotomy) when
+           some query's probe is concentrated enough that a stochastic q
+           can break constraint (2): max_j P(i, j) > phi. *)
+        let good =
+          let found = ref false in
+          for i = 0 to n - 1 do
+            if Probe_spec.row_max spec i > phi then found := true
+          done;
+          !found
+        in
+        (* Attack: pile the round's epsilon budget onto the single most
+           concentrated query, preferring one the adversary already
+           invested in (mass only ever increases, so earlier violations
+           stay violated — the proof's consistency property). *)
+        let attacked =
+          good
+          &&
+          let best = ref 0 and best_key = ref (-1.0, -1.0) in
+          for i = 0 to n - 1 do
+            let key = (Probe_spec.row_max spec i, q.(i)) in
+            if key > !best_key then begin
+              best_key := key;
+              best := i
+            end
+          done;
+          q.(!best) <- Float.min 1.0 (q.(!best) +. epsilon);
+          true
+        in
+        let round =
+          {
+            a_step = step;
+            a_good = good;
+            a_attacked = attacked;
+            a_q_mass = Array.fold_left ( +. ) 0.0 q;
+            a_contention_ok = Probe_spec.contention_ok spec ~q ~phi;
+            a_info_bound_bits = info_bound;
+          }
+        in
+        round)
+  in
+  (* Re-audit every round against the final q: raising mass later can
+     retroactively rule out earlier specifications too. *)
+  let killed = ref 0 in
+  Array.iter
+    (fun (r : adaptive_round) ->
+      let spec = Probe_spec.of_instance inst ~queries ~step:r.a_step in
+      if not (Probe_spec.contention_ok spec ~q ~phi) then incr killed)
+    played;
+  { a_rounds = played; final_q = Array.copy q; rounds_killed = !killed }
+
+let play rng (inst : Lc_dict.Instance.t) ~queries ~q ~phi ~bits ~rounds ~samples =
+  if Array.length q <> Array.length queries then invalid_arg "Game.play: |q| <> |queries|";
+  let n = Array.length queries in
+  let s = inst.space in
+  let b = float_of_int bits in
+  let prev_bits = ref (Float.max 1.0 (b *. phi *. float_of_int s)) in
+  let played =
+    Array.init rounds (fun step ->
+        let spec = Probe_spec.of_instance inst ~queries ~step in
+        let info_bound = b *. Probe_spec.col_max_sum spec in
+        (* Coupled-sample estimate: marginals are the Lemma 19 product
+           inclusion probabilities min(P, 1/2). *)
+        let marginals =
+          Probe_spec.make
+            (Array.init n (fun i ->
+                 Array.init s (fun j -> Float.min (Probe_spec.get spec i j) 0.5)))
+        in
+        let acc = ref 0.0 in
+        for _ = 1 to samples do
+          let sample = Coupling.draw rng ~marginals in
+          acc := !acc +. float_of_int (Coupling.union_size sample)
+        done;
+        let sampled_bits = b *. !acc /. float_of_int samples in
+        (* ln N_t with N_t = 2^{C_{t-1}}. *)
+        let ln_nt = Float.max 1.0 (!prev_bits *. Float.log 2.0) in
+        let r_t =
+          Float.sqrt (5.0 *. float_of_int rounds *. phi *. float_of_int s *. float_of_int n *. ln_nt)
+        in
+        let round =
+          {
+            step;
+            info_bound_bits = info_bound;
+            sampled_bits;
+            row_stochastic = Probe_spec.row_stochastic_ok spec;
+            contention_ok = Probe_spec.contention_ok spec ~q ~phi;
+            r_t;
+            good = is_good spec ~phi ~r_t ~s;
+          }
+        in
+        prev_bits := Float.max 1.0 info_bound;
+        round)
+  in
+  {
+    rounds = played;
+    total_info_bits = Array.fold_left (fun acc r -> acc +. r.info_bound_bits) 0.0 played;
+    required_bits = float_of_int n *. Float.pow 2.0 (-2.0 *. float_of_int rounds);
+  }

@@ -1,0 +1,89 @@
+(** The Lemma 14 communication game, played by a real dictionary.
+
+    [n] parallel instances of the query algorithm form the player [A'']:
+    at round [t] it announces the probe-specification matrix [P_t]
+    (extracted from the structure's exact probe plans on a fixed query
+    set), and the black-box [B] answers with at most
+    [b * sum_j max_i P_t(i, j)] bits in expectation — realised here by
+    sampling the Lemma 21 coupling and charging [b] bits per distinct
+    probed cell.
+
+    Each round also evaluates the Theorem 13 proof's bookkeeping: the
+    constraint checks (1) and (2) against a query distribution [q], the
+    round's [r_t], and whether the announced specification is "good"
+    (could be ruled out by the adversary) or "bad" (information-starved,
+    inequality (4)). Running this against the low-contention dictionary
+    shows concretely how balanced probes cap the information flow. *)
+
+type round = {
+  step : int;
+  info_bound_bits : float;  (** [b * sum_j max_i P_t(i,j)]. *)
+  sampled_bits : float;  (** Coupled-sample estimate of the same. *)
+  row_stochastic : bool;  (** Constraint (1). *)
+  contention_ok : bool;  (** Constraint (2) against [q] and [phi]. *)
+  r_t : float;  (** The proof's threshold [sqrt(5 t* phi s n ln N_t)]. *)
+  good : bool;
+      (** Whether some [r_t]-subset of rows of [M^(t)] has
+          [sum M(u,i) <= phi * s] — a "good" spec the adversary would
+          kill. *)
+}
+
+type t = {
+  rounds : round array;
+  total_info_bits : float;  (** Sum of per-round bounds. *)
+  required_bits : float;  (** [n * 2^(-2 tstar)], Lemma 14's requirement. *)
+}
+
+val play :
+  Lc_prim.Rng.t ->
+  Lc_dict.Instance.t ->
+  queries:int array ->
+  q:float array ->
+  phi:float ->
+  bits:int ->
+  rounds:int ->
+  samples:int ->
+  t
+(** [play rng inst ~queries ~q ~phi ~bits ~rounds ~samples] runs the
+    game; [q.(i)] is the probability of query [queries.(i)], [phi] the
+    contention bound being audited, [samples] the number of coupling
+    draws behind [sampled_bits]. *)
+
+(** {2 The adaptive adversary loop}
+
+    The actual engine of the Theorem 13 proof: at every round the
+    adversary inspects the announced probe specification and, if it is
+    "good" (concentrated enough to be informative), raises the query
+    distribution by [epsilon = 1/rounds] mass placed exactly where the
+    specification concentrates — after which constraint (2) rules that
+    specification out. Against a balanced structure every round is
+    "bad" and the adversary never has to move; against an index
+    structure (deterministic probes) it kills round after round. *)
+
+type adaptive_round = {
+  a_step : int;
+  a_good : bool;  (** Was the announced spec attackable? *)
+  a_attacked : bool;  (** Did the adversary raise [q] this round? *)
+  a_q_mass : float;  (** Total adversary mass after the round. *)
+  a_contention_ok : bool;
+      (** Constraint (2) for this round's spec against the {e updated}
+          [q] — [false] means the adversary successfully ruled it out. *)
+  a_info_bound_bits : float;
+}
+
+type adaptive = {
+  a_rounds : adaptive_round array;
+  final_q : float array;
+  rounds_killed : int;  (** Rounds whose constraint (2) ended violated. *)
+}
+
+val play_adaptive :
+  Lc_prim.Rng.t ->
+  Lc_dict.Instance.t ->
+  queries:int array ->
+  phi:float ->
+  bits:int ->
+  rounds:int ->
+  adaptive
+(** [play_adaptive rng inst ~queries ~phi ~bits ~rounds] runs the
+    adversary loop with per-round budget [1/rounds]. *)

@@ -1,0 +1,39 @@
+let costs p =
+  let n = Probe_spec.rows p in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    let mx = Probe_spec.row_max p i in
+    if mx > 0.0 then acc := (1.0 /. mx, i) :: !acc
+  done;
+  List.sort compare !acc
+
+let largest_r p ~budget =
+  let rec take acc budget_left = function
+    | [] -> List.rev acc
+    | (cost, i) :: rest ->
+      if cost <= budget_left then take (i :: acc) (budget_left -. cost) rest
+      else List.rev acc
+  in
+  Array.of_list (take [] (float_of_int budget) (costs p))
+
+let fractional_bound p ~budget =
+  (* Fill x_i = 1 in increasing cost order; the first row that does not
+     fit contributes the leftover budget fraction. *)
+  let rec fill acc budget_left = function
+    | [] -> acc
+    | (cost, _) :: rest ->
+      if cost <= budget_left then fill (acc +. 1.0) (budget_left -. cost) rest
+      else acc +. (budget_left /. cost)
+  in
+  fill 0.0 (float_of_int budget) (costs p)
+
+let holds p ~budget =
+  let r = largest_r p ~budget in
+  Probe_spec.col_max_sum p <= float_of_int (Array.length r) +. 1.0 +. 1e-9
+
+let holds_strict p ~budget =
+  let r = largest_r p ~budget in
+  Probe_spec.col_max_sum p <= float_of_int (Array.length r) +. 1e-9
+
+let holds_fractional p ~budget =
+  Probe_spec.col_max_sum p <= fractional_bound p ~budget +. 1e-9

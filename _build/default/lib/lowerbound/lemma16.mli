@@ -1,0 +1,44 @@
+(** Lemma 16: the information charge is bounded by the size of the
+    "cheap" row set.
+
+    For any row-substochastic [n x s] matrix [P], let [R] be the largest
+    subset of rows with [sum_{i in R} 1 / max_j P(i,j) <= s]. The paper
+    concludes
+
+    {[ sum_j max_i P(i, j) <= |R| ]}
+
+    {b Erratum observed during reproduction.} The proof maximises
+    [sum_i x_i] subject to [sum_i x_i / max_j P(i,j) <= s] and
+    [x_i <= 1], and asserts the optimum is the integral one ([x_i = 1] on
+    [R]). The optimum of that LP is the {e fractional} knapsack solution,
+    which can exceed [|R|] by less than one unit (take all rows of [R]
+    plus a fraction of the next). Example: ten rows of max 0.3 with
+    [s = 2] give [sum_j max_i = 0.6] but [R] is empty. The corrected
+    inequality
+
+    {[ sum_j max_i P(i, j) <= |R| + 1 ]}
+
+    is what {!holds} checks (and is all the Theorem 13 proof needs — the
+    thresholds [r_t] there are far larger than 1). {!holds_strict}
+    checks the literal statement; the T7 experiment reports how often the
+    strict form fails on random matrices. *)
+
+val largest_r : Probe_spec.t -> budget:int -> int array
+(** [largest_r p ~budget] is a maximum-size row set [R] with
+    [sum_{i in R} 1 / max_j P(i,j) <= budget] (greedy on the smallest
+    reciprocals, which is optimal for this unit-profit knapsack). Rows
+    whose maximum is 0 are never included. *)
+
+val fractional_bound : Probe_spec.t -> budget:int -> float
+(** The fractional knapsack optimum — the tight upper bound on
+    [sum_j max_i P(i,j)] that the proof actually establishes. *)
+
+val holds : Probe_spec.t -> budget:int -> bool
+(** The corrected inequality [col_max_sum <= |R| + 1]. *)
+
+val holds_strict : Probe_spec.t -> budget:int -> bool
+(** The paper's literal inequality [col_max_sum <= |R|]. *)
+
+val holds_fractional : Probe_spec.t -> budget:int -> bool
+(** [col_max_sum <= fractional_bound] — always true; tested as the sanity
+    anchor. *)

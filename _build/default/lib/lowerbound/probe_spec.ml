@@ -1,0 +1,84 @@
+module Rng = Lc_prim.Rng
+module Spec = Lc_cellprobe.Spec
+
+type t = { n : int; s : int; m : float array array }
+
+let make rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Probe_spec.make: empty matrix";
+  let s = Array.length rows.(0) in
+  let m =
+    Array.map
+      (fun row ->
+        if Array.length row <> s then invalid_arg "Probe_spec.make: ragged matrix";
+        Array.iter
+          (fun v ->
+            if v < 0.0 || not (Float.is_finite v) then
+              invalid_arg "Probe_spec.make: entries must be nonnegative and finite")
+          row;
+        Array.copy row)
+      rows
+  in
+  { n; s; m }
+
+let rows t = t.n
+let cols t = t.s
+let get t i j = t.m.(i).(j)
+
+let of_instance (inst : Lc_dict.Instance.t) ~queries ~step =
+  let s = inst.space in
+  let m =
+    Array.map
+      (fun x ->
+        let row = Array.make s 0.0 in
+        let plan = inst.spec x in
+        if step < Spec.probes plan then
+          Seq.iter (fun (j, p) -> row.(j) <- row.(j) +. p) (Spec.step_cells plan.(step));
+        row)
+      queries
+  in
+  { n = Array.length queries; s; m }
+
+let random rng ~rows ~cols ~support =
+  if support < 1 || support > cols then invalid_arg "Probe_spec.random: bad support";
+  let m =
+    Array.init rows (fun _ ->
+        let row = Array.make cols 0.0 in
+        let cells = Rng.sample_distinct rng ~bound:cols ~count:support in
+        (* Random sub-stochastic mass over the chosen cells. *)
+        let total_mass = Rng.float rng in
+        let weights = Array.init support (fun _ -> 0.000001 +. Rng.float rng) in
+        let wsum = Array.fold_left ( +. ) 0.0 weights in
+        Array.iteri (fun k j -> row.(j) <- total_mass *. weights.(k) /. wsum) cells;
+        row)
+  in
+  { n = rows; s = cols; m }
+
+let row_sum t i = Array.fold_left ( +. ) 0.0 t.m.(i)
+let row_max t i = Array.fold_left Float.max 0.0 t.m.(i)
+
+let col_max_sum t =
+  let acc = ref 0.0 in
+  for j = 0 to t.s - 1 do
+    let best = ref 0.0 in
+    for i = 0 to t.n - 1 do
+      if t.m.(i).(j) > !best then best := t.m.(i).(j)
+    done;
+    acc := !acc +. !best
+  done;
+  !acc
+
+let row_stochastic_ok t =
+  let ok = ref true in
+  for i = 0 to t.n - 1 do
+    if row_sum t i > 1.0 +. 1e-9 then ok := false
+  done;
+  !ok
+
+let contention_ok t ~q ~phi =
+  if Array.length q <> t.n then invalid_arg "Probe_spec.contention_ok: |q| <> rows";
+  let ok = ref true in
+  for i = 0 to t.n - 1 do
+    if q.(i) > 0.0 && row_max t i > (phi /. q.(i)) +. 1e-12 then ok := false
+  done;
+  !ok

@@ -1,0 +1,41 @@
+(** Probe-specification matrices — the [P_t] of Sections 1.1 and 3.
+
+    An [n x s] nonnegative matrix: [P(i, j)] is the probability that
+    query instance [i] probes cell [j] at the round in question. The
+    lower bound constrains each row by (1) [sum_j P(i,j) <= 1] and (2)
+    [max_j P(i,j) <= phi* / q_i], and charges the round
+    [b * sum_j max_i P(i,j)] bits of information. *)
+
+type t
+
+val make : float array array -> t
+(** [make rows] copies an [n x s] matrix; all entries must be
+    nonnegative and finite, rows non-ragged. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+
+val of_instance : Lc_dict.Instance.t -> queries:int array -> step:int -> t
+(** The matrix actually induced by a dictionary: row [i] is the step-
+    [step] probe distribution of query [queries.(i)] (all-zero if that
+    query's plan is shorter). This is how the game is driven by a real
+    structure. *)
+
+val random : Lc_prim.Rng.t -> rows:int -> cols:int -> support:int -> t
+(** A random row-substochastic matrix in which every row spreads its mass
+    over [support] uniformly chosen cells; fuzzing input for the lemma
+    tests. *)
+
+val row_sum : t -> int -> float
+val row_max : t -> int -> float
+
+val col_max_sum : t -> float
+(** [sum_j max_i P(i, j)] — the information-charge functional. *)
+
+val row_stochastic_ok : t -> bool
+(** Constraint (1) for every row. *)
+
+val contention_ok : t -> q:float array -> phi:float -> bool
+(** Constraint (2): [max_j P(i,j) <= phi / q_i] for every row [i] with
+    [q_i > 0]. *)

@@ -1,0 +1,70 @@
+type t = { queries : int; datasets : int; table : Bytes.t }
+
+let idx t x s = (x * t.datasets) + s
+
+let make ~queries ~datasets ~f =
+  if queries < 1 || datasets < 1 then invalid_arg "Problem.make: empty problem";
+  let table = Bytes.make (queries * datasets) '\000' in
+  let t = { queries; datasets; table } in
+  for x = 0 to queries - 1 do
+    for s = 0 to datasets - 1 do
+      if f x s then Bytes.set table (idx t x s) '\001'
+    done
+  done;
+  t
+
+let queries t = t.queries
+let datasets t = t.datasets
+let eval t x s = Bytes.get t.table (idx t x s) = '\001'
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+(* Unrank the [rank]-th k-subset of [0, universe) in lexicographic order
+   of sorted element lists. *)
+let subset_of_rank ~universe ~k rank =
+  if rank < 0 || rank >= binomial universe k then invalid_arg "Problem.subset_of_rank: bad rank";
+  let out = Array.make k 0 in
+  let rec go slot lowest rank =
+    if slot = k then ()
+    else begin
+      (* Count subsets starting at each candidate element. *)
+      let rec find x rank =
+        let cnt = binomial (universe - x - 1) (k - slot - 1) in
+        if rank < cnt then (x, rank) else find (x + 1) (rank - cnt)
+      in
+      let x, rank = find lowest rank in
+      out.(slot) <- x;
+      go (slot + 1) (x + 1) rank
+    end
+  in
+  go 0 0 rank;
+  out
+
+let membership ~universe ~k =
+  let datasets = binomial universe k in
+  if datasets > 1 lsl 20 then invalid_arg "Problem.membership: instance too large";
+  if datasets = 0 then invalid_arg "Problem.membership: k exceeds universe";
+  (* Precompute membership bitsets per dataset. *)
+  let contains = Array.make datasets [||] in
+  for s = 0 to datasets - 1 do
+    contains.(s) <- subset_of_rank ~universe ~k s
+  done;
+  make ~queries:universe ~datasets ~f:(fun x s -> Array.exists (fun y -> y = x) contains.(s))
+
+let parity ~universe =
+  if universe < 1 || universe > 16 then invalid_arg "Problem.parity: universe outside [1, 16]";
+  let size = 1 lsl universe in
+  let popcount_parity v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
+    go v 0
+  in
+  make ~queries:size ~datasets:size ~f:(fun x s -> popcount_parity (x land s) = 1)

@@ -1,0 +1,36 @@
+(** Finite data-structure problems.
+
+    Section 1.1: a data structure problem is a function
+    [f : Q x D -> {0,1}]. For the lower-bound machinery we only ever need
+    {e small} explicit instances — VC-dimension computation is
+    exponential in the shattered-set size — so a problem here is a dense
+    boolean matrix with rows indexed by queries and columns by data
+    sets. *)
+
+type t
+
+val make : queries:int -> datasets:int -> f:(int -> int -> bool) -> t
+(** [make ~queries ~datasets ~f] tabulates [f query dataset]. *)
+
+val queries : t -> int
+val datasets : t -> int
+
+val eval : t -> int -> int -> bool
+(** [eval t x s] is [f(x, S_s)]. *)
+
+val membership : universe:int -> k:int -> t
+(** The membership problem [Q = [universe]],
+    [D = (universe choose k)] enumerated in lexicographic order of the
+    k-subsets; [f(x, S) = x ∈ S]. The paper notes its VC-dimension is
+    exactly [k]. Sizes are guarded: [universe choose k] must stay below
+    [2^20]. *)
+
+val subset_of_rank : universe:int -> k:int -> int -> int array
+(** The [i]-th k-subset of [[universe]] in the enumeration used by
+    {!membership} (combinatorial unranking). *)
+
+val parity : universe:int -> t
+(** The inner-product-parity problem: queries and datasets are bitmasks
+    over [universe] bits and [f(x, S) = parity (x land S)]; a
+    high-VC-dimension problem that is {e not} membership, exercising
+    Definition 11 beyond the paper's running example. *)

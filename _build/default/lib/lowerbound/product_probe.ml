@@ -1,0 +1,32 @@
+module Rng = Lc_prim.Rng
+
+type result = Probed of int | Failed
+
+let inclusion_probability ~p i = Float.min p.(i) 0.5
+
+let simulate_sparse rng ~support =
+  let total = Array.fold_left (fun acc (_, pi) -> acc +. pi) 0.0 support in
+  if Float.abs (total -. 1.0) > 1e-6 then
+    invalid_arg "Product_probe.simulate_sparse: probabilities must sum to 1";
+  (* Independently probe each cell of the support (zero-probability
+     cells can never be probed, so skipping them is exact). *)
+  let chosen = ref [] in
+  Array.iter
+    (fun (i, pi) ->
+      if pi < 0.0 then invalid_arg "Product_probe.simulate_sparse: negative probability";
+      if Rng.float rng < Float.min pi 0.5 then chosen := (i, pi) :: !chosen)
+    support;
+  match !chosen with
+  | [ (i, pi) ] ->
+    (* Reject with eps_i = min(p_i, 1 - p_i) to equalise the two cases
+       of the lemma's proof. *)
+    let eps = Float.min pi (1.0 -. pi) in
+    if Rng.float rng < eps then Failed else Probed i
+  | _ -> Failed
+
+let simulate rng ~p =
+  simulate_sparse rng
+    ~support:(Array.of_seq (Seq.filter (fun (_, pi) -> pi > 0.0)
+                              (Seq.mapi (fun i pi -> (i, pi)) (Array.to_seq p))))
+
+let success_probability_lower_bound = 0.25

@@ -1,0 +1,33 @@
+(** Lemma 19's product-space simulation of a single cell-probe.
+
+    A randomized probe [I] with distribution [p] over [s] cells is
+    simulated by probing every cell {e independently} — cell [i] with
+    probability [min(p_i, 1/2)] — and declaring failure unless exactly
+    one cell was probed (with an extra rejection tweak that makes the
+    conditional law exactly [p]). The simulation fails with probability
+    at most 3/4, independently across steps, which is where the
+    [2^{-2t*}] survival factor in Lemma 14's information requirement
+    comes from. *)
+
+type result =
+  | Probed of int  (** Success: the simulated probe hit this cell. *)
+  | Failed  (** The step failed; the simulating algorithm returns [⊥]. *)
+
+val simulate : Lc_prim.Rng.t -> p:float array -> result
+(** [simulate rng ~p] runs one simulation step. [p] must be a probability
+    vector (nonnegative, summing to 1 within tolerance) with at most one
+    entry exceeding 1/2 — automatic for a probability vector. *)
+
+val simulate_sparse : Lc_prim.Rng.t -> support:(int * float) array -> result
+(** [simulate_sparse rng ~support] is {!simulate} on a sparsely
+    represented vector (cells absent from [support] have probability 0
+    and are never probed, so iterating the support is exact). Used to
+    run the simulation against real probe plans whose tables have tens
+    of thousands of cells. *)
+
+val inclusion_probability : p:float array -> int -> float
+(** The product-space marginal [min(p_i, 1/2)] of cell [i]; exposed so
+    tests and the coupling can build the exact product law. *)
+
+val success_probability_lower_bound : float
+(** The lemma's guarantee: 1/4. *)

@@ -1,0 +1,51 @@
+type series = {
+  tstar : int;
+  log2_bounds : float array;
+  log2_total : float;
+  log2_required : float;
+  feasible : bool;
+}
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let log2_coeffs ~b ~phi_s ~log2_n ~tstar =
+  if b <= 0.0 || phi_s <= 0.0 then invalid_arg "Recursion: b and phi_s must be positive";
+  let la1 = log2 (b *. phi_s) in
+  let la = log2 (5.0 *. Float.log 2.0 *. b *. b *. float_of_int tstar *. phi_s) +. log2_n in
+  (la1, la)
+
+(* log2 (sum 2^l_i), stable. *)
+let log2_sum ls =
+  let mx = Array.fold_left Float.max neg_infinity ls in
+  if mx = neg_infinity then neg_infinity
+  else mx +. log2 (Array.fold_left (fun acc l -> acc +. Float.pow 2.0 (l -. mx)) 0.0 ls)
+
+let series ~b ~phi_s ~log2_n ~tstar =
+  if tstar < 1 then invalid_arg "Recursion.series: tstar must be >= 1";
+  let la1, la = log2_coeffs ~b ~phi_s ~log2_n ~tstar in
+  let log2_bounds = Array.make tstar 0.0 in
+  log2_bounds.(0) <- la1;
+  for t = 1 to tstar - 1 do
+    log2_bounds.(t) <- (la +. log2_bounds.(t - 1)) /. 2.0
+  done;
+  let log2_total = log2_sum log2_bounds in
+  let log2_required = log2_n -. (2.0 *. float_of_int tstar) in
+  { tstar; log2_bounds; log2_total; log2_required; feasible = log2_total >= log2_required }
+
+let min_rounds ~b ~phi_s ~log2_n =
+  let rec go tstar =
+    if tstar > 4096 then 4096
+    else if (series ~b ~phi_s ~log2_n ~tstar).feasible then tstar
+    else go (tstar + 1)
+  in
+  go 1
+
+let closed_form_log2_bound ~b ~phi_s ~log2_n ~tstar =
+  let la1, la = log2_coeffs ~b ~phi_s ~log2_n ~tstar in
+  let terms =
+    Array.init tstar (fun i ->
+        let t = i + 1 in
+        let e = Float.pow 2.0 (1.0 -. float_of_int t) in
+        (e *. la1) +. ((1.0 -. e) *. la))
+  in
+  log2_sum terms

@@ -1,0 +1,40 @@
+(** The Theorem 13 information recurrence, solved in log-space.
+
+    With [a1 = b phi* s] and [a = (5 ln 2) b^2 t* (phi* s) n], the proof
+    derives
+
+    {[ E[C_1] <= a1        E[C_t] <= sqrt (a * E[C_{t-1}]) ]}
+
+    while a successful algorithm must collect [n * 2^(-2 tstar)] bits
+    within [tstar] rounds. For [b <= polylog n] and
+    [phi* <= polylog(n)/s] this forces [tstar = Omega(log log n)].
+    {!min_rounds} finds the smallest feasible [tstar] for concrete [n],
+    producing the curve of experiment F3 (each squaring of [log n] adds
+    roughly one round).
+
+    All arithmetic is done on base-2 logarithms so that the [n = 2^4096]
+    end of the curve — where the log-log-law is cleanest — does not
+    overflow IEEE doubles. *)
+
+type series = {
+  tstar : int;  (** The number of rounds assumed. *)
+  log2_bounds : float array;  (** [log2 E[C_t]] upper bounds, [t = 1 .. tstar]. *)
+  log2_total : float;  (** log2 of their sum — the most the algorithm can learn. *)
+  log2_required : float;  (** [log2 n - 2 tstar] — what it must learn. *)
+  feasible : bool;  (** [total >= required]. *)
+}
+
+val series : b:float -> phi_s:float -> log2_n:float -> tstar:int -> series
+(** [series ~b ~phi_s ~log2_n ~tstar] evaluates the recurrence; [phi_s]
+    is the product [phi* * s] (a perfectly balanced structure has
+    [phi_s = O(1)], a polylog-factor-suboptimal one [phi_s = polylog n]);
+    [b] and [phi_s] are given linearly (they are polylog-sized). *)
+
+val min_rounds : b:float -> phi_s:float -> log2_n:float -> int
+(** Smallest [tstar >= 1] whose {!series} is feasible (the required bits
+    shrink as [4^-tstar] while the bound grows with [tstar], so this is
+    well-defined; capped at 4096). *)
+
+val closed_form_log2_bound : b:float -> phi_s:float -> log2_n:float -> tstar:int -> float
+(** log2 of the paper's closed form [sum_t a1^(2^(1-t)) a^(1-2^(1-t))] —
+    cross-checked against {!series} by the tests. *)

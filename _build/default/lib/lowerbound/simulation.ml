@@ -1,0 +1,88 @@
+module Rng = Lc_prim.Rng
+module Spec = Lc_cellprobe.Spec
+
+type step_stats = { step : int; success_rate : float; trials : int }
+
+let sparse_of_step st = Array.of_seq (Spec.step_cells st)
+
+let step_success rng (inst : Lc_dict.Instance.t) ~queries ~trials =
+  Array.init inst.max_probes (fun step ->
+      let ok = ref 0 and ran = ref 0 in
+      for _ = 1 to trials do
+        let x = Rng.choose rng queries in
+        let plan = inst.spec x in
+        if step < Spec.probes plan then begin
+          incr ran;
+          match Product_probe.simulate_sparse rng ~support:(sparse_of_step plan.(step)) with
+          | Product_probe.Probed _ -> incr ok
+          | Product_probe.Failed -> ()
+        end
+      done;
+      {
+        step;
+        success_rate = (if !ran = 0 then 1.0 else float_of_int !ok /. float_of_int !ran);
+        trials = !ran;
+      })
+
+type completion = { depth : int; completion_rate : float; lemma_floor : float }
+
+let completion_curve rng (inst : Lc_dict.Instance.t) ~queries ~trials =
+  Array.init inst.max_probes (fun i ->
+      let depth = i + 1 in
+      let ok = ref 0 in
+      for _ = 1 to trials do
+        let x = Rng.choose rng queries in
+        let plan = inst.spec x in
+        let steps = min depth (Spec.probes plan) in
+        let alive = ref true in
+        for t = 0 to steps - 1 do
+          if !alive then
+            match Product_probe.simulate_sparse rng ~support:(sparse_of_step plan.(t)) with
+            | Product_probe.Probed _ -> ()
+            | Product_probe.Failed -> alive := false
+        done;
+        if !alive then incr ok
+      done;
+      {
+        depth;
+        completion_rate = float_of_int !ok /. float_of_int trials;
+        lemma_floor = Float.pow 0.25 (float_of_int depth);
+      })
+
+type round_stats = {
+  r_step : int;
+  mean_successes : float;
+  mean_distinct_cells : float;
+  info_bound : float;
+}
+
+let parallel_round rng (inst : Lc_dict.Instance.t) ~queries ~step ~trials =
+  let n = Array.length queries in
+  let spec = Probe_spec.of_instance inst ~queries ~step in
+  let marginals =
+    Probe_spec.make
+      (Array.init n (fun i ->
+           Array.init inst.space (fun j -> Float.min (Probe_spec.get spec i j) 0.5)))
+  in
+  let succ_acc = ref 0.0 and cells_acc = ref 0.0 in
+  for _ = 1 to trials do
+    let sample = Coupling.draw rng ~marginals in
+    cells_acc := !cells_acc +. float_of_int (Coupling.union_size sample);
+    Array.iteri
+      (fun i l_i ->
+        match l_i with
+        | [| j |] ->
+          (* The Lemma 19 acceptance coin with this instance's true
+             probability on the drawn cell. *)
+          let pi = Probe_spec.get spec i j in
+          let eps = Float.min pi (1.0 -. pi) in
+          if Rng.float rng >= eps then succ_acc := !succ_acc +. 1.0
+        | _ -> ())
+      sample.sets
+  done;
+  {
+    r_step = step;
+    mean_successes = !succ_acc /. float_of_int trials;
+    mean_distinct_cells = !cells_acc /. float_of_int trials;
+    info_bound = Probe_spec.col_max_sum marginals;
+  }

@@ -1,0 +1,52 @@
+(** The appendix's simulation pipeline (Lemmas 19 and 20), executable.
+
+    Lemma 19 replaces each randomized cell-probe by a product-space
+    probe that fails with probability at most 3/4; Lemma 20 runs [n]
+    instances of the resulting algorithm [A'] in parallel, so after
+    [tstar] steps an expected [n * 2^(-2 tstar)] instances have
+    completed — the information requirement Lemma 14 then cashes in.
+
+    This module runs both against the {e real} probe plans of any
+    dictionary: per-step product-space success rates (all must be at
+    least 1/4), the completion curve of whole plans truncated at depth
+    [k] (lower-bounded by [4^-k]), and the per-step statistics of [n]
+    coupled parallel instances (Lemma 21 keeps their union of probed
+    cells at the information bound). *)
+
+type step_stats = {
+  step : int;
+  success_rate : float;  (** Fraction of simulated probes that did not fail. *)
+  trials : int;
+}
+
+val step_success :
+  Lc_prim.Rng.t -> Lc_dict.Instance.t -> queries:int array -> trials:int -> step_stats array
+(** Per-step product-space success over queries sampled uniformly from
+    [queries]; Lemma 19 guarantees every entry is at least 1/4. *)
+
+type completion = {
+  depth : int;  (** Plan prefix length simulated. *)
+  completion_rate : float;  (** Fraction of runs with no failure. *)
+  lemma_floor : float;  (** The [4^-depth] guarantee. *)
+}
+
+val completion_curve :
+  Lc_prim.Rng.t -> Lc_dict.Instance.t -> queries:int array -> trials:int -> completion array
+(** Simulate whole plans truncated at each depth [1 .. max probes]. *)
+
+type round_stats = {
+  r_step : int;
+  mean_successes : float;
+      (** Of the [n] coupled parallel instances, how many simulated
+          their probe without failure (Lemma 20's surviving
+          instances). *)
+  mean_distinct_cells : float;  (** [|union L_i|] per Lemma 21. *)
+  info_bound : float;  (** [sum_j max_i P(i, j)], the Lemma 21 ceiling. *)
+}
+
+val parallel_round :
+  Lc_prim.Rng.t -> Lc_dict.Instance.t -> queries:int array -> step:int -> trials:int -> round_stats
+(** One round of the [n]-instance parallel simulation [A''], drawn
+    through the Lemma 21 coupling: per instance, the coupled set [L_i]
+    plays the product-space probe (success iff [|L_i| = 1] and the
+    acceptance coin). *)

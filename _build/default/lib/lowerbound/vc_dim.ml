@@ -1,0 +1,52 @@
+let shatter_patterns p qs =
+  let k = Array.length qs in
+  if k > 20 then invalid_arg "Vc_dim: query set too large";
+  let seen = Hashtbl.create (1 lsl min k 16) in
+  for s = 0 to Problem.datasets p - 1 do
+    let pattern = ref 0 in
+    Array.iteri (fun i x -> if Problem.eval p x s then pattern := !pattern lor (1 lsl i)) qs;
+    if not (Hashtbl.mem seen !pattern) then Hashtbl.add seen !pattern ()
+  done;
+  Hashtbl.length seen
+
+let is_shattered p qs = shatter_patterns p qs = 1 lsl Array.length qs
+
+(* Enumerate size-k subsets of [0, q) with early exit via an exception. *)
+exception Found of int array
+
+let find_shattered p ~size =
+  let q = Problem.queries p in
+  if size = 0 then Some [||]
+  else if size > q then None
+  else begin
+    let current = Array.make size 0 in
+    let rec go slot lowest =
+      if slot = size then begin
+        if is_shattered p current then raise (Found (Array.copy current))
+      end
+      else
+        for x = lowest to q - (size - slot) do
+          current.(slot) <- x;
+          go (slot + 1) (x + 1)
+        done
+    in
+    try
+      go 0 0;
+      None
+    with Found w -> Some w
+  end
+
+let vc_dim ?limit p =
+  let trivial =
+    let rec lg acc v = if v <= 1 then acc else lg (acc + 1) (v / 2) in
+    lg 0 (Problem.datasets p)
+  in
+  let limit = match limit with Some l -> min l trivial | None -> trivial in
+  let rec search k =
+    if k > limit then limit
+    else
+      match find_shattered p ~size:k with
+      | Some _ -> search (k + 1)
+      | None -> k - 1
+  in
+  search 1

@@ -1,0 +1,29 @@
+(** VC-dimension of data structure problems — Definition 11.
+
+    [VC-dim(f)] is the largest [n] such that some set of [n] queries is
+    {e shattered}: every one of the [2^n] boolean assignments is realised
+    by some data set. Membership on [k]-subsets has VC-dimension exactly
+    [k] (experiment T8 checks this computationally), which is what lets
+    Theorem 13 specialise to the membership problem.
+
+    The search is exponential; instances are expected to be small (a few
+    dozen queries). *)
+
+val is_shattered : Problem.t -> int array -> bool
+(** [is_shattered p qs] checks whether the query set [qs] (distinct
+    indices) is shattered: the data sets realise all [2^|qs|] patterns.
+    [|qs| <= 20] enforced. *)
+
+val shatter_patterns : Problem.t -> int array -> int
+(** Number of distinct boolean patterns the data sets realise on [qs]
+    (so [qs] is shattered iff this equals [2^|qs|]). *)
+
+val vc_dim : ?limit:int -> Problem.t -> int
+(** [vc_dim p] is the VC-dimension, searching subsets of size up to
+    [limit] (default: the trivial upper bound [log2 datasets]). Uses the
+    monotonicity of shattering: searches sizes upward and stops at the
+    first size with no shattered set. *)
+
+val find_shattered : Problem.t -> size:int -> int array option
+(** A shattered query set of exactly [size], if one exists — the witness
+    set [{x_1, ..., x_n}] the lower-bound game is played on. *)

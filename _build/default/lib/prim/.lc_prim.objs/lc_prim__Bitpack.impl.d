@@ -1,0 +1,1 @@
+lib/prim/bitpack.ml: Array

@@ -1,0 +1,1 @@
+lib/prim/modarith.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/prim/primes.ml: Array Modarith

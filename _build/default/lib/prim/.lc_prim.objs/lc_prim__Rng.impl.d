@@ -1,0 +1,1 @@
+lib/prim/rng.ml: Array Hashtbl Int64 Stdlib

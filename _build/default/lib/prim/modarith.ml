@@ -1,0 +1,45 @@
+let max_modulus = (1 lsl 31) - 1
+
+let check_modulus p =
+  if p < 2 || p > max_modulus then
+    invalid_arg
+      (Printf.sprintf "Modarith: modulus %d outside [2, %d]" p max_modulus)
+
+let add p a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub p a b =
+  let s = a - b in
+  if s < 0 then s + p else s
+
+let mul p a b = a * b mod p
+
+let pow p a e =
+  if e < 0 then invalid_arg "Modarith.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul p acc base else acc in
+      go acc (mul p base base) (e lsr 1)
+  in
+  go 1 (a mod p) e
+
+let inv p a =
+  (* Extended Euclid; p is prime in all our uses, but the algorithm only
+     needs gcd(a, p) = 1. *)
+  let rec go r0 r1 s0 s1 = if r1 = 0 then (r0, s0) else go r1 (r0 mod r1) s1 (s0 - (r0 / r1) * s1) in
+  let a = a mod p in
+  if a = 0 then invalid_arg "Modarith.inv: zero has no inverse";
+  let g, s = go p a 0 1 in
+  if g <> 1 then invalid_arg "Modarith.inv: not invertible";
+  let s = s mod p in
+  if s < 0 then s + p else s
+
+let poly_eval p coeffs x =
+  let x = x mod p in
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := add p (mul p !acc x) coeffs.(i)
+  done;
+  !acc

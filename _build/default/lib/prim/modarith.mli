@@ -1,0 +1,34 @@
+(** Modular arithmetic over word-sized moduli.
+
+    All hash-family arithmetic runs over a prime field [Z_p]. We restrict
+    [p < 2^31] so that a product of two residues fits in OCaml's native
+    63-bit integer without overflow; this caps the key universe at
+    [2^31 - 1], far beyond anything the experiments need, while keeping
+    every field operation a handful of machine instructions (the
+    "unit-cost RAM" of the paper). *)
+
+val max_modulus : int
+(** Largest supported modulus, [2^31 - 1]. *)
+
+val check_modulus : int -> unit
+(** [check_modulus p] raises [Invalid_argument] unless [2 <= p <= max_modulus]. *)
+
+val add : int -> int -> int -> int
+(** [add p a b] is [(a + b) mod p] for residues [a, b] in [0, p-1]. *)
+
+val sub : int -> int -> int -> int
+(** [sub p a b] is [(a - b) mod p], result in [0, p-1]. *)
+
+val mul : int -> int -> int -> int
+(** [mul p a b] is [(a * b) mod p]; safe because [p <= max_modulus]. *)
+
+val pow : int -> int -> int -> int
+(** [pow p a e] is [a^e mod p] by binary exponentiation. Requires [e >= 0]. *)
+
+val inv : int -> int -> int
+(** [inv p a] is the multiplicative inverse of [a] modulo prime [p].
+    Requires [a] not divisible by [p]. *)
+
+val poly_eval : int -> int array -> int -> int
+(** [poly_eval p coeffs x] evaluates [sum_i coeffs.(i) * x^i mod p] by
+    Horner's rule. [coeffs.(0)] is the constant term. *)

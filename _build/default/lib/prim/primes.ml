@@ -1,0 +1,57 @@
+(* Deterministic Miller-Rabin. The witness set {2,3,5,7,11,13,17,19,23,
+   29,31,37} is exact for n < 3.3e24; our moduli are < 2^31 so modular
+   products below stay well within the native int range. *)
+
+let small_primes = [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 |]
+
+let mul_mod p a b =
+  (* n < 2^31 here would let us use Modarith.mul, but Miller-Rabin is also
+     used on candidates up to max_modulus where a*b < 2^62 still fits. *)
+  a * b mod p
+
+let pow_mod p a e =
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul_mod p acc base else acc in
+      go acc (mul_mod p base base) (e lsr 1)
+  in
+  go 1 (a mod p) e
+
+let is_prime n =
+  if n < 2 then false
+  else if Array.exists (fun p -> p = n) small_primes then true
+  else if Array.exists (fun p -> n mod p = 0) small_primes then false
+  else begin
+    (* n - 1 = d * 2^s with d odd *)
+    let rec split d s = if d land 1 = 0 then split (d lsr 1) (s + 1) else (d, s) in
+    let d, s = split (n - 1) 0 in
+    let witnesses_pass a =
+      let a = a mod n in
+      if a = 0 then true
+      else
+        let x = pow_mod n a d in
+        if x = 1 || x = n - 1 then true
+        else
+          let rec square x i =
+            if i >= s - 1 then false
+            else
+              let x = mul_mod n x x in
+              if x = n - 1 then true else square x (i + 1)
+          in
+          square x 0
+    in
+    Array.for_all witnesses_pass small_primes
+  end
+
+let next_prime n =
+  if n <= 2 then 2
+  else
+    let rec search k = if is_prime k then k else search (k + 1) in
+    search n
+
+let prime_for_universe u =
+  let base = max u 2 in
+  let p = next_prime (base + 1) in
+  Modarith.check_modulus p;
+  p

@@ -1,0 +1,22 @@
+(** Primality testing and prime search.
+
+    The hash families in {!Lc_hash} are polynomials over a prime field
+    [Z_p] with [p] a little larger than the key universe. This module
+    provides a deterministic Miller-Rabin test (exact for every input that
+    fits our 62-bit word model) and prime search above a given bound. *)
+
+val is_prime : int -> bool
+(** [is_prime n] is [true] iff [n] is prime. Deterministic for all
+    [n < 3.3e24] (we only ever use [n < 2^31]) via the standard
+    Miller-Rabin witness set. *)
+
+val next_prime : int -> int
+(** [next_prime n] is the smallest prime [>= n]. Requires [n >= 2] would
+    be natural, but any [n <= 2] simply returns [2]. *)
+
+val prime_for_universe : int -> int
+(** [prime_for_universe u] is the field modulus used to hash keys drawn
+    from [0, u-1]: the smallest prime strictly greater than [max u 2].
+    Raises [Invalid_argument] if the result would exceed
+    {!Modarith.max_modulus} (keys must fit a 31-bit-safe field so that
+    products fit in a native OCaml int). *)

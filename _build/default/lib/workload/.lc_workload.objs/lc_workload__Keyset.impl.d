@@ -1,0 +1,1 @@
+lib/workload/keyset.ml: Array Fun Hashtbl Lc_prim

@@ -1,0 +1,1 @@
+lib/workload/keyset.mli: Lc_prim

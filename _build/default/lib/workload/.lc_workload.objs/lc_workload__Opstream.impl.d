@@ -1,0 +1,1 @@
+lib/workload/opstream.ml: Array Hashtbl Lc_dynamic Lc_prim

@@ -1,0 +1,1 @@
+lib/workload/opstream.mli: Lc_dynamic Lc_prim

@@ -1,0 +1,60 @@
+module Rng = Lc_prim.Rng
+
+let random rng ~universe ~n = Rng.sample_distinct rng ~bound:universe ~count:n
+
+let dense ~universe ~n =
+  if n > universe then invalid_arg "Keyset.dense: n > universe";
+  Array.init n Fun.id
+
+let clustered rng ~universe ~n ~clusters =
+  if clusters < 1 || clusters > n then invalid_arg "Keyset.clustered: bad cluster count";
+  if 2 * n > universe then invalid_arg "Keyset.clustered: universe too small";
+  let base_size = n / clusters in
+  let sizes = Array.make clusters base_size in
+  for i = 0 to (n mod clusters) - 1 do
+    sizes.(i) <- sizes.(i) + 1
+  done;
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] in
+  Array.iter
+    (fun size ->
+      (* Draw run starts until the whole run is fresh. *)
+      let rec place attempts =
+        if attempts > 10_000 then invalid_arg "Keyset.clustered: could not place a cluster";
+        let start = Rng.int rng (universe - size) in
+        let fresh = ref true in
+        for k = start to start + size - 1 do
+          if Hashtbl.mem seen k then fresh := false
+        done;
+        if !fresh then
+          for k = start to start + size - 1 do
+            Hashtbl.add seen k ();
+            out := k :: !out
+          done
+        else place (attempts + 1)
+      in
+      place 0)
+    sizes;
+  Array.of_list !out
+
+let arithmetic ~universe ~n ~stride =
+  if stride < 1 then invalid_arg "Keyset.arithmetic: stride must be >= 1";
+  if (n - 1) * stride >= universe then invalid_arg "Keyset.arithmetic: progression leaves universe";
+  Array.init n (fun i -> i * stride)
+
+let negatives rng ~universe ~keys ~count =
+  let in_keys = Hashtbl.create (2 * Array.length keys) in
+  Array.iter (fun x -> Hashtbl.add in_keys x ()) keys;
+  if count > universe - Array.length keys then invalid_arg "Keyset.negatives: not enough non-keys";
+  let seen = Hashtbl.create (2 * count) in
+  let out = Array.make count 0 in
+  let filled = ref 0 in
+  while !filled < count do
+    let x = Rng.int rng universe in
+    if not (Hashtbl.mem in_keys x) && not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      out.(!filled) <- x;
+      incr filled
+    end
+  done;
+  out

@@ -1,0 +1,24 @@
+(** Key-set generators.
+
+    The contention guarantees of Theorem 3 hold for {e every} key set, so
+    the experiments exercise several shapes: uniform random (the default),
+    a dense interval (stresses the [mod]-structure of the layout: all
+    keys share low-order bits patterns), clustered blocks (realistic
+    identifier allocation), and an arithmetic progression with a chosen
+    stride (the classic bad case for modular hashing). *)
+
+val random : Lc_prim.Rng.t -> universe:int -> n:int -> int array
+(** [n] distinct uniform keys. *)
+
+val dense : universe:int -> n:int -> int array
+(** The interval [0, n-1]. Requires [n <= universe]. *)
+
+val clustered : Lc_prim.Rng.t -> universe:int -> n:int -> clusters:int -> int array
+(** [clusters] random disjoint runs of consecutive keys totalling [n]. *)
+
+val arithmetic : universe:int -> n:int -> stride:int -> int array
+(** [0, stride, 2*stride, ...]. Requires [(n-1) * stride < universe]. *)
+
+val negatives : Lc_prim.Rng.t -> universe:int -> keys:int array -> count:int -> int array
+(** [count] distinct uniform non-keys — the sampled stand-in for the
+    uniform negative query distribution (see {!Lc_cellprobe.Qdist}). *)

@@ -1,0 +1,61 @@
+module Rng = Lc_prim.Rng
+
+type op = Insert of int | Delete of int | Query of int
+
+type mix = { p_insert : float; p_delete : float }
+
+let default_mix = { p_insert = 0.4; p_delete = 0.1 }
+
+let generate ?(mix = default_mix) rng ~universe ~length ~working_set =
+  if mix.p_insert < 0.0 || mix.p_delete < 0.0 || mix.p_insert +. mix.p_delete > 1.0 then
+    invalid_arg "Opstream.generate: bad mix";
+  if working_set < 1 then invalid_arg "Opstream.generate: working_set must be >= 1";
+  if working_set > universe then invalid_arg "Opstream.generate: working set exceeds universe";
+  (* The pool of keys the stream talks about; grows lazily up to
+     working_set distinct values. *)
+  let pool = Array.make working_set (-1) in
+  let pool_size = ref 0 in
+  let fresh_key () =
+    if !pool_size < working_set then begin
+      let x = Rng.int rng universe in
+      pool.(!pool_size) <- x;
+      incr pool_size;
+      x
+    end
+    else pool.(Rng.int rng working_set)
+  in
+  let known_key () = if !pool_size = 0 then fresh_key () else pool.(Rng.int rng !pool_size) in
+  Array.init length (fun _ ->
+      let u = Rng.float rng in
+      if u < mix.p_insert then Insert (fresh_key ())
+      else if u < mix.p_insert +. mix.p_delete then Delete (known_key ())
+      else Query (known_key ()))
+
+let apply t rng ops =
+  let inserts = ref 0 and deletes = ref 0 and hits = ref 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Insert x ->
+        Lc_dynamic.Dynamic.insert t x;
+        incr inserts
+      | Delete x ->
+        Lc_dynamic.Dynamic.delete t x;
+        incr deletes
+      | Query x -> if Lc_dynamic.Dynamic.mem t rng x then incr hits)
+    ops;
+  (!inserts, !deletes, !hits)
+
+let replay_oracle ops =
+  let present = Hashtbl.create 256 in
+  Array.map
+    (fun op ->
+      match op with
+      | Insert x ->
+        Hashtbl.replace present x ();
+        false
+      | Delete x ->
+        Hashtbl.remove present x;
+        false
+      | Query x -> Hashtbl.mem present x)
+    ops

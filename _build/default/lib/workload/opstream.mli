@@ -1,0 +1,44 @@
+(** Operation streams for dynamic-dictionary workloads.
+
+    The T9/F7 experiments and the dynamic example need realistic
+    insert/delete/query mixes; this module generates them with a chosen
+    operation mix and key locality, and folds them over any consumer.
+    Streams are deterministic given the generator's rng. *)
+
+type op =
+  | Insert of int
+  | Delete of int
+  | Query of int
+
+type mix = {
+  p_insert : float;
+  p_delete : float;  (** Remaining mass is queries. *)
+}
+
+val default_mix : mix
+(** 40% inserts, 10% deletes, 50% queries — a read-mostly table with
+    churn. *)
+
+val generate :
+  ?mix:mix ->
+  Lc_prim.Rng.t ->
+  universe:int ->
+  length:int ->
+  working_set:int ->
+  op array
+(** [generate rng ~universe ~length ~working_set] draws [length]
+    operations. Keys come from a working set of [working_set] distinct
+    values (fresh uniform keys enter the set when an insert needs one);
+    deletes and queries target current or recently-seen members, so the
+    stream exercises hits, misses and re-insertions. *)
+
+val apply :
+  Lc_dynamic.Dynamic.t -> Lc_prim.Rng.t -> op array -> int * int * int
+(** [apply t rng ops] plays the stream against a dynamic dictionary and
+    returns [(inserts, deletes, query_hits)] — the consumer used by the
+    tests to cross-check against a model set. *)
+
+val replay_oracle : op array -> bool array
+(** The reference semantics: the expected result of each [Query] when
+    the stream is applied to an initially-empty set (entries for
+    non-query operations are [false] and unused). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Float Lc_analysis Lc_experiments Lc_prim List Printf String

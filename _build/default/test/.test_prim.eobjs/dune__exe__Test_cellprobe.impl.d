@@ -1,0 +1,1 @@
+test/test_cellprobe.ml: Alcotest Array Float Format Hashtbl Lc_cellprobe Lc_prim List Printf QCheck QCheck_alcotest Result Seq

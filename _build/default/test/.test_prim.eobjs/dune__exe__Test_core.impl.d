@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Format Gen Hashtbl Lc_cellprobe Lc_core Lc_dict Lc_hash Lc_prim Lc_workload List Printf QCheck QCheck_alcotest Result String

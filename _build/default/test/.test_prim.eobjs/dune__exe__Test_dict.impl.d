@@ -1,0 +1,1 @@
+test/test_dict.ml: Alcotest Array Float Hashtbl Lc_cellprobe Lc_dict Lc_prim Lc_workload List Printf QCheck QCheck_alcotest

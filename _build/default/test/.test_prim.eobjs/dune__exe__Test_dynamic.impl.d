@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Gen Hashtbl Lc_cellprobe Lc_dynamic Lc_prim Lc_workload List Printf QCheck QCheck_alcotest Result

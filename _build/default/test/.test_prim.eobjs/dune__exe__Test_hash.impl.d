@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Array Float Gen Hashtbl Lc_analysis Lc_hash Lc_prim List Printf QCheck QCheck_alcotest

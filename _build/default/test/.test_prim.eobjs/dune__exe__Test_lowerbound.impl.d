@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Float Hashtbl Lc_cellprobe Lc_core Lc_dict Lc_lowerbound Lc_prim Lc_workload List Printf QCheck QCheck_alcotest

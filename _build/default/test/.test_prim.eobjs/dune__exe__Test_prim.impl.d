@@ -1,0 +1,1 @@
+test/test_prim.ml: Alcotest Array Float Fun Gen Int64 Lc_prim List Printf QCheck QCheck_alcotest

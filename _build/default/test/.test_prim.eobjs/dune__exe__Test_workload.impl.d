@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Fun Hashtbl Lc_dynamic Lc_prim Lc_workload List Printf QCheck QCheck_alcotest

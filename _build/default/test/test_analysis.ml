@@ -1,0 +1,317 @@
+(* Tests for the analysis/harness library and the experiment registry. *)
+
+module Stats = Lc_analysis.Stats
+module Series = Lc_analysis.Series
+module Tablefmt = Lc_analysis.Tablefmt
+module Experiment = Lc_analysis.Experiment
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let checkf4 = Alcotest.check (Alcotest.float 1e-4)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_mean () = checkf "mean" 5.0 (Stats.mean xs)
+
+let test_variance () =
+  (* Known: population variance 4, sample variance 32/7. *)
+  checkf4 "sample variance" (32.0 /. 7.0) (Stats.variance xs);
+  checkf "single point" 0.0 (Stats.variance [| 3.0 |])
+
+let test_stddev () = checkf4 "stddev" (Float.sqrt (32.0 /. 7.0)) (Stats.stddev xs)
+
+let test_min_max () =
+  checkf "min" 2.0 (Stats.minimum xs);
+  checkf "max" 9.0 (Stats.maximum xs)
+
+let test_quantiles () =
+  checkf "median" 4.5 (Stats.median xs);
+  checkf "q0" 2.0 (Stats.quantile xs 0.0);
+  checkf "q1" 9.0 (Stats.quantile xs 1.0);
+  checkf "q interpolates" 2.7 (Stats.quantile [| 1.0; 2.0; 3.0 |] 0.85)
+
+let test_quantile_does_not_mutate () =
+  let a = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.quantile a 0.5);
+  Alcotest.check (Alcotest.array (Alcotest.float 0.0)) "unchanged" [| 3.0; 1.0; 2.0 |] a
+
+let test_geometric_mean () =
+  checkf4 "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |]);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geometric_mean: non-positive entry") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; 0.0 |]))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats: empty sample") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_describe () =
+  let s = Stats.describe xs in
+  checkb "mentions mean" true (String.length s > 10)
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_fit () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] and ys = [| 3.0; 5.0; 7.0; 9.0 |] in
+  let slope, intercept = Series.linear_fit ~xs ~ys in
+  checkf4 "slope" 2.0 slope;
+  checkf4 "intercept" 1.0 intercept
+
+let test_loglog_slope_powers () =
+  (* y = 5 x^0.5 -> slope 0.5; y = c -> slope 0. *)
+  let xs = [| 100.0; 200.0; 400.0; 800.0 |] in
+  let ys = Array.map (fun x -> 5.0 *. Float.sqrt x) xs in
+  checkf4 "sqrt slope" 0.5 (Series.loglog_slope ~xs ~ys);
+  let flat = Array.map (fun _ -> 7.0) xs in
+  checkf4 "flat slope" 0.0 (Series.loglog_slope ~xs ~ys:flat)
+
+let test_loglog_rejects_nonpositive () =
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Series.loglog_slope: non-positive value") (fun () ->
+      ignore (Series.loglog_slope ~xs:[| 1.0; 2.0 |] ~ys:[| 0.0; 1.0 |]))
+
+let test_doubling_ratios () =
+  Alcotest.check
+    (Alcotest.array (Alcotest.float 1e-9))
+    "ratios" [| 2.0; 1.5 |]
+    (Series.doubling_ratios [| 2.0; 4.0; 6.0 |]);
+  checki "empty" 0 (Array.length (Series.doubling_ratios [| 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Tablefmt                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Tablefmt.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Tablefmt.add_row t [ "1"; "2" ];
+  Tablefmt.add_row t [ "333"; "4" ];
+  let s = Tablefmt.render t in
+  checkb "has title" true (String.length s > 0 && String.sub s 0 4 = "demo");
+  checkb "has separator" true (String.contains s '-')
+
+let test_table_row_arity () =
+  let t = Tablefmt.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Tablefmt.add_row: 1 cells for 2 columns")
+    (fun () -> Tablefmt.add_row t [ "x" ])
+
+let test_table_csv () =
+  let t = Tablefmt.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Tablefmt.add_row t [ "1"; "with,comma" ];
+  let csv = Tablefmt.to_csv t in
+  checkb "quoted comma" true
+    (csv = "a,b\n1,\"with,comma\"")
+
+let test_fmt_g () =
+  Alcotest.check Alcotest.string "compact" "3.142" (Tablefmt.fmt_g 3.14159);
+  Alcotest.check Alcotest.string "large" "1.63e+04" (Tablefmt.fmt_g 16300.0)
+
+(* ------------------------------------------------------------------ *)
+(* Chisq                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_chisq_statistic () =
+  (* Hand-computed: O = [10; 20], E = [15; 15] -> 25/15 * 2 = 10/3. *)
+  checkf4 "statistic" (10.0 /. 3.0)
+    (Lc_analysis.Chisq.statistic ~observed:[| 10; 20 |] ~expected:[| 15.0; 15.0 |]);
+  checkf4 "uniform helper" (10.0 /. 3.0) (Lc_analysis.Chisq.statistic_uniform [| 10; 20 |])
+
+let test_gamma_p_known_values () =
+  (* P(1, x) = 1 - e^-x; P(1/2, x) = erf(sqrt x). *)
+  let open Lc_analysis.Chisq in
+  checkf4 "P(1,1)" (1.0 -. Float.exp (-1.0)) (gamma_p ~a:1.0 ~x:1.0);
+  checkf4 "P(1,5)" (1.0 -. Float.exp (-5.0)) (gamma_p ~a:1.0 ~x:5.0);
+  checkf4 "P(0.5, 0.5) = erf(~0.7071)" 0.682689 (gamma_p ~a:0.5 ~x:0.5);
+  checkf4 "P at 0" 0.0 (gamma_p ~a:2.0 ~x:0.0)
+
+let test_p_value_known () =
+  (* chi-square with 1 dof: P[X > 3.841] ~ 0.05. *)
+  let p = Lc_analysis.Chisq.p_value ~dof:1 3.841 in
+  checkb (Printf.sprintf "p ~ 0.05, got %g" p) true (Float.abs (p -. 0.05) < 0.002);
+  (* with 10 dof: P[X > 18.31] ~ 0.05. *)
+  let p = Lc_analysis.Chisq.p_value ~dof:10 18.31 in
+  checkb (Printf.sprintf "p ~ 0.05, got %g" p) true (Float.abs (p -. 0.05) < 0.002)
+
+let test_chisq_uniform_accepts_fair () =
+  let rng = Lc_prim.Rng.create 5 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 50_000 do
+    let i = Lc_prim.Rng.int rng 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  checkb "fair sample accepted" true (Lc_analysis.Chisq.test_uniform counts)
+
+let test_chisq_uniform_rejects_skew () =
+  let counts = Array.make 10 1000 in
+  counts.(0) <- 2000;
+  checkb "skewed sample rejected" false (Lc_analysis.Chisq.test_uniform counts)
+
+(* ------------------------------------------------------------------ *)
+(* Plot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_plot_renders () =
+  let open Lc_analysis.Plot in
+  let out =
+    render ~title:"demo" ~x_label:"n" ~y_label:"c"
+      [
+        { label = "flat"; points = [| (1.0, 5.0); (2.0, 5.0); (4.0, 5.0) |] };
+        { label = "linear"; points = [| (1.0, 1.0); (2.0, 2.0); (4.0, 4.0) |] };
+      ]
+  in
+  checkb "has title" true (String.sub out 0 4 = "demo");
+  checkb "has both glyphs" true (String.contains out '*' && String.contains out 'o');
+  checkb "has legend" true (String.length out > 200)
+
+let test_plot_log_scale () =
+  let open Lc_analysis.Plot in
+  let out =
+    render ~x_scale:Log ~y_scale:Log ~title:"loglog" ~x_label:"n" ~y_label:"y"
+      [ { label = "s"; points = [| (1.0, 1.0); (10.0, 10.0); (100.0, 100.0) |] } ]
+  in
+  checkb "renders" true (String.length out > 100);
+  let raised =
+    try
+      ignore
+        (render ~y_scale:Log ~title:"bad" ~x_label:"x" ~y_label:"y"
+           [ { label = "s"; points = [| (1.0, 0.0) |] } ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "rejects non-positive under log" true raised
+
+let test_plot_degenerate_range () =
+  let open Lc_analysis.Plot in
+  let out =
+    render ~title:"dot" ~x_label:"x" ~y_label:"y"
+      [ { label = "s"; points = [| (3.0, 3.0) |] } ]
+  in
+  checkb "single point ok" true (String.contains out '*')
+
+let test_plot_rejects_empty () =
+  let open Lc_analysis.Plot in
+  let raised =
+    try ignore (render ~title:"t" ~x_label:"x" ~y_label:"y" []); false
+    with Invalid_argument _ -> true
+  in
+  checkb "empty rejected" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Experiment registry                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_complete () =
+  Lc_experiments.Registry.install ();
+  let ids = List.map (fun (e : Experiment.t) -> e.id) (Experiment.all ()) in
+  List.iter
+    (fun id -> checkb (Printf.sprintf "%s registered" id) true (List.mem id ids))
+    [
+      "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "T7"; "T8"; "T9"; "T10"; "F1"; "F2"; "F3"; "F4";
+      "T11"; "F5"; "F6"; "F7"; "F8"; "F9"; "F10"; "F11";
+    ];
+  checki "exactly 22 experiments" 22 (List.length ids)
+
+let test_registry_lookup_case_insensitive () =
+  Lc_experiments.Registry.install ();
+  checkb "t1 found" true (Experiment.find "t1" <> None);
+  checkb "F3 found" true (Experiment.find "F3" <> None);
+  checkb "missing" true (Experiment.find "T99" = None)
+
+let test_registry_order () =
+  Lc_experiments.Registry.install ();
+  let ids = List.map (fun (e : Experiment.t) -> e.id) (Experiment.all ()) in
+  checkb "tables before figures, numeric order" true
+    (List.nth ids 0 = "T1" && List.nth ids 10 = "T11" && List.nth ids 11 = "F1")
+
+(* A fast smoke run of two cheap experiments end to end (the full suite
+   is exercised by bench/main.exe). *)
+let test_run_f3_smoke () =
+  Lc_experiments.Registry.install ();
+  match Experiment.find "F3" with
+  | None -> Alcotest.fail "F3 missing"
+  | Some e ->
+    let out = e.run ~seed:1 in
+    checkb "produces a table" true (String.length out > 100)
+
+let test_run_t8_smoke () =
+  Lc_experiments.Registry.install ();
+  match Experiment.find "T8" with
+  | None -> Alcotest.fail "T8 missing"
+  | Some e ->
+    let out = e.run ~seed:1 in
+    checkb "produces a table" true (String.length out > 100)
+
+let test_experiments_deterministic () =
+  Lc_experiments.Registry.install ();
+  List.iter
+    (fun id ->
+      match Experiment.find id with
+      | None -> Alcotest.failf "%s missing" id
+      | Some e ->
+        let a = e.run ~seed:7 and b = e.run ~seed:7 in
+        checkb (Printf.sprintf "%s deterministic" id) true (a = b);
+        let c = e.run ~seed:8 in
+        checkb (Printf.sprintf "%s seed-sensitive or constant" id) true
+          (String.length c > 0))
+    [ "F3"; "T8" ]
+
+let () =
+  Alcotest.run "lc_analysis"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "quantile pure" `Quick test_quantile_does_not_mutate;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "loglog slopes" `Quick test_loglog_slope_powers;
+          Alcotest.test_case "rejects nonpositive" `Quick test_loglog_rejects_nonpositive;
+          Alcotest.test_case "doubling ratios" `Quick test_doubling_ratios;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "row arity" `Quick test_table_row_arity;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "fmt_g" `Quick test_fmt_g;
+        ] );
+      ( "chisq",
+        [
+          Alcotest.test_case "statistic" `Quick test_chisq_statistic;
+          Alcotest.test_case "gamma_p known values" `Quick test_gamma_p_known_values;
+          Alcotest.test_case "p-value critical points" `Quick test_p_value_known;
+          Alcotest.test_case "accepts fair sample" `Quick test_chisq_uniform_accepts_fair;
+          Alcotest.test_case "rejects skew" `Quick test_chisq_uniform_rejects_skew;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "renders series" `Quick test_plot_renders;
+          Alcotest.test_case "log scales" `Quick test_plot_log_scale;
+          Alcotest.test_case "degenerate range" `Quick test_plot_degenerate_range;
+          Alcotest.test_case "rejects empty" `Quick test_plot_rejects_empty;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "case-insensitive lookup" `Quick test_registry_lookup_case_insensitive;
+          Alcotest.test_case "order" `Quick test_registry_order;
+          Alcotest.test_case "F3 smoke" `Quick test_run_f3_smoke;
+          Alcotest.test_case "T8 smoke" `Quick test_run_t8_smoke;
+          Alcotest.test_case "experiments deterministic" `Quick test_experiments_deterministic;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+(* Tests for the dynamized low-contention dictionary: semantics against
+   a set oracle under random operation sequences, level-shape
+   invariants, purge behaviour, replication, and the contention
+   characteristics that motivated the extension. *)
+
+module Rng = Lc_prim.Rng
+module Dynamic = Lc_dynamic.Dynamic
+module Qdist = Lc_cellprobe.Qdist
+module Keyset = Lc_workload.Keyset
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let universe = 1 lsl 18
+
+let fresh seed = Dynamic.create (Rng.create seed) ~universe ()
+
+(* ------------------------------------------------------------------ *)
+(* Basic semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty () =
+  let t = fresh 1 in
+  let rng = Rng.create 2 in
+  checki "size" 0 (Dynamic.size t);
+  checkb "no member" false (Dynamic.mem t rng 5);
+  checki "no cells" 0 (Dynamic.space t)
+
+let test_insert_mem () =
+  let t = fresh 3 in
+  let rng = Rng.create 4 in
+  Dynamic.insert t 10;
+  Dynamic.insert t 20;
+  Dynamic.insert t 30;
+  checki "size" 3 (Dynamic.size t);
+  checkb "10" true (Dynamic.mem t rng 10);
+  checkb "20" true (Dynamic.mem t rng 20);
+  checkb "30" true (Dynamic.mem t rng 30);
+  checkb "40" false (Dynamic.mem t rng 40)
+
+let test_insert_idempotent () =
+  let t = fresh 5 in
+  Dynamic.insert t 7;
+  Dynamic.insert t 7;
+  Dynamic.insert t 7;
+  checki "size 1" 1 (Dynamic.size t)
+
+let test_delete () =
+  let t = fresh 6 in
+  let rng = Rng.create 7 in
+  List.iter (Dynamic.insert t) [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Dynamic.delete t 3;
+  checki "size" 7 (Dynamic.size t);
+  checkb "3 gone" false (Dynamic.mem t rng 3);
+  checkb "4 stays" true (Dynamic.mem t rng 4);
+  Dynamic.delete t 3;
+  checki "delete idempotent" 7 (Dynamic.size t);
+  Dynamic.delete t 99;
+  checki "delete absent is no-op" 7 (Dynamic.size t)
+
+let test_reinsert_after_delete () =
+  let t = fresh 8 in
+  let rng = Rng.create 9 in
+  List.iter (Dynamic.insert t) [ 1; 2; 3; 4 ];
+  Dynamic.delete t 2;
+  checkb "2 gone" false (Dynamic.mem t rng 2);
+  Dynamic.insert t 2;
+  checkb "2 back (un-deleted)" true (Dynamic.mem t rng 2);
+  checki "size back" 4 (Dynamic.size t)
+
+let test_levels_shape () =
+  let t = fresh 10 in
+  (* 13 keys = 0b1101 -> levels 0, 2, 3 occupied. *)
+  for x = 1 to 13 do
+    Dynamic.insert t (x * 11)
+  done;
+  let shape = List.map (fun (i, k, _) -> (i, k)) (Dynamic.level_sizes t) in
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "binary shape" [ (0, 1); (2, 4); (3, 8) ] shape
+
+let test_purge_triggers () =
+  let t = fresh 11 in
+  for x = 1 to 32 do
+    Dynamic.insert t x
+  done;
+  for x = 1 to 17 do
+    Dynamic.delete t x
+  done;
+  checkb "purged at half dead" true (Dynamic.purges t >= 1);
+  checki "live" 15 (Dynamic.size t);
+  let rng = Rng.create 12 in
+  for x = 18 to 32 do
+    checkb "survivor" true (Dynamic.mem t rng x)
+  done;
+  for x = 1 to 17 do
+    checkb "purged key absent" false (Dynamic.mem t rng x)
+  done
+
+let test_check_invariants () =
+  let t = fresh 13 in
+  let rng = Rng.create 14 in
+  for x = 1 to 100 do
+    Dynamic.insert t (x * 7)
+  done;
+  for x = 1 to 20 do
+    Dynamic.delete t (x * 7)
+  done;
+  match Dynamic.check t rng with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_amortized_rebuild_cost () =
+  (* keys_rebuilt / inserts should be O(log n): for 512 inserts each key
+     moves through at most 10 levels. *)
+  let t = fresh 15 in
+  let n = 512 in
+  for x = 1 to n do
+    Dynamic.insert t x
+  done;
+  let per_insert = float_of_int (Dynamic.keys_rebuilt t) /. float_of_int n in
+  checkb
+    (Printf.sprintf "amortized %.1f <= 10" per_insert)
+    true (per_insert <= 10.0)
+
+let test_space_linear () =
+  let t = fresh 16 in
+  for x = 1 to 1000 do
+    Dynamic.insert t x
+  done;
+  checkb "space O(n log n) at worst" true (Dynamic.space t <= 1000 * 64)
+
+(* ------------------------------------------------------------------ *)
+(* Replication (small_level_boost)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_boost_replica_counts () =
+  let t = Dynamic.create ~small_level_boost:16 (Rng.create 17) ~universe () in
+  for x = 1 to 13 do
+    Dynamic.insert t x
+  done;
+  List.iter
+    (fun (i, _, reps) -> checki (Printf.sprintf "level %d replicas" i) (max 1 (16 lsr i)) reps)
+    (Dynamic.level_sizes t)
+
+let test_boost_rejects_non_power () =
+  let raised =
+    try
+      ignore (Dynamic.create ~small_level_boost:3 (Rng.create 1) ~universe ());
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "power of two enforced" true raised
+
+let test_boost_preserves_semantics () =
+  let t = Dynamic.create ~small_level_boost:8 (Rng.create 18) ~universe () in
+  let rng = Rng.create 19 in
+  for x = 1 to 50 do
+    Dynamic.insert t (x * 3)
+  done;
+  for x = 1 to 50 do
+    checkb "present" true (Dynamic.mem t rng (x * 3))
+  done;
+  checkb "absent" false (Dynamic.mem t rng 1);
+  match Dynamic.check t rng with Ok () -> () | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Contention: the small-level hot spot and its mitigation              *)
+(* ------------------------------------------------------------------ *)
+
+(* Negative (miss) queries reach every level, so the singleton level's
+   two-cell rows absorb the whole query mass: dynamization turns misses
+   into a hot spot. Positive queries stop at their hit level (largest
+   first), which hides the effect — the tests pin down both. *)
+let neg_queries keys =
+  let in_keys = Hashtbl.create 256 in
+  Array.iter (fun x -> Hashtbl.add in_keys x ()) keys;
+  let rec gather acc x n =
+    if n = 0 then acc
+    else if Hashtbl.mem in_keys x then gather acc (x + 1) n
+    else gather (x :: acc) (x + 1) (n - 1)
+  in
+  Array.of_list (gather [] 0 256)
+
+let test_small_level_hotspot () =
+  let t = fresh 20 in
+  let keys = Array.init 129 (fun i -> (i * 17) + 1) in
+  Array.iter (Dynamic.insert t) keys;
+  let qd = Qdist.uniform ~name:"neg" (neg_queries keys) in
+  let c = Dynamic.contention_exact t qd in
+  let small_level = List.assoc 0 c.per_level in
+  let big_level = List.assoc 7 c.per_level in
+  checkb
+    (Printf.sprintf "small level %.0f dominates big level %.0f" small_level big_level)
+    true
+    (small_level > 4.0 *. big_level);
+  checki "worst is the singleton level" 0 c.worst_level
+
+let test_positive_queries_hide_the_hotspot () =
+  (* Largest-first search: a key stored in the big level never probes
+     the singleton level, so uniform-positive contention stays tame. *)
+  let t = fresh 25 in
+  let keys = Array.init 129 (fun i -> (i * 17) + 1) in
+  Array.iter (Dynamic.insert t) keys;
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let c = Dynamic.contention_exact t qd in
+  checkb (Printf.sprintf "worst %.0f stays < 100" c.worst) true (c.worst < 100.0)
+
+let test_boost_levels_the_hotspot () =
+  let keys = Array.init 129 (fun i -> (i * 17) + 1) in
+  let qd = Qdist.uniform ~name:"neg" (neg_queries keys) in
+  let build boost =
+    let t = Dynamic.create ~small_level_boost:boost (Rng.create 21) ~universe () in
+    Array.iter (Dynamic.insert t) keys;
+    (Dynamic.contention_exact t qd).worst
+  in
+  let plain = build 1 and boosted = build 32 in
+  checkb
+    (Printf.sprintf "boost 32 cuts worst contention: %.0f -> %.0f" plain boosted)
+    true
+    (boosted < plain /. 4.0)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle property                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_boost_survives_churn () =
+  (* Replicated levels must stay consistent through cascades, deletes
+     and purges — the invariant checker covers replica counts too. *)
+  let t = Dynamic.create ~small_level_boost:16 (Rng.create 30) ~universe () in
+  let rng = Rng.create 31 in
+  let ops =
+    Lc_workload.Opstream.generate (Rng.create 32) ~universe ~length:3_000 ~working_set:300
+  in
+  let _ = Lc_workload.Opstream.apply t rng ops in
+  (match Dynamic.check t rng with Ok () -> () | Error e -> Alcotest.fail e);
+  List.iter
+    (fun (i, _, reps) -> checki (Printf.sprintf "level %d replicas" i) (max 1 (16 lsr i)) reps)
+    (Dynamic.level_sizes t)
+
+let prop_matches_set_oracle =
+  QCheck.Test.make ~name:"random op sequence matches a set oracle" ~count:30
+    QCheck.(list_of_size (Gen.int_range 1 300) (pair bool (int_range 0 200)))
+    (fun ops ->
+      let t = fresh 22 in
+      let rng = Rng.create 23 in
+      let oracle = Hashtbl.create 64 in
+      List.iter
+        (fun (is_insert, x) ->
+          if is_insert then begin
+            Dynamic.insert t x;
+            Hashtbl.replace oracle x ()
+          end
+          else begin
+            Dynamic.delete t x;
+            Hashtbl.remove oracle x
+          end)
+        ops;
+      let ok = ref (Dynamic.size t = Hashtbl.length oracle) in
+      for x = 0 to 200 do
+        if Dynamic.mem t rng x <> Hashtbl.mem oracle x then ok := false
+      done;
+      !ok && Result.is_ok (Dynamic.check t rng))
+
+let prop_insert_only_oracle =
+  QCheck.Test.make ~name:"insert-only sequences" ~count:20
+    QCheck.(int_range 1 400)
+    (fun n ->
+      let t = fresh (n + 100) in
+      let rng = Rng.create 24 in
+      let keys = Keyset.random rng ~universe ~n in
+      Array.iter (Dynamic.insert t) keys;
+      Dynamic.size t = n
+      && Array.for_all (fun x -> Dynamic.mem t rng x) keys
+      && Result.is_ok (Dynamic.check t rng))
+
+let () =
+  Alcotest.run "lc_dynamic"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/mem" `Quick test_insert_mem;
+          Alcotest.test_case "insert idempotent" `Quick test_insert_idempotent;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "reinsert after delete" `Quick test_reinsert_after_delete;
+          Alcotest.test_case "level shape" `Quick test_levels_shape;
+          Alcotest.test_case "purge triggers" `Quick test_purge_triggers;
+          Alcotest.test_case "check invariants" `Quick test_check_invariants;
+          Alcotest.test_case "amortized rebuild cost" `Quick test_amortized_rebuild_cost;
+          Alcotest.test_case "space linear" `Quick test_space_linear;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "replica counts" `Quick test_boost_replica_counts;
+          Alcotest.test_case "rejects non-power boost" `Quick test_boost_rejects_non_power;
+          Alcotest.test_case "semantics preserved" `Quick test_boost_preserves_semantics;
+          Alcotest.test_case "boost survives churn" `Quick test_boost_survives_churn;
+        ] );
+      ( "contention",
+        [
+          Alcotest.test_case "small-level hot spot (misses)" `Quick test_small_level_hotspot;
+          Alcotest.test_case "positives hide the hot spot" `Quick
+            test_positive_queries_hide_the_hotspot;
+          Alcotest.test_case "boost levels the hot spot" `Quick test_boost_levels_the_hotspot;
+        ] );
+      ( "oracle",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_matches_set_oracle; prop_insert_only_oracle ] );
+    ]

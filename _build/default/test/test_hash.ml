@@ -1,0 +1,376 @@
+(* Tests for the hash families: statistical quality of the polynomial
+   family, algebraic identities of the DM family, perfect hashing, and
+   load analytics. *)
+
+module Rng = Lc_prim.Rng
+module Primes = Lc_prim.Primes
+module Poly_hash = Lc_hash.Poly_hash
+module Dm_family = Lc_hash.Dm_family
+module Perfect = Lc_hash.Perfect
+module Loads = Lc_hash.Loads
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let p_test = Primes.prime_for_universe 100_000
+
+(* ------------------------------------------------------------------ *)
+(* Poly_hash                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_range () =
+  let rng = Rng.create 1 in
+  let h = Poly_hash.create rng ~d:3 ~p:p_test ~m:37 in
+  for x = 0 to 5000 do
+    let v = Poly_hash.eval h x in
+    checkb "in range" true (v >= 0 && v < 37)
+  done
+
+let test_poly_deterministic () =
+  let rng = Rng.create 2 in
+  let h = Poly_hash.create rng ~d:4 ~p:p_test ~m:101 in
+  for x = 0 to 100 do
+    checki "stable" (Poly_hash.eval h x) (Poly_hash.eval h x)
+  done
+
+let test_poly_coeffs_roundtrip () =
+  let rng = Rng.create 3 in
+  let h = Poly_hash.create rng ~d:3 ~p:p_test ~m:64 in
+  let h2 = Poly_hash.of_coeffs ~p:p_test ~m:64 (Poly_hash.coeffs h) in
+  for x = 0 to 2000 do
+    checki "same function" (Poly_hash.eval h x) (Poly_hash.eval h2 x)
+  done
+
+let test_poly_reduce_commutes () =
+  let rng = Rng.create 4 in
+  let h = Poly_hash.create rng ~d:3 ~p:p_test ~m:60 in
+  let h' = Poly_hash.reduce h 12 in
+  for x = 0 to 2000 do
+    checki "h mod 12" (Poly_hash.eval h x mod 12) (Poly_hash.eval h' x)
+  done
+
+let test_poly_reduce_requires_divisor () =
+  let rng = Rng.create 5 in
+  let h = Poly_hash.create rng ~d:3 ~p:p_test ~m:60 in
+  Alcotest.check_raises "non-divisor"
+    (Invalid_argument "Poly_hash.reduce: new range must divide the old range") (fun () ->
+      ignore (Poly_hash.reduce h 7))
+
+let test_poly_validation () =
+  let rng = Rng.create 6 in
+  Alcotest.check_raises "d = 0" (Invalid_argument "Poly_hash.create: d must be >= 1") (fun () ->
+      ignore (Poly_hash.create rng ~d:0 ~p:p_test ~m:10));
+  Alcotest.check_raises "coeff out of field"
+    (Invalid_argument "Poly_hash.of_coeffs: coefficient out of field") (fun () ->
+      ignore (Poly_hash.of_coeffs ~p:97 ~m:10 [| 97 |]))
+
+(* Pairwise independence: for a fixed pair (x, y), over random h the
+   joint distribution of (h(x), h(y)) should be near-uniform on m^2. A
+   chi-square-style max deviation check over a coarse grid. *)
+let test_poly_pairwise_independence () =
+  let m = 4 in
+  let trials = 40_000 in
+  let rng = Rng.create 7 in
+  let counts = Array.make (m * m) 0 in
+  for _ = 1 to trials do
+    let h = Poly_hash.create rng ~d:2 ~p:p_test ~m in
+    let a = Poly_hash.eval h 123 and b = Poly_hash.eval h 9876 in
+    let k = (a * m) + b in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let expected = float_of_int trials /. float_of_int (m * m) in
+  Array.iteri
+    (fun k c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      checkb (Printf.sprintf "cell %d within 8%%" k) true (dev < 0.08))
+    counts
+
+(* Collision probability of the degree-1 family on a fixed pair should
+   be ~1/m (universality). *)
+let test_poly_collision_rate () =
+  let m = 64 in
+  let trials = 60_000 in
+  let rng = Rng.create 8 in
+  let collisions = ref 0 in
+  for _ = 1 to trials do
+    let h = Poly_hash.create rng ~d:2 ~p:p_test ~m in
+    if Poly_hash.eval h 555 = Poly_hash.eval h 77_777 then incr collisions
+  done;
+  let rate = float_of_int !collisions /. float_of_int trials in
+  checkb "collision rate near 1/m" true (rate < 2.5 /. float_of_int m)
+
+(* ------------------------------------------------------------------ *)
+(* Dm_family                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_dm_definition () =
+  let rng = Rng.create 9 in
+  let f = Poly_hash.create rng ~d:3 ~p:p_test ~m:50 in
+  let g = Poly_hash.create rng ~d:3 ~p:p_test ~m:10 in
+  let z = Array.init 10 (fun i -> (i * 7) mod 50) in
+  let h = Dm_family.of_parts ~f ~g ~z in
+  for x = 0 to 3000 do
+    let expected = (Poly_hash.eval f x + z.(Poly_hash.eval g x)) mod 50 in
+    checki "definition 4" expected (Dm_family.eval h x)
+  done
+
+let test_dm_range () =
+  let rng = Rng.create 10 in
+  let h = Dm_family.create rng ~d:3 ~p:p_test ~r:8 ~m:33 in
+  for x = 0 to 3000 do
+    let v = Dm_family.eval h x in
+    checkb "in range" true (v >= 0 && v < 33)
+  done
+
+let test_dm_reduce_commutes () =
+  let rng = Rng.create 11 in
+  let h = Dm_family.create rng ~d:3 ~p:p_test ~r:8 ~m:60 in
+  let h' = Dm_family.reduce h 15 in
+  for x = 0 to 3000 do
+    checki "(h mod 15)" (Dm_family.eval h x mod 15) (Dm_family.eval h' x)
+  done
+
+let test_dm_validation () =
+  let rng = Rng.create 12 in
+  let f = Poly_hash.create rng ~d:3 ~p:p_test ~m:50 in
+  let g = Poly_hash.create rng ~d:3 ~p:p_test ~m:10 in
+  Alcotest.check_raises "wrong z length"
+    (Invalid_argument "Dm_family.of_parts: |z| must equal range of g") (fun () ->
+      ignore (Dm_family.of_parts ~f ~g ~z:(Array.make 9 0)));
+  Alcotest.check_raises "z out of range"
+    (Invalid_argument "Dm_family.of_parts: displacement out of range") (fun () ->
+      ignore (Dm_family.of_parts ~f ~g ~z:(Array.make 10 50)))
+
+(* ------------------------------------------------------------------ *)
+(* Perfect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_perfect_injective () =
+  let rng = Rng.create 13 in
+  for trial = 0 to 50 do
+    let l = 1 + (trial mod 12) in
+    let keys = Rng.sample_distinct rng ~bound:100_000 ~count:l in
+    let h = Perfect.find rng ~p:p_test ~keys in
+    checki "size l^2" (max 1 (l * l)) (Perfect.size h);
+    checkb "injective" true (Perfect.is_perfect_on h keys);
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun x ->
+        let slot = Perfect.eval h x in
+        checkb "slot in range" true (slot >= 0 && slot < Perfect.size h);
+        checkb "distinct slots" false (Hashtbl.mem seen slot);
+        Hashtbl.add seen slot ())
+      keys
+  done
+
+let test_perfect_empty_bucket () =
+  let rng = Rng.create 14 in
+  let h = Perfect.find rng ~p:p_test ~keys:[||] in
+  checki "singleton table" 1 (Perfect.size h)
+
+let test_perfect_multiplier_roundtrip () =
+  let rng = Rng.create 15 in
+  let keys = Rng.sample_distinct rng ~bound:100_000 ~count:7 in
+  let h = Perfect.find rng ~p:p_test ~keys in
+  let h2 = Perfect.of_multiplier ~p:p_test ~size:(Perfect.size h) (Perfect.multiplier h) in
+  Array.iter (fun x -> checki "same slots" (Perfect.eval h x) (Perfect.eval h2 x)) keys
+
+let test_perfect_expected_trials () =
+  (* FKS: at least half the multipliers are perfect, so the mean trial
+     count over many buckets must be well under 3. *)
+  let rng = Rng.create 16 in
+  let total = ref 0 in
+  let buckets = 300 in
+  for _ = 1 to buckets do
+    let l = 2 + Rng.int rng 10 in
+    let keys = Rng.sample_distinct rng ~bound:100_000 ~count:l in
+    let h = Perfect.find rng ~p:p_test ~keys in
+    total := !total + Perfect.trials h
+  done;
+  let mean = float_of_int !total /. float_of_int buckets in
+  checkb (Printf.sprintf "mean trials %.2f < 3" mean) true (mean < 3.0)
+
+(* ------------------------------------------------------------------ *)
+(* Tabulation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Tabulation = Lc_hash.Tabulation
+
+let test_tab_range () =
+  let rng = Rng.create 30 in
+  let h = Tabulation.create rng ~universe_bits:16 ~chunk_bits:8 ~m:37 in
+  checki "two chars" 2 (Tabulation.chars h);
+  for x = 0 to 10_000 do
+    let v = Tabulation.eval h x in
+    checkb "in range" true (v >= 0 && v < 37)
+  done
+
+let test_tab_words_roundtrip () =
+  let rng = Rng.create 31 in
+  let h = Tabulation.create rng ~universe_bits:20 ~chunk_bits:5 ~m:101 in
+  let h2 =
+    Tabulation.of_words ~universe_bits:20 ~chunk_bits:5 ~m:101 (Tabulation.words h)
+  in
+  for x = 0 to 5_000 do
+    checki "same function" (Tabulation.eval h x) (Tabulation.eval h2 x)
+  done
+
+let test_tab_uniformity_chisq () =
+  (* Over random functions, a fixed key's value must be uniform:
+     chi-square over the codomain. *)
+  let m = 16 in
+  let rng = Rng.create 32 in
+  let counts = Array.make m 0 in
+  for _ = 1 to 20_000 do
+    let h = Tabulation.create rng ~universe_bits:12 ~chunk_bits:6 ~m in
+    let v = Tabulation.eval h 1234 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  checkb "uniform per chi-square" true (Lc_analysis.Chisq.test_uniform counts)
+
+let test_tab_rejects_bad_keys () =
+  let rng = Rng.create 33 in
+  let h = Tabulation.create rng ~universe_bits:8 ~chunk_bits:4 ~m:10 in
+  let raised = try ignore (Tabulation.eval h 256); false with Invalid_argument _ -> true in
+  checkb "key too wide" true raised;
+  let raised = try ignore (Tabulation.eval h (-1)); false with Invalid_argument _ -> true in
+  checkb "negative key" true raised
+
+let test_tab_max_load_reasonable () =
+  (* The property the DM dictionary cares about: balls-in-bins
+     concentration. 4096 random keys into 4096 bins: max load far below
+     the sqrt-n of a merely-2-universal worst case. *)
+  let rng = Rng.create 34 in
+  let h = Tabulation.create rng ~universe_bits:20 ~chunk_bits:10 ~m:4096 in
+  let keys = Rng.sample_distinct rng ~bound:(1 lsl 20) ~count:4096 in
+  let loads = Loads.loads ~hash:(Tabulation.eval h) ~buckets:4096 keys in
+  checkb
+    (Printf.sprintf "max load %d <= 12" (Loads.max_load loads))
+    true
+    (Loads.max_load loads <= 12)
+
+(* ------------------------------------------------------------------ *)
+(* Loads                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_loads_basic () =
+  let keys = [| 0; 1; 2; 3; 4; 5 |] in
+  let v = Loads.loads ~hash:(fun x -> x mod 3) ~buckets:3 keys in
+  Alcotest.check (Alcotest.array Alcotest.int) "loads" [| 2; 2; 2 |] v;
+  checki "max" 2 (Loads.max_load v);
+  checki "sum squares" 12 (Loads.sum_squares v);
+  checki "collision pairs" 6 (Loads.collision_pairs v)
+
+let test_loads_sum_identity () =
+  (* The proof of Lemma 9(3): X = sum l^2 - n where X counts ordered
+     collision pairs. *)
+  let rng = Rng.create 17 in
+  let keys = Rng.sample_distinct rng ~bound:10_000 ~count:200 in
+  let v = Loads.loads ~hash:(fun x -> x mod 37) ~buckets:37 keys in
+  checki "identity" (Loads.sum_squares v - 200) (Loads.collision_pairs v)
+
+let test_group_loads () =
+  let loads = [| 1; 2; 3; 4; 5; 6 |] in
+  (* groups of 2: group 0 gets indices 0,2,4; group 1 gets 1,3,5 *)
+  let g = Loads.group_loads ~loads ~groups:2 in
+  Alcotest.check (Alcotest.array Alcotest.int) "groups" [| 9; 12 |] g
+
+let test_bucket_keys () =
+  let keys = [| 10; 11; 12; 13; 14 |] in
+  let groups = Loads.bucket_keys ~hash:(fun x -> x mod 2) ~buckets:2 keys in
+  Alcotest.check (Alcotest.array Alcotest.int) "evens" [| 10; 12; 14 |] groups.(0);
+  Alcotest.check (Alcotest.array Alcotest.int) "odds" [| 11; 13 |] groups.(1)
+
+let test_fks_condition () =
+  checkb "holds" true (Loads.fks_condition ~loads:[| 1; 1; 1; 1 |] ~s:4);
+  checkb "fails" false (Loads.fks_condition ~loads:[| 3; 0 |] ~s:8)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_poly_reduce =
+  QCheck.Test.make ~name:"poly reduce m' | m is pointwise mod" ~count:200
+    QCheck.(triple (int_range 1 20) (int_range 1 10) (int_range 0 50_000))
+    (fun (q, div, x) ->
+      let m = q * div in
+      let rng = Rng.create (m + x) in
+      let h = Poly_hash.create rng ~d:3 ~p:p_test ~m in
+      let h' = Poly_hash.reduce h div in
+      Poly_hash.eval h' x = Poly_hash.eval h x mod div)
+
+let prop_dm_reduce =
+  QCheck.Test.make ~name:"DM reduce m' | m is pointwise mod" ~count:200
+    QCheck.(triple (int_range 1 20) (int_range 1 10) (int_range 0 50_000))
+    (fun (q, div, x) ->
+      let m = q * div in
+      let rng = Rng.create (m + (3 * x)) in
+      let h = Dm_family.create rng ~d:3 ~p:p_test ~r:5 ~m in
+      let h' = Dm_family.reduce h div in
+      Dm_family.eval h' x = Dm_family.eval h x mod div)
+
+let prop_loads_total =
+  QCheck.Test.make ~name:"loads sum to key count" ~count:200
+    QCheck.(pair (int_range 1 64) (list_of_size (Gen.int_range 0 100) (int_range 0 10_000)))
+    (fun (buckets, keys) ->
+      let keys = Array.of_list keys in
+      let v = Loads.loads ~hash:(fun x -> x mod buckets) ~buckets keys in
+      Array.fold_left ( + ) 0 v = Array.length keys)
+
+let prop_perfect_find =
+  QCheck.Test.make ~name:"Perfect.find is injective on its keys" ~count:100
+    QCheck.(int_range 0 14)
+    (fun l ->
+      let rng = Rng.create (l + 991) in
+      let keys = Rng.sample_distinct rng ~bound:99_991 ~count:l in
+      let h = Perfect.find rng ~p:p_test ~keys in
+      Perfect.is_perfect_on h keys)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "lc_hash"
+    [
+      ( "poly_hash",
+        [
+          Alcotest.test_case "range" `Quick test_poly_range;
+          Alcotest.test_case "deterministic" `Quick test_poly_deterministic;
+          Alcotest.test_case "coeffs round-trip" `Quick test_poly_coeffs_roundtrip;
+          Alcotest.test_case "reduce commutes" `Quick test_poly_reduce_commutes;
+          Alcotest.test_case "reduce requires divisor" `Quick test_poly_reduce_requires_divisor;
+          Alcotest.test_case "validation" `Quick test_poly_validation;
+          Alcotest.test_case "pairwise independence" `Slow test_poly_pairwise_independence;
+          Alcotest.test_case "collision rate" `Slow test_poly_collision_rate;
+        ] );
+      ( "dm_family",
+        [
+          Alcotest.test_case "definition 4" `Quick test_dm_definition;
+          Alcotest.test_case "range" `Quick test_dm_range;
+          Alcotest.test_case "reduce commutes" `Quick test_dm_reduce_commutes;
+          Alcotest.test_case "validation" `Quick test_dm_validation;
+        ] );
+      ( "perfect",
+        [
+          Alcotest.test_case "injective" `Quick test_perfect_injective;
+          Alcotest.test_case "empty bucket" `Quick test_perfect_empty_bucket;
+          Alcotest.test_case "multiplier round-trip" `Quick test_perfect_multiplier_roundtrip;
+          Alcotest.test_case "expected trials" `Quick test_perfect_expected_trials;
+        ] );
+      ( "tabulation",
+        [
+          Alcotest.test_case "range" `Quick test_tab_range;
+          Alcotest.test_case "words round-trip" `Quick test_tab_words_roundtrip;
+          Alcotest.test_case "uniformity (chi-square)" `Slow test_tab_uniformity_chisq;
+          Alcotest.test_case "rejects bad keys" `Quick test_tab_rejects_bad_keys;
+          Alcotest.test_case "max load concentration" `Quick test_tab_max_load_reasonable;
+        ] );
+      ( "loads",
+        [
+          Alcotest.test_case "basic" `Quick test_loads_basic;
+          Alcotest.test_case "collision identity" `Quick test_loads_sum_identity;
+          Alcotest.test_case "group loads" `Quick test_group_loads;
+          Alcotest.test_case "bucket keys" `Quick test_bucket_keys;
+          Alcotest.test_case "fks condition" `Quick test_fks_condition;
+        ] );
+      qsuite "properties" [ prop_poly_reduce; prop_dm_reduce; prop_loads_total; prop_perfect_find ];
+    ]

@@ -1,0 +1,649 @@
+(* Tests for the Section 3 machinery: problems, VC-dimension, probe
+   specs, Lemma 16 (including the erratum), the adversary, the
+   product-space probe simulation, the coupling, the game and the
+   recurrence. *)
+
+module Rng = Lc_prim.Rng
+module Lb = Lc_lowerbound
+module Problem = Lb.Problem
+module Vc_dim = Lb.Vc_dim
+module Probe_spec = Lb.Probe_spec
+module Lemma16 = Lb.Lemma16
+module Adversary = Lb.Adversary
+module Product_probe = Lb.Product_probe
+module Coupling = Lb.Coupling
+module Game = Lb.Game
+module Recursion = Lb.Recursion
+module Keyset = Lc_workload.Keyset
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Problem                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_membership_eval () =
+  let p = Problem.membership ~universe:5 ~k:2 in
+  checki "queries" 5 (Problem.queries p);
+  checki "datasets" 10 (Problem.datasets p);
+  (* dataset 0 is {0,1} in lexicographic order *)
+  checkb "0 in {0,1}" true (Problem.eval p 0 0);
+  checkb "1 in {0,1}" true (Problem.eval p 1 0);
+  checkb "2 not in {0,1}" false (Problem.eval p 2 0)
+
+let test_subset_ranking_bijective () =
+  let universe = 7 and k = 3 in
+  let seen = Hashtbl.create 64 in
+  for rank = 0 to 34 do
+    let s = Problem.subset_of_rank ~universe ~k rank in
+    checki "size" k (Array.length s);
+    let key = Array.to_list s in
+    checkb "sorted" true (List.sort compare key = key);
+    checkb "fresh" false (Hashtbl.mem seen key);
+    Hashtbl.add seen key ()
+  done;
+  checki "all 35 subsets" 35 (Hashtbl.length seen)
+
+let test_parity_eval () =
+  let p = Problem.parity ~universe:3 in
+  checki "queries" 8 (Problem.queries p);
+  checkb "parity(1 & 1)" true (Problem.eval p 1 1);
+  checkb "parity(1 & 2)" false (Problem.eval p 1 2);
+  checkb "parity(3 & 3)" false (Problem.eval p 3 3);
+  checkb "parity(3 & 1)" true (Problem.eval p 3 1)
+
+(* ------------------------------------------------------------------ *)
+(* Vc_dim                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_vc_membership () =
+  List.iter
+    (fun (u, k) ->
+      let p = Problem.membership ~universe:u ~k in
+      checki (Printf.sprintf "membership(%d, %d)" u k) k (Vc_dim.vc_dim p))
+    [ (4, 1); (5, 2); (6, 3); (7, 2) ]
+
+let test_vc_parity () =
+  List.iter
+    (fun u ->
+      let p = Problem.parity ~universe:u in
+      checki (Printf.sprintf "parity(%d)" u) u (Vc_dim.vc_dim p))
+    [ 1; 2; 3; 4 ]
+
+let test_vc_constant_problem () =
+  let p = Problem.make ~queries:4 ~datasets:3 ~f:(fun _ _ -> true) in
+  checki "constant problem has VC-dim 0" 0 (Vc_dim.vc_dim p)
+
+let test_shattered_witness () =
+  let p = Problem.membership ~universe:6 ~k:2 in
+  (match Vc_dim.find_shattered p ~size:2 with
+  | None -> Alcotest.fail "expected a shattered pair"
+  | Some w ->
+    checki "size" 2 (Array.length w);
+    checkb "is shattered" true (Vc_dim.is_shattered p w));
+  checkb "no shattered triple" true (Vc_dim.find_shattered p ~size:3 = None)
+
+let test_shatter_patterns_count () =
+  let p = Problem.membership ~universe:5 ~k:1 in
+  (* Patterns on two queries: {} impossible (every dataset has one
+     element), so we see 00 (dataset elsewhere), 10, 01 — never 11. *)
+  checki "3 patterns" 3 (Vc_dim.shatter_patterns p [| 0; 1 |])
+
+(* ------------------------------------------------------------------ *)
+(* Probe_spec                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_matrix_basics () =
+  let p = Probe_spec.make [| [| 0.5; 0.5 |]; [| 1.0; 0.0 |] |] in
+  checki "rows" 2 (Probe_spec.rows p);
+  checki "cols" 2 (Probe_spec.cols p);
+  checkf "get" 0.5 (Probe_spec.get p 0 1);
+  checkf "row sum" 1.0 (Probe_spec.row_sum p 0);
+  checkf "row max" 1.0 (Probe_spec.row_max p 1);
+  checkf "col max sum" 1.5 (Probe_spec.col_max_sum p);
+  checkb "row stochastic" true (Probe_spec.row_stochastic_ok p)
+
+let test_spec_matrix_validation () =
+  let expect_invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  checkb "negative entry" true
+    (expect_invalid (fun () -> Probe_spec.make [| [| -0.1 |] |]));
+  checkb "ragged" true (expect_invalid (fun () -> Probe_spec.make [| [| 0.1 |]; [| 0.1; 0.2 |] |]))
+
+let test_spec_of_instance () =
+  let rng = Rng.create 1 in
+  let universe = 1 lsl 16 in
+  let keys = Keyset.random rng ~universe ~n:32 in
+  let dict = Lc_core.Dictionary.build rng ~universe ~keys in
+  let inst = Lc_core.Dictionary.instance dict in
+  for step = 0 to inst.max_probes - 1 do
+    let p = Probe_spec.of_instance inst ~queries:keys ~step in
+    checkb (Printf.sprintf "step %d row-stochastic" step) true (Probe_spec.row_stochastic_ok p)
+  done;
+  (* Beyond the plan: all-zero rows. *)
+  let p = Probe_spec.of_instance inst ~queries:keys ~step:inst.max_probes in
+  checkf "zero past the plan" 0.0 (Probe_spec.col_max_sum p)
+
+let test_spec_contention_ok () =
+  let p = Probe_spec.make [| [| 0.5; 0.5 |]; [| 0.1; 0.0 |] |] in
+  let q = [| 0.5; 0.5 |] in
+  checkb "phi = 0.25 ok" true (Probe_spec.contention_ok p ~q ~phi:0.25);
+  checkb "phi = 0.2 fails" false (Probe_spec.contention_ok p ~q ~phi:0.2)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 16                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_lemma16_simple () =
+  let p = Probe_spec.make [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let r = Lemma16.largest_r p ~budget:2 in
+  checki "both rows affordable" 2 (Array.length r);
+  checkb "strict form holds here" true (Lemma16.holds_strict p ~budget:2)
+
+let test_lemma16_erratum_counterexample () =
+  (* Ten rows of max 0.3 with budget 2: sum_j max_i = 0.6 but R is
+     empty — the literal lemma fails, the +1 correction holds. *)
+  let rows = Array.make 10 [| 0.3; 0.3 |] in
+  let p = Probe_spec.make rows in
+  checki "R empty" 0 (Array.length (Lemma16.largest_r p ~budget:2));
+  checkb "literal form fails" false (Lemma16.holds_strict p ~budget:2);
+  checkb "corrected form holds" true (Lemma16.holds p ~budget:2);
+  checkb "fractional bound holds" true (Lemma16.holds_fractional p ~budget:2);
+  checkb "fractional optimum 0.6" true
+    (Float.abs (Lemma16.fractional_bound p ~budget:2 -. 0.6) < 1e-9)
+
+let test_lemma16_zero_rows_excluded () =
+  let p = Probe_spec.make [| [| 0.0; 0.0 |]; [| 0.5; 0.5 |] |] in
+  let r = Lemma16.largest_r p ~budget:2 in
+  checki "only the nonzero row" 1 (Array.length r);
+  checki "row index" 1 r.(0)
+
+let prop_lemma16_sandwich =
+  QCheck.Test.make ~name:"fractional bound sandwiched in [|R|, |R|+1)" ~count:200
+    QCheck.(triple (int_range 2 25) (int_range 4 50) (int_range 1 8))
+    (fun (rows, cols, support) ->
+      let support = min support cols in
+      let rng = Rng.create ((rows * 211) + cols) in
+      let p = Probe_spec.random rng ~rows ~cols ~support in
+      let r = float_of_int (Array.length (Lemma16.largest_r p ~budget:cols)) in
+      let frac = Lemma16.fractional_bound p ~budget:cols in
+      frac >= r -. 1e-9 && frac < r +. 1.0 +. 1e-9)
+
+let prop_lemma16_corrected =
+  QCheck.Test.make ~name:"Lemma 16 (corrected) on random specs" ~count:300
+    QCheck.(triple (int_range 2 25) (int_range 4 50) (int_range 1 8))
+    (fun (rows, cols, support) ->
+      let support = min support cols in
+      let rng = Rng.create ((rows * 1000) + cols + support) in
+      let p = Probe_spec.random rng ~rows ~cols ~support in
+      Lemma16.holds p ~budget:cols && Lemma16.holds_fractional p ~budget:cols)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_adversary_builds_and_violates () =
+  (* A matrix whose rows each contain many small entries: the lemma's
+     hypothesis holds and the built q must violate every row. *)
+  let rng = Rng.create 9 in
+  let big_n = 8 and n = 400 in
+  let m =
+    Array.init big_n (fun u ->
+        Array.init n (fun i -> if (i + u) mod 3 = 0 then 0.0001 else 10.0))
+  in
+  let out = Adversary.build rng ~m ~delta:1.0 ~epsilon:0.5 in
+  checkb "mass epsilon" true
+    (Float.abs (Array.fold_left ( +. ) 0.0 out.q -. 0.5) < 1e-9);
+  checkb "violates all rows" true (Adversary.violates_all ~q:out.q ~m);
+  checkb "r sane" true (out.r >= 2 && out.r <= n)
+
+let test_adversary_rejects_bad_hypothesis () =
+  (* All-large matrix: no r entries sum below delta. *)
+  let rng = Rng.create 10 in
+  let m = Array.init 4 (fun _ -> Array.make 50 10.0) in
+  let raised =
+    try
+      ignore (Adversary.build rng ~m ~delta:0.001 ~epsilon:0.5);
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "hypothesis enforced" true raised
+
+let test_violates_all_checker () =
+  let m = [| [| 0.1; 5.0 |]; [| 5.0; 0.1 |] |] in
+  checkb "violated" true (Adversary.violates_all ~q:[| 0.2; 0.2 |] ~m);
+  checkb "not violated" false (Adversary.violates_all ~q:[| 0.05; 0.05 |] ~m)
+
+(* ------------------------------------------------------------------ *)
+(* Product_probe (Lemma 19)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_product_probe_success_rate () =
+  let rng = Rng.create 11 in
+  let p = [| 0.1; 0.2; 0.3; 0.4 |] in
+  let trials = 30_000 in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    match Product_probe.simulate rng ~p with Probed _ -> incr successes | Failed -> ()
+  done;
+  let rate = float_of_int !successes /. float_of_int trials in
+  checkb
+    (Printf.sprintf "success rate %.3f >= 1/4" rate)
+    true
+    (rate >= Product_probe.success_probability_lower_bound -. 0.02)
+
+let test_product_probe_conditional_law () =
+  (* Conditioned on success, the simulated probe must follow p. *)
+  let rng = Rng.create 12 in
+  let p = [| 0.5; 0.25; 0.25 |] in
+  let counts = Array.make 3 0 in
+  let successes = ref 0 in
+  for _ = 1 to 60_000 do
+    match Product_probe.simulate rng ~p with
+    | Probed i ->
+      counts.(i) <- counts.(i) + 1;
+      incr successes
+    | Failed -> ()
+  done;
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int !successes in
+      checkb
+        (Printf.sprintf "cell %d freq %.3f ~ %.3f" i freq p.(i))
+        true
+        (Float.abs (freq -. p.(i)) < 0.02))
+    counts
+
+let test_product_probe_point_mass () =
+  (* p concentrated on one cell (the Case 2 branch). *)
+  let rng = Rng.create 13 in
+  let p = [| 0.9; 0.1 |] in
+  let trials = 20_000 in
+  let ok = ref 0 and zero = ref 0 in
+  for _ = 1 to trials do
+    match Product_probe.simulate rng ~p with
+    | Probed 0 -> incr zero; incr ok
+    | Probed _ -> incr ok
+    | Failed -> ()
+  done;
+  let cond = float_of_int !zero /. float_of_int !ok in
+  checkb "conditional ~0.9" true (Float.abs (cond -. 0.9) < 0.02);
+  checkb "success >= 1/4" true
+    (float_of_int !ok /. float_of_int trials >= 0.23)
+
+let test_product_probe_validates_input () =
+  let rng = Rng.create 14 in
+  let raised =
+    try
+      ignore (Product_probe.simulate rng ~p:[| 0.4; 0.4 |]);
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "rejects non-distribution" true raised
+
+let test_inclusion_probability_capped () =
+  checkf "capped at 1/2" 0.5 (Product_probe.inclusion_probability ~p:[| 0.9; 0.1 |] 0);
+  checkf "small p kept" 0.1 (Product_probe.inclusion_probability ~p:[| 0.9; 0.1 |] 1)
+
+(* ------------------------------------------------------------------ *)
+(* Coupling (Lemma 21)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_coupling_marginals () =
+  let rng = Rng.create 15 in
+  let marginals = Probe_spec.make [| [| 0.6; 0.1; 0.0 |]; [| 0.3; 0.4; 0.2 |] |] in
+  let trials = 40_000 in
+  let counts = Array.make_matrix 2 3 0 in
+  for _ = 1 to trials do
+    let s = Coupling.draw rng ~marginals in
+    Array.iteri
+      (fun i set -> Array.iter (fun j -> counts.(i).(j) <- counts.(i).(j) + 1) set)
+      s.sets
+  done;
+  for i = 0 to 1 do
+    for j = 0 to 2 do
+      let freq = float_of_int counts.(i).(j) /. float_of_int trials in
+      checkb
+        (Printf.sprintf "marginal (%d, %d): %.3f" i j freq)
+        true
+        (Float.abs (freq -. Probe_spec.get marginals i j) < 0.015)
+    done
+  done
+
+let test_coupling_union_bound () =
+  let rng = Rng.create 16 in
+  let marginals = Probe_spec.make [| [| 0.6; 0.1; 0.0 |]; [| 0.3; 0.4; 0.2 |] |] in
+  let trials = 40_000 in
+  let acc = ref 0 in
+  for _ = 1 to trials do
+    acc := !acc + Coupling.union_size (Coupling.draw rng ~marginals)
+  done;
+  let mean = float_of_int !acc /. float_of_int trials in
+  let bound = Coupling.expected_union_bound marginals in
+  checkb (Printf.sprintf "E|union| = %.3f <= %.3f" mean bound) true (mean <= bound +. 0.02)
+
+let test_coupling_union_subset_of_base () =
+  let rng = Rng.create 17 in
+  let marginals = Probe_spec.make [| [| 0.5; 0.5; 0.5; 0.1 |]; [| 0.2; 0.5; 0.1; 0.1 |] |] in
+  for _ = 1 to 500 do
+    let s = Coupling.draw rng ~marginals in
+    let base = Array.to_list s.base in
+    Array.iter
+      (fun set -> Array.iter (fun j -> checkb "in base" true (List.mem j base)) set)
+      s.sets
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Simulation (Lemmas 19/20 end to end)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let small_dict_instance seed n =
+  let rng = Rng.create seed in
+  let universe = 1 lsl 16 in
+  let keys = Keyset.random rng ~universe ~n in
+  (rng, keys, Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys))
+
+let test_simulation_step_success_floor () =
+  let rng, keys, inst = small_dict_instance 30 48 in
+  let stats = Lb.Simulation.step_success rng inst ~queries:keys ~trials:2000 in
+  Array.iter
+    (fun (st : Lb.Simulation.step_stats) ->
+      checkb
+        (Printf.sprintf "step %d rate %.3f >= 1/4" st.step st.success_rate)
+        true
+        (st.success_rate >= 0.25 -. 0.04))
+    stats
+
+let test_simulation_completion_monotone () =
+  let rng, keys, inst = small_dict_instance 31 48 in
+  let curve = Lb.Simulation.completion_curve rng inst ~queries:keys ~trials:2000 in
+  for i = 1 to Array.length curve - 1 do
+    checkb "completion non-increasing (within noise)" true
+      (curve.(i).completion_rate <= curve.(i - 1).completion_rate +. 0.03)
+  done;
+  Array.iter
+    (fun (c : Lb.Simulation.completion) ->
+      checkb "above the 4^-t floor" true (c.completion_rate >= c.lemma_floor -. 0.02))
+    curve
+
+let test_simulation_parallel_round_bounds () =
+  let rng, keys, inst = small_dict_instance 32 48 in
+  let n = float_of_int (Array.length keys) in
+  for step = 0 to inst.max_probes - 1 do
+    let r = Lb.Simulation.parallel_round rng inst ~queries:keys ~step ~trials:30 in
+    checkb
+      (Printf.sprintf "step %d distinct cells %.1f within bound %.1f" step r.mean_distinct_cells
+         r.info_bound)
+      true
+      (r.mean_distinct_cells
+      <= r.info_bound +. (3.0 *. Float.sqrt (r.info_bound /. 30.0)) +. 0.5);
+    checkb "survivors in a sane band" true
+      (r.mean_successes >= 0.15 *. n && r.mean_successes <= 0.85 *. n)
+  done
+
+let test_sparse_matches_dense () =
+  (* The dense entry point is a wrapper over the sparse one; check the
+     conditional law through the sparse API directly. *)
+  let rng = Rng.create 33 in
+  let support = [| (3, 0.5); (9, 0.25); (11, 0.25) |] in
+  let counts = Hashtbl.create 3 in
+  let successes = ref 0 in
+  for _ = 1 to 40_000 do
+    match Product_probe.simulate_sparse rng ~support with
+    | Product_probe.Probed i ->
+      incr successes;
+      Hashtbl.replace counts i (1 + try Hashtbl.find counts i with Not_found -> 0)
+    | Product_probe.Failed -> ()
+  done;
+  Array.iter
+    (fun (i, pi) ->
+      let freq = float_of_int (Hashtbl.find counts i) /. float_of_int !successes in
+      checkb
+        (Printf.sprintf "cell %d freq %.3f ~ %.3f" i freq pi)
+        true
+        (Float.abs (freq -. pi) < 0.02))
+    support
+
+(* ------------------------------------------------------------------ *)
+(* Game                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_game_constraints_hold () =
+  let rng = Rng.create 18 in
+  let universe = 1 lsl 16 in
+  let keys = Keyset.random rng ~universe ~n:48 in
+  let dict = Lc_core.Dictionary.build rng ~universe ~keys in
+  let inst = Lc_core.Dictionary.instance dict in
+  let n = Array.length keys in
+  let q = Array.make n (1.0 /. float_of_int n) in
+  let c =
+    Lc_dict.Instance.contention_exact inst (Lc_cellprobe.Qdist.uniform ~name:"pos" keys)
+  in
+  let game =
+    Game.play rng inst ~queries:keys ~q ~phi:c.max_step
+      ~bits:(Lc_cellprobe.Table.bits inst.table) ~rounds:inst.max_probes ~samples:10
+  in
+  checki "one round per probe" inst.max_probes (Array.length game.rounds);
+  Array.iter
+    (fun (r : Game.round) ->
+      checkb "constraint (1)" true r.row_stochastic;
+      checkb "constraint (2)" true r.contention_ok;
+      checkb "info bound nonneg" true (r.info_bound_bits >= 0.0))
+    game.rounds;
+  checkb "total >= required (trivially here)" true
+    (game.total_info_bits >= game.required_bits)
+
+let test_game_info_bounded_by_bn () =
+  (* No round can deliver more than b * n bits (n queries, one cell each). *)
+  let rng = Rng.create 19 in
+  let universe = 1 lsl 16 in
+  let keys = Keyset.random rng ~universe ~n:32 in
+  let dict = Lc_core.Dictionary.build rng ~universe ~keys in
+  let inst = Lc_core.Dictionary.instance dict in
+  let q = Array.make 32 (1.0 /. 32.0) in
+  let game =
+    Game.play rng inst ~queries:keys ~q ~phi:1.0 ~bits:(Lc_cellprobe.Table.bits inst.table)
+      ~rounds:inst.max_probes ~samples:5
+  in
+  let b = float_of_int (Lc_cellprobe.Table.bits inst.table) in
+  Array.iter
+    (fun (r : Game.round) -> checkb "<= b*n" true (r.info_bound_bits <= (b *. 32.0) +. 1e-6))
+    game.rounds
+
+let test_adaptive_kills_deterministic_index () =
+  (* Binary search: every probe deterministic, so every round is
+     attackable and the piled-up adversary mass kills them. *)
+  let rng = Rng.create 20 in
+  let universe = 1 lsl 16 in
+  let keys = Keyset.random rng ~universe ~n:64 in
+  let inst = Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys) in
+  let phi = 0.05 in
+  let game =
+    Game.play_adaptive rng inst ~queries:keys ~phi
+      ~bits:(Lc_cellprobe.Table.bits inst.table) ~rounds:inst.max_probes
+  in
+  checkb "every round attackable" true
+    (Array.for_all (fun (r : Game.adaptive_round) -> r.a_good) game.a_rounds);
+  checkb "most rounds killed" true (game.rounds_killed >= Array.length game.a_rounds - 1)
+
+let test_adaptive_spares_replicated_rounds () =
+  (* The low-contention dictionary's coefficient rounds spread over all
+     s cells; even a point mass cannot push them past phi when
+     phi >= 1/s (per-row table width). *)
+  let rng = Rng.create 21 in
+  let universe = 1 lsl 16 in
+  let keys = Keyset.random rng ~universe ~n:64 in
+  let dict = Lc_core.Dictionary.build rng ~universe ~keys in
+  let inst = Lc_core.Dictionary.instance dict in
+  let p = Lc_core.Dictionary.params dict in
+  let phi = 2.0 /. float_of_int p.s in
+  let game =
+    Game.play_adaptive rng inst ~queries:keys ~phi
+      ~bits:(Lc_cellprobe.Table.bits inst.table) ~rounds:inst.max_probes
+  in
+  (* The first 2d rounds are full-row uniform: never good, never killed. *)
+  for step = 0 to (2 * p.d) - 1 do
+    checkb
+      (Printf.sprintf "coefficient round %d safe" step)
+      false game.a_rounds.(step).a_good
+  done;
+  checkb "but later rounds are attackable" true
+    (Array.exists (fun (r : Game.adaptive_round) -> r.a_good) game.a_rounds)
+
+let test_adaptive_mass_bounded () =
+  let rng = Rng.create 22 in
+  let universe = 1 lsl 16 in
+  let keys = Keyset.random rng ~universe ~n:32 in
+  let inst = Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys) in
+  let game =
+    Game.play_adaptive rng inst ~queries:keys ~phi:0.1
+      ~bits:(Lc_cellprobe.Table.bits inst.table) ~rounds:inst.max_probes
+  in
+  let mass = Array.fold_left ( +. ) 0.0 game.final_q in
+  checkb "stochastic" true (mass <= 1.0 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Recursion                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_recursion_growth () =
+  let t8 = Recursion.min_rounds ~b:8.0 ~phi_s:64.0 ~log2_n:8.0 in
+  let t64 = Recursion.min_rounds ~b:64.0 ~phi_s:4096.0 ~log2_n:64.0 in
+  let t1024 = Recursion.min_rounds ~b:1024.0 ~phi_s:(1024.0 *. 1024.0) ~log2_n:1024.0 in
+  checkb "monotone in n" true (t8 <= t64 && t64 <= t1024);
+  checkb "grows" true (t1024 > t8)
+
+let test_recursion_series_shape () =
+  let s = Recursion.series ~b:16.0 ~phi_s:256.0 ~log2_n:16.0 ~tstar:5 in
+  checki "5 bounds" 5 (Array.length s.log2_bounds);
+  (* E[C_t] increases toward the fixed point a. *)
+  for t = 1 to 4 do
+    checkb "monotone bounds" true (s.log2_bounds.(t) >= s.log2_bounds.(t - 1) -. 1e-9)
+  done
+
+let test_recursion_closed_form_close () =
+  let b = 16.0 and phi_s = 256.0 and log2_n = 16.0 in
+  let tstar = 6 in
+  let s = Recursion.series ~b ~phi_s ~log2_n ~tstar in
+  let cf = Recursion.closed_form_log2_bound ~b ~phi_s ~log2_n ~tstar in
+  (* The closed form upper-bounds the recurrence sum (it relaxes each
+     term); both should be within a couple of doublings. *)
+  checkb "closed form >= series" true (cf >= s.log2_total -. 1e-6);
+  checkb "same ballpark" true (cf -. s.log2_total < 2.0)
+
+let test_recursion_loglog_law () =
+  (* t* should grow roughly linearly in log log n. *)
+  let t_at log2n =
+    let b = log2n and phi_s = log2n *. log2n in
+    float_of_int (Recursion.min_rounds ~b ~phi_s ~log2_n:log2n)
+  in
+  let ratio log2n = t_at log2n /. (Float.log log2n /. Float.log 2.0) in
+  let r1 = ratio 64.0 and r2 = ratio 4096.0 in
+  checkb
+    (Printf.sprintf "ratios stable: %.2f vs %.2f" r1 r2)
+    true
+    (r1 > 0.2 && r1 < 1.2 && r2 > 0.2 && r2 < 1.2)
+
+let test_recursion_feasibility_monotone () =
+  (* Feasibility is monotone in tstar (required shrinks 4x per round,
+     the bound only grows): once feasible, always feasible. *)
+  let b = 32.0 and phi_s = 1024.0 and log2_n = 32.0 in
+  let tmin = Recursion.min_rounds ~b ~phi_s ~log2_n in
+  for t = tmin to tmin + 6 do
+    checkb
+      (Printf.sprintf "feasible at %d" t)
+      true
+      (Recursion.series ~b ~phi_s ~log2_n ~tstar:t).feasible
+  done;
+  for t = 1 to tmin - 1 do
+    checkb
+      (Printf.sprintf "infeasible at %d" t)
+      false
+      (Recursion.series ~b ~phi_s ~log2_n ~tstar:t).feasible
+  done
+
+let test_recursion_validation () =
+  let raised = try ignore (Recursion.series ~b:8.0 ~phi_s:1.0 ~log2_n:8.0 ~tstar:0); false
+    with Invalid_argument _ -> true in
+  checkb "tstar >= 1" true raised
+
+let () =
+  Alcotest.run "lc_lowerbound"
+    [
+      ( "problem",
+        [
+          Alcotest.test_case "membership eval" `Quick test_membership_eval;
+          Alcotest.test_case "subset ranking bijective" `Quick test_subset_ranking_bijective;
+          Alcotest.test_case "parity eval" `Quick test_parity_eval;
+        ] );
+      ( "vc_dim",
+        [
+          Alcotest.test_case "membership = k" `Quick test_vc_membership;
+          Alcotest.test_case "parity = universe" `Quick test_vc_parity;
+          Alcotest.test_case "constant problem" `Quick test_vc_constant_problem;
+          Alcotest.test_case "shattered witness" `Quick test_shattered_witness;
+          Alcotest.test_case "pattern counting" `Quick test_shatter_patterns_count;
+        ] );
+      ( "probe_spec",
+        [
+          Alcotest.test_case "basics" `Quick test_spec_matrix_basics;
+          Alcotest.test_case "validation" `Quick test_spec_matrix_validation;
+          Alcotest.test_case "of_instance" `Quick test_spec_of_instance;
+          Alcotest.test_case "contention_ok" `Quick test_spec_contention_ok;
+        ] );
+      ( "lemma16",
+        [
+          Alcotest.test_case "simple" `Quick test_lemma16_simple;
+          Alcotest.test_case "erratum counterexample" `Quick test_lemma16_erratum_counterexample;
+          Alcotest.test_case "zero rows excluded" `Quick test_lemma16_zero_rows_excluded;
+          QCheck_alcotest.to_alcotest ~long:false prop_lemma16_corrected;
+          QCheck_alcotest.to_alcotest ~long:false prop_lemma16_sandwich;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "builds and violates" `Quick test_adversary_builds_and_violates;
+          Alcotest.test_case "hypothesis enforced" `Quick test_adversary_rejects_bad_hypothesis;
+          Alcotest.test_case "violates_all checker" `Quick test_violates_all_checker;
+        ] );
+      ( "product_probe",
+        [
+          Alcotest.test_case "success rate >= 1/4" `Slow test_product_probe_success_rate;
+          Alcotest.test_case "conditional law" `Slow test_product_probe_conditional_law;
+          Alcotest.test_case "point mass case" `Slow test_product_probe_point_mass;
+          Alcotest.test_case "validates input" `Quick test_product_probe_validates_input;
+          Alcotest.test_case "inclusion capped" `Quick test_inclusion_probability_capped;
+        ] );
+      ( "coupling",
+        [
+          Alcotest.test_case "marginals preserved" `Slow test_coupling_marginals;
+          Alcotest.test_case "union bound" `Slow test_coupling_union_bound;
+          Alcotest.test_case "union inside base" `Quick test_coupling_union_subset_of_base;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "per-step success floor" `Slow test_simulation_step_success_floor;
+          Alcotest.test_case "completion curve" `Slow test_simulation_completion_monotone;
+          Alcotest.test_case "parallel round bounds" `Quick test_simulation_parallel_round_bounds;
+          Alcotest.test_case "sparse conditional law" `Slow test_sparse_matches_dense;
+        ] );
+      ( "game",
+        [
+          Alcotest.test_case "constraints hold" `Quick test_game_constraints_hold;
+          Alcotest.test_case "info <= b n" `Quick test_game_info_bounded_by_bn;
+          Alcotest.test_case "adaptive kills deterministic index" `Quick
+            test_adaptive_kills_deterministic_index;
+          Alcotest.test_case "adaptive spares replicated rounds" `Quick
+            test_adaptive_spares_replicated_rounds;
+          Alcotest.test_case "adaptive mass bounded" `Quick test_adaptive_mass_bounded;
+        ] );
+      ( "recursion",
+        [
+          Alcotest.test_case "growth" `Quick test_recursion_growth;
+          Alcotest.test_case "series shape" `Quick test_recursion_series_shape;
+          Alcotest.test_case "closed form" `Quick test_recursion_closed_form_close;
+          Alcotest.test_case "loglog law" `Quick test_recursion_loglog_law;
+          Alcotest.test_case "feasibility monotone" `Quick test_recursion_feasibility_monotone;
+          Alcotest.test_case "validation" `Quick test_recursion_validation;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the workload generators. *)
+
+module Rng = Lc_prim.Rng
+module Keyset = Lc_workload.Keyset
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let universe = 100_000
+
+let all_distinct a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  let ok = ref true in
+  for i = 1 to Array.length s - 1 do
+    if s.(i) = s.(i - 1) then ok := false
+  done;
+  !ok
+
+let in_universe a = Array.for_all (fun x -> x >= 0 && x < universe) a
+
+let test_random () =
+  let rng = Rng.create 1 in
+  let keys = Keyset.random rng ~universe ~n:500 in
+  checki "count" 500 (Array.length keys);
+  checkb "distinct" true (all_distinct keys);
+  checkb "in universe" true (in_universe keys)
+
+let test_dense () =
+  let keys = Keyset.dense ~universe ~n:100 in
+  Alcotest.check (Alcotest.array Alcotest.int) "interval" (Array.init 100 Fun.id) keys;
+  Alcotest.check_raises "too large" (Invalid_argument "Keyset.dense: n > universe") (fun () ->
+      ignore (Keyset.dense ~universe:10 ~n:11))
+
+let test_clustered () =
+  let rng = Rng.create 2 in
+  let keys = Keyset.clustered rng ~universe ~n:100 ~clusters:5 in
+  checki "count" 100 (Array.length keys);
+  checkb "distinct" true (all_distinct keys);
+  checkb "in universe" true (in_universe keys);
+  (* 5 clusters of consecutive keys: sorting them yields at most 5 gaps. *)
+  let s = Array.copy keys in
+  Array.sort compare s;
+  let gaps = ref 0 in
+  for i = 1 to 99 do
+    if s.(i) <> s.(i - 1) + 1 then incr gaps
+  done;
+  checkb "at most 4 internal gaps" true (!gaps <= 4)
+
+let test_arithmetic () =
+  let keys = Keyset.arithmetic ~universe ~n:10 ~stride:7 in
+  Alcotest.check (Alcotest.array Alcotest.int) "progression"
+    [| 0; 7; 14; 21; 28; 35; 42; 49; 56; 63 |] keys;
+  Alcotest.check_raises "escapes universe"
+    (Invalid_argument "Keyset.arithmetic: progression leaves universe") (fun () ->
+      ignore (Keyset.arithmetic ~universe:50 ~n:10 ~stride:7))
+
+let test_negatives () =
+  let rng = Rng.create 3 in
+  let keys = Keyset.random rng ~universe ~n:200 in
+  let negs = Keyset.negatives rng ~universe ~keys ~count:300 in
+  checki "count" 300 (Array.length negs);
+  checkb "distinct" true (all_distinct negs);
+  checkb "disjoint from keys" true
+    (Array.for_all (fun x -> not (Array.mem x keys)) negs)
+
+(* ------------------------------------------------------------------ *)
+(* Opstream                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Opstream = Lc_workload.Opstream
+
+let test_opstream_mix () =
+  let rng = Rng.create 10 in
+  let ops = Opstream.generate rng ~universe ~length:10_000 ~working_set:200 in
+  checki "length" 10_000 (Array.length ops);
+  let ins = ref 0 and del = ref 0 and qry = ref 0 in
+  Array.iter
+    (fun (op : Opstream.op) ->
+      match op with
+      | Insert _ -> incr ins
+      | Delete _ -> incr del
+      | Query _ -> incr qry)
+    ops;
+  let frac c = float_of_int !c /. 10_000.0 in
+  checkb "insert fraction ~0.4" true (Float.abs (frac ins -. 0.4) < 0.03);
+  checkb "delete fraction ~0.1" true (Float.abs (frac del -. 0.1) < 0.03);
+  checkb "query fraction ~0.5" true (Float.abs (frac qry -. 0.5) < 0.03)
+
+let test_opstream_working_set () =
+  let rng = Rng.create 11 in
+  let ws = 50 in
+  let ops = Opstream.generate rng ~universe ~length:5_000 ~working_set:ws in
+  let keys = Hashtbl.create 64 in
+  Array.iter
+    (fun (op : Opstream.op) ->
+      let x = match op with Insert x | Delete x | Query x -> x in
+      Hashtbl.replace keys x ())
+    ops;
+  checkb "at most ws distinct keys" true (Hashtbl.length keys <= ws)
+
+let test_opstream_oracle_consistency () =
+  (* Playing the stream against the dynamic dictionary must match the
+     model-set oracle on every query. *)
+  let rng = Rng.create 12 in
+  let ops = Opstream.generate rng ~universe ~length:2_000 ~working_set:100 in
+  let expected = Opstream.replay_oracle ops in
+  let t = Lc_dynamic.Dynamic.create (Rng.create 13) ~universe () in
+  let qrng = Rng.create 14 in
+  Array.iteri
+    (fun i (op : Opstream.op) ->
+      match op with
+      | Insert x -> Lc_dynamic.Dynamic.insert t x
+      | Delete x -> Lc_dynamic.Dynamic.delete t x
+      | Query x ->
+        checkb
+          (Printf.sprintf "op %d: query %d" i x)
+          expected.(i)
+          (Lc_dynamic.Dynamic.mem t qrng x))
+    ops;
+  match Lc_dynamic.Dynamic.check t qrng with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_opstream_apply_counters () =
+  let rng = Rng.create 15 in
+  let ops = Opstream.generate rng ~universe ~length:500 ~working_set:40 in
+  let t = Lc_dynamic.Dynamic.create (Rng.create 16) ~universe () in
+  let ins, del, hits = Opstream.apply t (Rng.create 17) ops in
+  checkb "counts partition the stream's updates" true
+    (ins + del <= 500 && hits <= 500 && ins > 0)
+
+let test_opstream_validates () =
+  let rng = Rng.create 18 in
+  let raised =
+    try
+      ignore
+        (Opstream.generate ~mix:{ p_insert = 0.9; p_delete = 0.3 } rng ~universe ~length:10
+           ~working_set:5);
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "mix must be sub-stochastic" true raised
+
+let prop_random_any_size =
+  QCheck.Test.make ~name:"random keyset: distinct, in-universe" ~count:100
+    QCheck.(int_range 1 400)
+    (fun n ->
+      let rng = Rng.create (n * 3) in
+      let keys = Keyset.random rng ~universe ~n in
+      Array.length keys = n && all_distinct keys && in_universe keys)
+
+let prop_clustered_sizes =
+  QCheck.Test.make ~name:"clustered keyset: exact size" ~count:50
+    QCheck.(pair (int_range 4 200) (int_range 1 10))
+    (fun (n, clusters) ->
+      QCheck.assume (clusters <= n);
+      let rng = Rng.create (n + clusters) in
+      let keys = Keyset.clustered rng ~universe ~n ~clusters in
+      Array.length keys = n && all_distinct keys)
+
+let () =
+  Alcotest.run "lc_workload"
+    [
+      ( "keyset",
+        [
+          Alcotest.test_case "random" `Quick test_random;
+          Alcotest.test_case "dense" `Quick test_dense;
+          Alcotest.test_case "clustered" `Quick test_clustered;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "negatives" `Quick test_negatives;
+        ] );
+      ( "opstream",
+        [
+          Alcotest.test_case "mix fractions" `Quick test_opstream_mix;
+          Alcotest.test_case "working-set bound" `Quick test_opstream_working_set;
+          Alcotest.test_case "oracle consistency" `Quick test_opstream_oracle_consistency;
+          Alcotest.test_case "apply counters" `Quick test_opstream_apply_counters;
+          Alcotest.test_case "mix validation" `Quick test_opstream_validates;
+        ] );
+      ( "properties",
+        List.map (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_random_any_size; prop_clustered_sizes ] );
+    ]
