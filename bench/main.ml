@@ -101,6 +101,31 @@ let tests =
           Test.make ~name:"decode"
             (Staged.stage (fun () -> ignore (Lc_core.Histogram.decode params histogram_words)));
         ];
+      Test.make_grouped ~name:"parallel(T12)"
+        [
+          (* Whole-engine runs: domain spawn + join + the query storm.
+             Small batches keep each bechamel iteration ~milliseconds. *)
+          Test.make ~name:"serve_1dom_lowcon_500q"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Lc_parallel.Engine.serve ~domains:1 ~queries_per_domain:500 ~seed:3 lc_inst
+                      pos_dist)));
+          Test.make ~name:"serve_2dom_lowcon_500q"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Lc_parallel.Engine.serve ~domains:2 ~queries_per_domain:500 ~seed:3 lc_inst
+                      pos_dist)));
+          Test.make ~name:"serve_2dom_fks_500q"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Lc_parallel.Engine.serve ~domains:2 ~queries_per_domain:500 ~seed:3 fks_inst
+                      pos_dist)));
+          Test.make ~name:"serve_2dom_binsearch_500q"
+            (Staged.stage (fun () ->
+                 ignore
+                   (Lc_parallel.Engine.serve ~domains:2 ~queries_per_domain:500 ~seed:3 bs_inst
+                      pos_dist)));
+        ];
       Test.make_grouped ~name:"harness(T1/T2)"
         [
           Test.make ~name:"contention_exact_n1024"

@@ -23,6 +23,13 @@
 
 type t
 
+exception Build_failed of { stage : string; trials : int; detail : string }
+(** An alias for {!Structure.Build_failed} (the same exception
+    constructor, rebound), raised by {!build} when rejection sampling
+    exhausts [max_trials];
+    carries the failing stage, the trials consumed, and the instance
+    parameters. *)
+
 val build :
   ?d:int ->
   ?delta:float ->
@@ -37,8 +44,9 @@ val build :
 (** [build rng ~universe ~keys] derives parameters
     ({!Params.make}) and runs the Section 2.2 construction. Keys must be
     distinct and in [0, universe). Expected O(n) time.
-    Raises [Invalid_argument] on bad inputs and {!Structure.Build_failed}
-    if rejection sampling exhausts [max_trials]. *)
+    Raises [Invalid_argument] on bad inputs and {!Build_failed} (with
+    stage and trial diagnostics) if rejection sampling exhausts
+    [max_trials]. *)
 
 val of_structure : Structure.t -> t
 (** Wrap an already-built structure (used by experiments that need the
@@ -62,8 +70,13 @@ val build_trials : t -> int
 val spec : t -> int -> Lc_cellprobe.Spec.t
 (** Exact probe plan for a query. *)
 
+val core : t -> (module Lc_dict.Dict_intf.S)
+(** The dictionary as a first-class {!Lc_dict.Dict_intf.S} core — the
+    reentrant query path, parameterised by the probing function. *)
+
 val instance : t -> Lc_dict.Instance.t
-(** The uniform experiment-facing record. *)
+(** The uniform experiment-facing instance ({!Lc_dict.Instance.of_core},
+    instrumented mode). *)
 
 val verify : t -> (unit, string) result
 (** Full structural invariant check ({!Verify.check}). *)

@@ -5,12 +5,12 @@ module Dm_family = Lc_hash.Dm_family
 module Table = Lc_cellprobe.Table
 module Spec = Lc_cellprobe.Spec
 
-let mem (t : Structure.t) rng x =
+let mem_probe (t : Structure.t) ~(probe : Lc_dict.Dict_intf.probe) rng x =
   let p = t.params in
   if x < 0 || x >= p.universe then invalid_arg "Query.mem: key outside universe";
   let step = ref 0 in
   let probe j =
-    let v = Table.read t.table ~step:!step j in
+    let v = probe ~step:!step j in
     incr step;
     v
   in
@@ -40,6 +40,9 @@ let mem (t : Structure.t) rng x =
     let slot = Modarith.mul p.p kstar x mod len in
     probe_rc ~row:(Layout.data_row p) (start + slot) = x
   end
+
+let mem (t : Structure.t) rng x =
+  mem_probe t ~probe:(fun ~step j -> Table.read t.table ~step j) rng x
 
 let spec (t : Structure.t) x =
   let p = t.params in

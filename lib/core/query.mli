@@ -19,9 +19,15 @@
     builder's retained metadata), which {!Lc_cellprobe.Contention.exact}
     turns into contention numbers. *)
 
+val mem_probe : Structure.t -> probe:Lc_dict.Dict_intf.probe -> Lc_prim.Rng.t -> int -> bool
+(** [mem_probe t ~probe rng x] answers "is [x] in [S]?" with at most
+    [2d + rho + 4] probes, each performed through [probe] — the
+    reentrant core behind every probing mode of
+    {!Lc_dict.Instance}. *)
+
 val mem : Structure.t -> Lc_prim.Rng.t -> int -> bool
-(** [mem t rng x] answers "is [x] in [S]?" with at most
-    [2d + rho + 4] instrumented probes. *)
+(** [mem t rng x] is [mem_probe] with instrumented probes (counted by
+    the table's mutable counters; sequential use only). *)
 
 val spec : Structure.t -> int -> Lc_cellprobe.Spec.t
 (** [spec t x] is the exact probe plan for query [x]. *)

@@ -5,7 +5,15 @@ module Perfect = Lc_hash.Perfect
 module Loads = Lc_hash.Loads
 module Table = Lc_cellprobe.Table
 
-exception Build_failed of string
+exception Build_failed of { stage : string; trials : int; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Build_failed { stage; trials; detail } ->
+      Some
+        (Printf.sprintf "Lc_core.Structure.Build_failed(stage = %s, trials = %d): %s" stage
+           trials detail)
+    | _ -> None)
 
 type t = {
   params : Params.t;
@@ -55,7 +63,17 @@ let build ?(max_trials = 10_000) rng (p : Params.t) ~keys =
   (* Rejection-sample (g, h', h) until P(S). *)
   let rec search trials =
     if trials > max_trials then
-      raise (Build_failed (Printf.sprintf "P(S) failed %d consecutive trials" max_trials));
+      raise
+        (Build_failed
+           {
+             stage = "P(S) rejection sampling";
+             trials = max_trials;
+             detail =
+               Printf.sprintf
+                 "property P(S) failed %d consecutive trials (n = %d, s = %d, r = %d, m = %d); \
+                  raise max_trials or revisit the parameters"
+                 max_trials p.n p.s p.r p.m;
+           });
     let g, h = sample_hashes rng p in
     if property_p p ~g ~h ~keys then (h, trials) else search (trials + 1)
   in

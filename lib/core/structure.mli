@@ -16,10 +16,14 @@
     {!Query.spec} can produce exact probe plans; the query path itself
     ({!Query.mem}) reads everything back out of the cells. *)
 
-exception Build_failed of string
-(** Raised when [P(S)] fails [max_trials] times in a row — statistically
+exception Build_failed of { stage : string; trials : int; detail : string }
+(** Raised when rejection sampling exhausts its budget — statistically
     implausible for valid parameters, so it signals a configuration
-    problem rather than bad luck. *)
+    problem rather than bad luck. [stage] names the construction stage
+    that gave up (currently always ["P(S) rejection sampling"]),
+    [trials] is the number of trials consumed, and [detail] carries the
+    instance parameters for the error report. A printer is registered
+    with [Printexc]. *)
 
 type t = private {
   params : Params.t;

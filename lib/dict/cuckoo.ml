@@ -81,11 +81,11 @@ let build ?(replicate = true) ?(d = 3) rng ~universe ~keys =
     slots;
   t
 
-let mem t rng x =
+let mem_probe t ~(probe : Dict_intf.probe) rng x =
   if x < 0 || x >= t.p then invalid_arg "Cuckoo.mem: key outside universe";
   let step = ref 0 in
   let probe j =
-    let v = Table.read t.table ~step:!step j in
+    let v = probe ~step:!step j in
     incr step;
     v
   in
@@ -114,14 +114,18 @@ let spec t x =
     let j1 = t1_base t + Poly_hash.eval t.h1 x in
     Array.append coeff_steps [| Spec.Point j0; Spec.Point j1 |]
 
+let mem t rng x = mem_probe t ~probe:(fun ~step j -> Table.read t.table ~step j) rng x
+
 let rehashes t = t.rehashes
 
-let instance t =
-  {
-    Instance.name = (if t.copies > 1 then "cuckoo-replicated" else "cuckoo");
-    table = t.table;
-    space = Table.size t.table;
-    max_probes = (2 * t.d) + 2;
-    mem = mem t;
-    spec = spec t;
-  }
+let core t : (module Dict_intf.S) =
+  (module struct
+    let name = if t.copies > 1 then "cuckoo-replicated" else "cuckoo"
+    let table = t.table
+    let space = Table.size t.table
+    let max_probes = (2 * t.d) + 2
+    let mem ~probe rng x = mem_probe t ~probe rng x
+    let spec x = spec t x
+  end)
+
+let instance t = Instance.of_core (core t)

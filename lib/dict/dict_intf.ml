@@ -1,0 +1,55 @@
+(** The first-class dictionary signature.
+
+    Every membership structure in this repository reduces to the same
+    four ingredients: a cell-probe table, a space/probe budget, a query
+    procedure, and the exact per-query probe plan. [S] captures them as
+    a module signature whose query procedure is {e parameterised by the
+    probing function}: the algorithm decides {e which} cells to visit
+    (and consumes its [Rng.t] only to pick replicas), while the caller
+    decides {e how} a visit is performed — counted against the table's
+    mutable counters, counter-free, or counted on per-cell atomics.
+
+    This split is what makes one implementation serve three consumers:
+
+    - the sequential experiment harness (instrumented probes feeding
+      the {!Lc_cellprobe.Table} counters, as before);
+    - the spec cross-validation, which re-instruments any instance;
+    - the multicore serving engine ([lc_parallel]), which needs a
+      reentrant query path it can drive from many domains at once.
+
+    Query code must never poke the table's counters directly
+    ([Table.read] from inside a [mem] body is deprecated); all probes
+    flow through the supplied [probe]. *)
+
+type probe = step:int -> int -> int
+(** [probe ~step j] visits cell [j] as the [step]-th probe (0-indexed)
+    of the running query and returns the cell's contents. The
+    implementations live in {!Instance}: counting into the table
+    ({!Instance.instrumented}), plain reads ({!Instance.uninstrumented}),
+    or fetch-and-add on per-cell atomics ({!Instance.atomic}). *)
+
+module type S = sig
+  val name : string
+  (** Human-readable structure name for tables and reports. *)
+
+  val table : Lc_cellprobe.Table.t
+  (** The shared cells. Cell {e contents} are written only at
+      construction time, so concurrent probing is safe; the table's
+      built-in probe counters are not, which is exactly why [mem] takes
+      the probing function as a parameter. *)
+
+  val space : int
+  (** Number of cells, the paper's [s]. *)
+
+  val max_probes : int
+  (** Worst-case probes per query, the paper's [t]. *)
+
+  val mem : probe:probe -> Lc_prim.Rng.t -> int -> bool
+  (** [mem ~probe rng x] answers the membership query, visiting every
+      cell through [probe]; [rng] drives only replica balancing, never
+      the answer. Reentrant whenever [probe] is. *)
+
+  val spec : int -> Lc_cellprobe.Spec.t
+  (** [spec x] is the exact probe plan the query algorithm uses for [x]
+      on this table. *)
+end

@@ -126,11 +126,11 @@ let build ?(replicate = true) ?(d = 3) rng ~universe ~keys =
     groups;
   t
 
-let mem t rng x =
+let mem_probe t ~(probe : Dict_intf.probe) rng x =
   if x < 0 || x >= t.p then invalid_arg "Dm_dict.mem: key outside universe";
   let step = ref 0 in
   let probe j =
-    let v = Table.read t.table ~step:!step j in
+    let v = probe ~step:!step j in
     incr step;
     v
   in
@@ -175,15 +175,19 @@ let spec t x =
   in
   Array.append coeff_steps tail
 
+let mem t rng x = mem_probe t ~probe:(fun ~step j -> Table.read t.table ~step j) rng x
+
 let max_bucket_load t = Loads.max_load t.loads
 let top_trials t = t.top_trials
 
-let instance t =
-  {
-    Instance.name = (if t.copies > 1 then "dm-replicated" else "dm");
-    table = t.table;
-    space = Table.size t.table;
-    max_probes = (2 * t.d) + 4;
-    mem = mem t;
-    spec = spec t;
-  }
+let core t : (module Dict_intf.S) =
+  (module struct
+    let name = if t.copies > 1 then "dm-replicated" else "dm"
+    let table = t.table
+    let space = Table.size t.table
+    let max_probes = (2 * t.d) + 4
+    let mem ~probe rng x = mem_probe t ~probe rng x
+    let spec x = spec t x
+  end)
+
+let instance t = Instance.of_core (core t)

@@ -141,11 +141,11 @@ let build_planted ?(replicate = true) rng ~universe ~n ~heavy =
   let structure = assemble ~replicate ~universe ~p ~k_top ~top_trials:1 all in
   (structure, all)
 
-let mem t rng x =
+let mem_probe t ~(probe : Dict_intf.probe) rng x =
   if x < 0 || x >= t.p then invalid_arg "Fks.mem: key outside universe";
   let step = ref 0 in
   let probe j =
-    let v = Table.read t.table ~step:!step j in
+    let v = probe ~step:!step j in
     incr step;
     v
   in
@@ -174,15 +174,19 @@ let spec t x =
       Spec.Point (t.offsets.(i) + slot);
     |]
 
+let mem t rng x = mem_probe t ~probe:(fun ~step j -> Table.read t.table ~step j) rng x
+
 let max_bucket_load t = Loads.max_load t.loads
 let top_trials t = t.top_trials
 
-let instance t =
-  {
-    Instance.name = (if t.copies > 1 then "fks-replicated" else "fks");
-    table = t.table;
-    space = Table.size t.table;
-    max_probes = 4;
-    mem = mem t;
-    spec = spec t;
-  }
+let core t : (module Dict_intf.S) =
+  (module struct
+    let name = if t.copies > 1 then "fks-replicated" else "fks"
+    let table = t.table
+    let space = Table.size t.table
+    let max_probes = 4
+    let mem ~probe rng x = mem_probe t ~probe rng x
+    let spec x = spec t x
+  end)
+
+let instance t = Instance.of_core (core t)

@@ -77,14 +77,20 @@ let descend t x ~probe =
   done;
   !best
 
-let predecessor t rng x =
+let predecessor_probe t ~(probe : Dict_intf.probe) rng x =
   if x < 0 || x >= t.universe then invalid_arg "Repl_bst.predecessor: key outside universe";
-  let probe ~depth v =
+  let pick ~depth v =
     let nodes = 1 lsl depth in
     let replica = Rng.int rng (t.width / nodes) in
-    Table.read t.table ~step:depth ((depth * t.width) + (v - nodes) + (replica * nodes))
+    probe ~step:depth ((depth * t.width) + (v - nodes) + (replica * nodes))
   in
-  descend t x ~probe
+  descend t x ~probe:pick
+
+let predecessor t rng x =
+  predecessor_probe t ~probe:(fun ~step j -> Table.read t.table ~step j) rng x
+
+let mem_probe t ~probe rng x =
+  match predecessor_probe t ~probe rng x with Some y -> y = x | None -> false
 
 let mem t rng x = match predecessor t rng x with Some y -> y = x | None -> false
 
@@ -103,12 +109,14 @@ let spec t x =
 
 let levels t = t.levels
 
-let instance t =
-  {
-    Instance.name = "repl-bst-predecessor";
-    table = t.table;
-    space = Table.size t.table;
-    max_probes = t.levels;
-    mem = mem t;
-    spec = spec t;
-  }
+let core t : (module Dict_intf.S) =
+  (module struct
+    let name = "repl-bst-predecessor"
+    let table = t.table
+    let space = Table.size t.table
+    let max_probes = t.levels
+    let mem ~probe rng x = mem_probe t ~probe rng x
+    let spec x = spec t x
+  end)
+
+let instance t = Instance.of_core (core t)

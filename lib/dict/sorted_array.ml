@@ -32,6 +32,8 @@ let search_path t x ~probe =
   in
   go 0 (t.n - 1) 0
 
+let mem_probe t ~(probe : Dict_intf.probe) _rng x = search_path t x ~probe:(fun ~step j -> probe ~step j)
+
 let mem t x = search_path t x ~probe:(fun ~step j -> Table.read t.table ~step j)
 
 let spec t x =
@@ -47,12 +49,14 @@ let max_probes t =
   let rec depth n = if n <= 0 then 0 else 1 + depth (n / 2) in
   depth t.n
 
-let instance t =
-  {
-    Instance.name = "binary-search";
-    table = t.table;
-    space = t.n;
-    max_probes = max_probes t;
-    mem = (fun _rng x -> mem t x);
-    spec = spec t;
-  }
+let core t : (module Dict_intf.S) =
+  (module struct
+    let name = "binary-search"
+    let table = t.table
+    let space = t.n
+    let max_probes = max_probes t
+    let mem ~probe rng x = mem_probe t ~probe rng x
+    let spec x = spec t x
+  end)
+
+let instance t = Instance.of_core (core t)

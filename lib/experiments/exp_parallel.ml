@@ -1,0 +1,100 @@
+(* T12: the multicore serving engine — real domains, per-cell atomic
+   probe counters — turns the contention bound of Theorem 3 into a
+   measured quantity. The quantity to watch is "x flat": the hottest
+   cell's tally divided by the flat bound q*t/s. For the low-contention
+   dictionary it is O(1); for any structure that routes every query
+   through an unreplicated cell it is Theta(s). *)
+
+module Rng = Lc_prim.Rng
+module Tablefmt = Lc_analysis.Tablefmt
+module Experiment = Lc_analysis.Experiment
+module Qdist = Lc_cellprobe.Qdist
+module Engine = Lc_parallel.Engine
+
+let t12 =
+  {
+    Experiment.id = "T12";
+    title = "Multicore serving: throughput and per-cell atomic probe counts";
+    claim =
+      "Theorem 3, measured instead of counted: with m domains serving queries against one \
+       shared table, the low-contention dictionary's hottest per-cell atomic tally stays \
+       within a constant factor of the flat bound q*t/s (contention O(1/n)), while FKS's \
+       unreplicated top-level parameter cell and binary search's root absorb a constant \
+       fraction of all probes — Theta(s) over the flat bound — and serialise every domain \
+       behind one cache line.";
+    run =
+      (fun ~seed ->
+        let n = 512 in
+        let rng = Rng.create seed in
+        let universe = Common.universe_for n in
+        let keys = Lc_workload.Keyset.random rng ~universe ~n in
+        let arms =
+          [
+            ( "low-contention",
+              Lc_core.Dictionary.instance (Common.lc_build rng ~universe ~keys) );
+            ( "fks (no repl.)",
+              Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys) );
+            ( "dm-replicated",
+              Lc_dict.Dm_dict.instance (Lc_dict.Dm_dict.build ~replicate:true rng ~universe ~keys)
+            );
+            ( "cuckoo-repl.",
+              Lc_dict.Cuckoo.instance (Lc_dict.Cuckoo.build ~replicate:true rng ~universe ~keys)
+            );
+            ( "binary-search",
+              Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys) );
+          ]
+        in
+        let pos = Qdist.uniform ~name:"uniform-positive" keys in
+        let zipf = Qdist.zipf ~skew:1.0 keys in
+        let qpd = 4_000 in
+        let tbl =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf
+                 "T12: m domains x %d queries each, per-cell fetch-and-add counters (n = %d)" qpd
+                 n)
+            ~columns:
+              [
+                "structure"; "dist"; "m"; "queries"; "kq/s"; "hottest"; "flat q*t/s"; "x flat";
+                "share %";
+              ]
+        in
+        List.iter
+          (fun (label, inst) ->
+            List.iter
+              (fun (dname, qd, ms) ->
+                List.iter
+                  (fun m ->
+                    let r =
+                      Engine.serve ~domains:m ~queries_per_domain:qpd ~seed:(seed + (13 * m))
+                        inst qd
+                    in
+                    Tablefmt.add_row tbl
+                      [
+                        label;
+                        dname;
+                        string_of_int m;
+                        string_of_int r.queries;
+                        Printf.sprintf "%.0f" (r.throughput /. 1e3);
+                        string_of_int r.hottest_count;
+                        Printf.sprintf "%.1f" r.flat_bound;
+                        Printf.sprintf "%.1f" (Engine.hotspot_ratio r);
+                        Printf.sprintf "%.2f" (100.0 *. r.hottest_share);
+                      ])
+                  ms)
+              [ ("uniform", pos, [ 1; 2; 4 ]); ("zipf(1.0)", zipf, [ 4 ]) ])
+          arms;
+        Tablefmt.render tbl
+        ^ "\nExpected shape: under the uniform distribution (the Theorem 3 regime) the \
+           low-contention dictionary's 'x flat' stays O(1) at every domain count, so no cell \
+           serialises the domains; fks (no repl.) and binary-search concentrate 25% / ~1/log n \
+           of all probes on their hottest cell, putting 'x flat' in the hundreds — the \
+           Theta(sqrt n)-vs-O(1/n) separation of Section 1.3 as hardware traffic. Under \
+           zipf(1.0) every bounded-probe structure shows a hot data cell (the repeated query's \
+           own Point probe — replication cannot spread one query asked q_max of the time), but \
+           the low-contention dictionary still beats the shared-cell structures by the same \
+           Theta(s) factor. Wall-clock throughput columns depend on the machine's core count; \
+           the per-cell tallies do not.");
+  }
+
+let register () = Experiment.register t12

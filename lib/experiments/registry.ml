@@ -14,5 +14,6 @@ let install () =
     Exp_mixture.register ();
     Exp_adaptive.register ();
     Exp_simulation.register ();
-    Exp_predecessor.register ()
+    Exp_predecessor.register ();
+    Exp_parallel.register ()
   end

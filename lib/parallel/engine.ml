@@ -1,0 +1,141 @@
+module Rng = Lc_prim.Rng
+module Table = Lc_cellprobe.Table
+module Qdist = Lc_cellprobe.Qdist
+module Instance = Lc_dict.Instance
+
+type cost = Free | Spinlock of { hold : int }
+
+type result = {
+  name : string;
+  domains : int;
+  queries : int;
+  seconds : float;
+  throughput : float;
+  total_probes : int;
+  counts : int array;
+  hottest_cell : int;
+  hottest_count : int;
+  hottest_share : float;
+  flat_bound : float;
+}
+
+(* The probing discipline shared by every worker: count each visit on a
+   per-cell atomic, optionally serialising visits to the same cell
+   through a per-cell test-and-set spinlock. Cell contents are only ever
+   read ([Table.peek]); the table's own mutable counters are untouched,
+   which is what makes the query path reentrant. *)
+let make_probe ~cost ~counters table : Lc_dict.Dict_intf.probe =
+  match cost with
+  | Free ->
+    fun ~step:_ j ->
+      Atomic.incr counters.(j);
+      Table.peek table j
+  | Spinlock { hold } ->
+    if hold < 0 then invalid_arg "Engine: Spinlock hold must be >= 0";
+    let locks = Array.init (Array.length counters) (fun _ -> Atomic.make false) in
+    fun ~step:_ j ->
+      let l = locks.(j) in
+      while not (Atomic.compare_and_set l false true) do
+        Domain.cpu_relax ()
+      done;
+      let v = Table.peek table j in
+      for _ = 1 to hold do
+        Domain.cpu_relax ()
+      done;
+      Atomic.set l false;
+      Atomic.incr counters.(j);
+      v
+
+let serve ?(cost = Free) ~domains ~queries_per_domain ~seed inst qdist =
+  if domains < 1 then invalid_arg "Engine.serve: domains must be >= 1";
+  if queries_per_domain < 1 then invalid_arg "Engine.serve: queries_per_domain must be >= 1";
+  let (module D : Lc_dict.Dict_intf.S) = Instance.core inst in
+  let counters = Array.init D.space (fun _ -> Atomic.make 0) in
+  let probe = make_probe ~cost ~counters D.table in
+  (* Pre-sample each domain's query batch outside the timed section so
+     throughput measures probing, not distribution sampling. *)
+  let batches =
+    Array.init domains (fun w ->
+        let rng = Rng.create (seed + (7919 * (w + 1))) in
+        Array.init queries_per_domain (fun _ -> Qdist.sample qdist rng))
+  in
+  let worker w () =
+    let rng = Rng.create (seed lxor (104729 * (w + 1))) in
+    Array.iter (fun x -> ignore (D.mem ~probe rng x : bool)) batches.(w)
+  in
+  let t0 = Unix.gettimeofday () in
+  let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
+  Array.iter Domain.join spawned;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let counts = Array.map Atomic.get counters in
+  let total_probes = Array.fold_left ( + ) 0 counts in
+  let hottest_cell = ref 0 in
+  Array.iteri (fun j c -> if c > counts.(!hottest_cell) then hottest_cell := j) counts;
+  let hottest_count = counts.(!hottest_cell) in
+  let queries = domains * queries_per_domain in
+  {
+    name = D.name;
+    domains;
+    queries;
+    seconds;
+    throughput =
+      (if seconds > 0.0 then float_of_int queries /. seconds else Float.infinity);
+    total_probes;
+    counts;
+    hottest_cell = !hottest_cell;
+    hottest_count;
+    hottest_share =
+      (if total_probes = 0 then 0.0
+       else float_of_int hottest_count /. float_of_int total_probes);
+    flat_bound = float_of_int queries *. float_of_int D.max_probes /. float_of_int D.space;
+  }
+
+let hotspot_ratio r = float_of_int r.hottest_count /. r.flat_bound
+
+let answer_all ?(domains = 2) ~seed inst ~queries =
+  if domains < 1 then invalid_arg "Engine.answer_all: domains must be >= 1";
+  let (module D : Lc_dict.Dict_intf.S) = Instance.core inst in
+  let probe : Lc_dict.Dict_intf.probe = fun ~step:_ j -> Table.peek D.table j in
+  let n = Array.length queries in
+  let out = Array.make n false in
+  (* Round-robin index partition: workers write disjoint slots of [out],
+     so the only shared mutable state is the (read-only) table cells. *)
+  let worker w () =
+    let rng = Rng.create (seed + (7919 * w)) in
+    let i = ref w in
+    while !i < n do
+      out.(!i) <- D.mem ~probe rng queries.(!i);
+      i := !i + domains
+    done
+  in
+  let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
+  Array.iter Domain.join spawned;
+  out
+
+let count_histogram r =
+  let max_count = Array.fold_left max 0 r.counts in
+  let bucket_of c =
+    (* 0 -> bucket 0; otherwise 1 + floor(log2 c). *)
+    if c = 0 then 0
+    else begin
+      let b = ref 0 in
+      let v = ref c in
+      while !v > 0 do
+        incr b;
+        v := !v lsr 1
+      done;
+      !b
+    end
+  in
+  let nbuckets = bucket_of max_count + 1 in
+  let cells = Array.make nbuckets 0 in
+  Array.iter (fun c -> cells.(bucket_of c) <- cells.(bucket_of c) + 1) r.counts;
+  let upper b = if b = 0 then 0 else (1 lsl b) - 1 in
+  List.filter
+    (fun (_, n) -> n > 0)
+    (List.init nbuckets (fun b -> (upper b, cells.(b))))
+
+let top_cells r ~k =
+  let indexed = Array.mapi (fun j c -> (j, c)) r.counts in
+  Array.sort (fun (_, a) (_, b) -> compare b a) indexed;
+  Array.to_list (Array.sub indexed 0 (min k (Array.length indexed)))

@@ -1,0 +1,89 @@
+(** The multicore query-serving engine — Theorem 3's contention bound as
+    measured hardware traffic.
+
+    The sequential harness ({!Lc_cellprobe.Contention},
+    {!Lc_cellprobe.Concurrency}) {e counts} or {e simulates} the probes
+    that concurrent queries would aim at each cell. This engine runs
+    them: [m] OCaml 5 domains issue membership queries against one
+    shared table through the reentrant {!Lc_dict.Dict_intf.S} core,
+    every probe does a fetch-and-add on a per-cell [Atomic.t] counter,
+    and an optional per-cell spinlock makes same-cell visits genuinely
+    serialise — the cost model a shared-memory multiprocessor imposes on
+    a contended line. What comes out is wall-clock throughput plus the
+    exact per-cell probe tally, so "contention [Theta(sqrt n)] vs
+    [O(1/n)]" (paper Section 1.3) becomes a measured gap rather than a
+    counted one.
+
+    All randomness is per-domain ([Rng.t] is not shared), table cells
+    are written only at construction time, and the probing mode never
+    touches the table's sequential counters, so runs are data-race
+    free. The machine's core count only affects the wall-clock columns;
+    probe counts are exact regardless. *)
+
+type cost =
+  | Free
+      (** Probes cost one fetch-and-add; contention shows up only
+          through cache-line traffic on the counters themselves. *)
+  | Spinlock of { hold : int }
+      (** Each probe acquires a per-cell test-and-set spinlock and holds
+          it for [hold] extra [Domain.cpu_relax] iterations: concurrent
+          visits to one cell serialise, so a structure with a
+          contention-[Theta(1)] cell (binary search's root, unreplicated
+          FKS's parameter cell) pays wall-clock time proportional to its
+          hot-spot traffic. *)
+
+type result = {
+  name : string;  (** Structure name, from the core. *)
+  domains : int;  (** Worker domains, the paper's [m]. *)
+  queries : int;  (** Total queries served ([domains * queries_per_domain]). *)
+  seconds : float;  (** Wall-clock for the serving phase only. *)
+  throughput : float;  (** Queries per second. *)
+  total_probes : int;  (** Sum of all per-cell counters. *)
+  counts : int array;  (** Per-cell atomic probe tallies, length [space]. *)
+  hottest_cell : int;  (** Index of the most-probed cell. *)
+  hottest_count : int;  (** Its tally — the observed hot spot. *)
+  hottest_share : float;  (** [hottest_count / total_probes]. *)
+  flat_bound : float;
+      (** [queries * max_probes / space] — the per-cell tally a
+          perfectly flat (contention [1/s]) structure would show.
+          {!hotspot_ratio} divides by this. *)
+}
+
+val serve :
+  ?cost:cost ->
+  domains:int ->
+  queries_per_domain:int ->
+  seed:int ->
+  Lc_dict.Instance.t ->
+  Lc_cellprobe.Qdist.t ->
+  result
+(** [serve ~domains ~queries_per_domain ~seed inst qdist] pre-samples
+    each domain's query batch from [qdist] (outside the timed section),
+    spawns the domains, serves every query through the core's reentrant
+    [mem] with per-cell atomic counting, and reports. [cost] defaults to
+    {!Free}. Deterministic per-cell counts for a fixed seed and
+    structure whenever probe {e placement} is deterministic; wall-clock
+    obviously varies. *)
+
+val hotspot_ratio : result -> float
+(** [hotspot_ratio r] is [r.hottest_count /. r.flat_bound]: how many
+    times over the perfectly-flat tally the worst cell is. [O(1)] for
+    the low-contention dictionary (Theorem 3); [Theta(space)] for a
+    structure that funnels every query through one cell. *)
+
+val answer_all :
+  ?domains:int -> seed:int -> Lc_dict.Instance.t -> queries:int array -> bool array
+(** [answer_all ~domains ~seed inst ~queries] answers the whole query
+    array by round-robin partition across [domains] concurrent domains
+    (counter-free probes), returning answers aligned with [queries] —
+    the multi-domain counterpart of mapping [inst.mem] sequentially,
+    used by the tier-1 agreement tests. Default [domains] is 2. *)
+
+val count_histogram : result -> (int * int) list
+(** Log-bucketed per-cell histogram: pairs [(upper, cells)] meaning
+    [cells] cells received between [prev_upper + 1] and [upper] probes
+    ([(0, k)] counts untouched cells). Buckets are powers of two; empty
+    buckets are omitted. *)
+
+val top_cells : result -> k:int -> (int * int) list
+(** The [k] hottest cells as [(cell, count)], descending. *)
