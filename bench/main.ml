@@ -125,6 +125,41 @@ let tests =
                  ignore
                    (Lc_parallel.Engine.serve ~domains:2 ~queries_per_domain:500 ~seed:3 bs_inst
                       pos_dist)));
+          (* Telemetry overhead: the same run with per-domain metric
+             shards, latency histograms, and span timelines attached. *)
+          Test.make ~name:"serve_2dom_lowcon_500q_obs"
+            (Staged.stage (fun () ->
+                 let obs = Lc_obs.Obs.create () in
+                 ignore
+                   (Lc_parallel.Engine.serve ~obs ~domains:2 ~queries_per_domain:500 ~seed:3
+                      lc_inst pos_dist)));
+        ];
+      Test.make_grouped ~name:"obs"
+        [
+          (* The primitives the serving hot path pays for when ?obs is
+             supplied: a shard-local counter bump, a log-bucketed
+             histogram observation, and a span begin/end pair. *)
+          Test.make ~name:"counter_incr"
+            (let obs = Lc_obs.Obs.create () in
+             let c = Lc_obs.Metrics.counter obs.metrics "bench_counter" in
+             let sh = Lc_obs.Obs.shard obs ~domain:0 in
+             Staged.stage (fun () -> Lc_obs.Metrics.incr sh c 1));
+          Test.make ~name:"histogram_observe"
+            (let obs = Lc_obs.Obs.create () in
+             let h = Lc_obs.Metrics.histogram obs.metrics "bench_hist" in
+             let sh = Lc_obs.Obs.shard obs ~domain:0 in
+             let v = ref 1 in
+             Staged.stage (fun () ->
+                 v := (!v * 7) land 0xFFFFF;
+                 Lc_obs.Metrics.observe sh h !v));
+          Test.make ~name:"span_begin_end"
+            (let obs = Lc_obs.Obs.create () in
+             let tl = Lc_obs.Obs.timeline obs ~tid:0 in
+             Staged.stage (fun () ->
+                 Lc_obs.Span.begin_span tl "bench";
+                 Lc_obs.Span.end_span tl));
+          Test.make ~name:"clock_now_ns"
+            (Staged.stage (fun () -> ignore (Lc_obs.Clock.now_ns () : int64)));
         ];
       Test.make_grouped ~name:"harness(T1/T2)"
         [

@@ -51,7 +51,14 @@ let parse_dist rng ~universe ~keys spec =
   | [ "zipf"; s ] -> Qdist.zipf ~skew:(float_of_string s) keys
   | _ -> failwith (Printf.sprintf "unknown distribution %S" spec)
 
-let with_errors f = try `Ok (f ()) with Failure msg -> `Error (false, msg)
+let with_errors f =
+  try `Ok (f ()) with
+  | Failure msg -> `Error (false, msg)
+  | Lc_core.Dictionary.Build_failed { stage; trials; detail } ->
+    `Error
+      ( false,
+        Printf.sprintf "dictionary construction failed at stage %S after %d trial(s): %s" stage
+          trials detail )
 
 (* ------------------------------------------------------------------ *)
 
@@ -156,6 +163,102 @@ let hotspot_cmd =
     (Cmd.info "hotspot" ~doc:"Simulate m concurrent queries and report the hottest cell.")
     Term.(ret (const hotspot $ seed_arg $ n_arg $ universe_arg $ m_arg $ dist_arg))
 
+(* ------------------------------------------------------------------ *)
+
+let domains_arg =
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"M" ~doc:"Worker domains for the serving run.")
+
+let queries_arg =
+  Arg.(
+    value
+    & opt int 4000
+    & info [ "queries" ] ~docv:"Q" ~doc:"Queries per domain in the serving run.")
+
+let cost_arg =
+  let doc = "Probe cost model: 'free' or 'spin:H' (per-cell spinlock held H extra relax loops)." in
+  Arg.(value & opt string "free" & info [ "cost" ] ~docv:"COST" ~doc)
+
+let parse_cost spec =
+  match String.split_on_char ':' spec with
+  | [ "free" ] -> Lc_parallel.Engine.Free
+  | [ "spin"; h ] -> (
+    match int_of_string_opt h with
+    | Some hold when hold >= 0 -> Lc_parallel.Engine.Spinlock { hold }
+    | _ -> failwith (Printf.sprintf "bad spin hold in %S" spec))
+  | _ -> failwith (Printf.sprintf "unknown cost model %S (want 'free' or 'spin:H')" spec)
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "lowcon-profile"
+    & info [ "out"; "o" ] ~docv:"PREFIX"
+        ~doc:
+          "Output prefix: writes $(docv).trace.json (Chrome trace events, open in Perfetto or \
+           chrome://tracing), $(docv).prom (Prometheus text exposition), and \
+           $(docv).metrics.json.")
+
+let profile seed n universe_opt dist domains queries cost_spec out =
+  with_errors @@ fun () ->
+  let cost = parse_cost cost_spec in
+  let rng = Rng.create seed in
+  let universe = resolve_universe n universe_opt in
+  let keys = Keyset.random rng ~universe ~n in
+  let obs = Lc_obs.Obs.create () in
+  let dict = Lc_core.Dictionary.build ~obs rng ~universe ~keys in
+  let inst = Lc_core.Dictionary.instance dict in
+  let qd = parse_dist rng ~universe ~keys dist in
+  let r =
+    Lc_parallel.Engine.serve ~cost ~obs ~domains ~queries_per_domain:queries ~seed inst qd
+  in
+  let snap = Lc_obs.Obs.snapshot obs in
+  Printf.printf "Served %d queries on %d domains in %.4f s (%.0f q/s).\n" r.queries r.domains
+    r.seconds r.throughput;
+  Printf.printf "Probes: %d total; hottest cell %d with %d (%.1fx the flat bound %.1f).\n"
+    r.total_probes r.hottest_cell r.hottest_count
+    (Lc_parallel.Engine.hotspot_ratio r)
+    r.flat_bound;
+  (match Lc_obs.Metrics.Snapshot.find_hist snap "engine_query_latency_ns" with
+  | Some h ->
+    let q p = Lc_obs.Metrics.Snapshot.quantile h p /. 1e3 in
+    Printf.printf "Query latency: p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us.\n" (q 0.5)
+      (q 0.9) (q 0.99)
+      (float_of_int h.max_value /. 1e3)
+  | None -> ());
+  (match Lc_obs.Metrics.Snapshot.find_hist snap "engine_spinlock_wait_ns" with
+  | Some h when h.count > 0 ->
+    Printf.printf "Spinlock: %d acquisitions, %.2f ms total wait, p99 wait %.1f us.\n" h.count
+      (float_of_int h.sum /. 1e6)
+      (Lc_obs.Metrics.Snapshot.quantile h 0.99 /. 1e3)
+  | _ -> ());
+  print_newline ();
+  print_string (Lc_obs.Span.summary obs.spans);
+  let trace_path = out ^ ".trace.json" in
+  let prom_path = out ^ ".prom" in
+  let json_path = out ^ ".metrics.json" in
+  (match Lc_obs.Span.check_balanced obs.spans with
+  | Ok () -> ()
+  | Error e -> failwith ("internal: unbalanced trace — " ^ e));
+  Lc_obs.Export.write_file ~path:trace_path (Lc_obs.Span.to_chrome_json obs.spans);
+  Lc_obs.Export.write_file ~path:prom_path (Lc_obs.Export.prometheus snap);
+  Lc_obs.Export.write_file ~path:json_path (Lc_obs.Export.json_snapshot snap);
+  Printf.printf "\nWrote %s (load in https://ui.perfetto.dev), %s, %s.\n" trace_path prom_path
+    json_path
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Build with build-stage spans, serve a workload with per-domain telemetry, and dump \
+          metrics (Prometheus + JSON) and a Chrome trace side by side.")
+    Term.(
+      ret
+        (const profile $ seed_arg $ n_arg $ universe_arg $ dist_arg $ domains_arg $ queries_arg
+       $ cost_arg $ out_arg))
+
 let () =
   let doc = "Workbench for low-contention static dictionaries (SPAA 2010)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "lowcon" ~version:"1.0.0" ~doc) [ report_cmd; compare_cmd; hotspot_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "lowcon" ~version:"1.0.0" ~doc)
+          [ report_cmd; compare_cmd; hotspot_cmd; profile_cmd ]))

@@ -2,9 +2,9 @@ type t = Structure.t
 
 exception Build_failed = Structure.Build_failed
 
-let build ?d ?delta ?c ?alpha ?beta ?max_trials rng ~universe ~keys =
+let build ?d ?delta ?c ?alpha ?beta ?max_trials ?obs rng ~universe ~keys =
   let params = Params.make ?d ?delta ?c ?alpha ?beta ~universe ~n:(Array.length keys) () in
-  Structure.build ?max_trials rng params ~keys
+  Structure.build ?max_trials ?obs rng params ~keys
 
 let of_structure s = s
 

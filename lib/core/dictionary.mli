@@ -37,6 +37,7 @@ val build :
   ?alpha:float ->
   ?beta:int ->
   ?max_trials:int ->
+  ?obs:Lc_obs.Obs.t ->
   Lc_prim.Rng.t ->
   universe:int ->
   keys:int array ->
@@ -46,7 +47,12 @@ val build :
     distinct and in [0, universe). Expected O(n) time.
     Raises [Invalid_argument] on bad inputs and {!Build_failed} (with
     stage and trial diagnostics) if rejection sampling exhausts
-    [max_trials]. *)
+    [max_trials].
+
+    [obs] wires the construction stages into the observability layer —
+    spans for [P(S)] sampling / GBAS layout / per-bucket perfect hashing
+    / row writing, plus rejection-reason counters; see
+    {!Structure.build}. Absent (the default) means no telemetry work. *)
 
 val of_structure : Structure.t -> t
 (** Wrap an already-built structure (used by experiments that need the

@@ -28,17 +28,27 @@ type t = {
   keys : int array;
 }
 
-let property_p (p : Params.t) ~g ~h ~keys =
+(* The three sub-checks of P(S), in the order Section 2.2 states them;
+   the names are the stage vocabulary [Build_failed] and the build-stage
+   spans share: the g-bucket cap, the group cap on h' = h mod m, and the
+   FKS sum-of-squares condition on h. *)
+type ps_verdict = Ps_ok | Ps_reject_g | Ps_reject_group | Ps_reject_fks
+
+let property_p_verdict (p : Params.t) ~g ~h ~keys =
   if Dm_family.range h <> p.s then invalid_arg "Structure.property_p: h must map to [s]";
   let g_loads = Loads.loads ~hash:(Poly_hash.eval g) ~buckets:p.r keys in
-  Loads.max_load g_loads <= p.cap_g
-  &&
-  let h' = Dm_family.reduce h p.m in
-  let group_loads = Loads.loads ~hash:(Dm_family.eval h') ~buckets:p.m keys in
-  Loads.max_load group_loads <= p.cap_group
-  &&
-  let bucket_loads = Loads.loads ~hash:(Dm_family.eval h) ~buckets:p.s keys in
-  Loads.sum_squares bucket_loads <= p.s
+  if Loads.max_load g_loads > p.cap_g then Ps_reject_g
+  else begin
+    let h' = Dm_family.reduce h p.m in
+    let group_loads = Loads.loads ~hash:(Dm_family.eval h') ~buckets:p.m keys in
+    if Loads.max_load group_loads > p.cap_group then Ps_reject_group
+    else begin
+      let bucket_loads = Loads.loads ~hash:(Dm_family.eval h) ~buckets:p.s keys in
+      if Loads.sum_squares bucket_loads > p.s then Ps_reject_fks else Ps_ok
+    end
+  end
+
+let property_p p ~g ~h ~keys = property_p_verdict p ~g ~h ~keys = Ps_ok
 
 let check_keys (p : Params.t) keys =
   if Array.length keys <> p.n then
@@ -58,8 +68,48 @@ let sample_hashes rng (p : Params.t) =
   let z = Array.init p.r (fun _ -> Rng.int rng p.s) in
   (g, Dm_family.of_parts ~f ~g ~z)
 
-let build ?(max_trials = 10_000) rng (p : Params.t) ~keys =
+(* Build-stage telemetry: a span per construction stage on the
+   orchestrator timeline (tid 0, shard 0) plus counters for the P(S)
+   rejection reasons and the per-bucket perfect-hash trials. [None]
+   means zero telemetry work, as everywhere else. *)
+type build_obs = {
+  tl : Lc_obs.Span.timeline;
+  shard : Lc_obs.Metrics.shard;
+  trials_c : Lc_obs.Metrics.counter;
+  reject_g_c : Lc_obs.Metrics.counter;
+  reject_group_c : Lc_obs.Metrics.counter;
+  reject_fks_c : Lc_obs.Metrics.counter;
+  perfect_c : Lc_obs.Metrics.counter;
+}
+
+let build_obs_of (o : Lc_obs.Obs.t) =
+  let c help name = Lc_obs.Metrics.counter o.metrics ~help name in
+  let trials_c = c "P(S) rejection-sampling trials" "build_ps_trials_total" in
+  let reject_g_c = c "P(S) rejections: g-bucket cap exceeded" "build_ps_rejects_g_total" in
+  let reject_group_c =
+    c "P(S) rejections: group cap on h' exceeded" "build_ps_rejects_group_total"
+  in
+  let reject_fks_c =
+    c "P(S) rejections: FKS sum-of-squares condition failed" "build_ps_rejects_fks_total"
+  in
+  let perfect_c = c "Per-bucket perfect-hash trials" "build_perfect_trials_total" in
+  {
+    tl = Lc_obs.Obs.timeline o ~tid:0;
+    shard = Lc_obs.Obs.shard o ~domain:0;
+    trials_c;
+    reject_g_c;
+    reject_group_c;
+    reject_fks_c;
+    perfect_c;
+  }
+
+let build ?(max_trials = 10_000) ?obs rng (p : Params.t) ~keys =
   check_keys p keys;
+  let bo = Option.map build_obs_of obs in
+  let span name f =
+    match bo with None -> f () | Some bo -> Lc_obs.Span.with_span bo.tl name f
+  in
+  span "build" @@ fun () ->
   (* Rejection-sample (g, h', h) until P(S). *)
   let rec search trials =
     if trials > max_trials then
@@ -75,9 +125,26 @@ let build ?(max_trials = 10_000) rng (p : Params.t) ~keys =
                  max_trials p.n p.s p.r p.m;
            });
     let g, h = sample_hashes rng p in
-    if property_p p ~g ~h ~keys then (h, trials) else search (trials + 1)
+    match bo with
+    | None -> if property_p p ~g ~h ~keys then (h, trials) else search (trials + 1)
+    | Some bo -> (
+      Lc_obs.Metrics.incr bo.shard bo.trials_c 1;
+      match property_p_verdict p ~g ~h ~keys with
+      | Ps_ok -> (h, trials)
+      | Ps_reject_g ->
+        Lc_obs.Metrics.incr bo.shard bo.reject_g_c 1;
+        Lc_obs.Span.instant bo.tl "reject:g-cap";
+        search (trials + 1)
+      | Ps_reject_group ->
+        Lc_obs.Metrics.incr bo.shard bo.reject_group_c 1;
+        Lc_obs.Span.instant bo.tl "reject:h'-group-cap";
+        search (trials + 1)
+      | Ps_reject_fks ->
+        Lc_obs.Metrics.incr bo.shard bo.reject_fks_c 1;
+        Lc_obs.Span.instant bo.tl "reject:fks-sum-squares";
+        search (trials + 1))
   in
-  let top, trials = search 1 in
+  let top, trials = span "P(S)-sampling" (fun () -> search 1) in
   let hash x = Dm_family.eval top x in
   let buckets = Loads.bucket_keys ~hash ~buckets:p.s keys in
   let loads = Array.map Array.length buckets in
@@ -91,31 +158,37 @@ let build ?(max_trials = 10_000) rng (p : Params.t) ~keys =
     !acc
   in
   let gbas = Array.make p.m 0 in
-  for i = 1 to p.m - 1 do
-    gbas.(i) <- gbas.(i - 1) + group_size (i - 1)
-  done;
-  (* Absolute slot start per bucket. *)
   let starts = Array.make p.s 0 in
-  for i = 0 to p.m - 1 do
-    let off = ref gbas.(i) in
-    for k = 0 to p.g_per_group - 1 do
-      let bk = Layout.bucket_of_group_index p ~group:i k in
-      starts.(bk) <- !off;
-      off := !off + (loads.(bk) * loads.(bk))
-    done
-  done;
+  span "layout-gbas" (fun () ->
+      for i = 1 to p.m - 1 do
+        gbas.(i) <- gbas.(i - 1) + group_size (i - 1)
+      done;
+      (* Absolute slot start per bucket. *)
+      for i = 0 to p.m - 1 do
+        let off = ref gbas.(i) in
+        for k = 0 to p.g_per_group - 1 do
+          let bk = Layout.bucket_of_group_index p ~group:i k in
+          starts.(bk) <- !off;
+          off := !off + (loads.(bk) * loads.(bk))
+        done
+      done);
   (* Per-bucket perfect hashing. *)
   let multipliers = Array.make p.s 0 in
   let perfect_trials_total = ref 0 in
-  Array.iteri
-    (fun bk bucket ->
-      if Array.length bucket > 0 then begin
-        let ph = Perfect.find rng ~p:p.p ~keys:bucket in
-        multipliers.(bk) <- Perfect.multiplier ph;
-        perfect_trials_total := !perfect_trials_total + Perfect.trials ph
-      end)
-    buckets;
+  span "perfect-hashing" (fun () ->
+      Array.iteri
+        (fun bk bucket ->
+          if Array.length bucket > 0 then begin
+            let ph = Perfect.find rng ~p:p.p ~keys:bucket in
+            multipliers.(bk) <- Perfect.multiplier ph;
+            perfect_trials_total := !perfect_trials_total + Perfect.trials ph
+          end)
+        buckets;
+      match bo with
+      | Some bo -> Lc_obs.Metrics.incr bo.shard bo.perfect_c !perfect_trials_total
+      | None -> ());
   (* Write all rows. *)
+  span "write-rows" @@ fun () ->
   let table = Table.create ~init:(-1) ~cells:(Params.total_cells p) ~bits:p.cell_bits () in
   let set ~row j v = Table.write table (Layout.cell p ~row j) v in
   let fill_row row value =

@@ -46,11 +46,21 @@ val property_p : Params.t -> g:Lc_hash.Poly_hash.t -> h:Lc_hash.Dm_family.t -> k
     for the Lemma 9 experiments (T4). [h] must map to [s]; the group map
     is derived internally as [h mod m]. *)
 
-val build : ?max_trials:int -> Lc_prim.Rng.t -> Params.t -> keys:int array -> t
+val build :
+  ?max_trials:int -> ?obs:Lc_obs.Obs.t -> Lc_prim.Rng.t -> Params.t -> keys:int array -> t
 (** [build rng params ~keys] runs the construction. [max_trials]
     (default 10_000) bounds [P(S)] rejection sampling.
     Raises [Invalid_argument] on duplicate or out-of-universe keys and
-    when [Array.length keys <> params.n]. *)
+    when [Array.length keys <> params.n].
+
+    [obs], when supplied, records the construction on timeline 0 /
+    shard 0 of the handle: spans [build] > [P(S)-sampling] /
+    [layout-gbas] / [perfect-hashing] / [write-rows], an instant event
+    per rejected trial naming the failed sub-check ([reject:g-cap],
+    [reject:h'-group-cap], [reject:fks-sum-squares] — the three clauses
+    of [P(S)]), and counters [build_ps_trials_total],
+    [build_ps_rejects_{g,group,fks}_total],
+    [build_perfect_trials_total]. Absent means no telemetry work. *)
 
 val bucket_of : t -> int -> int
 (** [bucket_of t x = h(x)], for tests and experiments. *)

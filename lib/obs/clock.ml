@@ -1,0 +1,1 @@
+let now_ns = Monotonic_clock.now

@@ -1,0 +1,8 @@
+(** Monotonic nanosecond clock for telemetry timestamps.
+
+    [Unix.gettimeofday] has microsecond resolution and can step; probe
+    latencies are nanoseconds. This wraps the [CLOCK_MONOTONIC] stub
+    shipped with bechamel (already in the container) — [@@noalloc], so
+    reading the clock keeps the recording path allocation-free. *)
+
+val now_ns : unit -> int64

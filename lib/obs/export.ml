@@ -1,0 +1,77 @@
+(* Prometheus metric names allow [a-zA-Z0-9_:]; map anything else to '_'
+   so dotted names like "engine.probes" expose as "engine_probes". *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prometheus (s : Metrics.Snapshot.t) =
+  let buf = Buffer.create 1024 in
+  let header name help kind =
+    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (name, help, v) ->
+      let name = sanitize name in
+      header name help "counter";
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
+    s.counters;
+  List.iter
+    (fun (name, help, v) ->
+      let name = sanitize name in
+      header name help "gauge";
+      Buffer.add_string buf (Printf.sprintf "%s %.17g\n" name v))
+    s.gauges;
+  List.iter
+    (fun (h : Metrics.Snapshot.hist) ->
+      let name = sanitize h.name in
+      header name h.help "histogram";
+      let cum = ref 0 in
+      Array.iter
+        (fun (upper, count) ->
+          cum := !cum + count;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name upper !cum))
+        h.buckets;
+      Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.count);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" name h.sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.count))
+    s.hists;
+  Buffer.contents buf
+
+let json_snapshot (s : Metrics.Snapshot.t) =
+  let counters = List.map (fun (n, _, v) -> (n, Json.Int v)) s.counters in
+  let gauges = List.map (fun (n, _, v) -> (n, Json.Float v)) s.gauges in
+  let hists =
+    List.map
+      (fun (h : Metrics.Snapshot.hist) ->
+        ( h.name,
+          Json.Obj
+            [
+              ("count", Json.Int h.count);
+              ("sum", Json.Int h.sum);
+              ("max", Json.Int h.max_value);
+              ( "buckets",
+                Json.List
+                  (Array.to_list
+                     (Array.map
+                        (fun (upper, count) -> Json.List [ Json.Int upper; Json.Int count ])
+                        h.buckets)) );
+            ] ))
+      s.hists
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("counters", Json.Obj counters);
+         ("gauges", Json.Obj gauges);
+         ("histograms", Json.Obj hists);
+       ])
+
+let write_file ~path doc =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

@@ -1,0 +1,25 @@
+(** Exporters for merged metric snapshots.
+
+    Two formats, both built from a {!Metrics.Snapshot.t}:
+
+    - {!prometheus}: the text exposition format ([# HELP] / [# TYPE]
+      comments, [_bucket{le="..."}] / [_sum] / [_count] series for
+      histograms with cumulative buckets), scrapeable as-is;
+    - {!json_snapshot}: the same data as one JSON document, for the
+      [lowcon profile] artifacts and programmatic consumption.
+
+    The Chrome trace export lives with its data in
+    {!Span.to_chrome_json}. *)
+
+val prometheus : Metrics.Snapshot.t -> string
+
+val json_snapshot : Metrics.Snapshot.t -> string
+(** Parses back with {!Json.parse}; shape:
+    [{"counters": {name: value, ...},
+      "gauges": {name: value, ...},
+      "histograms": {name: {"count": _, "sum": _, "max": _,
+                            "buckets": [[upper, count], ...]}, ...}}]. *)
+
+val write_file : path:string -> string -> unit
+(** Write a document atomically enough for our purposes (single
+    [open_out]/[output_string]/[close_out]). *)

@@ -1,0 +1,34 @@
+(** A minimal JSON value type with a printer and a strict parser.
+
+    The container ships no JSON library and the tentpole needs both
+    directions — the exporters build documents ({!Export},
+    {!Span.to_chrome_json}) and the test suite must check that what was
+    emitted actually parses. This is deliberately small: UTF-8 pass-through
+    strings, 63-bit integers kept exact (a number parses to [Int] unless it
+    carries a fraction or exponent), no streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line serialisation. Strings are escaped per RFC 8259;
+    non-finite floats (which JSON cannot represent) serialise as [null]. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document; trailing garbage, unterminated
+    strings, and malformed numbers are errors carrying the byte offset. *)
+
+val member : string -> t -> t option
+(** [member k j] looks up key [k] when [j] is an [Obj]. *)
+
+val to_list : t -> t list
+(** The elements of a [List], or [[]] for any other value. *)
+
+val string_value : t -> string option
+val int_value : t -> int option

@@ -1,0 +1,252 @@
+type kind = Counter | Gauge | Histogram
+
+type def = { name : string; help : string; kind : kind; id : int }
+
+(* Log-bucketed histograms over non-negative ints: value 0 -> bucket 0,
+   otherwise bucket = position of the highest set bit + 1, so bucket b
+   covers [2^(b-1), 2^b - 1] with upper bound 2^b - 1. 63 buckets cover
+   the whole int range. *)
+let nbuckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 in
+    let v = ref v in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    !b
+  end
+
+let bucket_upper b = if b = 0 then 0 else (1 lsl b) - 1
+
+type shard = {
+  domain : int;
+  mutable counters : int array;
+  mutable gauges : float array;
+  mutable hist_buckets : int array array;  (* per histogram id, length nbuckets *)
+  mutable hist_count : int array;
+  mutable hist_sum : int array;
+  mutable hist_max : int array;
+}
+
+type t = {
+  mutable counter_defs : def list;  (* newest first *)
+  mutable gauge_defs : def list;
+  mutable hist_defs : def list;
+  mutable shards : shard list;
+  lock : Mutex.t;
+}
+
+type counter = int
+type gauge = int
+type histogram = int
+
+let create () =
+  { counter_defs = []; gauge_defs = []; hist_defs = []; shards = []; lock = Mutex.create () }
+
+let extend_int a n = Array.append a (Array.make (n - Array.length a) 0)
+let extend_float a n = Array.append a (Array.make (n - Array.length a) 0.0)
+
+(* Registering a metric after shards exist grows every shard's storage.
+   Only sound while the shard-owning domains are quiescent (between
+   runs) — which is when registration happens: instrumented subsystems
+   register on the orchestrating domain before spawning workers. *)
+let grow_shards t =
+  let nc = List.length t.counter_defs in
+  let ng = List.length t.gauge_defs in
+  let nh = List.length t.hist_defs in
+  List.iter
+    (fun sh ->
+      if Array.length sh.counters < nc then sh.counters <- extend_int sh.counters nc;
+      if Array.length sh.gauges < ng then sh.gauges <- extend_float sh.gauges ng;
+      if Array.length sh.hist_count < nh then begin
+        sh.hist_buckets <-
+          Array.append sh.hist_buckets
+            (Array.init (nh - Array.length sh.hist_buckets) (fun _ -> Array.make nbuckets 0));
+        sh.hist_count <- extend_int sh.hist_count nh;
+        sh.hist_sum <- extend_int sh.hist_sum nh;
+        sh.hist_max <- extend_int sh.hist_max nh
+      end)
+    t.shards
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let register t kind ~help name get set =
+  with_lock t @@ fun () ->
+  let all = t.counter_defs @ t.gauge_defs @ t.hist_defs in
+  match List.find_opt (fun d -> d.name = name) all with
+  | Some d when d.kind = kind -> d.id
+  | Some d ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %S already registered as a different kind (%s)" name
+         (match d.kind with Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"))
+  | None ->
+    let id = List.length (get ()) in
+    set { name; help; kind; id };
+    grow_shards t;
+    id
+
+let counter t ?(help = "") name =
+  register t Counter ~help name
+    (fun () -> t.counter_defs)
+    (fun d -> t.counter_defs <- d :: t.counter_defs)
+
+let gauge t ?(help = "") name =
+  register t Gauge ~help name
+    (fun () -> t.gauge_defs)
+    (fun d -> t.gauge_defs <- d :: t.gauge_defs)
+
+let histogram t ?(help = "") name =
+  register t Histogram ~help name
+    (fun () -> t.hist_defs)
+    (fun d -> t.hist_defs <- d :: t.hist_defs)
+
+let shard t ~domain =
+  with_lock t @@ fun () ->
+  match List.find_opt (fun sh -> sh.domain = domain) t.shards with
+  | Some sh -> sh
+  | None ->
+    let nh = List.length t.hist_defs in
+    let sh =
+      {
+        domain;
+        counters = Array.make (List.length t.counter_defs) 0;
+        gauges = Array.make (List.length t.gauge_defs) 0.0;
+        hist_buckets = Array.init nh (fun _ -> Array.make nbuckets 0);
+        hist_count = Array.make nh 0;
+        hist_sum = Array.make nh 0;
+        hist_max = Array.make nh 0;
+      }
+    in
+    t.shards <- sh :: t.shards;
+    sh
+
+let incr sh c by = sh.counters.(c) <- sh.counters.(c) + by
+let set_gauge sh g v = sh.gauges.(g) <- v
+
+let observe sh h v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  sh.hist_buckets.(h).(b) <- sh.hist_buckets.(h).(b) + 1;
+  sh.hist_count.(h) <- sh.hist_count.(h) + 1;
+  sh.hist_sum.(h) <- sh.hist_sum.(h) + v;
+  if v > sh.hist_max.(h) then sh.hist_max.(h) <- v
+
+module Snapshot = struct
+  type hist = {
+    name : string;
+    help : string;
+    buckets : (int * int) array;
+    count : int;
+    sum : int;
+    max_value : int;
+  }
+
+  type t = {
+    counters : (string * string * int) list;
+    gauges : (string * string * float) list;
+    hists : hist list;
+  }
+
+  let counter_value t name =
+    List.find_map (fun (n, _, v) -> if n = name then Some v else None) t.counters
+
+  let gauge_value t name =
+    List.find_map (fun (n, _, v) -> if n = name then Some v else None) t.gauges
+
+  let find_hist t name = List.find_opt (fun (h : hist) -> h.name = name) t.hists
+
+  let quantile h q =
+    if h.count = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = q *. float_of_int h.count in
+      let acc = ref 0 in
+      let result = ref (float_of_int h.max_value) in
+      (try
+         Array.iter
+           (fun (upper, c) ->
+             let prev = !acc in
+             acc := !acc + c;
+             if float_of_int !acc >= target then begin
+               (* Interpolate inside [lower, upper]. *)
+               let lower = if upper = 0 then 0.0 else float_of_int ((upper + 1) / 2) in
+               let upper_f = float_of_int upper in
+               let frac =
+                 if c = 0 then 1.0
+                 else (target -. float_of_int prev) /. float_of_int c
+               in
+               result := lower +. (frac *. (upper_f -. lower));
+               raise Exit
+             end)
+           h.buckets
+       with Exit -> ());
+      Float.min !result (float_of_int h.max_value)
+    end
+
+  let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+end
+
+let snapshot t =
+  with_lock t @@ fun () ->
+  let shards = t.shards in
+  let merged_counters =
+    List.rev_map
+      (fun d ->
+        let v =
+          List.fold_left
+            (fun acc sh ->
+              acc + if d.id < Array.length sh.counters then sh.counters.(d.id) else 0)
+            0 shards
+        in
+        (d.name, d.help, v))
+      t.counter_defs
+  in
+  let merged_gauges =
+    List.rev_map
+      (fun d ->
+        let v =
+          List.fold_left
+            (fun acc sh ->
+              acc +. if d.id < Array.length sh.gauges then sh.gauges.(d.id) else 0.0)
+            0.0 shards
+        in
+        (d.name, d.help, v))
+      t.gauge_defs
+  in
+  let merged_hists =
+    List.rev_map
+      (fun d ->
+        let buckets = Array.make nbuckets 0 in
+        let count = ref 0 and sum = ref 0 and max_value = ref 0 in
+        List.iter
+          (fun sh ->
+            if d.id < Array.length sh.hist_buckets then begin
+              Array.iteri
+                (fun b c -> buckets.(b) <- buckets.(b) + c)
+                sh.hist_buckets.(d.id);
+              count := !count + sh.hist_count.(d.id);
+              sum := !sum + sh.hist_sum.(d.id);
+              if sh.hist_max.(d.id) > !max_value then max_value := sh.hist_max.(d.id)
+            end)
+          shards;
+        let nonempty = ref [] in
+        for b = nbuckets - 1 downto 0 do
+          if buckets.(b) > 0 then nonempty := (bucket_upper b, buckets.(b)) :: !nonempty
+        done;
+        {
+          Snapshot.name = d.name;
+          help = d.help;
+          buckets = Array.of_list !nonempty;
+          count = !count;
+          sum = !sum;
+          max_value = !max_value;
+        })
+      t.hist_defs
+  in
+  { Snapshot.counters = merged_counters; gauges = merged_gauges; hists = merged_hists }

@@ -1,0 +1,96 @@
+(** A metrics registry whose hot path never contends.
+
+    The serving engine's whole point is measuring contention, so its
+    telemetry must not add any: every counter increment and histogram
+    observation lands in a {e per-domain shard} — plain (non-atomic)
+    mutable arrays owned by one domain — and shards are only read and
+    merged when {!snapshot} is called, after the domains have joined (or
+    at a quiescent point the caller arranges). There are no atomics, no
+    locks, and no allocation on the recording path.
+
+    Protocol: register metrics and create shards on the orchestrating
+    domain while workers are quiescent (registering after shards exist
+    grows their storage in place, so it must not race with recording);
+    record through a domain's own shard; merge with {!snapshot}.
+    Registration and shard creation are mutex-protected; recording is
+    not, which is safe precisely because a shard has one owner. *)
+
+type t
+(** The registry: metric definitions plus every shard created from it. *)
+
+type counter
+type gauge
+type histogram
+
+type shard
+(** One domain's private storage for every registered metric. *)
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> string -> counter
+(** Register (or look up — re-registering a name returns the existing
+    metric) a monotone counter. Raises [Invalid_argument] if the name is
+    already registered as a different metric kind. *)
+
+val gauge : t -> ?help:string -> string -> gauge
+(** Register a gauge. Shard gauge values are {e summed} at snapshot
+    time, so treat a gauge as a quantity that partitions across domains
+    (queue depth, in-flight queries); set it from one shard only if you
+    want a plain scalar. *)
+
+val histogram : t -> ?help:string -> string -> histogram
+(** Register a log-bucketed histogram over non-negative integers
+    (bucket [b] holds values in [[2^(b-1), 2^b - 1]]; bucket 0 holds
+    value 0). Intended unit: nanoseconds. *)
+
+val shard : t -> domain:int -> shard
+(** [shard t ~domain] creates (or returns, if [domain] was seen before)
+    the shard for domain index [domain] — the caller's worker index, not
+    [Domain.self]. *)
+
+val incr : shard -> counter -> int -> unit
+(** [incr sh c by] adds [by] to the shard-local counter. No atomics. *)
+
+val set_gauge : shard -> gauge -> float -> unit
+
+val observe : shard -> histogram -> int -> unit
+(** [observe sh h v] records value [v] (clamped below at 0) into the
+    shard-local histogram. *)
+
+(** Merged, immutable view of every shard. *)
+module Snapshot : sig
+  type hist = {
+    name : string;
+    help : string;
+    buckets : (int * int) array;
+        (** [(upper, count)] per non-empty bucket, ascending [upper];
+            bucket upper bounds are [0, 1, 3, 7, ..., 2^b - 1]. *)
+    count : int;  (** Total observations. *)
+    sum : int;  (** Sum of observed values. *)
+    max_value : int;  (** Largest observed value, exact. *)
+  }
+
+  type nonrec t = {
+    counters : (string * string * int) list;  (** name, help, merged value *)
+    gauges : (string * string * float) list;
+    hists : hist list;
+  }
+
+  val counter_value : t -> string -> int option
+  val gauge_value : t -> string -> float option
+  val find_hist : t -> string -> hist option
+
+  val quantile : hist -> float -> float
+  (** [quantile h q] estimates the [q]-quantile (0 <= q <= 1) from the
+      log buckets by linear interpolation inside the bucket where the
+      cumulative count crosses [q * count]; an upper bound off by at most
+      2x (one bucket width). 0 when the histogram is empty. *)
+
+  val mean : hist -> float
+  (** [sum / count], exact. 0 when empty. *)
+end
+
+val snapshot : t -> Snapshot.t
+(** Merge all shards. Sound when the shard-owning domains are quiescent
+    (joined, or between batches); counters merge by sum, gauges by sum,
+    histograms bucket-wise. *)

@@ -1,0 +1,6 @@
+type t = { metrics : Metrics.t; spans : Span.t }
+
+let create () = { metrics = Metrics.create (); spans = Span.create () }
+let snapshot t = Metrics.snapshot t.metrics
+let timeline t ~tid = Span.timeline t.spans ~tid
+let shard t ~domain = Metrics.shard t.metrics ~domain

@@ -1,0 +1,189 @@
+type phase = Begin | End | Instant
+
+type event = { name : string; phase : phase; ts_us : float; tid : int }
+
+type timeline = {
+  tid : int;
+  mutable buf : event array;
+  mutable len : int;
+  mutable stack : string list;  (* open span names, innermost first *)
+  epoch : int64;  (* collector epoch, monotonic ns *)
+}
+
+type t = { mutable timelines : timeline list; epoch : int64; lock : Mutex.t }
+
+let create () = { timelines = []; epoch = Clock.now_ns (); lock = Mutex.create () }
+
+let timeline t ~tid =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  match List.find_opt (fun tl -> tl.tid = tid) t.timelines with
+  | Some tl -> tl
+  | None ->
+    let tl = { tid; buf = Array.make 64 { name = ""; phase = Instant; ts_us = 0.0; tid }; len = 0; stack = []; epoch = t.epoch } in
+    t.timelines <- tl :: t.timelines;
+    tl
+
+let push tl e =
+  if tl.len = Array.length tl.buf then begin
+    let bigger = Array.make (2 * tl.len) e in
+    Array.blit tl.buf 0 bigger 0 tl.len;
+    tl.buf <- bigger
+  end;
+  tl.buf.(tl.len) <- e;
+  tl.len <- tl.len + 1
+
+let now_us (tl : timeline) = Int64.to_float (Int64.sub (Clock.now_ns ()) tl.epoch) /. 1e3
+
+let begin_span tl name =
+  tl.stack <- name :: tl.stack;
+  push tl { name; phase = Begin; ts_us = now_us tl; tid = tl.tid }
+
+let end_span tl =
+  match tl.stack with
+  | [] -> invalid_arg "Span.end_span: no open span on this timeline"
+  | name :: rest ->
+    tl.stack <- rest;
+    push tl { name; phase = End; ts_us = now_us tl; tid = tl.tid }
+
+let instant tl name = push tl { name; phase = Instant; ts_us = now_us tl; tid = tl.tid }
+
+let with_span tl name f =
+  begin_span tl name;
+  Fun.protect ~finally:(fun () -> end_span tl) f
+
+let events t =
+  Mutex.lock t.lock;
+  let tls = t.timelines in
+  Mutex.unlock t.lock;
+  let all =
+    List.concat_map (fun tl -> Array.to_list (Array.sub tl.buf 0 tl.len)) tls
+  in
+  List.stable_sort (fun a b -> compare a.ts_us b.ts_us) all
+
+let per_timeline t =
+  Mutex.lock t.lock;
+  let tls = t.timelines in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> compare a.tid b.tid) tls
+
+let check_balanced t =
+  let check tl =
+    let depth = ref 0 in
+    let err = ref None in
+    for i = 0 to tl.len - 1 do
+      if !err = None then
+        match tl.buf.(i).phase with
+        | Begin -> incr depth
+        | End ->
+          decr depth;
+          if !depth < 0 then
+            err := Some (Printf.sprintf "tid %d: End without Begin at event %d" tl.tid i)
+        | Instant -> ()
+    done;
+    (match (!err, !depth) with
+    | None, d when d > 0 -> Error (Printf.sprintf "tid %d: %d span(s) left open" tl.tid d)
+    | None, _ -> Ok ()
+    | Some e, _ -> Error e)
+  in
+  List.fold_left
+    (fun acc tl -> match acc with Error _ -> acc | Ok () -> check tl)
+    (Ok ()) (per_timeline t)
+
+let to_chrome_json t =
+  let event_json e =
+    let base =
+      [
+        ("name", Json.String e.name);
+        ("ph", Json.String (match e.phase with Begin -> "B" | End -> "E" | Instant -> "i"));
+        ("ts", Json.Float e.ts_us);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int e.tid);
+        ("cat", Json.String "lowcon");
+      ]
+    in
+    Json.Obj (match e.phase with Instant -> base @ [ ("s", Json.String "t") ] | _ -> base)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map event_json (events t)));
+         ("displayTimeUnit", Json.String "ms");
+       ])
+
+(* Flamegraph-style aggregation: walk each timeline with a span stack,
+   accumulating per-path call counts, total time, and self time (total
+   minus the time spent in child spans). *)
+let summary t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "span summary (total = wall time inside span, self = total minus children)\n";
+  List.iter
+    (fun tl ->
+      (* path -> (order, depth, count, total_us, self_us) *)
+      let agg : (string, int * int * int ref * float ref * float ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let order = ref 0 in
+      (* stack of (path, begin_ts, child_time accumulator) *)
+      let stack = ref [] in
+      for i = 0 to tl.len - 1 do
+        let e = tl.buf.(i) in
+        match e.phase with
+        | Begin ->
+          let path =
+            match !stack with
+            | [] -> e.name
+            | (parent, _, _) :: _ -> parent ^ ";" ^ e.name
+          in
+          stack := (path, e.ts_us, ref 0.0) :: !stack
+        | End -> (
+          match !stack with
+          | [] -> ()
+          | (path, t0, children) :: rest ->
+            stack := rest;
+            let total = e.ts_us -. t0 in
+            (match rest with
+            | (_, _, parent_children) :: _ ->
+              parent_children := !parent_children +. total
+            | [] -> ());
+            let _, _, count, total_acc, self_acc =
+              match Hashtbl.find_opt agg path with
+              | Some entry -> entry
+              | None ->
+                let depth = List.length rest in
+                let entry = (!order, depth, ref 0, ref 0.0, ref 0.0) in
+                incr order;
+                Hashtbl.add agg path entry;
+                entry
+            in
+            incr count;
+            total_acc := !total_acc +. total;
+            self_acc := !self_acc +. (total -. !children))
+        | Instant -> ()
+      done;
+      if Hashtbl.length agg > 0 then begin
+        Buffer.add_string buf (Printf.sprintf "timeline tid %d:\n" tl.tid);
+        let rows =
+          Hashtbl.fold (fun path (o, d, c, tot, self) acc -> (o, d, path, !c, !tot, !self) :: acc)
+            agg []
+        in
+        (* Sort parents before children: by path, which shares prefixes. *)
+        let rows = List.sort (fun (_, _, p1, _, _, _) (_, _, p2, _, _, _) -> compare p1 p2) rows in
+        List.iter
+          (fun (_, depth, path, count, total, self) ->
+            let leaf =
+              match String.rindex_opt path ';' with
+              | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+              | None -> path
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  %s%-*s %6d call%s %10.3f ms total %10.3f ms self\n"
+                 (String.make (2 * depth) ' ')
+                 (max 1 (28 - (2 * depth)))
+                 leaf count
+                 (if count = 1 then " " else "s")
+                 (total /. 1e3) (self /. 1e3)))
+          rows
+      end)
+    (per_timeline t);
+  Buffer.contents buf

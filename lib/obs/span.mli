@@ -1,0 +1,63 @@
+(** Begin/end event tracing with per-domain timelines.
+
+    Each worker domain owns a {!timeline} — a growable, unsynchronised
+    event buffer plus a span stack — and records begin/end/instant
+    events against the collector's common epoch. The collector merges
+    timelines only after the domains are quiescent, exactly like
+    {!Metrics} shards, and exports two views:
+
+    - {!to_chrome_json}: Chrome trace-event JSON ([traceEvents] with
+      ["ph": "B" | "E" | "i"]), loadable in Perfetto / [chrome://tracing];
+    - {!summary}: a plain-text flamegraph-style table aggregating total
+      and self time per span path ([serve;batch;query]).
+
+    Timestamps come from the monotonic ns clock ({!Clock.now_ns})
+    relative to the collector's creation, exported in microseconds (the
+    trace-event unit). *)
+
+type t
+(** The collector. *)
+
+type timeline
+(** One domain's private event buffer. [tid] 0 is conventionally the
+    orchestrating domain; workers use [w + 1]. *)
+
+type phase = Begin | End | Instant
+
+type event = { name : string; phase : phase; ts_us : float; tid : int }
+
+val create : unit -> t
+
+val timeline : t -> tid:int -> timeline
+(** Create (or return, if [tid] was seen before) the timeline for
+    [tid]. Mutex-protected; call once per domain, outside hot loops. *)
+
+val begin_span : timeline -> string -> unit
+(** Open a span. Spans nest: close them in LIFO order. *)
+
+val end_span : timeline -> unit
+(** Close the innermost open span. Raises [Invalid_argument] if no span
+    is open on this timeline. *)
+
+val instant : timeline -> string -> unit
+(** A zero-duration marker event. *)
+
+val with_span : timeline -> string -> (unit -> 'a) -> 'a
+(** [with_span tl name f] = begin, run [f], end (on exceptions too). *)
+
+val events : t -> event list
+(** Every recorded event, merged across timelines in timestamp order.
+    Call only when the recording domains are quiescent. *)
+
+val check_balanced : t -> (unit, string) result
+(** Per timeline: every [End] has a matching [Begin] and no span is left
+    open — the invariant the exported trace relies on. *)
+
+val to_chrome_json : t -> string
+(** The Chrome trace-event document. Open spans are invalid; call
+    {!check_balanced} first if the producer is untrusted. *)
+
+val summary : t -> string
+(** Flamegraph-style text: one line per distinct span path per timeline,
+    with call count, total (wall) and self (total minus children) time,
+    children indented under parents in call order. *)

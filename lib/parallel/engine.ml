@@ -2,6 +2,8 @@ module Rng = Lc_prim.Rng
 module Table = Lc_cellprobe.Table
 module Qdist = Lc_cellprobe.Qdist
 module Instance = Lc_dict.Instance
+module Metrics = Lc_obs.Metrics
+module Span = Lc_obs.Span
 
 type cost = Free | Spinlock of { hold : int }
 
@@ -19,20 +21,27 @@ type result = {
   flat_bound : float;
 }
 
+let make_locks ~cost ~space =
+  match cost with
+  | Free -> [||]
+  | Spinlock { hold } ->
+    if hold < 0 then invalid_arg "Engine: Spinlock hold must be >= 0";
+    Array.init space (fun _ -> Atomic.make false)
+
 (* The probing discipline shared by every worker: count each visit on a
    per-cell atomic, optionally serialising visits to the same cell
    through a per-cell test-and-set spinlock. Cell contents are only ever
    read ([Table.peek]); the table's own mutable counters are untouched,
-   which is what makes the query path reentrant. *)
-let make_probe ~cost ~counters table : Lc_dict.Dict_intf.probe =
+   which is what makes the query path reentrant. This is the
+   telemetry-free discipline — the exact PR 1 hot path, used whenever
+   [serve] is called without [?obs]. *)
+let make_probe ~cost ~counters ~locks table : Lc_dict.Dict_intf.probe =
   match cost with
   | Free ->
     fun ~step:_ j ->
       Atomic.incr counters.(j);
       Table.peek table j
   | Spinlock { hold } ->
-    if hold < 0 then invalid_arg "Engine: Spinlock hold must be >= 0";
-    let locks = Array.init (Array.length counters) (fun _ -> Atomic.make false) in
     fun ~step:_ j ->
       let l = locks.(j) in
       while not (Atomic.compare_and_set l false true) do
@@ -46,27 +55,164 @@ let make_probe ~cost ~counters table : Lc_dict.Dict_intf.probe =
       Atomic.incr counters.(j);
       v
 
-let serve ?(cost = Free) ~domains ~queries_per_domain ~seed inst qdist =
+(* Per-domain telemetry wired into one worker's probe closure. All
+   metric updates land in the worker's own shard (plain stores, no
+   atomics, no allocation), so the telemetry itself cannot become the
+   contended line it is trying to measure. *)
+type worker_obs = {
+  shard : Metrics.shard;
+  timeline : Span.timeline;
+  queries_c : Metrics.counter;
+  probes_c : Metrics.counter;
+  latency_h : Metrics.histogram;
+  probe_latency_h : Metrics.histogram;
+  spin_wait_h : Metrics.histogram;
+}
+
+(* Sampled per-probe latency: timing every probe with two gettimeofday
+   calls would dominate a ~nanosecond table read, so measure 1 probe in
+   [probe_sample_mask + 1]. *)
+let probe_sample_mask = 63
+
+let make_obs_probe ~cost ~counters ~locks table (w : worker_obs) :
+    Lc_dict.Dict_intf.probe =
+  let probe_tick = ref 0 in
+  let sampled_peek j =
+    let tick = !probe_tick in
+    probe_tick := tick + 1;
+    if tick land probe_sample_mask = 0 then begin
+      let t0 = Lc_obs.Clock.now_ns () in
+      let v = Table.peek table j in
+      Metrics.observe w.shard w.probe_latency_h
+        (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
+      v
+    end
+    else Table.peek table j
+  in
+  match cost with
+  | Free ->
+    fun ~step:_ j ->
+      Metrics.incr w.shard w.probes_c 1;
+      Atomic.incr counters.(j);
+      sampled_peek j
+  | Spinlock { hold } ->
+    fun ~step:_ j ->
+      Metrics.incr w.shard w.probes_c 1;
+      let l = locks.(j) in
+      (* Fast path: uncontended acquisition records zero wait without
+         touching the clock. *)
+      if Atomic.compare_and_set l false true then Metrics.observe w.shard w.spin_wait_h 0
+      else begin
+        let t0 = Lc_obs.Clock.now_ns () in
+        while not (Atomic.compare_and_set l false true) do
+          Domain.cpu_relax ()
+        done;
+        Metrics.observe w.shard w.spin_wait_h
+          (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0))
+      end;
+      let v = sampled_peek j in
+      for _ = 1 to hold do
+        Domain.cpu_relax ()
+      done;
+      Atomic.set l false;
+      Atomic.incr counters.(j);
+      v
+
+let serve ?(cost = Free) ?obs ~domains ~queries_per_domain ~seed inst qdist =
   if domains < 1 then invalid_arg "Engine.serve: domains must be >= 1";
-  if queries_per_domain < 1 then invalid_arg "Engine.serve: queries_per_domain must be >= 1";
+  if queries_per_domain < 1 then
+    invalid_arg "Engine.serve: queries_per_domain must be >= 1";
   let (module D : Lc_dict.Dict_intf.S) = Instance.core inst in
   let counters = Array.init D.space (fun _ -> Atomic.make 0) in
-  let probe = make_probe ~cost ~counters D.table in
+  let locks = make_locks ~cost ~space:D.space in
+  (* Everything per-domain (metric shards, timelines, probe closures) is
+     created on the orchestrating domain before any worker spawns, so
+     the workers themselves never touch the registry mutexes. *)
+  let setup =
+    match obs with
+    | None -> None
+    | Some (o : Lc_obs.Obs.t) ->
+      let queries_c =
+        Metrics.counter o.metrics ~help:"Queries served by the engine" "engine_queries_total"
+      in
+      let probes_c =
+        Metrics.counter o.metrics ~help:"Cell probes issued by the engine" "engine_probes_total"
+      in
+      let latency_h =
+        Metrics.histogram o.metrics ~help:"Per-query serve latency (ns)"
+          "engine_query_latency_ns"
+      in
+      let probe_latency_h =
+        Metrics.histogram o.metrics
+          ~help:(Printf.sprintf "Sampled per-probe read latency (ns), 1 in %d probes"
+                   (probe_sample_mask + 1))
+          "engine_probe_latency_ns"
+      in
+      let spin_wait_h =
+        Metrics.histogram o.metrics
+          ~help:"Per-acquisition spinlock wait (ns); 0 = uncontended"
+          "engine_spinlock_wait_ns"
+      in
+      let domains_g =
+        Metrics.gauge o.metrics ~help:"Worker domains in the last serve" "engine_domains"
+      in
+      let main_shard = Lc_obs.Obs.shard o ~domain:0 in
+      Metrics.set_gauge main_shard domains_g (float_of_int domains);
+      let main_tl = Lc_obs.Obs.timeline o ~tid:0 in
+      let workers =
+        Array.init domains (fun w ->
+            {
+              shard = Lc_obs.Obs.shard o ~domain:(w + 1);
+              timeline = Lc_obs.Obs.timeline o ~tid:(w + 1);
+              queries_c;
+              probes_c;
+              latency_h;
+              probe_latency_h;
+              spin_wait_h;
+            })
+      in
+      Some (main_tl, workers)
+  in
+  let main_span name f =
+    match setup with
+    | None -> f ()
+    | Some (main_tl, _) -> Span.with_span main_tl name f
+  in
   (* Pre-sample each domain's query batch outside the timed section so
      throughput measures probing, not distribution sampling. *)
   let batches =
+    main_span "sample-batches" @@ fun () ->
     Array.init domains (fun w ->
         let rng = Rng.create (seed + (7919 * (w + 1))) in
         Array.init queries_per_domain (fun _ -> Qdist.sample qdist rng))
   in
   let worker w () =
     let rng = Rng.create (seed lxor (104729 * (w + 1))) in
-    Array.iter (fun x -> ignore (D.mem ~probe rng x : bool)) batches.(w)
+    match setup with
+    | None ->
+      let probe = make_probe ~cost ~counters ~locks D.table in
+      Array.iter (fun x -> ignore (D.mem ~probe rng x : bool)) batches.(w)
+    | Some (_, workers) ->
+      let wo = workers.(w) in
+      let probe = make_obs_probe ~cost ~counters ~locks D.table wo in
+      Span.with_span wo.timeline "serve-batch" (fun () ->
+          Array.iter
+            (fun x ->
+              let t0 = Lc_obs.Clock.now_ns () in
+              ignore (D.mem ~probe rng x : bool);
+              Metrics.observe wo.shard wo.latency_h
+                (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
+              Metrics.incr wo.shard wo.queries_c 1)
+            batches.(w))
   in
   let t0 = Unix.gettimeofday () in
-  let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
-  Array.iter Domain.join spawned;
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds =
+    main_span "serve" @@ fun () ->
+    let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
+    Array.iter Domain.join spawned;
+    Unix.gettimeofday () -. t0
+  in
+  main_span "merge" @@ fun () ->
   let counts = Array.map Atomic.get counters in
   let total_probes = Array.fold_left ( + ) 0 counts in
   let hottest_cell = ref 0 in

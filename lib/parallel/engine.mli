@@ -51,6 +51,7 @@ type result = {
 
 val serve :
   ?cost:cost ->
+  ?obs:Lc_obs.Obs.t ->
   domains:int ->
   queries_per_domain:int ->
   seed:int ->
@@ -63,7 +64,29 @@ val serve :
     [mem] with per-cell atomic counting, and reports. [cost] defaults to
     {!Free}. Deterministic per-cell counts for a fixed seed and
     structure whenever probe {e placement} is deterministic; wall-clock
-    obviously varies. *)
+    obviously varies.
+
+    [obs], when supplied, wires the run into the observability layer
+    with {e per-domain} metric shards and span timelines, so telemetry
+    adds no shared mutable state to the hot path. Recorded per worker
+    domain [w] (shard/timeline index [w + 1]; the orchestrator is 0):
+
+    - counters [engine_queries_total] and [engine_probes_total]
+      (reconciling exactly with [result.queries] / [result.total_probes]
+      on a fresh handle);
+    - histograms [engine_query_latency_ns] (every query),
+      [engine_probe_latency_ns] (1 in 64 probes, the sampled cost of the
+      cell read itself) and [engine_spinlock_wait_ns] (per acquisition
+      under {!Spinlock}; an observation of 0 means uncontended);
+    - spans [sample-batches] / [serve] / [merge] on the orchestrator
+      timeline and one [serve-batch] span per worker, exportable via
+      {!Lc_obs.Span.to_chrome_json}.
+
+    Passing the same handle to several runs accumulates; use a fresh
+    {!Lc_obs.Obs.create} per run for exact reconciliation. Without
+    [obs], the serving path performs no telemetry work at all — no
+    allocation, no atomics beyond the per-cell counters — and the result
+    is identical to PR 1's engine. *)
 
 val hotspot_ratio : result -> float
 (** [hotspot_ratio r] is [r.hottest_count /. r.flat_bound]: how many

@@ -412,7 +412,35 @@ let test_trace_csv_rejects_garbage () =
   checkb "non-integer" true
     (Result.is_error (Trace.of_csv ~cells:5 "query,step,cell\n1,x,2"));
   checkb "cell out of range" true
-    (Result.is_error (Trace.of_csv ~cells:5 "query,step,cell\n0,0,5"))
+    (Result.is_error (Trace.of_csv ~cells:5 "query,step,cell\n0,0,5"));
+  checkb "negative cell" true
+    (Result.is_error (Trace.of_csv ~cells:5 "query,step,cell\n0,0,-1"));
+  checkb "negative query" true
+    (Result.is_error (Trace.of_csv ~cells:5 "query,step,cell\n-1,0,2"));
+  checkb "negative step" true
+    (Result.is_error (Trace.of_csv ~cells:5 "query,step,cell\n0,-3,2"));
+  checkb "empty input" true (Result.is_error (Trace.of_csv ~cells:5 ""))
+
+(* of_csv on a printed trace, printed again, is a fixpoint — and the
+   degenerate header-only document round-trips to an empty trace. *)
+let test_trace_csv_print_parse_fixpoint () =
+  let table = traced_table () in
+  let rng = Rng.create 5 in
+  let tr = Trace.record ~table ~mem:(traced_mem table) ~rng ~queries:[| 0; 1; 2; 3 |] in
+  let csv = Trace.to_csv tr in
+  (match Trace.of_csv ~cells:5 csv with
+  | Error e -> Alcotest.fail e
+  | Ok tr2 ->
+    Alcotest.check Alcotest.string "to_csv . of_csv . to_csv is the identity" csv
+      (Trace.to_csv tr2);
+    checki "geometry preserved" (Trace.cells tr) (Trace.cells tr2);
+    checki "query count preserved" (Trace.query_count tr) (Trace.query_count tr2));
+  match Trace.of_csv ~cells:3 "query,step,cell\n" with
+  | Error e -> Alcotest.failf "header-only trace should parse: %s" e
+  | Ok empty ->
+    checki "no events" 0 (Array.length (Trace.events empty));
+    checki "no queries" 0 (Trace.query_count empty);
+    checki "cells taken from the argument" 3 (Trace.cells empty)
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                           *)
@@ -518,6 +546,8 @@ let () =
           Alcotest.test_case "contention from trace" `Quick test_trace_contention_matches_exact;
           Alcotest.test_case "csv round-trip" `Quick test_trace_csv_roundtrip;
           Alcotest.test_case "csv rejects garbage" `Quick test_trace_csv_rejects_garbage;
+          Alcotest.test_case "csv print/parse fixpoint" `Quick
+            test_trace_csv_print_parse_fixpoint;
         ] );
       qsuite "properties" [ prop_exact_total_mass; prop_mc_exact_agree ];
     ]

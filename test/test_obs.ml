@@ -1,0 +1,444 @@
+(* Tier-1 tests for the observability layer: the JSON codec, the sharded
+   metrics registry (log-bucket boundaries, multi-shard merge, growth on
+   late registration), span balance and Chrome-trace export, and the
+   acceptance criteria for the instrumented engine — telemetry off means
+   a byte-identical result, telemetry on reconciles exactly with the
+   engine's own probe accounting. *)
+
+module Rng = Lc_prim.Rng
+module Qdist = Lc_cellprobe.Qdist
+module Keyset = Lc_workload.Keyset
+module Engine = Lc_parallel.Engine
+module Json = Lc_obs.Json
+module Metrics = Lc_obs.Metrics
+module Span = Lc_obs.Span
+module Export = Lc_obs.Export
+module Obs = Lc_obs.Obs
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let universe = 1 lsl 18
+let n = 256
+
+let lc_fixture seed =
+  let rng = Rng.create seed in
+  let keys = Keyset.random rng ~universe ~n in
+  let dict = Lc_core.Dictionary.build rng ~universe ~keys in
+  (keys, Lc_core.Dictionary.instance dict)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.List [ Json.Null; Json.Bool true; Json.Float 1.5 ]);
+        ("nested", Json.Obj [ ("s", Json.String "quote \" backslash \\ newline \n tab \t") ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ("neg", Json.Int (-7));
+      ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok doc' -> checkb "round-trip preserves the document" true (doc = doc')
+
+let test_json_numbers () =
+  (match Json.parse "[0, -12, 3.25, 1e3, 2E-2]" with
+  | Ok (Json.List [ Json.Int 0; Json.Int (-12); Json.Float f1; Json.Float f2; Json.Float f3 ])
+    ->
+    checkb "3.25 exact" true (f1 = 3.25);
+    checkb "1e3 exact" true (f2 = 1000.0);
+    checkb "2E-2 exact" true (f3 = 0.02)
+  | Ok _ -> Alcotest.fail "wrong shape for number list"
+  | Error e -> Alcotest.fail e);
+  checkb "int stays Int through print" true (Json.to_string (Json.Int 123) = "123")
+
+let test_json_rejects () =
+  let bad s = checkb (Printf.sprintf "rejects %S" s) true (Result.is_error (Json.parse s)) in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "\"unterminated";
+  bad "truu";
+  bad "{\"a\":1} trailing";
+  bad "{'single':1}";
+  bad "[1 2]"
+
+let test_json_escapes () =
+  match Json.parse {|"aA\n\"b\\"|} with
+  | Ok (Json.String s) -> checks "escape decoding" "aA\n\"b\\" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_bucket_boundaries () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  let sh = Metrics.shard m ~domain:0 in
+  List.iter (fun v -> Metrics.observe sh h v) [ 0; 1; 2; 3; 4; 7; 8 ];
+  let snap = Metrics.snapshot m in
+  match Metrics.Snapshot.find_hist snap "h" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hist ->
+    (* 0 -> bucket upper 0; 1 -> 1; 2,3 -> 3; 4,7 -> 7; 8 -> 15. *)
+    Alcotest.(check (array (pair int int)))
+      "log-bucket boundaries at powers of two"
+      [| (0, 1); (1, 1); (3, 2); (7, 2); (15, 1) |]
+      hist.buckets;
+    checki "count" 7 hist.count;
+    checki "sum" 25 hist.sum;
+    checki "max" 8 hist.max_value
+
+let test_metrics_multi_shard_merge () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  let g = Metrics.gauge m "g" in
+  let h = Metrics.histogram m "h" in
+  let sh0 = Metrics.shard m ~domain:0 in
+  let sh1 = Metrics.shard m ~domain:1 in
+  Metrics.incr sh0 c 3;
+  Metrics.incr sh1 c 4;
+  Metrics.set_gauge sh0 g 1.5;
+  Metrics.set_gauge sh1 g 2.5;
+  Metrics.observe sh0 h 5;
+  Metrics.observe sh1 h 5;
+  Metrics.observe sh1 h 100;
+  let snap = Metrics.snapshot m in
+  checki "counters sum across shards" 7
+    (Option.get (Metrics.Snapshot.counter_value snap "c"));
+  checkb "gauges sum across shards" true
+    (Option.get (Metrics.Snapshot.gauge_value snap "g") = 4.0);
+  let hist = Option.get (Metrics.Snapshot.find_hist snap "h") in
+  checki "histogram count merges" 3 hist.count;
+  checki "histogram sum merges" 110 hist.sum;
+  checki "same-bucket observations merge" 2
+    (snd (Array.get hist.buckets 0))
+
+let test_metrics_register_after_shard () =
+  let m = Metrics.create () in
+  let c1 = Metrics.counter m "first" in
+  let sh = Metrics.shard m ~domain:0 in
+  Metrics.incr sh c1 1;
+  (* Registering after the shard exists must grow its storage. *)
+  let c2 = Metrics.counter m "second" in
+  let h = Metrics.histogram m "late_hist" in
+  Metrics.incr sh c2 9;
+  Metrics.observe sh h 2;
+  let snap = Metrics.snapshot m in
+  checki "pre-existing counter intact" 1
+    (Option.get (Metrics.Snapshot.counter_value snap "first"));
+  checki "late counter recorded" 9
+    (Option.get (Metrics.Snapshot.counter_value snap "second"));
+  checki "late histogram recorded" 1
+    (Option.get (Metrics.Snapshot.find_hist snap "late_hist")).count;
+  checkb "same name returns same metric" true (Metrics.counter m "first" = c1);
+  checkb "kind clash rejected" true
+    (try
+       ignore (Metrics.gauge m "first" : Metrics.gauge);
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  let sh = Metrics.shard m ~domain:0 in
+  for _ = 1 to 1000 do
+    Metrics.observe sh h 100
+  done;
+  let hist = Option.get (Metrics.Snapshot.find_hist (Metrics.snapshot m) "h") in
+  let p50 = Metrics.Snapshot.quantile hist 0.5 in
+  (* All mass in bucket [64, 127], clamped at the exact max. *)
+  checkb "p50 inside the mass bucket" true (p50 >= 64.0 && p50 <= 100.0);
+  checkb "p100 clamps to exact max" true (Metrics.Snapshot.quantile hist 1.0 = 100.0);
+  checkb "mean exact" true (Metrics.Snapshot.mean hist = 100.0);
+  let empty = Metrics.histogram m "empty" in
+  ignore (Metrics.shard m ~domain:0);
+  ignore empty;
+  let e = Option.get (Metrics.Snapshot.find_hist (Metrics.snapshot m) "empty") in
+  checkb "empty quantile is 0" true (Metrics.Snapshot.quantile e 0.5 = 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Span                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_balance () =
+  let s = Span.create () in
+  let tl = Span.timeline s ~tid:0 in
+  Span.with_span tl "outer" (fun () ->
+      Span.with_span tl "inner" (fun () -> Span.instant tl "mark"));
+  checkb "balanced after with_span nesting" true (Span.check_balanced s = Ok ());
+  Span.begin_span tl "dangling";
+  checkb "open span detected" true (Result.is_error (Span.check_balanced s));
+  Span.end_span tl;
+  checkb "balanced again" true (Span.check_balanced s = Ok ());
+  checkb "end without begin raises" true
+    (try
+       Span.end_span tl;
+       false
+     with Invalid_argument _ -> true)
+
+let test_span_chrome_json () =
+  let s = Span.create () in
+  let tl0 = Span.timeline s ~tid:0 in
+  let tl1 = Span.timeline s ~tid:1 in
+  Span.with_span tl0 "alpha" (fun () -> Span.with_span tl0 "beta" (fun () -> ()));
+  Span.with_span tl1 "gamma" (fun () -> Span.instant tl1 "tick");
+  match Json.parse (Span.to_chrome_json s) with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok doc ->
+    let events = Json.to_list (Option.get (Json.member "traceEvents" doc)) in
+    checki "3 spans x 2 events + 1 instant" 7 (List.length events);
+    List.iter
+      (fun e ->
+        checkb "every event has a name" true (Json.member "name" e <> None);
+        checkb "every event has a ts" true (Json.member "ts" e <> None);
+        checkb "ph is B/E/i" true
+          (match Option.bind (Json.member "ph" e) Json.string_value with
+          | Some ("B" | "E" | "i") -> true
+          | _ -> false))
+      events
+
+let test_span_summary () =
+  let s = Span.create () in
+  let tl = Span.timeline s ~tid:3 in
+  Span.with_span tl "work" (fun () ->
+      Span.with_span tl "sub" (fun () -> ());
+      Span.with_span tl "sub" (fun () -> ()));
+  let text = Span.summary s in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "summary names the timeline" true (contains "tid 3");
+  checkb "summary lists the parent" true (contains "work");
+  checkb "summary aggregates repeated children" true (contains "2 calls")
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_export_prometheus_and_json () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"a counter" "dotted.name_total" in
+  let h = Metrics.histogram m "lat" in
+  let sh = Metrics.shard m ~domain:0 in
+  Metrics.incr sh c 5;
+  Metrics.observe sh h 3;
+  Metrics.observe sh h 200;
+  let snap = Metrics.snapshot m in
+  let prom = Export.prometheus snap in
+  let has needle =
+    let rec go i =
+      i + String.length needle <= String.length prom
+      && (String.sub prom i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "counter exposed with sanitized name" true (has "dotted_name_total 5");
+  checkb "TYPE line present" true (has "# TYPE dotted_name_total counter");
+  checkb "histogram cumulative +Inf bucket" true (has "lat_bucket{le=\"+Inf\"} 2");
+  checkb "histogram sum" true (has "lat_sum 203");
+  match Json.parse (Export.json_snapshot snap) with
+  | Error e -> Alcotest.failf "json snapshot does not parse: %s" e
+  | Ok doc ->
+    let counters = Option.get (Json.member "counters" doc) in
+    checkb "counter value in json" true
+      (Option.bind (Json.member "dotted.name_total" counters) Json.int_value = Some 5)
+
+(* ------------------------------------------------------------------ *)
+(* Engine acceptance                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock fields vary run to run; everything else must not. *)
+let normalized (r : Engine.result) = { r with Engine.seconds = 0.0; throughput = 0.0 }
+
+let marshal r = Marshal.to_string (normalized r) []
+
+let test_engine_obs_off_is_byte_identical () =
+  let keys, inst = lc_fixture 21 in
+  let keys_dist = Qdist.uniform ~name:"pos" keys in
+  let serve ?obs () =
+    Engine.serve ?obs ~domains:2 ~queries_per_domain:600 ~seed:33 inst keys_dist
+  in
+  let r1 = serve () in
+  let r2 = serve () in
+  checks "two uninstrumented runs marshal identically" (marshal r1) (marshal r2);
+  let r3 = serve ~obs:(Obs.create ()) () in
+  checks "telemetry does not perturb the result record" (marshal r1) (marshal r3)
+
+let test_engine_obs_reconciles () =
+  let keys, inst = lc_fixture 22 in
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let obs = Obs.create () in
+  let r = Engine.serve ~obs ~domains:3 ~queries_per_domain:700 ~seed:5 inst qd in
+  let snap = Obs.snapshot obs in
+  checki "engine_probes_total = result.total_probes" r.Engine.total_probes
+    (Option.get (Metrics.Snapshot.counter_value snap "engine_probes_total"));
+  checki "engine_queries_total = result.queries" r.Engine.queries
+    (Option.get (Metrics.Snapshot.counter_value snap "engine_queries_total"));
+  let lat = Option.get (Metrics.Snapshot.find_hist snap "engine_query_latency_ns") in
+  checki "one latency observation per query" r.Engine.queries lat.count;
+  checkb "domains gauge" true
+    (Metrics.Snapshot.gauge_value snap "engine_domains" = Some 3.0)
+
+let test_engine_obs_trace_balanced () =
+  let keys, inst = lc_fixture 23 in
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let obs = Obs.create () in
+  let r = Engine.serve ~obs ~domains:3 ~queries_per_domain:300 ~seed:6 inst qd in
+  checki "sanity: all queries served" 900 r.Engine.queries;
+  checkb "collector reports balance" true (Span.check_balanced obs.Obs.spans = Ok ());
+  (* Independently re-check balance from the emitted JSON itself. *)
+  match Json.parse (Span.to_chrome_json obs.Obs.spans) with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok doc ->
+    let events = Json.to_list (Option.get (Json.member "traceEvents" doc)) in
+    checkb "trace has events" true (List.length events > 0);
+    let depth : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+    let tids : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let tid = Option.get (Option.bind (Json.member "tid" e) Json.int_value) in
+        Hashtbl.replace tids tid ();
+        let d =
+          match Hashtbl.find_opt depth tid with
+          | Some d -> d
+          | None ->
+            let d = ref 0 in
+            Hashtbl.add depth tid d;
+            d
+        in
+        match Option.bind (Json.member "ph" e) Json.string_value with
+        | Some "B" -> incr d
+        | Some "E" ->
+          decr d;
+          checkb "no E before B" true (!d >= 0)
+        | _ -> ())
+      events;
+    Hashtbl.iter
+      (fun tid d -> checki (Printf.sprintf "tid %d ends at depth 0" tid) 0 !d)
+      depth;
+    (* Orchestrator + one timeline per worker domain. *)
+    checki "timelines = domains + 1" 4 (Hashtbl.length tids)
+
+let test_engine_obs_spinlock_wait () =
+  let keys, inst = lc_fixture 24 in
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let obs = Obs.create () in
+  let r =
+    Engine.serve ~cost:(Engine.Spinlock { hold = 2 }) ~obs ~domains:2 ~queries_per_domain:400
+      ~seed:7 inst qd
+  in
+  let snap = Obs.snapshot obs in
+  let wait = Option.get (Metrics.Snapshot.find_hist snap "engine_spinlock_wait_ns") in
+  checki "one wait observation per probe" r.Engine.total_probes wait.count;
+  let free = Engine.serve ~domains:2 ~queries_per_domain:400 ~seed:7 inst qd in
+  checki "same tallies as the free uninstrumented run" free.Engine.total_probes
+    r.Engine.total_probes
+
+(* ------------------------------------------------------------------ *)
+(* Build-stage telemetry                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_obs_spans_and_counters () =
+  let rng = Rng.create 31 in
+  let keys = Keyset.random rng ~universe ~n in
+  let obs = Obs.create () in
+  let dict = Lc_core.Dictionary.build ~obs rng ~universe ~keys in
+  checkb "build trace balanced" true (Span.check_balanced obs.Obs.spans = Ok ());
+  let snap = Obs.snapshot obs in
+  checki "trial counter matches the structure's own count"
+    (Lc_core.Dictionary.build_trials dict)
+    (Option.get (Metrics.Snapshot.counter_value snap "build_ps_trials_total"));
+  let rejects =
+    Option.get (Metrics.Snapshot.counter_value snap "build_ps_rejects_g_total")
+    + Option.get (Metrics.Snapshot.counter_value snap "build_ps_rejects_group_total")
+    + Option.get (Metrics.Snapshot.counter_value snap "build_ps_rejects_fks_total")
+  in
+  checki "rejects = trials - 1" (Lc_core.Dictionary.build_trials dict - 1) rejects;
+  checkb "perfect-hash trials recorded" true
+    (Option.get (Metrics.Snapshot.counter_value snap "build_perfect_trials_total") > 0);
+  let text = Span.summary obs.Obs.spans in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun stage -> checkb (Printf.sprintf "summary names %s" stage) true (contains stage))
+    [ "build"; "P(S)-sampling"; "layout-gbas"; "perfect-hashing"; "write-rows" ]
+
+(* Build then serve on one handle: the profile subcommand's flow. Late
+   engine registrations must not disturb the build-stage counters. *)
+let test_build_then_serve_shared_handle () =
+  let rng = Rng.create 32 in
+  let keys = Keyset.random rng ~universe ~n in
+  let obs = Obs.create () in
+  let dict = Lc_core.Dictionary.build ~obs rng ~universe ~keys in
+  let inst = Lc_core.Dictionary.instance dict in
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let r = Engine.serve ~obs ~domains:2 ~queries_per_domain:300 ~seed:8 inst qd in
+  let snap = Obs.snapshot obs in
+  checki "build trials survive engine registration"
+    (Lc_core.Dictionary.build_trials dict)
+    (Option.get (Metrics.Snapshot.counter_value snap "build_ps_trials_total"));
+  checki "probe counter reconciles on the shared handle" r.Engine.total_probes
+    (Option.get (Metrics.Snapshot.counter_value snap "engine_probes_total"));
+  checkb "combined trace balanced" true (Span.check_balanced obs.Obs.spans = Ok ())
+
+let () =
+  Alcotest.run "lc_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
+          Alcotest.test_case "escape decoding" `Quick test_json_escapes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "log-bucket boundaries" `Quick test_metrics_bucket_boundaries;
+          Alcotest.test_case "multi-shard merge" `Quick test_metrics_multi_shard_merge;
+          Alcotest.test_case "register after shard" `Quick test_metrics_register_after_shard;
+          Alcotest.test_case "quantiles" `Quick test_metrics_quantiles;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "balance" `Quick test_span_balance;
+          Alcotest.test_case "chrome json" `Quick test_span_chrome_json;
+          Alcotest.test_case "summary" `Quick test_span_summary;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "prometheus + json" `Quick test_export_prometheus_and_json ] );
+      ( "engine",
+        [
+          Alcotest.test_case "obs off is byte-identical" `Quick
+            test_engine_obs_off_is_byte_identical;
+          Alcotest.test_case "counters reconcile with result" `Quick test_engine_obs_reconciles;
+          Alcotest.test_case "trace parses and balances per domain" `Quick
+            test_engine_obs_trace_balanced;
+          Alcotest.test_case "spinlock wait observed per probe" `Quick
+            test_engine_obs_spinlock_wait;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "build spans and counters" `Quick test_build_obs_spans_and_counters;
+          Alcotest.test_case "build then serve shares a handle" `Quick
+            test_build_then_serve_shared_handle;
+        ] );
+    ]

@@ -188,6 +188,65 @@ let test_spinlock_same_tallies () =
   in
   checki "same total probes under spinlock" free.Engine.total_probes locked.Engine.total_probes
 
+(* Crafted result records exercising the summarisers directly:
+   count_histogram's log buckets must break exactly at powers of two,
+   report untouched cells in the (0, k) bucket, and skip empty buckets;
+   top_cells must sort descending and tolerate k larger than the table. *)
+let fake_result counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  let hottest = ref 0 in
+  Array.iteri (fun j c -> if c > counts.(!hottest) then hottest := j) counts;
+  {
+    Engine.name = "fake";
+    domains = 1;
+    queries = total;
+    seconds = 1.0;
+    throughput = float_of_int total;
+    total_probes = total;
+    counts;
+    hottest_cell = !hottest;
+    hottest_count = counts.(!hottest);
+    hottest_share =
+      (if total = 0 then 0.0 else float_of_int counts.(!hottest) /. float_of_int total);
+    flat_bound = 1.0;
+  }
+
+let test_count_histogram_buckets () =
+  (* Boundaries: 0 | 1 | 2..3 | 4..7 | 8..15. Values 2 and 3 share a
+     bucket; 4 opens the next one. *)
+  let r = fake_result [| 0; 0; 1; 2; 3; 4; 7; 8 |] in
+  Alcotest.(check (list (pair int int)))
+    "power-of-two bucket boundaries"
+    [ (0, 2); (1, 1); (3, 2); (7, 2); (15, 1) ]
+    (Engine.count_histogram r);
+  (* All cells untouched: only the (0, k) bucket. *)
+  Alcotest.(check (list (pair int int)))
+    "all-zero counts collapse to the (0, k) bucket"
+    [ (0, 5) ]
+    (Engine.count_histogram (fake_result (Array.make 5 0)));
+  (* Empty buckets between populated ones are skipped. *)
+  Alcotest.(check (list (pair int int)))
+    "empty buckets skipped"
+    [ (1, 1); (127, 1) ]
+    (Engine.count_histogram (fake_result [| 1; 100 |]))
+
+let test_top_cells () =
+  let r = fake_result [| 5; 0; 9; 1; 9 |] in
+  (match Engine.top_cells r ~k:3 with
+  | [ (c1, 9); (c2, 9); (0, 5) ] when (c1 = 2 && c2 = 4) || (c1 = 4 && c2 = 2) -> ()
+  | other ->
+    Alcotest.failf "unexpected top-3: %s"
+      (String.concat "; " (List.map (fun (j, c) -> Printf.sprintf "(%d,%d)" j c) other)));
+  checkb "counts weakly descending" true
+    (let rec desc = function
+       | (_, a) :: ((_, b) :: _ as rest) -> a >= b && desc rest
+       | _ -> true
+     in
+     desc (Engine.top_cells r ~k:5));
+  checki "k beyond the table clamps to every cell" 5
+    (List.length (Engine.top_cells r ~k:100));
+  checki "k = 0 yields nothing" 0 (List.length (Engine.top_cells r ~k:0))
+
 (* Build_failed diagnostics: at n = 4 the FKS condition of P(S) is
    discrete enough that a first-trial rejection happens for a few
    percent of seeds, so with max_trials:1 some seed below 300 surfaces
@@ -219,6 +278,8 @@ let () =
           Alcotest.test_case "storm agreement" `Quick test_storm_agreement;
           Alcotest.test_case "hotspot separation" `Quick test_hotspot_separation;
           Alcotest.test_case "spinlock same tallies" `Quick test_spinlock_same_tallies;
+          Alcotest.test_case "count_histogram buckets" `Quick test_count_histogram_buckets;
+          Alcotest.test_case "top_cells" `Quick test_top_cells;
         ] );
       ( "modes",
         [
