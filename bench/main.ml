@@ -161,6 +161,45 @@ let tests =
           Test.make ~name:"clock_now_ns"
             (Staged.stage (fun () -> ignore (Lc_obs.Clock.now_ns () : int64)));
         ];
+      Test.make_grouped ~name:"monitor(T13)"
+        [
+          (* The extra work a monitored worker pays per probe (sketch
+             scan) and per publish_period queries (seqlock publication),
+             plus a whole monitored run against the plain one above. *)
+          Test.make ~name:"heavy_observe_k16"
+            (let s = Lc_obs.Heavy.create ~k:16 in
+             let v = ref 1 in
+             Staged.stage (fun () ->
+                 v := (!v * 7) land 0xFFFF;
+                 Lc_obs.Heavy.observe s !v));
+          Test.make ~name:"window_publish"
+            (let obs = Lc_obs.Obs.create () in
+             ignore (Lc_obs.Metrics.counter obs.metrics "bench_q_total" : Lc_obs.Metrics.counter);
+             let sh = Lc_obs.Obs.shard obs ~domain:0 in
+             let w =
+               Lc_obs.Window.create obs.metrics
+                 {
+                   Lc_obs.Window.ring_capacity = 8;
+                   queries_counter = "bench_q_total";
+                   probes_counter = "bench_q_total";
+                   latency_histogram = "bench_q_total";
+                   space = 1024;
+                   max_probes = 4;
+                   top_k = 16;
+                   alert_factor = 8.0;
+                 }
+                 ~publishers:1
+             in
+             let pub = Lc_obs.Window.publisher w 0 in
+             let sketch = Lc_obs.Heavy.create ~k:16 in
+             Staged.stage (fun () -> Lc_obs.Window.publish pub sh sketch));
+          Test.make ~name:"serve_2dom_lowcon_500q_monitored"
+            (Staged.stage (fun () ->
+                 let mon = Lc_parallel.Engine.Monitor.create ~interval_s:0.05 ~domains:2 lc_inst in
+                 ignore
+                   (Lc_parallel.Engine.serve_windowed ~monitor:mon ~domains:2
+                      ~queries_per_domain:500 ~seed:3 lc_inst pos_dist)));
+        ];
       Test.make_grouped ~name:"harness(T1/T2)"
         [
           Test.make ~name:"contention_exact_n1024"

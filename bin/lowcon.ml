@@ -255,10 +255,261 @@ let profile_cmd =
         (const profile $ seed_arg $ n_arg $ universe_arg $ dist_arg $ domains_arg $ queries_arg
        $ cost_arg $ out_arg))
 
+(* ------------------------------------------------------------------ *)
+
+module Engine = Lc_parallel.Engine
+module Window = Lc_obs.Window
+
+let structure_arg =
+  let doc =
+    "Structure to serve: 'lc' (the low-contention dictionary), 'fks-norepl' (unreplicated FKS \
+     — the deliberately hot one), 'fks', 'dm', 'cuckoo', or 'binary'."
+  in
+  Arg.(value & opt string "lc" & info [ "structure" ] ~docv:"S" ~doc)
+
+let build_structure rng ~universe ~keys = function
+  | "lc" -> Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys)
+  | "fks-norepl" -> Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys)
+  | "fks" -> Lc_dict.Fks.instance (Lc_dict.Fks.build rng ~universe ~keys)
+  | "dm" -> Lc_dict.Dm_dict.instance (Lc_dict.Dm_dict.build rng ~universe ~keys)
+  | "cuckoo" -> Lc_dict.Cuckoo.instance (Lc_dict.Cuckoo.build rng ~universe ~keys)
+  | "binary" -> Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys)
+  | s -> failwith (Printf.sprintf "unknown structure %S" s)
+
+let window_arg =
+  Arg.(
+    value
+    & opt float 0.25
+    & info [ "window" ] ~docv:"SECONDS" ~doc:"Monitor tick period — one window per tick.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:
+          "Serve /metrics, /snapshot.json, /cells.json, /windows.json and /healthz on \
+           127.0.0.1:$(docv) during the run (0 picks an ephemeral port).")
+
+let top_k_arg =
+  Arg.(value & opt int 16 & info [ "top-k" ] ~docv:"K" ~doc:"Hot-cell sketch capacity per worker.")
+
+let alert_arg =
+  Arg.(
+    value
+    & opt float 8.0
+    & info [ "alert-factor" ] ~docv:"X"
+        ~doc:
+          "Fire the hotspot alert when a window's engine_hotspot_ratio exceeds $(docv) times \
+           the flat 1/s bound.")
+
+let no_dashboard_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-dashboard" ]
+        ~doc:"Append one log line per window instead of redrawing a terminal dashboard.")
+
+let linger_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "linger" ] ~docv:"SECONDS"
+        ~doc:"Keep the HTTP endpoint up this long after the run completes.")
+
+let window_line (e : Window.entry) =
+  Printf.sprintf "w%03d  [%6.2fs,%6.2fs)  q %7d  qps %9.0f  p50 %7.1fus  p99 %7.1fus  hot %6.1fx  %s"
+    e.index e.t_start_s e.t_end_s e.queries e.qps (e.p50_ns /. 1e3) (e.p99_ns /. 1e3)
+    e.hotspot_ratio
+    (if e.alert then "ALERT" else "-")
+
+let render_dashboard ~name ~domains ~port ~alert_factor mon (_ : Window.entry) =
+  let w = Engine.Monitor.window mon in
+  let entries = Window.entries w in
+  let recent =
+    let len = List.length entries in
+    if len <= 16 then entries else List.filteri (fun i _ -> i >= len - 16) entries
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "\027[2J\027[H";
+  Buffer.add_string buf
+    (Printf.sprintf "lowcon monitor — %s, %d domains, alert at %.1fx flat%s\n\n" name domains
+       alert_factor
+       (match port with
+       | Some p -> Printf.sprintf " — http://127.0.0.1:%d/metrics" p
+       | None -> ""));
+  List.iter (fun e -> Buffer.add_string buf (window_line e ^ "\n")) recent;
+  Buffer.add_string buf
+    (Printf.sprintf "\nwindows %d   alert %s (fired in %d, current run %d)\n"
+       (Window.total_windows w)
+       (if Window.alert_active w then "FIRING" else "quiet")
+       (Window.alert_fired_total w) (Window.alert_firing_run w));
+  print_string (Buffer.contents buf);
+  flush stdout
+
+let monitor_run seed n universe_opt dist structure domains queries cost_spec window_s port_opt
+    top_k alert_factor no_dashboard linger =
+  with_errors @@ fun () ->
+  let cost = parse_cost cost_spec in
+  let rng = Rng.create seed in
+  let universe = resolve_universe n universe_opt in
+  let keys = Keyset.random rng ~universe ~n in
+  let inst = build_structure rng ~universe ~keys structure in
+  let qd = parse_dist rng ~universe ~keys dist in
+  (* The dashboard hook needs the monitor (for the window ring) and the
+     HTTP port, neither of which exists until after the hook does;
+     thread both through refs set before the run starts. *)
+  let bound_port = ref None in
+  let mon_ref = ref None in
+  let on_window e =
+    if no_dashboard then begin
+      print_endline (window_line e);
+      flush stdout
+    end
+    else
+      match !mon_ref with
+      | None -> ()
+      | Some mon ->
+        render_dashboard ~name:inst.Instance.name ~domains ~port:!bound_port ~alert_factor
+          mon e
+  in
+  let mon =
+    Engine.Monitor.create ~interval_s:window_s ~top_k ~alert_factor ~on_window ~domains inst
+  in
+  mon_ref := Some mon;
+  let server =
+    Option.map (fun p -> Lc_obs.Http.start ~port:p (Engine.Monitor.routes mon)) port_opt
+  in
+  (match server with
+  | Some s ->
+    bound_port := Some (Lc_obs.Http.port s);
+    Printf.printf "Scrape endpoint: http://127.0.0.1:%d/metrics (also /snapshot.json, \
+                   /cells.json, /windows.json, /healthz)\n%!"
+      (Lc_obs.Http.port s)
+  | None -> ());
+  let w =
+    Engine.serve_windowed ~cost ~monitor:mon ~domains ~queries_per_domain:queries ~seed inst qd
+  in
+  let r = w.result in
+  if not no_dashboard then print_newline ();
+  Printf.printf "\nServed %d queries on %d domains in %.4f s (%.0f q/s); %d windows.\n" r.queries
+    r.domains r.seconds r.throughput (List.length w.windows);
+  Printf.printf "Hottest cell %d: %d probes, %.1fx the flat bound %.1f (exact).\n" r.hottest_cell
+    r.hottest_count (Engine.hotspot_ratio r) r.flat_bound;
+  (match w.windows with
+  | [] -> ()
+  | ws ->
+    let final = List.nth ws (List.length ws - 1) in
+    Printf.printf "Final window: sketched ratio %.1fx, hottest sketched cell %d.\n"
+      final.hotspot_ratio final.max_cell);
+  (match w.cells with
+  | Some cells when cells.top <> [] ->
+    Printf.printf "Sketched top cells (error bound %d):" cells.error_bound;
+    List.iteri
+      (fun i (e : Lc_obs.Heavy.entry) ->
+        if i < 5 then Printf.printf "  %d:%d±%d" e.item e.count e.err)
+      cells.top;
+    print_newline ()
+  | _ -> ());
+  if w.alert_windows > 0 then
+    Printf.printf
+      "ALERT: hotspot ratio exceeded %.1fx flat in %d of %d windows — a contended cell is \
+       absorbing far more than its 1/s share (Theta(sqrt n) regression territory).\n"
+      alert_factor w.alert_windows (List.length w.windows)
+  else
+    Printf.printf "Alert quiet: every window stayed within %.1fx of the flat bound.\n"
+      alert_factor;
+  (match server with
+  | Some s ->
+    if linger > 0.0 then begin
+      Printf.printf "Endpoint stays up for %.1f s (ctrl-C to stop early)...\n%!" linger;
+      Unix.sleepf linger
+    end;
+    Lc_obs.Http.stop s
+  | None -> ())
+
+let monitor_cmd =
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Serve a workload while watching it live: windowed qps and latency quantiles, \
+          sketched hot cells, a theory-bound hotspot alert, and an optional HTTP scrape \
+          endpoint.")
+    Term.(
+      ret
+        (const monitor_run $ seed_arg $ n_arg $ universe_arg $ dist_arg $ structure_arg
+       $ domains_arg $ queries_arg $ cost_arg $ window_arg $ port_arg $ top_k_arg $ alert_arg
+       $ no_dashboard_arg $ linger_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let prefix_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PREFIX" ~doc:"Artifact prefix, as passed to $(b,lowcon profile --out).")
+
+(* A scrape line is either a comment or "name[{labels}] value". *)
+let check_prom_line line =
+  if line = "" || String.length line >= 2 && String.sub line 0 2 = "# " then Ok ()
+  else
+    match String.rindex_opt line ' ' with
+    | None -> Error "no value separator"
+    | Some i ->
+      let value = String.sub line (i + 1) (String.length line - i - 1) in
+      let name = String.sub line 0 i in
+      if name = "" then Error "empty series name"
+      else if float_of_string_opt value = None then
+        Error (Printf.sprintf "unparseable value %S" value)
+      else Ok ()
+
+let validate prefix =
+  with_errors @@ fun () ->
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fail_at path msg = failwith (Printf.sprintf "%s: %s" path msg) in
+  let check_json path =
+    match Lc_obs.Json.parse (read path) with
+    | Ok _ -> Printf.printf "%-40s ok (valid JSON)\n" path
+    | Error e -> fail_at path ("invalid JSON — " ^ e)
+  in
+  check_json (prefix ^ ".trace.json");
+  let metrics_path = prefix ^ ".metrics.json" in
+  (match Lc_obs.Json.parse (read metrics_path) with
+  | Error e -> fail_at metrics_path ("invalid JSON — " ^ e)
+  | Ok doc ->
+    (match Lc_obs.Json.member "counters" doc with
+    | Some (Lc_obs.Json.Obj _) -> ()
+    | _ -> fail_at metrics_path "missing \"counters\" object");
+    Printf.printf "%-40s ok (valid JSON with counters)\n" metrics_path);
+  let prom_path = prefix ^ ".prom" in
+  let lines = String.split_on_char '\n' (read prom_path) in
+  let series = ref 0 in
+  List.iteri
+    (fun i line ->
+      match check_prom_line line with
+      | Ok () -> if line <> "" && line.[0] <> '#' then incr series
+      | Error e -> fail_at prom_path (Printf.sprintf "line %d: %s" (i + 1) e))
+    lines;
+  if !series = 0 then fail_at prom_path "no series lines";
+  Printf.printf "%-40s ok (%d series lines)\n" prom_path !series
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check that a $(b,lowcon profile) artifact set parses: both JSON documents and the \
+          Prometheus exposition line grammar.")
+    Term.(ret (const validate $ prefix_arg))
+
 let () =
   let doc = "Workbench for low-contention static dictionaries (SPAA 2010)" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "lowcon" ~version:"1.0.0" ~doc)
-          [ report_cmd; compare_cmd; hotspot_cmd; profile_cmd ]))
+          [ report_cmd; compare_cmd; hotspot_cmd; profile_cmd; monitor_cmd; validate_cmd ]))

@@ -1,0 +1,132 @@
+(* T13: the live contention observatory. While T12 measures a serving
+   run's hot spot after the fact, this experiment watches it happen:
+   per-worker Space-Saving sketches and metric shards are seqlock-
+   published mid-run, a monitor domain cuts windows on an interval, and
+   the windowed engine_hotspot_ratio drives the Theta(sqrt n)-regression
+   alert. The claim under test is that the streaming estimate agrees
+   with the exact post-run tally (within the sketch error bound), and
+   that the alert separates Theorem 3 from an unreplicated structure
+   without seeing the exact counts. *)
+
+module Rng = Lc_prim.Rng
+module Tablefmt = Lc_analysis.Tablefmt
+module Experiment = Lc_analysis.Experiment
+module Qdist = Lc_cellprobe.Qdist
+module Engine = Lc_parallel.Engine
+module Window = Lc_obs.Window
+
+let t13 =
+  {
+    Experiment.id = "T13";
+    title = "Live observatory: windowed rates, sketched hot cells, theory-bound alert";
+    claim =
+      "The streaming view of a serving run is faithful to the exact one: windowed query \
+       counts published through per-worker seqlocks sum to the engine's query total, the \
+       merged Space-Saving top-k contains the true hottest cell with its tally bracketed by \
+       the sketch error bound, and the final window's engine_hotspot_ratio matches the exact \
+       hottest/flat ratio closely enough that a fixed alert factor fires on unreplicated FKS \
+       (ratio Theta(s)) while staying silent on the low-contention dictionary (ratio O(1)) — \
+       a Theta(sqrt n) contention regression is detectable live, from O(k)-memory sketches, \
+       without ever reading the O(s) exact counters.";
+    run =
+      (fun ~seed ->
+        let n = 512 in
+        let rng = Rng.create seed in
+        let universe = Common.universe_for n in
+        let keys = Lc_workload.Keyset.random rng ~universe ~n in
+        let arms =
+          [
+            ( "low-contention",
+              Lc_core.Dictionary.instance (Common.lc_build rng ~universe ~keys) );
+            ( "fks (no repl.)",
+              Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys) );
+          ]
+        in
+        let qd = Qdist.uniform ~name:"uniform-positive" keys in
+        let domains = 4 and qpd = 8_000 and alert_factor = 8.0 in
+        let tbl =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf
+                 "T13: %d domains x %d queries, windows every 30 ms, alert at %.0fx flat (n = \
+                  %d)"
+                 domains qpd alert_factor n)
+            ~columns:
+              [
+                "structure"; "windows"; "sum q"; "engine q"; "ratio (sketch)"; "ratio (exact)";
+                "err bound"; "hot cell"; "alerts"; "verdict";
+              ]
+        in
+        let transcripts = Buffer.create 256 in
+        List.iter
+          (fun (label, inst) ->
+            let mon =
+              Engine.Monitor.create ~interval_s:0.03 ~publish_period:128 ~top_k:16
+                ~alert_factor ~domains inst
+            in
+            let w =
+              Engine.serve_windowed ~monitor:mon ~domains ~queries_per_domain:qpd
+                ~seed:(seed + 17) inst qd
+            in
+            let r = w.result in
+            let sum_q = List.fold_left (fun a (e : Window.entry) -> a + e.queries) 0 w.windows in
+            let final = List.nth w.windows (List.length w.windows - 1) in
+            let cells = Option.get w.cells in
+            let flat = r.flat_bound in
+            (* The sketch owes us the hottest cell only when it is a
+               genuine heavy hitter: tracked with its exact tally inside
+               [count - err, count]. Below the error bound (the
+               low-contention arm — no cell stands out) it may
+               legitimately go untracked. *)
+            let hot_cell_verdict =
+              let tracked =
+                List.exists
+                  (fun (e : Lc_obs.Heavy.entry) ->
+                    e.item = r.hottest_cell
+                    && e.count - e.err <= r.hottest_count
+                    && r.hottest_count <= e.count)
+                  cells.top
+              in
+              if tracked then "tracked"
+              else if r.hottest_count <= cells.error_bound then "<= bound"
+              else "MISSED"
+            in
+            Tablefmt.add_row tbl
+              [
+                label;
+                string_of_int (List.length w.windows);
+                string_of_int sum_q;
+                string_of_int r.queries;
+                Printf.sprintf "%.1f" final.hotspot_ratio;
+                Printf.sprintf "%.1f" (Engine.hotspot_ratio r);
+                Printf.sprintf "%.1f" (float_of_int cells.error_bound /. flat);
+                hot_cell_verdict;
+                string_of_int w.alert_windows;
+                (if w.alert_windows > 0 then "ALERT" else "quiet");
+              ];
+            Buffer.add_string transcripts (Printf.sprintf "\n%s, per window:\n" label);
+            List.iter
+              (fun (e : Window.entry) ->
+                Buffer.add_string transcripts
+                  (Printf.sprintf
+                     "  w%02d  [%6.3fs, %6.3fs)  q %6d  qps %9.0f  p99 %8.1f us  hot %6.1fx  %s\n"
+                     e.index e.t_start_s e.t_end_s e.queries e.qps (e.p99_ns /. 1e3)
+                     e.hotspot_ratio
+                     (if e.alert then "ALERT" else "-")))
+              w.windows)
+          arms;
+        Tablefmt.render tbl ^ Buffer.contents transcripts
+        ^ "\nExpected shape: both arms reconcile exactly ('sum q' = 'engine q' — the final \
+           window is cut after the workers' last seqlock publication), the true hottest cell \
+           is tracked with its exact tally inside [count - err, count], and the sketched \
+           ratio (the guaranteed lower bound) sits within 'err bound' below the exact one. \
+           On the low-contention arm the near-uniform stream leaves the sketch no guaranteed \
+           heavy hitter, so the ratio reads ~0 (the exact one is itself O(1)) and the alert \
+           stays quiet; fks routes every query through its unreplicated parameter cell, the \
+           bounds pinch (err 0), the ratio lands in the hundreds, and essentially every \
+           window alert fires. Window count and qps depend on the machine; ratios and \
+           reconciliation do not."
+        ^ "\n");
+  }
+
+let register () = Experiment.register t13

@@ -15,5 +15,6 @@ let install () =
     Exp_adaptive.register ();
     Exp_simulation.register ();
     Exp_predecessor.register ();
-    Exp_parallel.register ()
+    Exp_parallel.register ();
+    Exp_windowed.register ()
   end

@@ -8,10 +8,25 @@ let sanitize name =
       | _ -> '_')
     name
 
+(* The exposition format requires backslash and line feed escaped in
+   HELP text ("\\" and "\n"); a raw newline would end the comment line
+   mid-help and leave the remainder as an unparseable series line. *)
+let escape_help help =
+  let buf = Buffer.create (String.length help) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    help;
+  Buffer.contents buf
+
 let prometheus (s : Metrics.Snapshot.t) =
   let buf = Buffer.create 1024 in
   let header name help kind =
-    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
   List.iter
@@ -72,6 +87,20 @@ let json_snapshot (s : Metrics.Snapshot.t) =
          ("histograms", Json.Obj hists);
        ])
 
+(* Write-then-rename within the target's directory: a concurrent reader
+   (a scraper tailing `lowcon profile`/`monitor` artifacts) sees either
+   the old document or the new one, never a truncated mix. The temp file
+   must live in the same directory for Sys.rename to stay a same-
+   filesystem atomic replace. *)
 let write_file ~path doc =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

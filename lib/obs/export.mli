@@ -12,6 +12,12 @@
     {!Span.to_chrome_json}. *)
 
 val prometheus : Metrics.Snapshot.t -> string
+(** Help text is escaped per the exposition format ([\\] and [\n]), so a
+    multi-line help string still produces a single [# HELP] line. *)
+
+val escape_help : string -> string
+(** The [# HELP] escaping by itself: backslash to [\\], line feed to
+    [\n]. *)
 
 val json_snapshot : Metrics.Snapshot.t -> string
 (** Parses back with {!Json.parse}; shape:
@@ -21,5 +27,6 @@ val json_snapshot : Metrics.Snapshot.t -> string
                             "buckets": [[upper, count], ...]}, ...}}]. *)
 
 val write_file : path:string -> string -> unit
-(** Write a document atomically enough for our purposes (single
-    [open_out]/[output_string]/[close_out]). *)
+(** Atomic replace: the document is written to a fresh temp file in
+    [path]'s directory and renamed over [path], so a concurrent reader
+    observes either the previous complete document or the new one. *)

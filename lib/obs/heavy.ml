@@ -1,0 +1,145 @@
+type t = {
+  k : int;
+  items : int array;
+  counts : int array;
+  errs : int array;
+  mutable size : int;
+  mutable total : int;
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Heavy.create: k must be >= 1";
+  { k; items = Array.make k (-1); counts = Array.make k 0; errs = Array.make k 0; size = 0; total = 0 }
+
+let capacity t = t.k
+let total t = t.total
+
+let reset t =
+  Array.fill t.items 0 t.k (-1);
+  Array.fill t.counts 0 t.k 0;
+  Array.fill t.errs 0 t.k 0;
+  t.size <- 0;
+  t.total <- 0
+
+(* One linear scan finds the tracked slot for [x] (if any) and the
+   current minimum slot (for eviction) at the same time. k is small (a
+   top-k sketch, not a table), so the scan is a handful of compares —
+   cheap enough for the engine's probe path, and allocation-free. *)
+let observe t x =
+  t.total <- t.total + 1;
+  let found = ref (-1) in
+  let min_slot = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.items.(i) = x then found := i;
+    if t.counts.(i) < t.counts.(!min_slot) then min_slot := i
+  done;
+  if !found >= 0 then t.counts.(!found) <- t.counts.(!found) + 1
+  else if t.size < t.k then begin
+    let i = t.size in
+    t.items.(i) <- x;
+    t.counts.(i) <- 1;
+    t.errs.(i) <- 0;
+    t.size <- t.size + 1
+  end
+  else begin
+    let i = !min_slot in
+    t.errs.(i) <- t.counts.(i);
+    t.items.(i) <- x;
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+(* The count every untracked item is bounded by: the minimum tracked
+   count once the sketch is full, 0 before that. *)
+let min_count t =
+  if t.size < t.k then 0
+  else begin
+    let m = ref t.counts.(0) in
+    for i = 1 to t.size - 1 do
+      if t.counts.(i) < !m then m := t.counts.(i)
+    done;
+    !m
+  end
+
+let copy_into src dst =
+  if src.k <> dst.k then invalid_arg "Heavy.copy_into: sketches must share k";
+  Array.blit src.items 0 dst.items 0 src.k;
+  Array.blit src.counts 0 dst.counts 0 src.k;
+  Array.blit src.errs 0 dst.errs 0 src.k;
+  dst.size <- src.size;
+  dst.total <- src.total
+
+type entry = { item : int; count : int; err : int }
+
+let entries t =
+  let out = ref [] in
+  for i = t.size - 1 downto 0 do
+    out := { item = t.items.(i); count = t.counts.(i); err = t.errs.(i) } :: !out
+  done;
+  List.sort (fun a b -> compare b.count a.count) !out
+
+type merged = { top : entry list; total_observed : int; error_bound : int }
+
+(* Merging sketches over disjoint streams (one per worker domain): for
+   each item in the union, sum the counts where tracked; for each sketch
+   that does NOT track the item, its true count there is at most that
+   sketch's min tracked count, so adding min_count keeps [count] an upper
+   bound on the true frequency and charging it to [err] keeps
+   [count - err <= true <= count]. *)
+let merge sketches ~k =
+  if k < 1 then invalid_arg "Heavy.merge: k must be >= 1";
+  let mins = List.map min_count sketches in
+  let tbl : (int, int ref * int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      for i = 0 to s.size - 1 do
+        let x = s.items.(i) in
+        match Hashtbl.find_opt tbl x with
+        | Some (c, e) ->
+          c := !c + s.counts.(i);
+          e := !e + s.errs.(i)
+        | None -> Hashtbl.add tbl x (ref s.counts.(i), ref s.errs.(i))
+      done)
+    sketches;
+  (* Charge each sketch's min to the items it does not track. *)
+  List.iter2
+    (fun s m ->
+      if m > 0 then
+        Hashtbl.iter
+          (fun x (c, e) ->
+            let tracked = ref false in
+            for i = 0 to s.size - 1 do
+              if s.items.(i) = x then tracked := true
+            done;
+            if not !tracked then begin
+              c := !c + m;
+              e := !e + m
+            end)
+          tbl)
+    sketches mins;
+  let all = Hashtbl.fold (fun x (c, e) acc -> { item = x; count = !c; err = !e } :: acc) tbl [] in
+  let sorted = List.sort (fun a b -> compare b.count a.count) all in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  {
+    top = take k sorted;
+    total_observed = List.fold_left (fun acc s -> acc + s.total) 0 sketches;
+    error_bound = List.fold_left ( + ) 0 mins;
+  }
+
+let max_estimate m = match m.top with [] -> 0 | e :: _ -> e.count
+
+(* The entry with the largest guaranteed count. [count - err] never
+   exceeds the item's true frequency, so on a near-uniform stream (where
+   every estimate is dominated by eviction noise and [max_estimate] is
+   vacuously large) this collapses towards 0 instead of total/k — which
+   is what makes it usable as an alert signal with no false positives. *)
+let max_guaranteed m =
+  List.fold_left
+    (fun best e ->
+      match best with
+      | Some b when b.count - b.err >= e.count - e.err -> best
+      | _ -> Some e)
+    None m.top

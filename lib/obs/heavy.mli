@@ -1,0 +1,84 @@
+(** Space-Saving (Misra–Gries) top-k heavy-hitter sketch over cell
+    indices.
+
+    The serving engine's exact per-cell tally is an [O(s)] array — fine
+    at quiescence, but a live monitor wants hot-cell tracking in [O(k)]
+    memory it can publish every few hundred queries. Space-Saving tracks
+    at most [k] items; when an untracked item arrives with the sketch
+    full it {e takes over} the minimum slot, inheriting its count as the
+    slot's error. The classical guarantees, per sketch over its own
+    stream of [N] observations:
+
+    - every tracked item's estimate over-counts: [count - err <= true <= count];
+    - any untracked item's true count is at most the minimum tracked
+      count, which is at most [N / k];
+    - any item with true count above [N / k] is tracked.
+
+    A sketch is single-owner mutable state (one per worker domain, like
+    a {!Metrics.shard}); {!observe} is allocation-free and [O(k)].
+    Cross-domain publication goes through {!copy_into} under the
+    {!Window} seqlock; the monitor combines the published copies with
+    {!merge}. *)
+
+type t
+
+val create : k:int -> t
+(** A sketch tracking at most [k] items. Raises for [k < 1]. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Observations so far ([N]). *)
+
+val observe : t -> int -> unit
+(** Record one occurrence of an item (for the engine: a probed cell
+    index). [O(k)] scan, no allocation. *)
+
+val reset : t -> unit
+
+val min_count : t -> int
+(** The eviction floor: 0 until the sketch is full, then the minimum
+    tracked count — an upper bound on every untracked item's true count,
+    itself at most [total / k]. *)
+
+val copy_into : t -> t -> unit
+(** [copy_into src dst] blits [src]'s state into [dst] (same [k]
+    required). No allocation; used by the seqlock publisher. *)
+
+type entry = { item : int; count : int; err : int }
+(** [count] over-estimates the item's true frequency by at most [err]:
+    [count - err <= true <= count]. *)
+
+val entries : t -> entry list
+(** Tracked items, descending by [count]. *)
+
+(** The result of merging per-domain sketches (disjoint streams). *)
+type merged = {
+  top : entry list;  (** Top-k of the union, descending by [count]. *)
+  total_observed : int;  (** Sum of the sketches' totals. *)
+  error_bound : int;
+      (** Sum of the sketches' eviction floors: every [entry.err] is at
+          most this, and so is the over-estimate of {!max_estimate}
+          against the true hottest item's count. At most
+          [total_observed / k]. *)
+}
+
+val merge : t list -> k:int -> merged
+(** Merge by summing counts where tracked and charging each sketch's
+    {!min_count} (as both count and error) where not, preserving
+    [count - err <= true <= count] per entry. The true hottest item's
+    count never exceeds [max_estimate]. *)
+
+val max_estimate : merged -> int
+(** The top entry's count, 0 when empty. An upper bound on the true
+    hottest item's count, tight to within [error_bound]. *)
+
+val max_guaranteed : merged -> entry option
+(** The entry whose {e lower} bound [count - err] is largest — a sound
+    under-estimate of the true hottest count. On a stream with a real
+    heavy hitter the two bounds pinch together ([err] stays small for an
+    item observed from the start); on a near-uniform stream
+    [max_estimate] degrades to [~ total / k] while this collapses
+    towards 0, so alerts driven by it cannot fire spuriously. The true
+    hottest count lies in [[count - err, max_estimate]], an interval of
+    width at most [error_bound]. *)

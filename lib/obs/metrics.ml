@@ -22,8 +22,11 @@ let bucket_of v =
 
 let bucket_upper b = if b = 0 then 0 else (1 lsl b) - 1
 
-type shard = {
-  domain : int;
+(* The flat storage behind a shard. Kept as its own record so that a
+   shard can be copied field-by-field into a same-shaped [frozen] buffer
+   with plain [Array.blit]s — no allocation, which is what the seqlock
+   publication in {!Window} relies on. *)
+type store = {
   mutable counters : int array;
   mutable gauges : float array;
   mutable hist_buckets : int array array;  (* per histogram id, length nbuckets *)
@@ -31,6 +34,10 @@ type shard = {
   mutable hist_sum : int array;
   mutable hist_max : int array;
 }
+
+type shard = { domain : int; store : store }
+
+type frozen = store
 
 type t = {
   mutable counter_defs : def list;  (* newest first *)
@@ -59,7 +66,7 @@ let grow_shards t =
   let ng = List.length t.gauge_defs in
   let nh = List.length t.hist_defs in
   List.iter
-    (fun sh ->
+    (fun { store = sh; _ } ->
       if Array.length sh.counters < nc then sh.counters <- extend_int sh.counters nc;
       if Array.length sh.gauges < ng then sh.gauges <- extend_float sh.gauges ng;
       if Array.length sh.hist_count < nh then begin
@@ -106,36 +113,76 @@ let histogram t ?(help = "") name =
     (fun () -> t.hist_defs)
     (fun d -> t.hist_defs <- d :: t.hist_defs)
 
+let make_store ~nc ~ng ~nh =
+  {
+    counters = Array.make nc 0;
+    gauges = Array.make ng 0.0;
+    hist_buckets = Array.init nh (fun _ -> Array.make nbuckets 0);
+    hist_count = Array.make nh 0;
+    hist_sum = Array.make nh 0;
+    hist_max = Array.make nh 0;
+  }
+
 let shard t ~domain =
   with_lock t @@ fun () ->
   match List.find_opt (fun sh -> sh.domain = domain) t.shards with
   | Some sh -> sh
   | None ->
-    let nh = List.length t.hist_defs in
     let sh =
       {
         domain;
-        counters = Array.make (List.length t.counter_defs) 0;
-        gauges = Array.make (List.length t.gauge_defs) 0.0;
-        hist_buckets = Array.init nh (fun _ -> Array.make nbuckets 0);
-        hist_count = Array.make nh 0;
-        hist_sum = Array.make nh 0;
-        hist_max = Array.make nh 0;
+        store =
+          make_store
+            ~nc:(List.length t.counter_defs)
+            ~ng:(List.length t.gauge_defs)
+            ~nh:(List.length t.hist_defs);
       }
     in
     t.shards <- sh :: t.shards;
     sh
 
-let incr sh c by = sh.counters.(c) <- sh.counters.(c) + by
-let set_gauge sh g v = sh.gauges.(g) <- v
+let incr sh c by = sh.store.counters.(c) <- sh.store.counters.(c) + by
+let set_gauge sh g v = sh.store.gauges.(g) <- v
 
 let observe sh h v =
   let v = if v < 0 then 0 else v in
   let b = bucket_of v in
-  sh.hist_buckets.(h).(b) <- sh.hist_buckets.(h).(b) + 1;
-  sh.hist_count.(h) <- sh.hist_count.(h) + 1;
-  sh.hist_sum.(h) <- sh.hist_sum.(h) + v;
-  if v > sh.hist_max.(h) then sh.hist_max.(h) <- v
+  let st = sh.store in
+  st.hist_buckets.(h).(b) <- st.hist_buckets.(h).(b) + 1;
+  st.hist_count.(h) <- st.hist_count.(h) + 1;
+  st.hist_sum.(h) <- st.hist_sum.(h) + v;
+  if v > st.hist_max.(h) then st.hist_max.(h) <- v
+
+(* ------------------------------------------------------------------ *)
+(* Frozen copies — the publication side of mid-run observation.        *)
+(* ------------------------------------------------------------------ *)
+
+let frozen t =
+  with_lock t @@ fun () ->
+  make_store
+    ~nc:(List.length t.counter_defs)
+    ~ng:(List.length t.gauge_defs)
+    ~nh:(List.length t.hist_defs)
+
+let blit_int src dst = Array.blit src 0 dst 0 (min (Array.length src) (Array.length dst))
+let blit_float src dst = Array.blit src 0 dst 0 (min (Array.length src) (Array.length dst))
+
+(* Copy the overlap of [src] into [dst]. Arrays can disagree in length
+   when a metric was registered after one side was sized; the overlap is
+   always a prefix because ids are allocated in registration order. *)
+let store_copy ~src ~dst =
+  blit_int src.counters dst.counters;
+  blit_float src.gauges dst.gauges;
+  let nh = min (Array.length src.hist_buckets) (Array.length dst.hist_buckets) in
+  for i = 0 to nh - 1 do
+    Array.blit src.hist_buckets.(i) 0 dst.hist_buckets.(i) 0 nbuckets
+  done;
+  blit_int src.hist_count dst.hist_count;
+  blit_int src.hist_sum dst.hist_sum;
+  blit_int src.hist_max dst.hist_max
+
+let freeze_into sh fz = store_copy ~src:sh.store ~dst:fz
+let frozen_copy ~src ~dst = store_copy ~src ~dst
 
 module Snapshot = struct
   type hist = {
@@ -192,17 +239,14 @@ module Snapshot = struct
   let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
 end
 
-let snapshot t =
-  with_lock t @@ fun () ->
-  let shards = t.shards in
+let merge_stores t stores =
   let merged_counters =
     List.rev_map
       (fun d ->
         let v =
           List.fold_left
-            (fun acc sh ->
-              acc + if d.id < Array.length sh.counters then sh.counters.(d.id) else 0)
-            0 shards
+            (fun acc st -> acc + if d.id < Array.length st.counters then st.counters.(d.id) else 0)
+            0 stores
         in
         (d.name, d.help, v))
       t.counter_defs
@@ -212,9 +256,9 @@ let snapshot t =
       (fun d ->
         let v =
           List.fold_left
-            (fun acc sh ->
-              acc +. if d.id < Array.length sh.gauges then sh.gauges.(d.id) else 0.0)
-            0.0 shards
+            (fun acc st ->
+              acc +. if d.id < Array.length st.gauges then st.gauges.(d.id) else 0.0)
+            0.0 stores
         in
         (d.name, d.help, v))
       t.gauge_defs
@@ -225,16 +269,14 @@ let snapshot t =
         let buckets = Array.make nbuckets 0 in
         let count = ref 0 and sum = ref 0 and max_value = ref 0 in
         List.iter
-          (fun sh ->
-            if d.id < Array.length sh.hist_buckets then begin
-              Array.iteri
-                (fun b c -> buckets.(b) <- buckets.(b) + c)
-                sh.hist_buckets.(d.id);
-              count := !count + sh.hist_count.(d.id);
-              sum := !sum + sh.hist_sum.(d.id);
-              if sh.hist_max.(d.id) > !max_value then max_value := sh.hist_max.(d.id)
+          (fun st ->
+            if d.id < Array.length st.hist_buckets then begin
+              Array.iteri (fun b c -> buckets.(b) <- buckets.(b) + c) st.hist_buckets.(d.id);
+              count := !count + st.hist_count.(d.id);
+              sum := !sum + st.hist_sum.(d.id);
+              if st.hist_max.(d.id) > !max_value then max_value := st.hist_max.(d.id)
             end)
-          shards;
+          stores;
         let nonempty = ref [] in
         for b = nbuckets - 1 downto 0 do
           if buckets.(b) > 0 then nonempty := (bucket_upper b, buckets.(b)) :: !nonempty
@@ -250,3 +292,8 @@ let snapshot t =
       t.hist_defs
   in
   { Snapshot.counters = merged_counters; gauges = merged_gauges; hists = merged_hists }
+
+let snapshot t =
+  with_lock t @@ fun () -> merge_stores t (List.map (fun sh -> sh.store) t.shards)
+
+let snapshot_frozen t frozens = with_lock t @@ fun () -> merge_stores t frozens

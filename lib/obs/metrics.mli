@@ -94,3 +94,33 @@ val snapshot : t -> Snapshot.t
 (** Merge all shards. Sound when the shard-owning domains are quiescent
     (joined, or between batches); counters merge by sum, gauges by sum,
     histograms bucket-wise. *)
+
+(** {2 Frozen shard copies}
+
+    {!snapshot} requires quiescence because it reads every shard's live
+    storage. For observation {e while workers are hot}, a worker instead
+    periodically copies its own shard into a pre-allocated {!frozen}
+    buffer ({!freeze_into} — plain [Array.blit]s, no allocation) under a
+    seqlock epoch managed by {!Window}, and the monitor merges the
+    published buffers with {!snapshot_frozen}. *)
+
+type frozen
+(** A same-shaped, single-owner copy of one shard's storage. *)
+
+val frozen : t -> frozen
+(** A zeroed buffer sized to the metrics registered {e so far}; metrics
+    registered later are absent from copies made through it (they merge
+    as 0 until a fresh buffer is made). *)
+
+val freeze_into : shard -> frozen -> unit
+(** [freeze_into sh fz] copies the shard's current values into [fz].
+    Call from the shard-owning domain only; does not allocate. *)
+
+val frozen_copy : src:frozen -> dst:frozen -> unit
+(** Buffer-to-buffer copy, for a reader taking a stable private copy of
+    a published buffer. Does not allocate. *)
+
+val snapshot_frozen : t -> frozen list -> Snapshot.t
+(** Merge frozen buffers exactly like {!snapshot} merges shards. Safe at
+    any time: the buffers are owned by the caller, not by recording
+    domains. *)

@@ -1,0 +1,306 @@
+type publisher = {
+  epoch : int Atomic.t;
+  metrics_slot : Metrics.frozen;
+  sketch_slot : Heavy.t;
+}
+
+let publish pub shard sketch =
+  (* Odd epoch = publication in progress. The two blits below are plain
+     stores; the atomic bumps around them order the publication against
+     readers (see [stable_read]). *)
+  Atomic.incr pub.epoch;
+  Metrics.freeze_into shard pub.metrics_slot;
+  Heavy.copy_into sketch pub.sketch_slot;
+  Atomic.incr pub.epoch
+
+type config = {
+  ring_capacity : int;
+  queries_counter : string;
+  probes_counter : string;
+  latency_histogram : string;
+  space : int;
+  max_probes : int;
+  top_k : int;
+  alert_factor : float;
+}
+
+type entry = {
+  index : int;
+  t_start_s : float;
+  t_end_s : float;
+  queries : int;
+  probes : int;
+  qps : float;
+  probes_per_s : float;
+  p50_ns : float;
+  p99_ns : float;
+  top_cells : Heavy.entry list;
+  max_cell : int;
+  max_share : float;
+  hotspot_ratio : float;
+  alert : bool;
+  cum_queries : int;
+  cum_probes : int;
+}
+
+type t = {
+  metrics : Metrics.t;
+  config : config;
+  publishers : publisher array;
+  (* Reader-side private buffers: [stable_read] copies a publisher's
+     slots here under the seqlock retry loop, so merging never touches a
+     buffer a writer could be mid-blit on. *)
+  scratch_metrics : Metrics.frozen array;
+  scratch_sketches : Heavy.t array;
+  (* Everything below is shared between the ticking monitor domain and
+     HTTP scrape readers; [lock] covers it. The lock is never taken on a
+     worker's publish path. *)
+  lock : Mutex.t;
+  ring : entry option array;
+  mutable next_index : int;
+  mutable prev_queries : int;
+  mutable prev_probes : int;
+  mutable prev_latency : Metrics.Snapshot.hist option;
+  mutable prev_t : float;
+  mutable firing_run : int;
+  mutable fired_total : int;
+  t0_ns : int64;
+}
+
+let create metrics config ~publishers:np =
+  if np < 1 then invalid_arg "Window.create: need at least one publisher";
+  if config.ring_capacity < 1 then invalid_arg "Window.create: ring_capacity must be >= 1";
+  let mk_pub () =
+    {
+      epoch = Atomic.make 0;
+      metrics_slot = Metrics.frozen metrics;
+      sketch_slot = Heavy.create ~k:config.top_k;
+    }
+  in
+  {
+    metrics;
+    config;
+    publishers = Array.init np (fun _ -> mk_pub ());
+    scratch_metrics = Array.init np (fun _ -> Metrics.frozen metrics);
+    scratch_sketches = Array.init np (fun _ -> Heavy.create ~k:config.top_k);
+    lock = Mutex.create ();
+    ring = Array.make config.ring_capacity None;
+    next_index = 0;
+    prev_queries = 0;
+    prev_probes = 0;
+    prev_latency = None;
+    prev_t = 0.0;
+    firing_run = 0;
+    fired_total = 0;
+    t0_ns = Clock.now_ns ();
+  }
+
+let publisher t i = t.publishers.(i)
+let config t = t.config
+
+let now_s t = Int64.to_float (Int64.sub (Clock.now_ns ()) t.t0_ns) /. 1e9
+
+(* Seqlock read of one publisher into the reader's scratch buffers:
+   retry while the pre-copy epoch is odd (publication in progress) or
+   differs from the post-copy epoch (a publication landed mid-copy). *)
+let stable_read t i =
+  let pub = t.publishers.(i) in
+  let rec go () =
+    let e1 = Atomic.get pub.epoch in
+    if e1 land 1 = 1 then begin
+      Domain.cpu_relax ();
+      go ()
+    end
+    else begin
+      Metrics.frozen_copy ~src:pub.metrics_slot ~dst:t.scratch_metrics.(i);
+      Heavy.copy_into pub.sketch_slot t.scratch_sketches.(i);
+      if Atomic.get pub.epoch <> e1 then begin
+        Domain.cpu_relax ();
+        go ()
+      end
+    end
+  in
+  go ()
+
+let read_all t =
+  for i = 0 to Array.length t.publishers - 1 do
+    stable_read t i
+  done
+
+(* Callers of [live_*] and [tick] race on the scratch buffers, so the
+   whole read-merge sequence runs under [lock]. *)
+let live_snapshot t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      read_all t;
+      Metrics.snapshot_frozen t.metrics (Array.to_list t.scratch_metrics))
+
+let live_cells t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      read_all t;
+      Heavy.merge (Array.to_list t.scratch_sketches) ~k:t.config.top_k)
+
+(* Windowed histogram: subtract the previous cumulative bucket counts
+   from the current ones. [max_value] of the delta is not recoverable
+   from cumulative maxima, so the cumulative max stands in — an upper
+   bound, consistent with the quantile estimator's own 2x bucket
+   granularity. *)
+let hist_delta (cur : Metrics.Snapshot.hist) (prev : Metrics.Snapshot.hist option) :
+    Metrics.Snapshot.hist =
+  match prev with
+  | None -> cur
+  | Some p ->
+    let prev_count upper =
+      let found = ref 0 in
+      Array.iter (fun (u, c) -> if u = upper then found := c) p.buckets;
+      !found
+    in
+    let buckets =
+      Array.of_list
+        (List.filter
+           (fun (_, c) -> c > 0)
+           (Array.to_list (Array.map (fun (u, c) -> (u, c - prev_count u)) cur.buckets)))
+    in
+    {
+      cur with
+      buckets;
+      count = cur.count - p.count;
+      sum = cur.sum - p.sum;
+    }
+
+let push t e =
+  t.ring.(t.next_index mod t.config.ring_capacity) <- Some e;
+  t.next_index <- t.next_index + 1
+
+let tick t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      read_all t;
+      let snap = Metrics.snapshot_frozen t.metrics (Array.to_list t.scratch_metrics) in
+      let cells = Heavy.merge (Array.to_list t.scratch_sketches) ~k:t.config.top_k in
+      let now = now_s t in
+      let cum_queries =
+        Option.value ~default:0 (Metrics.Snapshot.counter_value snap t.config.queries_counter)
+      in
+      let cum_probes =
+        Option.value ~default:0 (Metrics.Snapshot.counter_value snap t.config.probes_counter)
+      in
+      let dq = cum_queries - t.prev_queries in
+      let dp = cum_probes - t.prev_probes in
+      let dt = now -. t.prev_t in
+      let lat_cum = Metrics.Snapshot.find_hist snap t.config.latency_histogram in
+      let p50, p99 =
+        match lat_cum with
+        | None -> (0.0, 0.0)
+        | Some cur ->
+          let d = hist_delta cur t.prev_latency in
+          if d.count <= 0 then (0.0, 0.0)
+          else (Metrics.Snapshot.quantile d 0.5, Metrics.Snapshot.quantile d 0.99)
+      in
+      (* The alert signal is the sketch's *guaranteed* hottest tally
+         (count - err): a sound lower bound on the true hottest count, so
+         a firing alert is never an artifact of sketch noise. The upper
+         bound (max_estimate) would read ~ total/k on a perfectly flat
+         structure — a huge spurious ratio on exactly the structure that
+         must stay quiet. *)
+      let guar_entry = Heavy.max_guaranteed cells in
+      let max_cell = match guar_entry with None -> -1 | Some e -> e.Heavy.item in
+      let guar =
+        match guar_entry with None -> 0 | Some e -> e.Heavy.count - e.Heavy.err
+      in
+      let max_share =
+        if cum_probes = 0 then 0.0 else float_of_int guar /. float_of_int cum_probes
+      in
+      let flat =
+        float_of_int cum_queries *. float_of_int t.config.max_probes
+        /. float_of_int t.config.space
+      in
+      let hotspot_ratio = if flat > 0.0 then float_of_int guar /. flat else 0.0 in
+      let alert = cum_queries > 0 && hotspot_ratio > t.config.alert_factor in
+      if alert then begin
+        t.firing_run <- t.firing_run + 1;
+        t.fired_total <- t.fired_total + 1
+      end
+      else t.firing_run <- 0;
+      let e =
+        {
+          index = t.next_index;
+          t_start_s = t.prev_t;
+          t_end_s = now;
+          queries = dq;
+          probes = dp;
+          qps = (if dt > 0.0 then float_of_int dq /. dt else 0.0);
+          probes_per_s = (if dt > 0.0 then float_of_int dp /. dt else 0.0);
+          p50_ns = p50;
+          p99_ns = p99;
+          top_cells = cells.Heavy.top;
+          max_cell;
+          max_share;
+          hotspot_ratio;
+          alert;
+          cum_queries;
+          cum_probes;
+        }
+      in
+      push t e;
+      t.prev_queries <- cum_queries;
+      t.prev_probes <- cum_probes;
+      t.prev_latency <- lat_cum;
+      t.prev_t <- now;
+      e)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let entries t =
+  with_lock t @@ fun () ->
+  let cap = t.config.ring_capacity in
+  let first = max 0 (t.next_index - cap) in
+  let out = ref [] in
+  for i = t.next_index - 1 downto first do
+    match t.ring.(i mod cap) with Some e -> out := e :: !out | None -> ()
+  done;
+  !out
+
+let last t =
+  with_lock t @@ fun () ->
+  if t.next_index = 0 then None else t.ring.((t.next_index - 1) mod t.config.ring_capacity)
+
+let total_windows t = with_lock t @@ fun () -> t.next_index
+
+let alert_active t = with_lock t @@ fun () -> t.firing_run > 0
+let alert_firing_run t = with_lock t @@ fun () -> t.firing_run
+let alert_fired_total t = with_lock t @@ fun () -> t.fired_total
+
+(* The per-window gauges the scrape endpoint appends after the counter
+   and histogram series of the merged snapshot. Kept here so the same
+   text is used by /metrics, the dashboard, and the tests. *)
+let prometheus_gauges t =
+  let e = last t in
+  let ratio, alert, qps, p99 =
+    match e with
+    | None -> (0.0, false, 0.0, 0.0)
+    | Some e -> (e.hotspot_ratio, e.alert, e.qps, e.p99_ns)
+  in
+  let b = Buffer.create 256 in
+  let gauge name help v =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+    Buffer.add_string b (Printf.sprintf "%s %.17g\n" name v)
+  in
+  gauge "engine_hotspot_ratio"
+    "Guaranteed sketched hottest-cell tally (count - err) over the flat bound queries*t/s"
+    ratio;
+  gauge "engine_hotspot_alert"
+    "1 while engine_hotspot_ratio exceeds the configured alert factor" (if alert then 1.0 else 0.0);
+  gauge "engine_window_qps" "Queries per second over the last completed window" qps;
+  gauge "engine_window_p99_latency_ns" "Windowed p99 query latency (ns)" p99;
+  Buffer.contents b

@@ -1,0 +1,122 @@
+(** Mid-run observation: seqlock-published shard views and a ring of
+    windowed snapshots.
+
+    {!Metrics.snapshot} is sound only at quiescence; this module is what
+    lets a monitor domain watch a serving run {e while the workers are
+    hot} without adding the contention it measures. Each worker owns a
+    {!publisher}: every few hundred queries it copies its metric shard
+    and its {!Heavy} sketch into the publisher's buffers with
+    {!publish}, bumping an epoch counter to odd before and back to even
+    after (a seqlock). A reader ({!tick}, {!live_snapshot},
+    {!live_cells}) copies the buffers out, retrying while the epoch is
+    odd or changed across the copy, then merges the stable copies. The
+    worker's publish path takes no lock and allocates nothing; readers
+    pay all the synchronisation.
+
+    {!tick} additionally cuts a {e window}: it diffs the merged
+    cumulative counters and latency histogram against the previous tick,
+    derives per-window rates (qps, probes/s) and windowed p50/p99, reads
+    the hot-cell sketch, computes [engine_hotspot_ratio] — the sketch's
+    guaranteed hottest tally over the flat bound [queries * t / s], the
+    quantity Theorem 3 keeps [O(1)] and naive FKS lets grow to
+    [Theta(sqrt n)] — and updates the alert state. Entries land in a fixed-capacity ring
+    (oldest evicted first).
+
+    Reader-side entry points ([tick], [live_*], [entries], [last],
+    [alert_*]) are mutually thread-safe (one internal mutex), so a
+    monitor domain can tick on an interval while an HTTP domain scrapes. *)
+
+type publisher
+(** One worker's publication slot: epoch + frozen metric buffer + sketch
+    buffer. *)
+
+val publish : publisher -> Metrics.shard -> Heavy.t -> unit
+(** Publish the worker's current cumulative state. Call from the owning
+    domain only; lock-free and allocation-free. *)
+
+type config = {
+  ring_capacity : int;  (** Windows retained; older ones are evicted. *)
+  queries_counter : string;  (** Counter diffed into [queries]/[qps]. *)
+  probes_counter : string;  (** Counter diffed into [probes]/[probes_per_s]. *)
+  latency_histogram : string;  (** Histogram diffed into windowed p50/p99. *)
+  space : int;  (** The structure's cell count [s], for the flat bound. *)
+  max_probes : int;  (** The structure's probe budget [t]. *)
+  top_k : int;  (** Sketch capacity ({!Heavy.create}). *)
+  alert_factor : float;
+      (** Fire when [hotspot_ratio] exceeds this multiple of the flat
+          bound — the Θ(√n)-regression detector's threshold. *)
+}
+
+type entry = {
+  index : int;  (** 0-based window sequence number. *)
+  t_start_s : float;  (** Window bounds, seconds since {!create}. *)
+  t_end_s : float;
+  queries : int;  (** Queries completed in this window. *)
+  probes : int;
+  qps : float;
+  probes_per_s : float;
+  p50_ns : float;  (** Windowed latency quantiles from histogram deltas; 0 when the window saw no queries. *)
+  p99_ns : float;
+  top_cells : Heavy.entry list;  (** Cumulative top-k at window end. *)
+  max_cell : int;
+      (** The cell with the largest {e guaranteed} sketched tally
+          ({!Heavy.max_guaranteed}); -1 when nothing observed. *)
+  max_share : float;  (** Its guaranteed share of all probes so far. *)
+  hotspot_ratio : float;
+      (** Guaranteed sketched hottest tally ([count - err]) / flat bound
+          [cum_queries * t / s]. A sound lower bound on the exact
+          {!Lc_parallel.Engine.hotspot_ratio}, within
+          [error_bound / flat] of it (see {!Heavy.max_guaranteed}) — so
+          an alert is never sketch noise, and a genuine hot cell (whose
+          bounds pinch) is not missed. *)
+  alert : bool;  (** [hotspot_ratio > alert_factor] this window. *)
+  cum_queries : int;  (** Cumulative totals at window end. *)
+  cum_probes : int;
+}
+
+type t
+(** The recorder: publishers, ring, delta state, alert state. *)
+
+val create : Metrics.t -> config -> publishers:int -> t
+(** [create metrics config ~publishers] sizes one publisher per
+    recording domain. Create it {e after} registering the metrics named
+    in [config] (buffers are sized to the registry's current
+    definitions). *)
+
+val publisher : t -> int -> publisher
+val config : t -> config
+
+val tick : t -> entry
+(** Read every publisher, merge, diff against the previous tick, append
+    a window to the ring and return it. Call from the monitor domain (or
+    any non-worker domain) on whatever cadence defines a window. *)
+
+val live_snapshot : t -> Metrics.Snapshot.t
+(** Merged cumulative snapshot of the published views, at any moment —
+    the mid-run counterpart of {!Metrics.snapshot}. Counters are
+    monotone across successive calls (each publisher's slot is a
+    cumulative copy). *)
+
+val live_cells : t -> Heavy.merged
+(** Merged hot-cell sketch of the published views. *)
+
+val entries : t -> entry list
+(** Ring contents, oldest first (at most [ring_capacity]). *)
+
+val last : t -> entry option
+val total_windows : t -> int
+
+val alert_active : t -> bool
+(** True while the latest window exceeded the alert factor. *)
+
+val alert_firing_run : t -> int
+(** Consecutive windows (ending at the latest) in the alert state. *)
+
+val alert_fired_total : t -> int
+(** Windows that fired over the recorder's lifetime. *)
+
+val prometheus_gauges : t -> string
+(** [# HELP]/[# TYPE]/value lines for [engine_hotspot_ratio],
+    [engine_hotspot_alert], [engine_window_qps] and
+    [engine_window_p99_latency_ns] from the latest window — appended by
+    the [/metrics] route after the merged snapshot's series. *)

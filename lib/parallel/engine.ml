@@ -4,6 +4,9 @@ module Qdist = Lc_cellprobe.Qdist
 module Instance = Lc_dict.Instance
 module Metrics = Lc_obs.Metrics
 module Span = Lc_obs.Span
+module Window = Lc_obs.Window
+module Heavy = Lc_obs.Heavy
+module Http = Lc_obs.Http
 
 type cost = Free | Spinlock of { hold : int }
 
@@ -74,8 +77,14 @@ type worker_obs = {
    [probe_sample_mask + 1]. *)
 let probe_sample_mask = 63
 
-let make_obs_probe ~cost ~counters ~locks table (w : worker_obs) :
+(* [sketch], when supplied (monitored runs), receives every probed cell
+   index — the worker-private Space-Saving sketch behind the live
+   hot-cell view. *)
+let make_obs_probe ?sketch ~cost ~counters ~locks table (w : worker_obs) :
     Lc_dict.Dict_intf.probe =
+  let record_cell =
+    match sketch with None -> fun _ -> () | Some s -> fun j -> Heavy.observe s j
+  in
   let probe_tick = ref 0 in
   let sampled_peek j =
     let tick = !probe_tick in
@@ -93,11 +102,13 @@ let make_obs_probe ~cost ~counters ~locks table (w : worker_obs) :
   | Free ->
     fun ~step:_ j ->
       Metrics.incr w.shard w.probes_c 1;
+      record_cell j;
       Atomic.incr counters.(j);
       sampled_peek j
   | Spinlock { hold } ->
     fun ~step:_ j ->
       Metrics.incr w.shard w.probes_c 1;
+      record_cell j;
       let l = locks.(j) in
       (* Fast path: uncontended acquisition records zero wait without
          touching the clock. *)
@@ -118,12 +129,224 @@ let make_obs_probe ~cost ~counters ~locks table (w : worker_obs) :
       Atomic.incr counters.(j);
       v
 
-let serve ?(cost = Free) ?obs ~domains ~queries_per_domain ~seed inst qdist =
+(* Engine metric ids on an observability handle. Registration is
+   idempotent per name, so both [Monitor.create] (which must size the
+   seqlock buffers after the metrics exist) and [serve] itself can call
+   this in either order. *)
+type metric_ids = {
+  m_queries : Metrics.counter;
+  m_probes : Metrics.counter;
+  m_latency : Metrics.histogram;
+  m_probe_latency : Metrics.histogram;
+  m_spin_wait : Metrics.histogram;
+  m_domains : Metrics.gauge;
+}
+
+let register_metrics (o : Lc_obs.Obs.t) =
+  {
+    m_queries =
+      Metrics.counter o.metrics ~help:"Queries served by the engine" "engine_queries_total";
+    m_probes =
+      Metrics.counter o.metrics ~help:"Cell probes issued by the engine" "engine_probes_total";
+    m_latency =
+      Metrics.histogram o.metrics ~help:"Per-query serve latency (ns)" "engine_query_latency_ns";
+    m_probe_latency =
+      Metrics.histogram o.metrics
+        ~help:
+          (Printf.sprintf "Sampled per-probe read latency (ns), 1 in %d probes"
+             (probe_sample_mask + 1))
+        "engine_probe_latency_ns";
+    m_spin_wait =
+      Metrics.histogram o.metrics
+        ~help:"Per-acquisition spinlock wait (ns); 0 = uncontended"
+        "engine_spinlock_wait_ns";
+    m_domains = Metrics.gauge o.metrics ~help:"Worker domains in the last serve" "engine_domains";
+  }
+
+(* Shared by [count_histogram] (exact, post-run) and the live
+   /cells.json route (exact mid-run, from the per-cell atomics). *)
+let histogram_of_counts counts =
+  let max_count = Array.fold_left max 0 counts in
+  let bucket_of c =
+    (* 0 -> bucket 0; otherwise 1 + floor(log2 c). *)
+    if c = 0 then 0
+    else begin
+      let b = ref 0 in
+      let v = ref c in
+      while !v > 0 do
+        incr b;
+        v := !v lsr 1
+      done;
+      !b
+    end
+  in
+  let nbuckets = bucket_of max_count + 1 in
+  let cells = Array.make nbuckets 0 in
+  Array.iter (fun c -> cells.(bucket_of c) <- cells.(bucket_of c) + 1) counts;
+  let upper b = if b = 0 then 0 else (1 lsl b) - 1 in
+  List.filter (fun (_, n) -> n > 0) (List.init nbuckets (fun b -> (upper b, cells.(b))))
+
+(* ------------------------------------------------------------------ *)
+(* Live monitoring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Monitor = struct
+  type t = {
+    obs : Lc_obs.Obs.t;
+    window : Window.t;
+    sketches : Heavy.t array;
+    orch_sketch : Heavy.t;
+    domains : int;
+    interval_s : float;
+    publish_period : int;
+    on_window : (Window.entry -> unit) option;
+    mutable live_counts : int Atomic.t array option;
+  }
+
+  let create ?(ring = 512) ?(interval_s = 0.25) ?(publish_period = 256) ?(top_k = 16)
+      ?(alert_factor = 8.0) ?on_window ?obs ~domains inst =
+    if domains < 1 then invalid_arg "Monitor.create: domains must be >= 1";
+    if interval_s <= 0.0 then invalid_arg "Monitor.create: interval_s must be > 0";
+    if publish_period < 1 then invalid_arg "Monitor.create: publish_period must be >= 1";
+    let obs = match obs with Some o -> o | None -> Lc_obs.Obs.create () in
+    (* Register before sizing the seqlock buffers: Window.frozen copies
+       only metrics that exist at creation time. *)
+    let _ids = register_metrics obs in
+    let (module D : Lc_dict.Dict_intf.S) = Instance.core inst in
+    let config =
+      {
+        Window.ring_capacity = ring;
+        queries_counter = "engine_queries_total";
+        probes_counter = "engine_probes_total";
+        latency_histogram = "engine_query_latency_ns";
+        space = D.space;
+        max_probes = D.max_probes;
+        top_k;
+        alert_factor;
+      }
+    in
+    {
+      obs;
+      window = Window.create obs.metrics config ~publishers:(domains + 1);
+      sketches = Array.init domains (fun _ -> Heavy.create ~k:top_k);
+      orch_sketch = Heavy.create ~k:top_k;
+      domains;
+      interval_s;
+      publish_period;
+      on_window;
+      live_counts = None;
+    }
+
+  let obs t = t.obs
+  let window t = t.window
+  let interval_s t = t.interval_s
+
+  let metrics_body t =
+    Lc_obs.Export.prometheus (Window.live_snapshot t.window)
+    ^ Window.prometheus_gauges t.window
+
+  let cells_body t =
+    let cells = Window.live_cells t.window in
+    let exact_hist =
+      match t.live_counts with
+      | None -> []
+      | Some counters -> histogram_of_counts (Array.map Atomic.get counters)
+    in
+    Lc_obs.Json.to_string
+      (Lc_obs.Json.Obj
+         [
+           ("total_observed", Lc_obs.Json.Int cells.Heavy.total_observed);
+           ("error_bound", Lc_obs.Json.Int cells.Heavy.error_bound);
+           ( "top",
+             Lc_obs.Json.List
+               (List.map
+                  (fun (e : Heavy.entry) ->
+                    Lc_obs.Json.Obj
+                      [
+                        ("cell", Lc_obs.Json.Int e.item);
+                        ("count", Lc_obs.Json.Int e.count);
+                        ("err", Lc_obs.Json.Int e.err);
+                      ])
+                  cells.Heavy.top) );
+           ( "count_histogram",
+             Lc_obs.Json.List
+               (List.map
+                  (fun (upper, n) ->
+                    Lc_obs.Json.List [ Lc_obs.Json.Int upper; Lc_obs.Json.Int n ])
+                  exact_hist) );
+         ])
+
+  let windows_body t =
+    Lc_obs.Json.to_string
+      (Lc_obs.Json.Obj
+         [
+           ( "windows",
+             Lc_obs.Json.List
+               (List.map
+                  (fun (e : Window.entry) ->
+                    Lc_obs.Json.Obj
+                      [
+                        ("index", Lc_obs.Json.Int e.index);
+                        ("t_start_s", Lc_obs.Json.Float e.t_start_s);
+                        ("t_end_s", Lc_obs.Json.Float e.t_end_s);
+                        ("queries", Lc_obs.Json.Int e.queries);
+                        ("probes", Lc_obs.Json.Int e.probes);
+                        ("qps", Lc_obs.Json.Float e.qps);
+                        ("probes_per_s", Lc_obs.Json.Float e.probes_per_s);
+                        ("p50_ns", Lc_obs.Json.Float e.p50_ns);
+                        ("p99_ns", Lc_obs.Json.Float e.p99_ns);
+                        ("max_cell", Lc_obs.Json.Int e.max_cell);
+                        ("max_share", Lc_obs.Json.Float e.max_share);
+                        ("hotspot_ratio", Lc_obs.Json.Float e.hotspot_ratio);
+                        ("alert", Lc_obs.Json.Bool e.alert);
+                        ("cum_queries", Lc_obs.Json.Int e.cum_queries);
+                      ])
+                  (Window.entries t.window)) );
+           ("alert_active", Lc_obs.Json.Bool (Window.alert_active t.window));
+           ("alert_fired_total", Lc_obs.Json.Int (Window.alert_fired_total t.window));
+         ])
+
+  let routes t : Http.route list =
+    [
+      ("/metrics", fun () -> Http.text (metrics_body t));
+      ( "/snapshot.json",
+        fun () -> Http.json (Lc_obs.Export.json_snapshot (Window.live_snapshot t.window)) );
+      ("/cells.json", fun () -> Http.json (cells_body t));
+      ("/windows.json", fun () -> Http.json (windows_body t));
+      ("/healthz", fun () -> Http.text "ok\n");
+    ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Sleep [total] seconds in short slices so a stop flag set at worker
+   join wakes the monitor domain promptly. *)
+let interruptible_sleep total stop =
+  let slice = 0.02 in
+  let remaining = ref total in
+  while !remaining > 0.0 && not (Atomic.get stop) do
+    let d = Float.min slice !remaining in
+    Unix.sleepf d;
+    remaining := !remaining -. d
+  done
+
+let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist =
   if domains < 1 then invalid_arg "Engine.serve: domains must be >= 1";
   if queries_per_domain < 1 then
     invalid_arg "Engine.serve: queries_per_domain must be >= 1";
+  (match monitor with
+  | Some (m : Monitor.t) when m.Monitor.domains <> domains ->
+    invalid_arg
+      (Printf.sprintf "Engine.serve_windowed: monitor was created for %d domains, serve got %d"
+         m.Monitor.domains domains)
+  | _ -> ());
+  (* A monitor carries its own observability handle. *)
+  let obs = match monitor with Some m -> Some m.Monitor.obs | None -> obs in
   let (module D : Lc_dict.Dict_intf.S) = Instance.core inst in
   let counters = Array.init D.space (fun _ -> Atomic.make 0) in
+  (match monitor with Some m -> m.Monitor.live_counts <- Some counters | None -> ());
   let locks = make_locks ~cost ~space:D.space in
   (* Everything per-domain (metric shards, timelines, probe closures) is
      created on the orchestrating domain before any worker spawns, so
@@ -132,45 +355,28 @@ let serve ?(cost = Free) ?obs ~domains ~queries_per_domain ~seed inst qdist =
     match obs with
     | None -> None
     | Some (o : Lc_obs.Obs.t) ->
-      let queries_c =
-        Metrics.counter o.metrics ~help:"Queries served by the engine" "engine_queries_total"
-      in
-      let probes_c =
-        Metrics.counter o.metrics ~help:"Cell probes issued by the engine" "engine_probes_total"
-      in
-      let latency_h =
-        Metrics.histogram o.metrics ~help:"Per-query serve latency (ns)"
-          "engine_query_latency_ns"
-      in
-      let probe_latency_h =
-        Metrics.histogram o.metrics
-          ~help:(Printf.sprintf "Sampled per-probe read latency (ns), 1 in %d probes"
-                   (probe_sample_mask + 1))
-          "engine_probe_latency_ns"
-      in
-      let spin_wait_h =
-        Metrics.histogram o.metrics
-          ~help:"Per-acquisition spinlock wait (ns); 0 = uncontended"
-          "engine_spinlock_wait_ns"
-      in
-      let domains_g =
-        Metrics.gauge o.metrics ~help:"Worker domains in the last serve" "engine_domains"
-      in
+      let ids = register_metrics o in
       let main_shard = Lc_obs.Obs.shard o ~domain:0 in
-      Metrics.set_gauge main_shard domains_g (float_of_int domains);
+      Metrics.set_gauge main_shard ids.m_domains (float_of_int domains);
       let main_tl = Lc_obs.Obs.timeline o ~tid:0 in
       let workers =
         Array.init domains (fun w ->
             {
               shard = Lc_obs.Obs.shard o ~domain:(w + 1);
               timeline = Lc_obs.Obs.timeline o ~tid:(w + 1);
-              queries_c;
-              probes_c;
-              latency_h;
-              probe_latency_h;
-              spin_wait_h;
+              queries_c = ids.m_queries;
+              probes_c = ids.m_probes;
+              latency_h = ids.m_latency;
+              probe_latency_h = ids.m_probe_latency;
+              spin_wait_h = ids.m_spin_wait;
             })
       in
+      (* Publish the orchestrator's shard (the domains gauge) once; it
+         is quiescent for the rest of the run. *)
+      (match monitor with
+      | Some m ->
+        Window.publish (Window.publisher m.Monitor.window 0) main_shard m.Monitor.orch_sketch
+      | None -> ());
       Some (main_tl, workers)
   in
   let main_span name f =
@@ -188,11 +394,11 @@ let serve ?(cost = Free) ?obs ~domains ~queries_per_domain ~seed inst qdist =
   in
   let worker w () =
     let rng = Rng.create (seed lxor (104729 * (w + 1))) in
-    match setup with
-    | None ->
+    match (setup, monitor) with
+    | None, _ ->
       let probe = make_probe ~cost ~counters ~locks D.table in
       Array.iter (fun x -> ignore (D.mem ~probe rng x : bool)) batches.(w)
-    | Some (_, workers) ->
+    | Some (_, workers), None ->
       let wo = workers.(w) in
       let probe = make_obs_probe ~cost ~counters ~locks D.table wo in
       Span.with_span wo.timeline "serve-batch" (fun () ->
@@ -204,6 +410,50 @@ let serve ?(cost = Free) ?obs ~domains ~queries_per_domain ~seed inst qdist =
                 (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
               Metrics.incr wo.shard wo.queries_c 1)
             batches.(w))
+    | Some (_, workers), Some m ->
+      let wo = workers.(w) in
+      let sketch = m.Monitor.sketches.(w) in
+      let pub = Window.publisher m.Monitor.window (w + 1) in
+      let period = m.Monitor.publish_period in
+      let probe = make_obs_probe ~sketch ~cost ~counters ~locks D.table wo in
+      Span.with_span wo.timeline "serve-batch" (fun () ->
+          let since_publish = ref 0 in
+          Array.iter
+            (fun x ->
+              let t0 = Lc_obs.Clock.now_ns () in
+              ignore (D.mem ~probe rng x : bool);
+              Metrics.observe wo.shard wo.latency_h
+                (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
+              Metrics.incr wo.shard wo.queries_c 1;
+              incr since_publish;
+              if !since_publish >= period then begin
+                since_publish := 0;
+                Window.publish pub wo.shard sketch
+              end)
+            batches.(w);
+          (* Final publication: the monitor's last tick must see the
+             complete batch so windowed totals reconcile exactly. *)
+          Window.publish pub wo.shard sketch)
+  in
+  (* The monitor domain ticks windows on its interval while workers are
+     hot; it is stopped (and joined) outside the timed section so the
+     throughput columns stay comparable with unmonitored runs. *)
+  let monitor_stop = Atomic.make false in
+  let monitor_domain =
+    match monitor with
+    | None -> None
+    | Some m ->
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get monitor_stop) do
+               interruptible_sleep m.Monitor.interval_s monitor_stop;
+               if not (Atomic.get monitor_stop) then begin
+                 let e = Window.tick m.Monitor.window in
+                 match m.Monitor.on_window with
+                 | None -> ()
+                 | Some f -> ( try f e with _ -> ())
+               end
+             done))
   in
   let t0 = Unix.gettimeofday () in
   let seconds =
@@ -212,6 +462,16 @@ let serve ?(cost = Free) ?obs ~domains ~queries_per_domain ~seed inst qdist =
     Array.iter Domain.join spawned;
     Unix.gettimeofday () -. t0
   in
+  (match monitor_domain with
+  | None -> ()
+  | Some d ->
+    Atomic.set monitor_stop true;
+    Domain.join d;
+    (* One final, authoritative window over whatever the interval ticks
+       had not yet consumed. *)
+    let m = Option.get monitor in
+    let e = Window.tick m.Monitor.window in
+    (match m.Monitor.on_window with None -> () | Some f -> ( try f e with _ -> ())));
   main_span "merge" @@ fun () ->
   let counts = Array.map Atomic.get counters in
   let total_probes = Array.fold_left ( + ) 0 counts in
@@ -236,6 +496,28 @@ let serve ?(cost = Free) ?obs ~domains ~queries_per_domain ~seed inst qdist =
     flat_bound = float_of_int queries *. float_of_int D.max_probes /. float_of_int D.space;
   }
 
+let serve ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist =
+  serve_internal ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist
+
+type windowed = {
+  result : result;
+  windows : Window.entry list;
+  cells : Heavy.merged option;
+  alert_windows : int;
+}
+
+let serve_windowed ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist =
+  let result = serve_internal ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist in
+  match monitor with
+  | None -> { result; windows = []; cells = None; alert_windows = 0 }
+  | Some m ->
+    {
+      result;
+      windows = Window.entries m.Monitor.window;
+      cells = Some (Window.live_cells m.Monitor.window);
+      alert_windows = Window.alert_fired_total m.Monitor.window;
+    }
+
 let hotspot_ratio r = float_of_int r.hottest_count /. r.flat_bound
 
 let answer_all ?(domains = 2) ~seed inst ~queries =
@@ -258,28 +540,7 @@ let answer_all ?(domains = 2) ~seed inst ~queries =
   Array.iter Domain.join spawned;
   out
 
-let count_histogram r =
-  let max_count = Array.fold_left max 0 r.counts in
-  let bucket_of c =
-    (* 0 -> bucket 0; otherwise 1 + floor(log2 c). *)
-    if c = 0 then 0
-    else begin
-      let b = ref 0 in
-      let v = ref c in
-      while !v > 0 do
-        incr b;
-        v := !v lsr 1
-      done;
-      !b
-    end
-  in
-  let nbuckets = bucket_of max_count + 1 in
-  let cells = Array.make nbuckets 0 in
-  Array.iter (fun c -> cells.(bucket_of c) <- cells.(bucket_of c) + 1) r.counts;
-  let upper b = if b = 0 then 0 else (1 lsl b) - 1 in
-  List.filter
-    (fun (_, n) -> n > 0)
-    (List.init nbuckets (fun b -> (upper b, cells.(b))))
+let count_histogram r = histogram_of_counts r.counts
 
 let top_cells r ~k =
   let indexed = Array.mapi (fun j c -> (j, c)) r.counts in

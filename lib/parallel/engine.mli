@@ -88,6 +88,104 @@ val serve :
     allocation, no atomics beyond the per-cell counters — and the result
     is identical to PR 1's engine. *)
 
+(** Live monitoring for a serving run: a monitor domain that cuts
+    {!Lc_obs.Window} snapshots on an interval while the workers are hot,
+    per-worker {!Lc_obs.Heavy} hot-cell sketches published through the
+    window seqlocks, and ready-made {!Lc_obs.Http} routes for scraping
+    the whole thing mid-run. *)
+module Monitor : sig
+  type t
+
+  val create :
+    ?ring:int ->
+    ?interval_s:float ->
+    ?publish_period:int ->
+    ?top_k:int ->
+    ?alert_factor:float ->
+    ?on_window:(Lc_obs.Window.entry -> unit) ->
+    ?obs:Lc_obs.Obs.t ->
+    domains:int ->
+    Lc_dict.Instance.t ->
+    t
+  (** A monitor for one {!serve_windowed} run over [inst] with [domains]
+      workers. Registers the engine metrics on [obs] (a fresh handle is
+      created when omitted) and sizes one window publisher per domain
+      plus the orchestrator.
+
+      - [ring] (default 512): windows retained, oldest evicted.
+      - [interval_s] (default 0.25): monitor tick period — one window
+        per tick.
+      - [publish_period] (default 256): queries between a worker's
+        seqlock publications.
+      - [top_k] (default 16): hot-cell sketch capacity per worker.
+      - [alert_factor] (default 8.0): fire when the windowed
+        [engine_hotspot_ratio] exceeds this multiple of the flat
+        [1/s]-per-query bound — Theorem 3 keeps the ratio [O(1)], so a
+        modest factor separates the low-contention dictionary from any
+        [Theta(sqrt n)] regression.
+      - [on_window]: called on the monitor domain with each completed
+        window (the [lowcon monitor] dashboard hook); exceptions are
+        swallowed.
+
+      A monitor is single-use: its sketches and window deltas are
+      cumulative, so reusing one across runs conflates their streams
+      (create a fresh monitor per run, like a fresh [obs] handle). *)
+
+  val obs : t -> Lc_obs.Obs.t
+  val window : t -> Lc_obs.Window.t
+  val interval_s : t -> float
+
+  val routes : t -> Lc_obs.Http.route list
+  (** Scrape routes over the live (seqlock-read) state, safe to serve
+      from an {!Lc_obs.Http} domain mid-run:
+
+      - [/metrics] — Prometheus text: the merged cumulative snapshot
+        (counters monotone across scrapes) plus the per-window gauges
+        ({!Lc_obs.Window.prometheus_gauges});
+      - [/snapshot.json] — the merged snapshot as JSON
+        ({!Lc_obs.Export.json_snapshot});
+      - [/cells.json] — merged top-k sketch entries with error bounds,
+        plus an exact log-bucketed per-cell count histogram read from
+        the engine's live atomics;
+      - [/windows.json] — the window ring and alert state;
+      - [/healthz] — liveness. *)
+end
+
+type windowed = {
+  result : result;  (** Exactly what {!serve} would have returned. *)
+  windows : Lc_obs.Window.entry list;
+      (** The window ring at completion, oldest first. The final entry
+          is cut after the workers join, so summing [queries] over
+          [windows] (when none were evicted) reconciles exactly with
+          [result.queries], and its [hotspot_ratio] agrees with
+          {!hotspot_ratio} of [result] to within the sketch error
+          bound. *)
+  cells : Lc_obs.Heavy.merged option;
+      (** Final merged hot-cell sketch ([None] without a monitor). *)
+  alert_windows : int;  (** Windows that fired the hotspot alert. *)
+}
+
+val serve_windowed :
+  ?cost:cost ->
+  ?obs:Lc_obs.Obs.t ->
+  ?monitor:Monitor.t ->
+  domains:int ->
+  queries_per_domain:int ->
+  seed:int ->
+  Lc_dict.Instance.t ->
+  Lc_cellprobe.Qdist.t ->
+  windowed
+(** {!serve} with live windows. Without [monitor] this {e is} [serve]
+    — same code path, including the telemetry-free hot path when [obs]
+    is also absent, so [result] stays byte-identical to the
+    uninstrumented engine. With [monitor] (which must have been created
+    for the same [domains]), workers publish their shards and sketches
+    every [publish_period] queries plus once at batch end, a monitor
+    domain cuts a window every [interval_s] while they run, and a final
+    authoritative window is cut after the join; [obs] is ignored in
+    favour of the monitor's handle. Start {!Lc_obs.Http.start}[ ~port
+    (Monitor.routes m)] before calling to scrape the run live. *)
+
 val hotspot_ratio : result -> float
 (** [hotspot_ratio r] is [r.hottest_count /. r.flat_bound]: how many
     times over the perfectly-flat tally the worst cell is. [O(1)] for

@@ -14,6 +14,9 @@ module Metrics = Lc_obs.Metrics
 module Span = Lc_obs.Span
 module Export = Lc_obs.Export
 module Obs = Lc_obs.Obs
+module Heavy = Lc_obs.Heavy
+module Window = Lc_obs.Window
+module Http = Lc_obs.Http
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -257,6 +260,345 @@ let test_export_prometheus_and_json () =
     checkb "counter value in json" true
       (Option.bind (Json.member "dotted.name_total" counters) Json.int_value = Some 5)
 
+let test_export_help_escaping () =
+  checks "escape_help maps backslash and newline"
+    "line one\\nline \\\\two" (Export.escape_help "line one\nline \\two");
+  let m = Metrics.create () in
+  let help = "first line\nsecond \\ line" in
+  ignore (Metrics.counter m ~help "multi_line_total" : Metrics.counter);
+  ignore (Metrics.shard m ~domain:0 : Metrics.shard);
+  let prom = Export.prometheus (Metrics.snapshot m) in
+  let lines = String.split_on_char '\n' prom in
+  let help_lines =
+    List.filter
+      (fun l -> String.length l >= 6 && String.sub l 0 6 = "# HELP")
+      lines
+  in
+  checki "one HELP line despite the embedded newline" 1 (List.length help_lines);
+  let line = List.hd help_lines in
+  checks "HELP line carries the escaped text"
+    "# HELP multi_line_total first line\\nsecond \\\\ line" line;
+  (* Round-trip: un-escaping the exposed help recovers the original. *)
+  let unescape s =
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      if s.[!i] = '\\' && !i + 1 < String.length s then begin
+        (match s.[!i + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let prefix = "# HELP multi_line_total " in
+  let exposed = String.sub line (String.length prefix) (String.length line - String.length prefix) in
+  checks "unescape round-trips" help (unescape exposed)
+
+let test_export_write_file_atomic () =
+  let dir = Filename.temp_file "lc_obs_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "doc.prom" in
+  let read p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Export.write_file ~path "first version\n";
+  checks "initial write lands" "first version\n" (read path);
+  Export.write_file ~path "second version\n";
+  checks "rewrite replaces the document" "second version\n" (read path);
+  let leftovers =
+    Array.to_list (Sys.readdir dir) |> List.filter (fun f -> f <> "doc.prom")
+  in
+  checkb "no temp files left behind" true (leftovers = []);
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* metrics.mli promises bucket b covers [2^(b-1), 2^b - 1]: both ends of
+   every range must land in the same bucket, whose upper edge is
+   2^b - 1. *)
+let prop_bucket_boundaries =
+  QCheck.Test.make ~name:"observe places 2^(b-1) and 2^b - 1 in bucket b" ~count:100
+    QCheck.(int_range 1 30)
+    (fun b ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "h" in
+      let sh = Metrics.shard m ~domain:0 in
+      Metrics.observe sh h (1 lsl (b - 1));
+      Metrics.observe sh h ((1 lsl b) - 1);
+      let hist = Option.get (Metrics.Snapshot.find_hist (Metrics.snapshot m) "h") in
+      hist.buckets = [| ((1 lsl b) - 1, 2) |])
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile monotone in q and bounded by max_value" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 50) (int_range 0 1_000_000_000))
+        (pair (int_range 0 1000) (int_range 0 1000)))
+    (fun (values, (a, b)) ->
+      let q1 = float_of_int (min a b) /. 1000.0 in
+      let q2 = float_of_int (max a b) /. 1000.0 in
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "h" in
+      let sh = Metrics.shard m ~domain:0 in
+      List.iter (fun v -> Metrics.observe sh h v) values;
+      let hist = Option.get (Metrics.Snapshot.find_hist (Metrics.snapshot m) "h") in
+      let v1 = Metrics.Snapshot.quantile hist q1 in
+      let v2 = Metrics.Snapshot.quantile hist q2 in
+      v1 <= v2 && v2 <= float_of_int hist.max_value)
+
+(* ------------------------------------------------------------------ *)
+(* Heavy (Space-Saving sketch)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_heavy_exact_below_capacity () =
+  let s = Heavy.create ~k:8 in
+  List.iter (fun x -> Heavy.observe s x) [ 1; 2; 1; 3; 1; 2 ];
+  checki "total counts observations" 6 (Heavy.total s);
+  checki "below capacity the floor is 0" 0 (Heavy.min_count s);
+  match Heavy.entries s with
+  | { Heavy.item = 1; count = 3; err = 0 } :: rest ->
+    checkb "remaining entries exact" true
+      (List.for_all (fun (e : Heavy.entry) -> e.err = 0) rest)
+  | _ -> Alcotest.fail "dominant item not first or not exact"
+
+let test_heavy_tracks_heavy_hitter () =
+  let s = Heavy.create ~k:4 in
+  let rng = Rng.create 99 in
+  (* One item at 40%, noise spread over 1000 others: far above total/k. *)
+  for _ = 1 to 5_000 do
+    if Rng.int rng 10 < 4 then Heavy.observe s 7777
+    else Heavy.observe s (Rng.int rng 1000)
+  done;
+  let m = Heavy.merge [ s ] ~k:4 in
+  (match List.find_opt (fun (e : Heavy.entry) -> e.item = 7777) m.Heavy.top with
+  | None -> Alcotest.fail "heavy hitter not tracked"
+  | Some e ->
+    checkb "estimate brackets truth from above" true (e.count >= 2000 - 300);
+    checkb "err below the merge bound" true (e.err <= m.Heavy.error_bound));
+  checkb "error bound within total/k" true
+    (m.Heavy.error_bound <= m.Heavy.total_observed / 4);
+  let g = Option.get (Heavy.max_guaranteed m) in
+  checkb "guaranteed max is the heavy hitter" true (g.item = 7777)
+
+let test_heavy_merge_disjoint () =
+  let mk xs =
+    let s = Heavy.create ~k:4 in
+    List.iter (fun x -> Heavy.observe s x) xs;
+    s
+  in
+  (* Two under-capacity sketches: the merge must be exact. *)
+  let a = mk [ 1; 1; 2 ] in
+  let b = mk [ 1; 3; 3; 3 ] in
+  let m = Heavy.merge [ a; b ] ~k:4 in
+  checki "totals add" 7 m.Heavy.total_observed;
+  checki "exact merge has no error" 0 m.Heavy.error_bound;
+  let find i = List.find (fun (e : Heavy.entry) -> e.item = i) m.Heavy.top in
+  checki "cross-sketch counts sum" 3 (find 1).count;
+  checki "single-sketch counts survive" 3 (find 3).count;
+  checki "max_estimate is the top count" 3 (Heavy.max_estimate m)
+
+let test_heavy_copy_into () =
+  let s = Heavy.create ~k:3 in
+  List.iter (fun x -> Heavy.observe s x) [ 5; 5; 6; 7; 8 ];
+  let d = Heavy.create ~k:3 in
+  Heavy.copy_into s d;
+  checkb "copy reproduces entries" true (Heavy.entries s = Heavy.entries d);
+  checki "copy reproduces total" (Heavy.total s) (Heavy.total d);
+  Heavy.observe s 5;
+  checkb "copy is independent of the source" true (Heavy.total d = 5);
+  checkb "k mismatch rejected" true
+    (try
+       Heavy.copy_into s (Heavy.create ~k:4);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Window                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let window_fixture ?(ring = 4) () =
+  let m = Metrics.create () in
+  let q = Metrics.counter m "q_total" in
+  let p = Metrics.counter m "p_total" in
+  let h = Metrics.histogram m "lat_ns" in
+  let sh = Metrics.shard m ~domain:0 in
+  let w =
+    Window.create m
+      {
+        Window.ring_capacity = ring;
+        queries_counter = "q_total";
+        probes_counter = "p_total";
+        latency_histogram = "lat_ns";
+        space = 100;
+        max_probes = 4;
+        top_k = 4;
+        alert_factor = 8.0;
+      }
+      ~publishers:1
+  in
+  (m, q, p, h, sh, w)
+
+let test_window_tick_deltas () =
+  let _, q, p, h, sh, w = window_fixture () in
+  let sketch = Heavy.create ~k:4 in
+  let pub = Window.publisher w 0 in
+  Metrics.incr sh q 10;
+  Metrics.incr sh p 40;
+  Metrics.observe sh h 100;
+  Heavy.observe sketch 3;
+  Window.publish pub sh sketch;
+  let e1 = Window.tick w in
+  checki "first window sees the whole stream" 10 e1.Window.queries;
+  checki "probes delta" 40 e1.Window.probes;
+  checki "cumulative totals" 10 e1.Window.cum_queries;
+  checkb "p50 from the windowed histogram" true (e1.Window.p50_ns > 0.0);
+  (* Nothing new published: the next window must be empty, while the
+     cumulative side holds. *)
+  let e2 = Window.tick w in
+  checki "quiet window has zero queries" 0 e2.Window.queries;
+  checkb "quiet window has zero quantiles" true (e2.Window.p50_ns = 0.0);
+  checki "cumulative unchanged" 10 e2.Window.cum_queries;
+  (* More work, published again: only the delta shows. *)
+  Metrics.incr sh q 5;
+  Metrics.incr sh p 20;
+  Window.publish pub sh sketch;
+  let e3 = Window.tick w in
+  checki "delta only" 5 e3.Window.queries;
+  checki "cumulative advances" 15 e3.Window.cum_queries;
+  checki "windows numbered in order" 2 e3.Window.index;
+  checki "ring holds all three" 3 (List.length (Window.entries w));
+  checkb "live snapshot sees published counters" true
+    (Metrics.Snapshot.counter_value (Window.live_snapshot w) "q_total" = Some 15)
+
+let test_window_ring_eviction () =
+  let _, q, _, _, sh, w = window_fixture ~ring:2 () in
+  let sketch = Heavy.create ~k:4 in
+  let pub = Window.publisher w 0 in
+  for i = 1 to 5 do
+    Metrics.incr sh q i;
+    Window.publish pub sh sketch;
+    ignore (Window.tick w : Window.entry)
+  done;
+  checki "total windows counts evictions" 5 (Window.total_windows w);
+  match Window.entries w with
+  | [ e3; e4 ] ->
+    checki "oldest retained window" 3 e3.Window.index;
+    checki "latest window" 4 e4.Window.index;
+    checkb "last agrees" true (Window.last w = Some e4)
+  | es -> Alcotest.failf "expected 2 retained windows, got %d" (List.length es)
+
+let test_window_alert_and_gauges () =
+  let _, q, p, _, sh, w = window_fixture () in
+  let sketch = Heavy.create ~k:4 in
+  let pub = Window.publisher w 0 in
+  (* 100 queries, every probe on cell 0: flat = 100*4/100 = 4, guaranteed
+     tally 400 -> ratio 100, far over the factor of 8. *)
+  Metrics.incr sh q 100;
+  Metrics.incr sh p 400;
+  for _ = 1 to 400 do
+    Heavy.observe sketch 0
+  done;
+  Window.publish pub sh sketch;
+  let e = Window.tick w in
+  checkb "ratio reflects the funnel cell" true (e.Window.hotspot_ratio >= 99.0);
+  checkb "alert fires" true e.Window.alert;
+  checkb "alert state visible" true (Window.alert_active w);
+  checki "fired total" 1 (Window.alert_fired_total w);
+  let g = Window.prometheus_gauges w in
+  let has needle =
+    let rec go i =
+      i + String.length needle <= String.length g
+      && (String.sub g i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "hotspot gauge exposed" true (has "engine_hotspot_ratio 100");
+  checkb "alert gauge exposed" true (has "engine_hotspot_alert 1");
+  checkb "window qps gauge exposed" true (has "engine_window_qps ")
+
+(* ------------------------------------------------------------------ *)
+(* Http                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let http_get port target =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n" target in
+      ignore (Unix.write_substring sock req 0 (String.length req) : int);
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let k = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if k > 0 then begin
+          Buffer.add_subbytes buf chunk 0 k;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> -1
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r' && raw.[i + 3] = '\n'
+          then i + 4
+          else find (i + 1)
+        in
+        let s = find 0 in
+        String.sub raw s (String.length raw - s)
+      in
+      (status, body))
+
+let test_http_routes () =
+  let hits = ref 0 in
+  let server =
+    Http.start ~port:0
+      [
+        ( "/metrics",
+          fun () ->
+            incr hits;
+            Http.text "metric 1\n" );
+        ("/boom", fun () -> failwith "handler exploded");
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let port = Http.port server in
+      let status, body = http_get port "/metrics" in
+      checki "200 on a routed path" 200 status;
+      checks "body served" "metric 1\n" body;
+      let status, _ = http_get port "/metrics?refresh=1" in
+      checki "query string stripped before matching" 200 status;
+      let status, _ = http_get port "/nope" in
+      checki "404 on unknown path" 404 status;
+      let status, _ = http_get port "/boom" in
+      checki "500 on a raising handler" 500 status;
+      checki "handler ran once per routed request" 2 !hits);
+  (* Stop is idempotent and the port is released. *)
+  Http.stop server;
+  checkb "connection refused after stop" true
+    (try
+       ignore (http_get (Http.port server) "/metrics");
+       false
+     with Unix.Unix_error (_, _, _) -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Engine acceptance                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -276,7 +618,16 @@ let test_engine_obs_off_is_byte_identical () =
   let r2 = serve () in
   checks "two uninstrumented runs marshal identically" (marshal r1) (marshal r2);
   let r3 = serve ~obs:(Obs.create ()) () in
-  checks "telemetry does not perturb the result record" (marshal r1) (marshal r3)
+  checks "telemetry does not perturb the result record" (marshal r1) (marshal r3);
+  (* serve_windowed without a monitor is the same code path: same bytes,
+     and no window machinery engages. *)
+  let w =
+    Engine.serve_windowed ~domains:2 ~queries_per_domain:600 ~seed:33 inst keys_dist
+  in
+  checks "serve_windowed without a monitor stays byte-identical" (marshal r1)
+    (marshal w.Engine.result);
+  checkb "no windows without a monitor" true
+    (w.Engine.windows = [] && w.Engine.cells = None && w.Engine.alert_windows = 0)
 
 let test_engine_obs_reconciles () =
   let keys, inst = lc_fixture 22 in
@@ -347,6 +698,135 @@ let test_engine_obs_spinlock_wait () =
   let free = Engine.serve ~domains:2 ~queries_per_domain:400 ~seed:7 inst qd in
   checki "same tallies as the free uninstrumented run" free.Engine.total_probes
     r.Engine.total_probes
+
+(* ------------------------------------------------------------------ *)
+(* Monitored serving (serve_windowed + Monitor + live scrape)           *)
+(* ------------------------------------------------------------------ *)
+
+let fks_norepl_fixture seed =
+  let rng = Rng.create seed in
+  let keys = Keyset.random rng ~universe ~n in
+  (keys, Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys))
+
+(* Satellite acceptance: on a completed monitored run against the
+   deliberately hot structure, the streaming view must agree with the
+   exact counters — windowed queries reconcile, the true hottest cell is
+   tracked with its tally bracketed, the windowed ratio is within the
+   sketch error bound of the exact one, and the alert fires. *)
+let test_windowed_sketch_agrees_with_exact () =
+  let keys, inst = fks_norepl_fixture 41 in
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let mon = Engine.Monitor.create ~interval_s:0.02 ~publish_period:64 ~domains:2 inst in
+  let w =
+    Engine.serve_windowed ~monitor:mon ~domains:2 ~queries_per_domain:20_000 ~seed:9 inst qd
+  in
+  let r = w.Engine.result in
+  let sum_q =
+    List.fold_left (fun a (e : Window.entry) -> a + e.Window.queries) 0 w.Engine.windows
+  in
+  checki "windowed queries sum to the engine total" r.Engine.queries sum_q;
+  let cells = Option.get w.Engine.cells in
+  (match
+     List.find_opt (fun (e : Heavy.entry) -> e.item = r.Engine.hottest_cell) cells.Heavy.top
+   with
+  | None -> Alcotest.fail "true hottest cell not in the merged top-k"
+  | Some e ->
+    checkb "tally bracketed: count - err <= true <= count" true
+      (e.count - e.err <= r.Engine.hottest_count && r.Engine.hottest_count <= e.count));
+  let final = List.nth w.Engine.windows (List.length w.Engine.windows - 1) in
+  let exact = Engine.hotspot_ratio r in
+  let sketched = final.Window.hotspot_ratio in
+  checkb "sketched ratio never exceeds the exact one" true (sketched <= exact +. 1e-9);
+  checkb "sketched ratio within the error bound of the exact one" true
+    (exact -. sketched <= (float_of_int cells.Heavy.error_bound /. r.Engine.flat_bound) +. 1e-9);
+  checkb "hot structure fires the alert" true (w.Engine.alert_windows > 0);
+  checkb "final window flags the alert" true final.Window.alert
+
+let test_windowed_quiet_on_low_contention () =
+  let keys, inst = lc_fixture 42 in
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let mon = Engine.Monitor.create ~interval_s:0.02 ~publish_period:64 ~domains:2 inst in
+  let w =
+    Engine.serve_windowed ~monitor:mon ~domains:2 ~queries_per_domain:8_000 ~seed:10 inst qd
+  in
+  let r = w.Engine.result in
+  checkb "sanity: the exact ratio is itself small" true (Engine.hotspot_ratio r < 16.0);
+  checki "alert stays silent on the Theorem 3 dictionary" 0 w.Engine.alert_windows;
+  let sum_q =
+    List.fold_left (fun a (e : Window.entry) -> a + e.Window.queries) 0 w.Engine.windows
+  in
+  checki "reconciliation holds here too" r.Engine.queries sum_q
+
+(* The /metrics scrape during a run: valid exposition text, counters
+   monotone across scrapes, per-window gauges present. A scraper domain
+   hits the live endpoint while the workers serve. *)
+let test_windowed_live_scrape_monotone () =
+  let keys, inst = lc_fixture 43 in
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let mon = Engine.Monitor.create ~interval_s:0.02 ~publish_period:64 ~domains:2 inst in
+  let server = Http.start ~port:0 (Engine.Monitor.routes mon) in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let port = Http.port server in
+      let scraper =
+        Domain.spawn (fun () ->
+            List.init 8 (fun _ ->
+                let status, body = http_get port "/metrics" in
+                Unix.sleepf 0.03;
+                (status, body)))
+      in
+      let w =
+        Engine.serve_windowed ~monitor:mon ~domains:2 ~queries_per_domain:30_000 ~seed:11 inst
+          qd
+      in
+      let scrapes = Domain.join scraper in
+      List.iter (fun (status, _) -> checki "every scrape answered 200" 200 status) scrapes;
+      let counter_value name body =
+        List.find_map
+          (fun line ->
+            let prefix = name ^ " " in
+            if String.length line > String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then
+              int_of_string_opt
+                (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix))
+            else None)
+          (String.split_on_char '\n' body)
+      in
+      let queries =
+        List.map (fun (_, b) -> Option.value ~default:(-1) (counter_value "engine_queries_total" b)) scrapes
+      in
+      checkb "every scrape exposes engine_queries_total" true (List.for_all (fun q -> q >= 0) queries);
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      checkb "counter monotone across live scrapes" true (monotone queries);
+      let _, last_body = List.nth scrapes (List.length scrapes - 1) in
+      let has needle =
+        let rec go i =
+          i + String.length needle <= String.length last_body
+          && (String.sub last_body i (String.length needle) = needle || go (i + 1))
+        in
+        go 0
+      in
+      checkb "TYPE lines present (valid exposition text)" true
+        (has "# TYPE engine_queries_total counter");
+      checkb "per-window gauges appended" true (has "# TYPE engine_hotspot_ratio gauge");
+      (* The final cumulative counter must match the completed run. *)
+      let _, final_body = http_get port "/metrics" in
+      checki "post-run scrape equals the result"
+        w.Engine.result.Engine.queries
+        (Option.get (counter_value "engine_queries_total" final_body));
+      (* And the JSON routes stay parseable under load. *)
+      let status, cells = http_get port "/cells.json" in
+      checki "cells.json 200" 200 status;
+      checkb "cells.json parses" true (Result.is_ok (Json.parse cells));
+      let status, windows = http_get port "/windows.json" in
+      checki "windows.json 200" 200 status;
+      checkb "windows.json parses" true (Result.is_ok (Json.parse windows)))
 
 (* ------------------------------------------------------------------ *)
 (* Build-stage telemetry                                                *)
@@ -424,7 +904,41 @@ let () =
           Alcotest.test_case "summary" `Quick test_span_summary;
         ] );
       ( "export",
-        [ Alcotest.test_case "prometheus + json" `Quick test_export_prometheus_and_json ] );
+        [
+          Alcotest.test_case "prometheus + json" `Quick test_export_prometheus_and_json;
+          Alcotest.test_case "help escaping round-trips" `Quick test_export_help_escaping;
+          Alcotest.test_case "write_file replaces atomically" `Quick
+            test_export_write_file_atomic;
+        ] );
+      ( "metrics properties",
+        [
+          QCheck_alcotest.to_alcotest prop_bucket_boundaries;
+          QCheck_alcotest.to_alcotest prop_quantile_monotone;
+        ] );
+      ( "heavy",
+        [
+          Alcotest.test_case "exact below capacity" `Quick test_heavy_exact_below_capacity;
+          Alcotest.test_case "tracks a heavy hitter" `Quick test_heavy_tracks_heavy_hitter;
+          Alcotest.test_case "merge of disjoint streams" `Quick test_heavy_merge_disjoint;
+          Alcotest.test_case "copy_into" `Quick test_heavy_copy_into;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "tick deltas" `Quick test_window_tick_deltas;
+          Alcotest.test_case "ring eviction" `Quick test_window_ring_eviction;
+          Alcotest.test_case "alert and gauges" `Quick test_window_alert_and_gauges;
+        ] );
+      ( "http",
+        [ Alcotest.test_case "routes, errors, stop" `Quick test_http_routes ] );
+      ( "monitored serving",
+        [
+          Alcotest.test_case "sketch agrees with exact counts" `Quick
+            test_windowed_sketch_agrees_with_exact;
+          Alcotest.test_case "quiet on the low-contention dictionary" `Quick
+            test_windowed_quiet_on_low_contention;
+          Alcotest.test_case "live scrape is monotone" `Quick
+            test_windowed_live_scrape_monotone;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "obs off is byte-identical" `Quick
