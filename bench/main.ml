@@ -199,6 +199,23 @@ let tests =
                  ignore
                    (Lc_parallel.Engine.serve_windowed ~monitor:mon ~domains:2
                       ~queries_per_domain:500 ~seed:3 lc_inst pos_dist)));
+          (* Flight recorder armed: the same monitored run with a
+             journal attached. Workers record once per publication and
+             the monitor once per window, so this twin must sit within a
+             few percent of the bare monitored run above. *)
+          Test.make ~name:"journal_record"
+            (let j = Lc_obs.Journal.create ~writers:1 ~capacity:256 in
+             Staged.stage (fun () ->
+                 Lc_obs.Journal.record j ~writer:0 (Lc_obs.Journal.Publish { queries = 500 })));
+          Test.make ~name:"serve_2dom_lowcon_500q_recorded"
+            (Staged.stage (fun () ->
+                 let journal = Lc_obs.Journal.create ~writers:4 ~capacity:256 in
+                 let mon =
+                   Lc_parallel.Engine.Monitor.create ~interval_s:0.05 ~journal ~domains:2 lc_inst
+                 in
+                 ignore
+                   (Lc_parallel.Engine.serve_windowed ~monitor:mon ~domains:2
+                      ~queries_per_domain:500 ~seed:3 lc_inst pos_dist)));
         ];
       Test.make_grouped ~name:"harness(T1/T2)"
         [

@@ -41,15 +41,9 @@ let dist_arg =
   in
   Arg.(value & opt string "pos" & info [ "dist" ] ~docv:"DIST" ~doc)
 
-let parse_dist rng ~universe ~keys spec =
-  let negs () = Keyset.negatives rng ~universe ~keys ~count:(8 * Array.length keys) in
-  match String.split_on_char ':' spec with
-  | [ "pos" ] -> Qdist.uniform ~name:"uniform-positive" keys
-  | [ "neg" ] -> Qdist.uniform ~name:"uniform-negative" (negs ())
-  | [ "point" ] -> Qdist.point keys.(0)
-  | [ "mix"; p ] -> Qdist.pos_neg ~pos:keys ~neg:(negs ()) ~p_pos:(float_of_string p)
-  | [ "zipf"; s ] -> Qdist.zipf ~skew:(float_of_string s) keys
-  | _ -> failwith (Printf.sprintf "unknown distribution %S" spec)
+(* One vocabulary for workload and structure names, shared with the
+   perf suite so artifact keys mean the same thing everywhere. *)
+let parse_dist rng ~universe ~keys spec = Lc_perf.Select.workload rng ~universe ~keys spec
 
 let with_errors f =
   try `Ok (f ()) with
@@ -267,14 +261,7 @@ let structure_arg =
   in
   Arg.(value & opt string "lc" & info [ "structure" ] ~docv:"S" ~doc)
 
-let build_structure rng ~universe ~keys = function
-  | "lc" -> Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys)
-  | "fks-norepl" -> Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys)
-  | "fks" -> Lc_dict.Fks.instance (Lc_dict.Fks.build rng ~universe ~keys)
-  | "dm" -> Lc_dict.Dm_dict.instance (Lc_dict.Dm_dict.build rng ~universe ~keys)
-  | "cuckoo" -> Lc_dict.Cuckoo.instance (Lc_dict.Cuckoo.build rng ~universe ~keys)
-  | "binary" -> Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys)
-  | s -> failwith (Printf.sprintf "unknown structure %S" s)
+let build_structure rng ~universe ~keys s = Lc_perf.Select.structure rng ~universe ~keys s
 
 let window_arg =
   Arg.(
@@ -317,6 +304,25 @@ let linger_arg =
     & info [ "linger" ] ~docv:"SECONDS"
         ~doc:"Keep the HTTP endpoint up this long after the run completes.")
 
+let dump_on_alert_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "auto") (some string) None
+    & info [ "dump-on-alert" ] ~docv:"PATH"
+        ~doc:
+          "Attach a flight recorder (lock-free per-domain event journals) and, the moment the \
+           hotspot alert first fires, dump a postmortem artifact — window ring, journal \
+           timeline, alert state, environment fingerprint — to $(docv) (default: a timestamped \
+           postmortem-*.json in the current directory). Analyze it with $(b,lowcon \
+           postmortem).")
+
+let journal_capacity_arg =
+  Arg.(
+    value
+    & opt int 1024
+    & info [ "journal-capacity" ] ~docv:"EVENTS"
+        ~doc:"Flight-recorder ring capacity per recording domain (oldest events overwritten).")
+
 let window_line (e : Window.entry) =
   Printf.sprintf "w%03d  [%6.2fs,%6.2fs)  q %7d  qps %9.0f  p50 %7.1fus  p99 %7.1fus  hot %6.1fx  %s"
     e.index e.t_start_s e.t_end_s e.queries e.qps (e.p50_ns /. 1e3) (e.p99_ns /. 1e3)
@@ -348,13 +354,25 @@ let render_dashboard ~name ~domains ~port ~alert_factor mon (_ : Window.entry) =
   flush stdout
 
 let monitor_run seed n universe_opt dist structure domains queries cost_spec window_s port_opt
-    top_k alert_factor no_dashboard linger =
+    top_k alert_factor no_dashboard linger dump_on_alert journal_capacity =
   with_errors @@ fun () ->
   let cost = parse_cost cost_spec in
   let rng = Rng.create seed in
   let universe = resolve_universe n universe_opt in
   let keys = Keyset.random rng ~universe ~n in
+  let journal =
+    Option.map
+      (fun _ -> Lc_obs.Journal.create ~writers:(domains + 2) ~capacity:journal_capacity)
+      dump_on_alert
+  in
+  let stage name mark =
+    Option.iter
+      (fun j -> Lc_obs.Journal.record j ~writer:0 (Lc_obs.Journal.Stage { name; mark }))
+      journal
+  in
+  stage "build" `Begin;
   let inst = build_structure rng ~universe ~keys structure in
+  stage "build" `End;
   let qd = parse_dist rng ~universe ~keys dist in
   (* The dashboard hook needs the monitor (for the window ring) and the
      HTTP port, neither of which exists until after the hook does;
@@ -373,8 +391,32 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
         render_dashboard ~name:inst.Instance.name ~domains ~port:!bound_port ~alert_factor
           mon e
   in
+  let dumped = ref [] in
+  let on_alert =
+    match dump_on_alert with
+    | None -> None
+    | Some spec ->
+      Some
+        (fun (e : Window.entry) ->
+          match !mon_ref with
+          | None -> ()
+          | Some mon ->
+            let pm =
+              Lc_perf.Postmortem.capture
+                ~fingerprint:(Lc_perf.Artifact.fingerprint ~seed)
+                ~structure ~workload:dist ~domains ~trigger:e mon
+            in
+            let path =
+              if spec = "auto" then
+                Printf.sprintf "postmortem-%.0f-w%d.json" (Unix.time ()) e.Window.index
+              else spec
+            in
+            Lc_perf.Postmortem.write ~path pm;
+            dumped := path :: !dumped)
+  in
   let mon =
-    Engine.Monitor.create ~interval_s:window_s ~top_k ~alert_factor ~on_window ~domains inst
+    Engine.Monitor.create ~interval_s:window_s ~top_k ~alert_factor ~on_window ?journal
+      ?on_alert ~domains inst
   in
   mon_ref := Some mon;
   let server =
@@ -419,6 +461,12 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
   else
     Printf.printf "Alert quiet: every window stayed within %.1fx of the flat bound.\n"
       alert_factor;
+  List.iter
+    (fun path ->
+      Printf.printf "Postmortem dump: %s (inspect with 'lowcon postmortem %s').\n" path path)
+    (List.rev !dumped);
+  (if dump_on_alert <> None && !dumped = [] then
+     Printf.printf "Flight recorder armed; alert never fired, no postmortem written.\n");
   (match server with
   | Some s ->
     if linger > 0.0 then begin
@@ -439,15 +487,194 @@ let monitor_cmd =
       ret
         (const monitor_run $ seed_arg $ n_arg $ universe_arg $ dist_arg $ structure_arg
        $ domains_arg $ queries_arg $ cost_arg $ window_arg $ port_arg $ top_k_arg $ alert_arg
-       $ no_dashboard_arg $ linger_arg))
+       $ no_dashboard_arg $ linger_arg $ dump_on_alert_arg $ journal_capacity_arg))
 
 (* ------------------------------------------------------------------ *)
 
-let prefix_arg =
+module Artifact = Lc_perf.Artifact
+module Suite = Lc_perf.Suite
+module Diff = Lc_perf.Diff
+module Postmortem = Lc_perf.Postmortem
+module Tablefmt = Lc_analysis.Tablefmt
+
+let quick_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "quick" ]
+        ~doc:"Run the reduced CI smoke grid instead of the full default suite.")
+
+let dir_arg =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"Directory for automatic BENCH_<n>.json numbering (ignored with $(b,--out)).")
+
+let perf_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"PATH"
+        ~doc:"Write the artifact here instead of the next free BENCH_<n>.json in $(b,--dir).")
+
+let entry_table (entries : Artifact.entry list) =
+  let t =
+    Tablefmt.create ~title:"perf suite results"
+      ~columns:
+        [ "config"; "ns/q"; "95% CI"; "probes/q"; "p50 us"; "p99 us"; "hotspot"; "queries" ]
+  in
+  List.iter
+    (fun (e : Artifact.entry) ->
+      Tablefmt.add_row t
+        [
+          Diff.key_string (Artifact.key e);
+          Printf.sprintf "%.1f" e.Artifact.ns_per_query.Artifact.mean;
+          Printf.sprintf "[%.1f, %.1f]" e.Artifact.ns_per_query.Artifact.lo
+            e.Artifact.ns_per_query.Artifact.hi;
+          Printf.sprintf "%.2f" e.Artifact.probes_per_query.Artifact.mean;
+          Printf.sprintf "%.1f" (e.Artifact.p50_ns /. 1e3);
+          Printf.sprintf "%.1f" (e.Artifact.p99_ns /. 1e3);
+          Printf.sprintf "%.2fx" e.Artifact.hotspot_ratio;
+          string_of_int e.Artifact.queries;
+        ])
+    entries;
+  Tablefmt.render t
+
+let perf_run seed quick dir out =
+  with_errors @@ fun () ->
+  let spec = if quick then Suite.quick else Suite.default in
+  let art =
+    Suite.run ~progress:(fun label -> Printf.printf "  %s\n%!" label) ~seed spec
+  in
+  print_newline ();
+  print_string (entry_table art.Artifact.entries);
+  let path = match out with Some p -> p | None -> Artifact.next_path ~dir in
+  Artifact.write ~path art;
+  let f = art.Artifact.fingerprint in
+  Printf.printf
+    "\nWrote %s (%s v%d; ocaml %s, %d cores, git %s, seed %d, clock overhead %.1f ns).\n" path
+    Artifact.schema_name Artifact.schema_version f.Artifact.ocaml_version f.Artifact.cores
+    f.Artifact.git_rev f.Artifact.seed f.Artifact.clock_overhead_ns
+
+let perf_run_term =
+  Term.(ret (const perf_run $ seed_arg $ quick_arg $ dir_arg $ perf_out_arg))
+
+let perf_run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the perf suite (structure x workload x domain-count grid, several trials each) \
+          and write a schema-versioned BENCH_<n>.json artifact with bootstrap confidence \
+          intervals and an environment fingerprint.")
+    perf_run_term
+
+let diff_a_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"A" ~doc:"Baseline artifact (JSON).")
+
+let diff_b_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"B" ~doc:"Candidate artifact (JSON).")
+
+let diff_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH" ~doc:"Also write the report as JSON to $(docv).")
+
+let diff_prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"PATH"
+        ~doc:"Also write perf_diff_* Prometheus gauges to $(docv).")
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "alpha" ] ~docv:"A" ~doc:"Mann-Whitney significance threshold.")
+
+let fail_on_regression_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "fail-on-regression" ]
+        ~doc:"Exit non-zero when any configuration shows a significant regression.")
+
+let perf_diff a b alpha json_out prom_out fail_on_regression =
+  with_errors @@ fun () ->
+  let load path =
+    match Artifact.load path with Ok art -> art | Error e -> failwith e
+  in
+  let report = Diff.compare_artifacts ~alpha (load a) (load b) in
+  print_string (Diff.render report);
+  Option.iter
+    (fun path ->
+      match Lc_obs.Json.to_string_strict (Diff.to_json report) with
+      | Ok s -> Lc_obs.Export.write_file ~path s
+      | Error { Lc_obs.Json.path = jpath; _ } ->
+        failwith (Printf.sprintf "non-finite value at %s in diff report" jpath))
+    json_out;
+  Option.iter (fun path -> Lc_obs.Export.write_file ~path (Diff.prometheus report)) prom_out;
+  if fail_on_regression && Diff.has_regression report then
+    failwith
+      (Printf.sprintf "%d configuration(s) regressed significantly" report.Diff.regressions)
+
+let perf_diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two bench artifacts configuration by configuration: Mann-Whitney U on the \
+          raw trial samples plus bootstrap-CI overlap, flagging a change only when both \
+          agree.")
+    Term.(
+      ret
+        (const perf_diff $ diff_a_arg $ diff_b_arg $ alpha_arg $ diff_json_arg $ diff_prom_arg
+       $ fail_on_regression_arg))
+
+let perf_cmd =
+  Cmd.group ~default:perf_run_term
+    (Cmd.info "perf"
+       ~doc:
+         "Performance trajectory: run the bench suite into schema-versioned artifacts and \
+          diff artifacts for statistically significant regressions.")
+    [ perf_run_cmd; perf_diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
+
+let postmortem_file_arg =
   Arg.(
     required
-    & pos 0 (some string) None
-    & info [] ~docv:"PREFIX" ~doc:"Artifact prefix, as passed to $(b,lowcon profile --out).")
+    & pos 0 (some file) None
+    & info [] ~docv:"DUMP" ~doc:"A postmortem JSON written by $(b,--dump-on-alert).")
+
+let postmortem_cmd =
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Reconstruct an alert timeline from a flight-recorder dump: stages, worker \
+          publications, window cuts, the raising window and the hot-cell sketch at the \
+          raise.")
+    Term.(
+      ret
+        (const (fun path ->
+             with_errors @@ fun () ->
+             match Postmortem.load path with
+             | Ok pm -> print_string (Postmortem.analyze pm)
+             | Error e -> failwith e)
+        $ postmortem_file_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let validate_files_arg =
+  Arg.(
+    non_empty
+    & pos_all string []
+    & info [] ~docv:"ARTIFACT"
+        ~doc:
+          "Artifact files (BENCH_*.json, postmortem dumps, *.prom, *.metrics.json, \
+           *.trace.json) or a $(b,lowcon profile) output prefix, which expands to its three \
+           files.")
 
 (* A scrape line is either a comment or "name[{labels}] value". *)
 let check_prom_line line =
@@ -463,48 +690,95 @@ let check_prom_line line =
         Error (Printf.sprintf "unparseable value %S" value)
       else Ok ()
 
-let validate prefix =
-  with_errors @@ fun () ->
+(* Per-file verdict: Ok describes what was recognised, Error what broke.
+   Recognition is by content (the "schema" member), not by filename, so
+   a renamed artifact still validates against the right grammar. *)
+let validate_one path =
   let read path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let fail_at path msg = failwith (Printf.sprintf "%s: %s" path msg) in
-  let check_json path =
+  if not (Sys.file_exists path) then Error "no such file"
+  else if Filename.check_suffix path ".prom" then begin
+    let lines = String.split_on_char '\n' (read path) in
+    let series = ref 0 in
+    let first_err = ref None in
+    List.iteri
+      (fun i line ->
+        match check_prom_line line with
+        | Ok () -> if line <> "" && line.[0] <> '#' then incr series
+        | Error e ->
+          if !first_err = None then
+            first_err := Some (Printf.sprintf "line %d: %s" (i + 1) e))
+      lines;
+    match !first_err with
+    | Some e -> Error e
+    | None ->
+      if !series = 0 then Error "no series lines"
+      else Ok (Printf.sprintf "prometheus exposition, %d series lines" !series)
+  end
+  else
     match Lc_obs.Json.parse (read path) with
-    | Ok _ -> Printf.printf "%-40s ok (valid JSON)\n" path
-    | Error e -> fail_at path ("invalid JSON — " ^ e)
+    | Error e -> Error ("invalid JSON — " ^ e)
+    | Ok doc -> (
+      match Lc_obs.Json.member "schema" doc with
+      | Some (Lc_obs.Json.String s) when s = Artifact.schema_name -> (
+        match Artifact.of_json doc with
+        | Ok art ->
+          Ok
+            (Printf.sprintf "%s v%d, %d entries, seed %d" Artifact.schema_name
+               Artifact.schema_version
+               (List.length art.Artifact.entries)
+               art.Artifact.fingerprint.Artifact.seed)
+        | Error e -> Error e)
+      | Some (Lc_obs.Json.String s) when s = Postmortem.schema_name -> (
+        match Postmortem.of_json doc with
+        | Ok pm ->
+          Ok
+            (Printf.sprintf "%s v%d, %d windows, %d events, trigger window %d"
+               Postmortem.schema_name Postmortem.schema_version
+               (List.length pm.Postmortem.windows)
+               (List.length pm.Postmortem.events)
+               pm.Postmortem.trigger.Postmortem.index)
+        | Error e -> Error e)
+      | Some (Lc_obs.Json.String s) -> Error (Printf.sprintf "unknown schema %S" s)
+      | Some _ -> Error "\"schema\" member is not a string"
+      | None -> (
+        (* Legacy unversioned artifacts from lowcon profile. *)
+        match Lc_obs.Json.member "counters" doc with
+        | Some (Lc_obs.Json.Obj _) -> Ok "metrics snapshot (valid JSON with counters)"
+        | Some _ -> Error "\"counters\" member is not an object"
+        | None -> Ok "valid JSON"))
+
+let validate files =
+  with_errors @@ fun () ->
+  let expand p =
+    if (not (Sys.file_exists p)) && Sys.file_exists (p ^ ".trace.json") then
+      [ p ^ ".trace.json"; p ^ ".metrics.json"; p ^ ".prom" ]
+    else [ p ]
   in
-  check_json (prefix ^ ".trace.json");
-  let metrics_path = prefix ^ ".metrics.json" in
-  (match Lc_obs.Json.parse (read metrics_path) with
-  | Error e -> fail_at metrics_path ("invalid JSON — " ^ e)
-  | Ok doc ->
-    (match Lc_obs.Json.member "counters" doc with
-    | Some (Lc_obs.Json.Obj _) -> ()
-    | _ -> fail_at metrics_path "missing \"counters\" object");
-    Printf.printf "%-40s ok (valid JSON with counters)\n" metrics_path);
-  let prom_path = prefix ^ ".prom" in
-  let lines = String.split_on_char '\n' (read prom_path) in
-  let series = ref 0 in
-  List.iteri
-    (fun i line ->
-      match check_prom_line line with
-      | Ok () -> if line <> "" && line.[0] <> '#' then incr series
-      | Error e -> fail_at prom_path (Printf.sprintf "line %d: %s" (i + 1) e))
-    lines;
-  if !series = 0 then fail_at prom_path "no series lines";
-  Printf.printf "%-40s ok (%d series lines)\n" prom_path !series
+  let failed = ref 0 in
+  List.iter
+    (fun path ->
+      match validate_one path with
+      | Ok msg -> Printf.printf "%-40s ok (%s)\n" path msg
+      | Error msg ->
+        incr failed;
+        Printf.printf "%-40s FAIL (%s)\n" path msg)
+    (List.concat_map expand files);
+  if !failed > 0 then failwith (Printf.sprintf "%d artifact(s) failed validation" !failed)
 
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:
-         "Check that a $(b,lowcon profile) artifact set parses: both JSON documents and the \
-          Prometheus exposition line grammar.")
-    Term.(ret (const validate $ prefix_arg))
+         "Grammar-check artifacts: BENCH_*.json and postmortem dumps against their schemas, \
+          metrics JSON for its counters object, and .prom files against the Prometheus \
+          exposition line grammar. One pass/fail line per file; non-zero exit if any file \
+          fails.")
+    Term.(ret (const validate $ validate_files_arg))
 
 let () =
   let doc = "Workbench for low-contention static dictionaries (SPAA 2010)" in
@@ -512,4 +786,13 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "lowcon" ~version:"1.0.0" ~doc)
-          [ report_cmd; compare_cmd; hotspot_cmd; profile_cmd; monitor_cmd; validate_cmd ]))
+          [
+            report_cmd;
+            compare_cmd;
+            hotspot_cmd;
+            profile_cmd;
+            monitor_cmd;
+            perf_cmd;
+            postmortem_cmd;
+            validate_cmd;
+          ]))

@@ -1,0 +1,137 @@
+(* Two-sample significance testing for the perf-trajectory differ.
+
+   Timing samples are small (a handful of trials per config) and not
+   normal, so the workhorse is the Mann-Whitney U rank test: exact null
+   distribution when the samples are small and tie-free, normal
+   approximation with tie correction otherwise. The differ combines the
+   test with a confidence-interval overlap check — both must agree
+   before a change is called significant. *)
+
+type method_ = Exact | Normal_approx
+
+type mann_whitney = { u : float; p_two_sided : float; method_ : method_ }
+
+(* Ranks of the pooled sample, midranks for ties. Returns the rank sum
+   of the first sample and the tie-group sizes (for the variance
+   correction). *)
+let rank_sum xs ys =
+  let n = Array.length xs and m = Array.length ys in
+  let pooled = Array.make (n + m) (0.0, false) in
+  Array.iteri (fun i x -> pooled.(i) <- (x, true)) xs;
+  Array.iteri (fun i y -> pooled.(n + i) <- (y, false)) ys;
+  Array.sort (fun (a, _) (b, _) -> compare a b) pooled;
+  let r1 = ref 0.0 in
+  let ties = ref [] in
+  let i = ref 0 in
+  while !i < n + m do
+    let v = fst pooled.(!i) in
+    let j = ref !i in
+    while !j < n + m && fst pooled.(!j) = v do
+      incr j
+    done;
+    (* Items !i .. !j-1 share the value; midrank is the average of
+       1-based ranks !i+1 .. !j. *)
+    let midrank = float_of_int (!i + 1 + !j) /. 2.0 in
+    let group = !j - !i in
+    if group > 1 then ties := group :: !ties;
+    for k = !i to !j - 1 do
+      if snd pooled.(k) then r1 := !r1 +. midrank
+    done;
+    i := !j
+  done;
+  (!r1, !ties)
+
+let has_ties xs ys =
+  let all = Array.append xs ys in
+  Array.sort compare all;
+  let rec dup i = i < Array.length all - 1 && (all.(i) = all.(i + 1) || dup (i + 1)) in
+  dup 0
+
+(* Exact null distribution of U by the standard recurrence: the number
+   of arrangements of n first-sample ranks among n+m with statistic u is
+   N(u; n, m) = N(u - m; n - 1, m) + N(u; n, m - 1). Memoised bottom-up;
+   cost O(n * m^2 * (n + m)), negligible for the sample sizes the exact
+   path accepts. *)
+let exact_cdf n m =
+  let umax = n * m in
+  (* table.(i).(j) is the count array over u for samples of size i, j. *)
+  let table = Array.init (n + 1) (fun _ -> Array.make (m + 1) [||]) in
+  for i = 0 to n do
+    for j = 0 to m do
+      let counts = Array.make (umax + 1) 0.0 in
+      if i = 0 || j = 0 then counts.(0) <- 1.0
+      else
+        for u = 0 to i * j do
+          let a = if u >= j then table.(i - 1).(j).(u - j) else 0.0 in
+          let b = table.(i).(j - 1).(u) in
+          counts.(u) <- a +. b
+        done;
+      table.(i).(j) <- counts
+    done
+  done;
+  let counts = table.(n).(m) in
+  let total = Array.fold_left ( +. ) 0.0 counts in
+  fun u ->
+    (* P(U <= u) *)
+    let acc = ref 0.0 in
+    for v = 0 to min u (n * m) do
+      acc := !acc +. counts.(v)
+    done;
+    !acc /. total
+
+(* Abramowitz & Stegun 7.1.26 erf approximation; |error| < 1.5e-7,
+   ample for a 0.05 significance threshold. *)
+let std_normal_cdf z =
+  let t = 1.0 /. (1.0 +. (0.3275911 *. Float.abs z /. Float.sqrt 2.0)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t *. (-0.284496736 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  let erf = 1.0 -. (poly *. Float.exp (-.(z *. z /. 2.0))) in
+  if z >= 0.0 then 0.5 *. (1.0 +. erf) else 0.5 *. (1.0 -. erf)
+
+let exact_limit = 400
+
+let mann_whitney_u xs ys =
+  let n = Array.length xs and m = Array.length ys in
+  if n = 0 || m = 0 then invalid_arg "Sigtest.mann_whitney_u: empty sample";
+  let r1, tie_groups = rank_sum xs ys in
+  let nf = float_of_int n and mf = float_of_int m in
+  let u1 = r1 -. (nf *. (nf +. 1.0) /. 2.0) in
+  let u = Float.min u1 ((nf *. mf) -. u1) in
+  if (not (has_ties xs ys)) && n * m <= exact_limit then begin
+    let cdf = exact_cdf n m in
+    (* Two-sided: double the tail at the smaller U. U is integral when
+       there are no ties. *)
+    let p = 2.0 *. cdf (int_of_float (Float.round u)) in
+    { u = u1; p_two_sided = Float.min 1.0 p; method_ = Exact }
+  end
+  else begin
+    let nm = nf +. mf in
+    let tie_term =
+      List.fold_left
+        (fun acc g ->
+          let g = float_of_int g in
+          acc +. ((g *. g *. g) -. g))
+        0.0 tie_groups
+    in
+    let sigma2 =
+      nf *. mf /. 12.0 *. (nm +. 1.0 -. (tie_term /. (nm *. (nm -. 1.0))))
+    in
+    if sigma2 <= 0.0 then
+      (* Every observation identical: no evidence of any difference. *)
+      { u = u1; p_two_sided = 1.0; method_ = Normal_approx }
+    else begin
+      let mu = nf *. mf /. 2.0 in
+      (* Continuity correction towards the mean. *)
+      let z = (Float.abs (u1 -. mu) -. 0.5) /. Float.sqrt sigma2 in
+      let z = Float.max z 0.0 in
+      let p = 2.0 *. (1.0 -. std_normal_cdf z) in
+      { u = u1; p_two_sided = Float.min 1.0 p; method_ = Normal_approx }
+    end
+  end
+
+let ci_disjoint ~a:(alo, ahi) ~b:(blo, bhi) =
+  if alo > ahi || blo > bhi then invalid_arg "Sigtest.ci_disjoint: interval with lo > hi";
+  ahi < blo || bhi < alo

@@ -1,0 +1,33 @@
+(** Two-sample significance tests for differential perf analysis.
+
+    The perf differ must answer "did ns/query really change between
+    these two artifacts?" from a handful of trials per side. A t-test
+    assumes normality that wall-clock timings flout; the Mann-Whitney U
+    rank test does not, and for the tiny tie-free samples a perf suite
+    produces its {e exact} null distribution is cheap to enumerate — no
+    asymptotics at all. The differ pairs the test with a
+    confidence-interval overlap check ({!ci_disjoint}); a change is
+    flagged only when both agree. *)
+
+type method_ =
+  | Exact  (** Null distribution enumerated exactly (no ties, [n*m <= 400]). *)
+  | Normal_approx
+      (** Normal approximation with tie correction and continuity
+          correction. *)
+
+type mann_whitney = {
+  u : float;  (** The first sample's U statistic. *)
+  p_two_sided : float;  (** Two-sided p-value, in [0, 1]. *)
+  method_ : method_;
+}
+
+val mann_whitney_u : float array -> float array -> mann_whitney
+(** [mann_whitney_u xs ys] tests the null hypothesis that [xs] and [ys]
+    are drawn from the same distribution. Ties take midranks; a pooled
+    sample with zero rank variance (every value identical — e.g. an
+    artifact diffed against itself) reports [p_two_sided = 1.0]. Raises
+    on an empty sample. *)
+
+val ci_disjoint : a:float * float -> b:float * float -> bool
+(** Whether two [(lo, hi)] intervals do not overlap (sharing an endpoint
+    counts as overlap). Raises if an interval has [lo > hi]. *)

@@ -45,6 +45,30 @@ let describe xs =
   Printf.sprintf "mean=%.4g std=%.4g min=%.4g med=%.4g max=%.4g" (mean xs) (stddev xs)
     (minimum xs) (median xs) (maximum xs)
 
+(* Percentile bootstrap of the mean. Resampling with replacement from a
+   handful of repeated measurements is the standard treatment when the
+   sampling distribution is unknown and skewed (wall-clock timings are
+   both); with the small trial counts a perf suite affords, a normal
+   interval would lean on an asymptotic it has not earned. *)
+let bootstrap_ci ~rng ?(reps = 2000) ?(confidence = 0.95) xs =
+  check_nonempty xs;
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Stats.bootstrap_ci: confidence outside (0, 1)";
+  let n = Array.length xs in
+  if n = 1 then (xs.(0), xs.(0))
+  else begin
+    let means = Array.make reps 0.0 in
+    for r = 0 to reps - 1 do
+      let acc = ref 0.0 in
+      for _ = 1 to n do
+        acc := !acc +. xs.(Lc_prim.Rng.int rng n)
+      done;
+      means.(r) <- !acc /. float_of_int n
+    done;
+    let alpha = (1.0 -. confidence) /. 2.0 in
+    (quantile means alpha, quantile means (1.0 -. alpha))
+  end
+
 let geometric_mean xs =
   check_nonempty xs;
   let acc =

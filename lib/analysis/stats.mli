@@ -17,6 +17,14 @@ val quantile : float array -> float -> float
 
 val median : float array -> float
 
+val bootstrap_ci :
+  rng:Lc_prim.Rng.t -> ?reps:int -> ?confidence:float -> float array -> float * float
+(** [bootstrap_ci ~rng xs] is a percentile-bootstrap confidence interval
+    [(lo, hi)] for the mean of [xs]: [reps] (default 2000) resamples
+    with replacement, interval at [confidence] (default 0.95).
+    Deterministic given [rng]'s state. A single sample yields the
+    degenerate interval [(x, x)]; raises on an empty array. *)
+
 val describe : float array -> string
 (** One-line [mean/std/min/median/max] rendering. *)
 

@@ -16,5 +16,6 @@ let install () =
     Exp_simulation.register ();
     Exp_predecessor.register ();
     Exp_parallel.register ();
-    Exp_windowed.register ()
+    Exp_windowed.register ();
+    Exp_perf.register ()
   end

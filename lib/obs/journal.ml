@@ -1,0 +1,68 @@
+type kind =
+  | Window_cut of {
+      index : int;
+      queries : int;
+      qps : float;
+      p50_ns : float;
+      p99_ns : float;
+      hotspot_ratio : float;
+      alert : bool;
+    }
+  | Alert_raised of { index : int; ratio : float; factor : float }
+  | Alert_cleared of { index : int; ratio : float; factor : float }
+  | Sketch_snapshot of { top : (int * int * int) list }
+  | Stage of { name : string; mark : [ `Begin | `End ] }
+  | Publish of { queries : int }
+
+type event = { t_ns : int64; writer : int; seq : int; kind : kind }
+
+(* One single-writer ring per recording domain. [record] does two plain
+   stores (slot, then head); there is no CAS, no lock, and no loop, so a
+   worker's recording cost is bounded and contention-free — the journal
+   must not become the hot cell it exists to explain. Readers ([events],
+   [dump]) run concurrently with writers: a racy read of [slots] is
+   memory-safe in OCaml (each slot holds an immutable [event] record or
+   [None]) and at worst misses or double-sees the entry being replaced,
+   which a postmortem dump tolerates by construction. *)
+type ring = { slots : event option array; mutable head : int }
+
+type t = { capacity : int; rings : ring array }
+
+let create ~writers ~capacity =
+  if writers < 1 then invalid_arg "Journal.create: writers must be >= 1";
+  if capacity < 1 then invalid_arg "Journal.create: capacity must be >= 1";
+  {
+    capacity;
+    rings = Array.init writers (fun _ -> { slots = Array.make capacity None; head = 0 });
+  }
+
+let writers t = Array.length t.rings
+let capacity t = t.capacity
+
+let record t ~writer kind =
+  let r = t.rings.(writer) in
+  let h = r.head in
+  r.slots.(h mod t.capacity) <- Some { t_ns = Clock.now_ns (); writer; seq = h; kind };
+  r.head <- h + 1
+
+let total_recorded t = Array.fold_left (fun acc r -> acc + r.head) 0 t.rings
+
+(* Oldest-first per ring, then merged by timestamp across rings. Ties
+   (same nanosecond) keep writer order, which is already deterministic
+   enough for a postmortem timeline. *)
+let events t =
+  let out = ref [] in
+  Array.iter
+    (fun r ->
+      let h = r.head in
+      let first = max 0 (h - Array.length r.slots) in
+      for i = h - 1 downto first do
+        match r.slots.(i mod Array.length r.slots) with
+        | Some e -> out := e :: !out
+        | None -> ()
+      done)
+    t.rings;
+  List.stable_sort (fun a b -> Int64.compare a.t_ns b.t_ns) !out
+
+let dropped t =
+  Array.fold_left (fun acc r -> acc + max 0 (r.head - Array.length r.slots)) 0 t.rings

@@ -29,19 +29,23 @@ let escape buf s =
     s;
   Buffer.add_char buf '"'
 
+(* %.17g round-trips doubles but litters simple values; try the
+   shortest of a few fixed precisions that re-reads exactly. Negative
+   zero needs its own spelling: %.12g prints "-0", which the parser
+   reads back as [Int 0], dropping the sign bit. *)
+let float_repr f =
+  if f = 0.0 && 1.0 /. f < 0.0 then "-0.0"
+  else begin
+    let s12 = Printf.sprintf "%.12g" f in
+    if float_of_string s12 = f then s12 else Printf.sprintf "%.17g" f
+  end
+
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-    if Float.is_finite f then
-      (* %.17g round-trips doubles but litters simple values; try the
-         shortest of a few fixed precisions that re-reads exactly. *)
-      let s =
-        let s12 = Printf.sprintf "%.12g" f in
-        if float_of_string s12 = f then s12 else Printf.sprintf "%.17g" f
-      in
-      Buffer.add_string buf s
+    if Float.is_finite f then Buffer.add_string buf (float_repr f)
     else Buffer.add_string buf "null"
   | String s -> escape buf s
   | List xs ->
@@ -67,6 +71,49 @@ let to_string j =
   let buf = Buffer.create 256 in
   write buf j;
   Buffer.contents buf
+
+type encode_error = { path : string; value : float }
+
+exception Strict_fail of encode_error
+
+(* The strict writer refuses to silently degrade: a NaN or infinity
+   anywhere in the document is reported with its path instead of being
+   written as null. Artifact writers (BENCH_*.json, postmortems) use
+   this so a bad calibration or a 0/0 ratio fails loudly at encode time
+   rather than producing a document whose reader sees a null where the
+   schema promises a number. *)
+let to_string_strict j =
+  let buf = Buffer.create 256 in
+  let rec go path = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else raise (Strict_fail { path; value = f })
+    | String s -> escape buf s
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          go (Printf.sprintf "%s[%d]" path i) x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          go (path ^ "." ^ k) v)
+        kvs;
+      Buffer.add_char buf '}'
+  in
+  match go "$" j with
+  | () -> Ok (Buffer.contents buf)
+  | exception Strict_fail e -> Error e
 
 (* ------------------------------------------------------------------ *)
 (* Parsing: recursive descent over the raw bytes.                       *)
@@ -252,3 +299,13 @@ let member k = function
 let to_list = function List xs -> xs | _ -> []
 let string_value = function String s -> Some s | _ -> None
 let int_value = function Int i -> Some i | _ -> None
+
+(* Numbers that happen to be integer-valued print without a decimal
+   point and parse back as [Int]; a reader expecting a float must accept
+   both spellings. *)
+let float_value = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let bool_value = function Bool b -> Some b | _ -> None

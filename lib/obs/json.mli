@@ -18,7 +18,20 @@ type t =
 
 val to_string : t -> string
 (** Compact single-line serialisation. Strings are escaped per RFC 8259;
-    non-finite floats (which JSON cannot represent) serialise as [null]. *)
+    non-finite floats (which JSON cannot represent) serialise as [null].
+    Negative zero is written as ["-0.0"] so its sign survives a
+    round-trip; other integer-valued floats may re-read as [Int] (numeric
+    value preserved exactly). *)
+
+type encode_error = { path : string; value : float }
+(** Where ([$.a.b[3]]-style path) and what (the offending NaN or
+    infinity) a strict encode failed on. *)
+
+val to_string_strict : t -> (string, encode_error) result
+(** Like {!to_string}, but a NaN or infinite float anywhere in the
+    document is a typed error instead of a silent [null] — what the
+    artifact writers use, so a schema-versioned document never carries a
+    null where a number is promised. *)
 
 val parse : string -> (t, string) result
 (** Strict parse of a complete document; trailing garbage, unterminated
@@ -32,3 +45,9 @@ val to_list : t -> t list
 
 val string_value : t -> string option
 val int_value : t -> int option
+
+val float_value : t -> float option
+(** [Float f] or [Int i] (as a float) — the two spellings a JSON number
+    that is semantically a float can parse back as. *)
+
+val bool_value : t -> bool option

@@ -7,6 +7,7 @@ module Span = Lc_obs.Span
 module Window = Lc_obs.Window
 module Heavy = Lc_obs.Heavy
 module Http = Lc_obs.Http
+module Journal = Lc_obs.Journal
 
 type cost = Free | Spinlock of { hold : int }
 
@@ -76,6 +77,7 @@ type worker_obs = {
    calls would dominate a ~nanosecond table read, so measure 1 probe in
    [probe_sample_mask + 1]. *)
 let probe_sample_mask = 63
+let probe_sample_period = probe_sample_mask + 1
 
 (* [sketch], when supplied (monitored runs), receives every probed cell
    index — the worker-private Space-Saving sketch behind the live
@@ -200,14 +202,27 @@ module Monitor = struct
     interval_s : float;
     publish_period : int;
     on_window : (Window.entry -> unit) option;
+    journal : Journal.t option;
+    on_alert : (Window.entry -> unit) option;
+    (* Alert edge detector for the journal / on_alert hook; owned by the
+       monitor domain (ticks are serialised). *)
+    mutable alert_was_firing : bool;
     mutable live_counts : int Atomic.t array option;
   }
 
   let create ?(ring = 512) ?(interval_s = 0.25) ?(publish_period = 256) ?(top_k = 16)
-      ?(alert_factor = 8.0) ?on_window ?obs ~domains inst =
+      ?(alert_factor = 8.0) ?on_window ?journal ?on_alert ?obs ~domains inst =
     if domains < 1 then invalid_arg "Monitor.create: domains must be >= 1";
     if interval_s <= 0.0 then invalid_arg "Monitor.create: interval_s must be > 0";
     if publish_period < 1 then invalid_arg "Monitor.create: publish_period must be >= 1";
+    (match journal with
+    | Some j when Journal.writers j < domains + 2 ->
+      invalid_arg
+        (Printf.sprintf
+           "Monitor.create: journal has %d writer rings, need domains + 2 = %d \
+            (orchestrator, workers, monitor)"
+           (Journal.writers j) (domains + 2))
+    | _ -> ());
     let obs = match obs with Some o -> o | None -> Lc_obs.Obs.create () in
     (* Register before sizing the seqlock buffers: Window.frozen copies
        only metrics that exist at creation time. *)
@@ -234,12 +249,62 @@ module Monitor = struct
       interval_s;
       publish_period;
       on_window;
+      journal;
+      on_alert;
+      alert_was_firing = false;
       live_counts = None;
     }
 
   let obs t = t.obs
   let window t = t.window
   let interval_s t = t.interval_s
+  let journal t = t.journal
+
+  (* One monitor heartbeat: cut a window, journal it (plus the alert
+     edge and a sketch snapshot), fire the hooks. Runs on the monitor
+     domain during the serve and once more on the orchestrator after the
+     workers join — never concurrently, so the edge detector needs no
+     synchronisation. Hook exceptions are swallowed: a broken dashboard
+     or dump must not take the serve down. *)
+  let tick t =
+    let e = Window.tick t.window in
+    (match t.journal with
+    | None -> ()
+    | Some j ->
+      let w = t.domains + 1 in
+      Journal.record j ~writer:w
+        (Journal.Window_cut
+           {
+             index = e.Window.index;
+             queries = e.Window.queries;
+             qps = e.Window.qps;
+             p50_ns = e.Window.p50_ns;
+             p99_ns = e.Window.p99_ns;
+             hotspot_ratio = e.Window.hotspot_ratio;
+             alert = e.Window.alert;
+           });
+      Journal.record j ~writer:w
+        (Journal.Sketch_snapshot
+           {
+             top =
+               List.map
+                 (fun (c : Heavy.entry) -> (c.item, c.count, c.err))
+                 e.Window.top_cells;
+           });
+      let factor = (Window.config t.window).Window.alert_factor in
+      if e.Window.alert && not t.alert_was_firing then
+        Journal.record j ~writer:w
+          (Journal.Alert_raised
+             { index = e.Window.index; ratio = e.Window.hotspot_ratio; factor })
+      else if (not e.Window.alert) && t.alert_was_firing then
+        Journal.record j ~writer:w
+          (Journal.Alert_cleared
+             { index = e.Window.index; ratio = e.Window.hotspot_ratio; factor }));
+    (if e.Window.alert && not t.alert_was_firing then
+       match t.on_alert with None -> () | Some f -> ( try f e with _ -> ()));
+    t.alert_was_firing <- e.Window.alert;
+    (match t.on_window with None -> () | Some f -> ( try f e with _ -> ()));
+    e
 
   let metrics_body t =
     Lc_obs.Export.prometheus (Window.live_snapshot t.window)
@@ -379,10 +444,22 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
       | None -> ());
       Some (main_tl, workers)
   in
+  let journal = Option.bind monitor (fun (m : Monitor.t) -> m.Monitor.journal) in
   let main_span name f =
-    match setup with
-    | None -> f ()
-    | Some (main_tl, _) -> Span.with_span main_tl name f
+    let body () =
+      match setup with
+      | None -> f ()
+      | Some (main_tl, _) -> Span.with_span main_tl name f
+    in
+    match journal with
+    | None -> body ()
+    | Some j ->
+      (* Orchestrator stage boundaries (ring 0) give a postmortem its
+         coarse timeline even when the alert fires before any window. *)
+      Journal.record j ~writer:0 (Journal.Stage { name; mark = `Begin });
+      Fun.protect
+        ~finally:(fun () -> Journal.record j ~writer:0 (Journal.Stage { name; mark = `End }))
+        body
   in
   (* Pre-sample each domain's query batch outside the timed section so
      throughput measures probing, not distribution sampling. *)
@@ -416,8 +493,17 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
       let pub = Window.publisher m.Monitor.window (w + 1) in
       let period = m.Monitor.publish_period in
       let probe = make_obs_probe ~sketch ~cost ~counters ~locks D.table wo in
+      (* Journal a worker's publications on its own ring (w + 1): one
+         event per publish_period queries, so the recorder costs the hot
+         path nothing measurable. *)
+      let journal_publish =
+        match m.Monitor.journal with
+        | None -> fun _ -> ()
+        | Some j -> fun q -> Journal.record j ~writer:(w + 1) (Journal.Publish { queries = q })
+      in
       Span.with_span wo.timeline "serve-batch" (fun () ->
           let since_publish = ref 0 in
+          let served = ref 0 in
           Array.iter
             (fun x ->
               let t0 = Lc_obs.Clock.now_ns () in
@@ -425,15 +511,18 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
               Metrics.observe wo.shard wo.latency_h
                 (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
               Metrics.incr wo.shard wo.queries_c 1;
+              incr served;
               incr since_publish;
               if !since_publish >= period then begin
                 since_publish := 0;
-                Window.publish pub wo.shard sketch
+                Window.publish pub wo.shard sketch;
+                journal_publish !served
               end)
             batches.(w);
           (* Final publication: the monitor's last tick must see the
              complete batch so windowed totals reconcile exactly. *)
-          Window.publish pub wo.shard sketch)
+          Window.publish pub wo.shard sketch;
+          journal_publish !served)
   in
   (* The monitor domain ticks windows on its interval while workers are
      hot; it is stopped (and joined) outside the timed section so the
@@ -447,12 +536,7 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
         (Domain.spawn (fun () ->
              while not (Atomic.get monitor_stop) do
                interruptible_sleep m.Monitor.interval_s monitor_stop;
-               if not (Atomic.get monitor_stop) then begin
-                 let e = Window.tick m.Monitor.window in
-                 match m.Monitor.on_window with
-                 | None -> ()
-                 | Some f -> ( try f e with _ -> ())
-               end
+               if not (Atomic.get monitor_stop) then ignore (Monitor.tick m : Window.entry)
              done))
   in
   let t0 = Unix.gettimeofday () in
@@ -469,9 +553,7 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
     Domain.join d;
     (* One final, authoritative window over whatever the interval ticks
        had not yet consumed. *)
-    let m = Option.get monitor in
-    let e = Window.tick m.Monitor.window in
-    (match m.Monitor.on_window with None -> () | Some f -> ( try f e with _ -> ())));
+    ignore (Monitor.tick (Option.get monitor) : Window.entry));
   main_span "merge" @@ fun () ->
   let counts = Array.map Atomic.get counters in
   let total_probes = Array.fold_left ( + ) 0 counts in

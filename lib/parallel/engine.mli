@@ -103,6 +103,8 @@ module Monitor : sig
     ?top_k:int ->
     ?alert_factor:float ->
     ?on_window:(Lc_obs.Window.entry -> unit) ->
+    ?journal:Lc_obs.Journal.t ->
+    ?on_alert:(Lc_obs.Window.entry -> unit) ->
     ?obs:Lc_obs.Obs.t ->
     domains:int ->
     Lc_dict.Instance.t ->
@@ -126,6 +128,18 @@ module Monitor : sig
       - [on_window]: called on the monitor domain with each completed
         window (the [lowcon monitor] dashboard hook); exceptions are
         swallowed.
+      - [journal]: a flight-recorder ring ({!Lc_obs.Journal}) the run
+        writes engine events into — window cuts, top-k sketch snapshots,
+        alert raise/clear transitions, worker publications and
+        orchestrator build/serve stage marks. Must have been created
+        with at least [domains + 2] writers (ring 0 is the orchestrator,
+        rings 1..[domains] the workers, ring [domains + 1] the monitor
+        domain). Recording is lock-free and allocation-light, so a
+        journal can stay attached to production runs and be dumped only
+        when something fires.
+      - [on_alert]: called once per quiet->firing alert {e edge} (not
+        per firing window) on whichever domain cut the window — the
+        dump-on-alert postmortem hook. Exceptions are swallowed.
 
       A monitor is single-use: its sketches and window deltas are
       cumulative, so reusing one across runs conflates their streams
@@ -134,6 +148,16 @@ module Monitor : sig
   val obs : t -> Lc_obs.Obs.t
   val window : t -> Lc_obs.Window.t
   val interval_s : t -> float
+
+  val journal : t -> Lc_obs.Journal.t option
+  (** The attached flight recorder, if any. *)
+
+  val tick : t -> Lc_obs.Window.entry
+  (** Cut one window now: {!Lc_obs.Window.tick} plus journal recording
+      (window cut, sketch snapshot, alert edges) and the [on_alert] /
+      [on_window] callbacks. {!serve_windowed} calls this from the
+      monitor domain every [interval_s] and once after the join; exposed
+      for tests and custom drivers. *)
 
   val routes : t -> Lc_obs.Http.route list
   (** Scrape routes over the live (seqlock-read) state, safe to serve
@@ -185,6 +209,12 @@ val serve_windowed :
     authoritative window is cut after the join; [obs] is ignored in
     favour of the monitor's handle. Start {!Lc_obs.Http.start}[ ~port
     (Monitor.routes m)] before calling to scrape the run live. *)
+
+val probe_sample_period : int
+(** The engine samples 1 probe in this many for
+    [engine_probe_latency_ns] — a calibration constant recorded in perf
+    artifact fingerprints so artifacts from different engine builds are
+    not silently compared. *)
 
 val hotspot_ratio : result -> float
 (** [hotspot_ratio r] is [r.hottest_count /. r.flat_bound]: how many

@@ -1,0 +1,307 @@
+(* Schema-versioned bench artifacts: the BENCH_<n>.json documents a perf
+   trajectory is made of. An artifact is only useful if a future session
+   can trust it, so everything that could silently change the numbers —
+   toolchain, machine, engine calibration constants, seed, git revision
+   — is pinned in a fingerprint, the writer rejects non-finite floats
+   with a typed error instead of emitting nulls, and the reader
+   validates schema name and version before believing a single field. *)
+
+module Json = Lc_obs.Json
+
+let schema_name = "lowcon-bench"
+let schema_version = 1
+
+type ci = { mean : float; lo : float; hi : float; samples : float list }
+
+type entry = {
+  structure : string;
+  workload : string;
+  domains : int;
+  queries_per_domain : int;
+  trials : int;
+  ns_per_query : ci;
+  probes_per_query : ci;
+  p50_ns : float;
+  p99_ns : float;
+  hotspot_ratio : float;
+  queries : int;
+  probes : int;
+}
+
+type fingerprint = {
+  ocaml_version : string;
+  os_type : string;
+  word_size : int;
+  cores : int;
+  git_rev : string;
+  seed : int;
+  clock_overhead_ns : float;
+  probe_sample_period : int;
+  created_unix : float;
+}
+
+type t = { fingerprint : fingerprint; entries : entry list }
+
+(* ---------------- fingerprinting ---------------- *)
+
+let read_file_opt path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Some s
+        | exception End_of_file -> None)
+
+(* Resolve HEAD by hand (no git subprocess): follow the symbolic ref to
+   its loose file, fall back to packed-refs, then to "unknown" — an
+   artifact written outside a checkout is still valid, just unpinned. *)
+let git_rev () =
+  let rec find_root dir depth =
+    if depth > 8 then None
+    else if Sys.file_exists (Filename.concat dir ".git/HEAD") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent (depth + 1)
+  in
+  match find_root (Sys.getcwd ()) 0 with
+  | None -> "unknown"
+  | Some root -> (
+    match read_file_opt (Filename.concat root ".git/HEAD") with
+    | None -> "unknown"
+    | Some head -> (
+      let head = String.trim head in
+      match String.length head >= 5 && String.sub head 0 5 = "ref: " with
+      | false -> head (* detached HEAD: the hash itself *)
+      | true -> (
+        let r = String.sub head 5 (String.length head - 5) in
+        match read_file_opt (Filename.concat root (Filename.concat ".git" r)) with
+        | Some rev -> String.trim rev
+        | None -> (
+          match read_file_opt (Filename.concat root ".git/packed-refs") with
+          | None -> "unknown"
+          | Some packed ->
+            let suffix = " " ^ r in
+            let matches line =
+              String.length line > String.length suffix
+              && String.sub line
+                   (String.length line - String.length suffix)
+                   (String.length suffix)
+                 = suffix
+            in
+            (match List.find_opt matches (String.split_on_char '\n' packed) with
+            | Some line -> String.sub line 0 (String.index line ' ')
+            | None -> "unknown")))))
+
+let clock_overhead_ns () =
+  let reps = 1024 in
+  let t0 = Lc_obs.Clock.now_ns () in
+  for _ = 2 to reps do
+    ignore (Lc_obs.Clock.now_ns () : int64)
+  done;
+  let t1 = Lc_obs.Clock.now_ns () in
+  Int64.to_float (Int64.sub t1 t0) /. float_of_int reps
+
+let fingerprint ~seed =
+  {
+    ocaml_version = Sys.ocaml_version;
+    os_type = Sys.os_type;
+    word_size = Sys.word_size;
+    cores = Domain.recommended_domain_count ();
+    git_rev = git_rev ();
+    seed;
+    clock_overhead_ns = clock_overhead_ns ();
+    probe_sample_period = Lc_parallel.Engine.probe_sample_period;
+    created_unix = Unix.time ();
+  }
+
+(* ---------------- encoding ---------------- *)
+
+let json_of_ci c =
+  Json.Obj
+    [
+      ("mean", Json.Float c.mean);
+      ("lo", Json.Float c.lo);
+      ("hi", Json.Float c.hi);
+      ("samples", Json.List (List.map (fun s -> Json.Float s) c.samples));
+    ]
+
+let json_of_entry e =
+  Json.Obj
+    [
+      ("structure", Json.String e.structure);
+      ("workload", Json.String e.workload);
+      ("domains", Json.Int e.domains);
+      ("queries_per_domain", Json.Int e.queries_per_domain);
+      ("trials", Json.Int e.trials);
+      ("ns_per_query", json_of_ci e.ns_per_query);
+      ("probes_per_query", json_of_ci e.probes_per_query);
+      ("p50_ns", Json.Float e.p50_ns);
+      ("p99_ns", Json.Float e.p99_ns);
+      ("hotspot_ratio", Json.Float e.hotspot_ratio);
+      ("queries", Json.Int e.queries);
+      ("probes", Json.Int e.probes);
+    ]
+
+let json_of_fingerprint f =
+  Json.Obj
+    [
+      ("ocaml_version", Json.String f.ocaml_version);
+      ("os_type", Json.String f.os_type);
+      ("word_size", Json.Int f.word_size);
+      ("cores", Json.Int f.cores);
+      ("git_rev", Json.String f.git_rev);
+      ("seed", Json.Int f.seed);
+      ("clock_overhead_ns", Json.Float f.clock_overhead_ns);
+      ("probe_sample_period", Json.Int f.probe_sample_period);
+      ("created_unix", Json.Float f.created_unix);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_name);
+      ("version", Json.Int schema_version);
+      ("fingerprint", json_of_fingerprint t.fingerprint);
+      ("entries", Json.List (List.map json_of_entry t.entries));
+    ]
+
+let to_string t =
+  match Json.to_string_strict (to_json t) with
+  | Ok s -> s
+  | Error { Json.path; value } ->
+    failwith
+      (Printf.sprintf "Artifact.to_string: non-finite value %h at %s — refusing to write" value
+         path)
+
+(* ---------------- decoding ---------------- *)
+
+let ( let* ) = Result.bind
+let field = Jsonu.field
+let str_field = Jsonu.str_field
+let int_field = Jsonu.int_field
+let float_field = Jsonu.float_field
+let in_context = Jsonu.in_context
+
+let ci_of_json name j =
+  in_context name
+  @@ let* v = field name j in
+     let* mean = float_field "mean" v in
+     let* lo = float_field "lo" v in
+     let* hi = float_field "hi" v in
+     let* samples_j = field "samples" v in
+     let* samples =
+       List.fold_right
+         (fun s acc ->
+           let* acc = acc in
+           match Json.float_value s with
+           | Some f -> Ok (f :: acc)
+           | None -> Error "field \"samples\": expected numbers")
+         (Json.to_list samples_j) (Ok [])
+     in
+     if samples = [] then Error "field \"samples\": must be non-empty"
+     else if lo > hi then Error "confidence interval has lo > hi"
+     else Ok { mean; lo; hi; samples }
+
+let entry_of_json i j =
+  in_context (Printf.sprintf "entries[%d]" i)
+  @@ let* structure = str_field "structure" j in
+     let* workload = str_field "workload" j in
+     let* domains = int_field "domains" j in
+     let* queries_per_domain = int_field "queries_per_domain" j in
+     let* trials = int_field "trials" j in
+     let* ns_per_query = ci_of_json "ns_per_query" j in
+     let* probes_per_query = ci_of_json "probes_per_query" j in
+     let* p50_ns = float_field "p50_ns" j in
+     let* p99_ns = float_field "p99_ns" j in
+     let* hotspot_ratio = float_field "hotspot_ratio" j in
+     let* queries = int_field "queries" j in
+     let* probes = int_field "probes" j in
+     if domains < 1 then Error "domains must be >= 1"
+     else if trials < 1 then Error "trials must be >= 1"
+     else
+       Ok
+         {
+           structure;
+           workload;
+           domains;
+           queries_per_domain;
+           trials;
+           ns_per_query;
+           probes_per_query;
+           p50_ns;
+           p99_ns;
+           hotspot_ratio;
+           queries;
+           probes;
+         }
+
+let fingerprint_of_json j =
+  in_context "fingerprint"
+  @@ let* v = field "fingerprint" j in
+     let* ocaml_version = str_field "ocaml_version" v in
+     let* os_type = str_field "os_type" v in
+     let* word_size = int_field "word_size" v in
+     let* cores = int_field "cores" v in
+     let* git_rev = str_field "git_rev" v in
+     let* seed = int_field "seed" v in
+     let* clock_overhead_ns = float_field "clock_overhead_ns" v in
+     let* probe_sample_period = int_field "probe_sample_period" v in
+     let* created_unix = float_field "created_unix" v in
+     Ok
+       {
+         ocaml_version;
+         os_type;
+         word_size;
+         cores;
+         git_rev;
+         seed;
+         clock_overhead_ns;
+         probe_sample_period;
+         created_unix;
+       }
+
+let of_json j =
+  let* () = Jsonu.check_schema ~expect:schema_name ~version:schema_version j in
+  let* fingerprint = fingerprint_of_json j in
+  let* entries_j = field "entries" j in
+  let* entries =
+    List.fold_right
+      (fun (i, e) acc ->
+        let* acc = acc in
+        let* e = entry_of_json i e in
+        Ok (e :: acc))
+      (List.mapi (fun i e -> (i, e)) (Json.to_list entries_j))
+      (Ok [])
+  in
+  if entries = [] then Error "entries: must be non-empty" else Ok { fingerprint; entries }
+
+let of_string s =
+  let* j = Json.parse s in
+  of_json j
+
+let load path =
+  match read_file_opt path with
+  | None -> Error (Printf.sprintf "%s: cannot read" path)
+  | Some s -> in_context path (of_string s)
+
+let write ~path t = Lc_obs.Export.write_file ~path (to_string t)
+
+let next_path ~dir =
+  let taken n = Sys.file_exists (Filename.concat dir (Printf.sprintf "BENCH_%d.json" n)) in
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  let max_n =
+    Array.fold_left
+      (fun acc name ->
+        match Scanf.sscanf_opt name "BENCH_%d.json%!" (fun n -> n) with
+        | Some n -> max acc n
+        | None -> acc)
+      (-1) entries
+  in
+  let n = max_n + 1 in
+  assert (not (taken n));
+  Filename.concat dir (Printf.sprintf "BENCH_%d.json" n)
+
+let key (e : entry) = (e.structure, e.workload, e.domains)

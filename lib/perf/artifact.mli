@@ -1,0 +1,89 @@
+(** Schema-versioned bench artifacts ([BENCH_<n>.json]).
+
+    One artifact is one run of the perf suite: per-configuration timing
+    and probe-count distributions with bootstrap confidence intervals,
+    plus an environment fingerprint pinning everything that could
+    silently change the numbers (toolchain, machine, engine calibration
+    constants, seed, git revision). The writer is {e strict} — a NaN or
+    infinity anywhere aborts with a typed path instead of emitting a
+    [null] — and the reader validates schema name, version, field types
+    and basic invariants before returning a value, so [lowcon perf diff]
+    never compares garbage. *)
+
+val schema_name : string
+(** ["lowcon-bench"]. *)
+
+val schema_version : int
+
+type ci = {
+  mean : float;
+  lo : float;  (** Bootstrap CI lower bound. *)
+  hi : float;
+  samples : float list;  (** Raw per-trial values, for rank tests at diff time. *)
+}
+
+(** One (structure, workload, domain-count) configuration's results. *)
+type entry = {
+  structure : string;  (** A {!Select.structure} name. *)
+  workload : string;  (** A {!Select.workload} spec. *)
+  domains : int;
+  queries_per_domain : int;
+  trials : int;
+  ns_per_query : ci;
+  probes_per_query : ci;
+  p50_ns : float;  (** Median across trials of per-trial latency quantiles. *)
+  p99_ns : float;
+  hotspot_ratio : float;  (** Sketch-guaranteed hottest tally over the flat bound. *)
+  queries : int;  (** Total queries across all trials (reconciled with counters). *)
+  probes : int;
+}
+
+type fingerprint = {
+  ocaml_version : string;
+  os_type : string;
+  word_size : int;
+  cores : int;  (** [Domain.recommended_domain_count] at run time. *)
+  git_rev : string;  (** Resolved from [.git/HEAD]; ["unknown"] outside a checkout. *)
+  seed : int;  (** The run's single [--seed]; every trial seed derives from it. *)
+  clock_overhead_ns : float;  (** Measured cost of one {!Lc_obs.Clock.now_ns} call. *)
+  probe_sample_period : int;  (** {!Lc_parallel.Engine.probe_sample_period}. *)
+  created_unix : float;
+}
+
+type t = { fingerprint : fingerprint; entries : entry list }
+
+val fingerprint : seed:int -> fingerprint
+(** Capture the current environment (reads [.git/HEAD], calibrates the
+    clock). *)
+
+val to_json : t -> Lc_obs.Json.t
+
+val to_string : t -> string
+(** Strict serialisation; raises [Failure] naming the JSON path if any
+    value is NaN or infinite. *)
+
+val of_json : Lc_obs.Json.t -> (t, string) result
+(** Validates schema name and version, every field's presence and type,
+    and basic invariants (non-empty entries and samples, [lo <= hi],
+    positive [domains]/[trials]). *)
+
+val of_string : string -> (t, string) result
+val load : string -> (t, string) result
+
+val write : path:string -> t -> unit
+(** Atomic write via {!Lc_obs.Export.write_file}. *)
+
+val next_path : dir:string -> string
+(** [dir/BENCH_<n>.json] for the smallest [n] past every existing
+    artifact in [dir]. *)
+
+val key : entry -> string * string * int
+(** The identity a differ matches entries by:
+    [(structure, workload, domains)]. *)
+
+(** {2 Pieces shared with the postmortem artifact} *)
+
+val json_of_fingerprint : fingerprint -> Lc_obs.Json.t
+
+val fingerprint_of_json : Lc_obs.Json.t -> (fingerprint, string) result
+(** Reads the ["fingerprint"] member of the given document. *)

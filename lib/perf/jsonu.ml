@@ -1,0 +1,64 @@
+(* Shared result-typed JSON decoding helpers for the artifact readers.
+   Every error string says which field and what was expected, prefixed
+   by context frames ({!in_context}), so a malformed committed artifact
+   fails validation with a usable message. *)
+
+module Json = Lc_obs.Json
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field name j =
+  let* v = field name j in
+  match Json.string_value v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let int_field name j =
+  let* v = field name j in
+  match Json.int_value v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let float_field name j =
+  let* v = field name j in
+  match Json.float_value v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let bool_field name j =
+  let* v = field name j in
+  match Json.bool_value v with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "field %S: expected a boolean" name)
+
+let in_context ctx = Result.map_error (fun e -> ctx ^ ": " ^ e)
+
+let list_field name j =
+  let* v = field name j in
+  match v with
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "field %S: expected an array" name)
+
+(* Decode each element of a list, threading the index into errors. *)
+let decode_list ctx decode l =
+  List.fold_right
+    (fun (i, e) acc ->
+      let* acc = acc in
+      let* e = in_context (Printf.sprintf "%s[%d]" ctx i) (decode e) in
+      Ok (e :: acc))
+    (List.mapi (fun i e -> (i, e)) l)
+    (Ok [])
+
+let check_schema ~expect ~version j =
+  let* schema = str_field "schema" j in
+  if schema <> expect then Error (Printf.sprintf "schema is %S, expected %S" schema expect)
+  else
+    let* v = int_field "version" j in
+    if v <> version then
+      Error (Printf.sprintf "unsupported %s version %d (reader supports %d)" expect v version)
+    else Ok ()

@@ -1,0 +1,398 @@
+(* Postmortem artifacts: what the flight recorder dumps when the
+   hotspot alert fires. The dump freezes three things the moment the
+   quiet->firing edge is seen — the window ring, the journal rings, and
+   the alert state — together with the same environment fingerprint a
+   bench artifact carries, so "what led up to this alert" can be
+   answered offline, from the JSON alone, long after the process is
+   gone. *)
+
+module Json = Lc_obs.Json
+module Journal = Lc_obs.Journal
+module Window = Lc_obs.Window
+module Heavy = Lc_obs.Heavy
+
+let schema_name = "lowcon-postmortem"
+let schema_version = 1
+
+type trigger = { index : int; ratio : float; factor : float }
+type alert_state = { active : bool; firing_run : int; fired_total : int }
+
+type t = {
+  fingerprint : Artifact.fingerprint;
+  structure : string;
+  workload : string;
+  domains : int;
+  alert_factor : float;
+  trigger : trigger;
+  windows : Window.entry list;
+  events : Journal.event list;
+  dropped : int;
+  alert : alert_state;
+}
+
+let capture ~fingerprint ~structure ~workload ~domains ~trigger:(e : Window.entry) mon =
+  let w = Lc_parallel.Engine.Monitor.window mon in
+  let factor = (Window.config w).Window.alert_factor in
+  let events, dropped =
+    match Lc_parallel.Engine.Monitor.journal mon with
+    | None -> ([], 0)
+    | Some j -> (Journal.events j, Journal.dropped j)
+  in
+  {
+    fingerprint;
+    structure;
+    workload;
+    domains;
+    alert_factor = factor;
+    trigger = { index = e.Window.index; ratio = e.Window.hotspot_ratio; factor };
+    windows = Window.entries w;
+    events;
+    dropped;
+    alert =
+      {
+        active = Window.alert_active w;
+        firing_run = Window.alert_firing_run w;
+        fired_total = Window.alert_fired_total w;
+      };
+  }
+
+(* ---------------- encoding ---------------- *)
+
+let json_of_cells top =
+  Json.List (List.map (fun (i, c, e) -> Json.List [ Json.Int i; Json.Int c; Json.Int e ]) top)
+
+let json_of_window (e : Window.entry) =
+  Json.Obj
+    [
+      ("index", Json.Int e.Window.index);
+      ("t_start_s", Json.Float e.Window.t_start_s);
+      ("t_end_s", Json.Float e.Window.t_end_s);
+      ("queries", Json.Int e.Window.queries);
+      ("probes", Json.Int e.Window.probes);
+      ("qps", Json.Float e.Window.qps);
+      ("probes_per_s", Json.Float e.Window.probes_per_s);
+      ("p50_ns", Json.Float e.Window.p50_ns);
+      ("p99_ns", Json.Float e.Window.p99_ns);
+      ( "top_cells",
+        json_of_cells
+          (List.map (fun (c : Heavy.entry) -> (c.Heavy.item, c.Heavy.count, c.Heavy.err))
+             e.Window.top_cells) );
+      ("max_cell", Json.Int e.Window.max_cell);
+      ("max_share", Json.Float e.Window.max_share);
+      ("hotspot_ratio", Json.Float e.Window.hotspot_ratio);
+      ("alert", Json.Bool e.Window.alert);
+      ("cum_queries", Json.Int e.Window.cum_queries);
+      ("cum_probes", Json.Int e.Window.cum_probes);
+    ]
+
+let json_of_kind = function
+  | Journal.Window_cut { index; queries; qps; p50_ns; p99_ns; hotspot_ratio; alert } ->
+    [
+      ("type", Json.String "window_cut");
+      ("index", Json.Int index);
+      ("queries", Json.Int queries);
+      ("qps", Json.Float qps);
+      ("p50_ns", Json.Float p50_ns);
+      ("p99_ns", Json.Float p99_ns);
+      ("hotspot_ratio", Json.Float hotspot_ratio);
+      ("alert", Json.Bool alert);
+    ]
+  | Journal.Alert_raised { index; ratio; factor } ->
+    [
+      ("type", Json.String "alert_raised");
+      ("index", Json.Int index);
+      ("ratio", Json.Float ratio);
+      ("factor", Json.Float factor);
+    ]
+  | Journal.Alert_cleared { index; ratio; factor } ->
+    [
+      ("type", Json.String "alert_cleared");
+      ("index", Json.Int index);
+      ("ratio", Json.Float ratio);
+      ("factor", Json.Float factor);
+    ]
+  | Journal.Sketch_snapshot { top } -> [ ("type", Json.String "sketch_snapshot"); ("top", json_of_cells top) ]
+  | Journal.Stage { name; mark } ->
+    [
+      ("type", Json.String "stage");
+      ("name", Json.String name);
+      ("mark", Json.String (match mark with `Begin -> "begin" | `End -> "end"));
+    ]
+  | Journal.Publish { queries } -> [ ("type", Json.String "publish"); ("queries", Json.Int queries) ]
+
+let json_of_event (e : Journal.event) =
+  Json.Obj
+    (("t_ns", Json.Int (Int64.to_int e.Journal.t_ns))
+    :: ("writer", Json.Int e.Journal.writer)
+    :: ("seq", Json.Int e.Journal.seq)
+    :: json_of_kind e.Journal.kind)
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_name);
+      ("version", Json.Int schema_version);
+      ("fingerprint", Artifact.json_of_fingerprint t.fingerprint);
+      ("structure", Json.String t.structure);
+      ("workload", Json.String t.workload);
+      ("domains", Json.Int t.domains);
+      ("alert_factor", Json.Float t.alert_factor);
+      ( "trigger",
+        Json.Obj
+          [
+            ("index", Json.Int t.trigger.index);
+            ("ratio", Json.Float t.trigger.ratio);
+            ("factor", Json.Float t.trigger.factor);
+          ] );
+      ("windows", Json.List (List.map json_of_window t.windows));
+      ("events", Json.List (List.map json_of_event t.events));
+      ("dropped", Json.Int t.dropped);
+      ( "alert",
+        Json.Obj
+          [
+            ("active", Json.Bool t.alert.active);
+            ("firing_run", Json.Int t.alert.firing_run);
+            ("fired_total", Json.Int t.alert.fired_total);
+          ] );
+    ]
+
+let to_string t =
+  match Json.to_string_strict (to_json t) with
+  | Ok s -> s
+  | Error { Json.path; value } ->
+    failwith
+      (Printf.sprintf "Postmortem.to_string: non-finite value %h at %s — refusing to write"
+         value path)
+
+let write ~path t = Lc_obs.Export.write_file ~path (to_string t)
+
+(* ---------------- decoding ---------------- *)
+
+let ( let* ) = Result.bind
+
+let cells_of_json name j =
+  let* l = Jsonu.list_field name j in
+  Jsonu.decode_list name
+    (fun c ->
+      match c with
+      | Json.List [ a; b; e ] -> (
+        match (Json.int_value a, Json.int_value b, Json.int_value e) with
+        | Some i, Some count, Some err -> Ok (i, count, err)
+        | _ -> Error "expected [item, count, err] integers")
+      | _ -> Error "expected a 3-element array")
+    l
+
+let window_of_json j =
+  let* index = Jsonu.int_field "index" j in
+  let* t_start_s = Jsonu.float_field "t_start_s" j in
+  let* t_end_s = Jsonu.float_field "t_end_s" j in
+  let* queries = Jsonu.int_field "queries" j in
+  let* probes = Jsonu.int_field "probes" j in
+  let* qps = Jsonu.float_field "qps" j in
+  let* probes_per_s = Jsonu.float_field "probes_per_s" j in
+  let* p50_ns = Jsonu.float_field "p50_ns" j in
+  let* p99_ns = Jsonu.float_field "p99_ns" j in
+  let* cells = cells_of_json "top_cells" j in
+  let* max_cell = Jsonu.int_field "max_cell" j in
+  let* max_share = Jsonu.float_field "max_share" j in
+  let* hotspot_ratio = Jsonu.float_field "hotspot_ratio" j in
+  let* alert = Jsonu.bool_field "alert" j in
+  let* cum_queries = Jsonu.int_field "cum_queries" j in
+  let* cum_probes = Jsonu.int_field "cum_probes" j in
+  Ok
+    {
+      Window.index;
+      t_start_s;
+      t_end_s;
+      queries;
+      probes;
+      qps;
+      probes_per_s;
+      p50_ns;
+      p99_ns;
+      top_cells =
+        List.map (fun (item, count, err) -> { Heavy.item; count; err }) cells;
+      max_cell;
+      max_share;
+      hotspot_ratio;
+      alert;
+      cum_queries;
+      cum_probes;
+    }
+
+let kind_of_json j =
+  let* ty = Jsonu.str_field "type" j in
+  match ty with
+  | "window_cut" ->
+    let* index = Jsonu.int_field "index" j in
+    let* queries = Jsonu.int_field "queries" j in
+    let* qps = Jsonu.float_field "qps" j in
+    let* p50_ns = Jsonu.float_field "p50_ns" j in
+    let* p99_ns = Jsonu.float_field "p99_ns" j in
+    let* hotspot_ratio = Jsonu.float_field "hotspot_ratio" j in
+    let* alert = Jsonu.bool_field "alert" j in
+    Ok (Journal.Window_cut { index; queries; qps; p50_ns; p99_ns; hotspot_ratio; alert })
+  | "alert_raised" | "alert_cleared" ->
+    let* index = Jsonu.int_field "index" j in
+    let* ratio = Jsonu.float_field "ratio" j in
+    let* factor = Jsonu.float_field "factor" j in
+    Ok
+      (if ty = "alert_raised" then Journal.Alert_raised { index; ratio; factor }
+       else Journal.Alert_cleared { index; ratio; factor })
+  | "sketch_snapshot" ->
+    let* top = cells_of_json "top" j in
+    Ok (Journal.Sketch_snapshot { top })
+  | "stage" ->
+    let* name = Jsonu.str_field "name" j in
+    let* mark = Jsonu.str_field "mark" j in
+    let* mark =
+      match mark with
+      | "begin" -> Ok `Begin
+      | "end" -> Ok `End
+      | m -> Error (Printf.sprintf "field \"mark\": expected \"begin\" or \"end\", got %S" m)
+    in
+    Ok (Journal.Stage { name; mark })
+  | "publish" ->
+    let* queries = Jsonu.int_field "queries" j in
+    Ok (Journal.Publish { queries })
+  | ty -> Error (Printf.sprintf "unknown event type %S" ty)
+
+let event_of_json j =
+  let* t_ns = Jsonu.int_field "t_ns" j in
+  let* writer = Jsonu.int_field "writer" j in
+  let* seq = Jsonu.int_field "seq" j in
+  let* kind = kind_of_json j in
+  Ok { Journal.t_ns = Int64.of_int t_ns; writer; seq; kind }
+
+let of_json j =
+  let* () = Jsonu.check_schema ~expect:schema_name ~version:schema_version j in
+  let* fingerprint = Artifact.fingerprint_of_json j in
+  let* structure = Jsonu.str_field "structure" j in
+  let* workload = Jsonu.str_field "workload" j in
+  let* domains = Jsonu.int_field "domains" j in
+  let* alert_factor = Jsonu.float_field "alert_factor" j in
+  let* trigger =
+    Jsonu.in_context "trigger"
+    @@ let* v = Jsonu.field "trigger" j in
+       let* index = Jsonu.int_field "index" v in
+       let* ratio = Jsonu.float_field "ratio" v in
+       let* factor = Jsonu.float_field "factor" v in
+       Ok { index; ratio; factor }
+  in
+  let* windows_j = Jsonu.list_field "windows" j in
+  let* windows = Jsonu.decode_list "windows" window_of_json windows_j in
+  let* events_j = Jsonu.list_field "events" j in
+  let* events = Jsonu.decode_list "events" event_of_json events_j in
+  let* dropped = Jsonu.int_field "dropped" j in
+  let* alert =
+    Jsonu.in_context "alert"
+    @@ let* v = Jsonu.field "alert" j in
+       let* active = Jsonu.bool_field "active" v in
+       let* firing_run = Jsonu.int_field "firing_run" v in
+       let* fired_total = Jsonu.int_field "fired_total" v in
+       Ok { active; firing_run; fired_total }
+  in
+  Ok
+    {
+      fingerprint;
+      structure;
+      workload;
+      domains;
+      alert_factor;
+      trigger;
+      windows;
+      events;
+      dropped;
+      alert;
+    }
+
+let of_string s =
+  let* j = Json.parse s in
+  of_json j
+
+let load path =
+  match
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+    with Sys_error _ | End_of_file -> None
+  with
+  | None -> Error (Printf.sprintf "%s: cannot read" path)
+  | Some s -> Jsonu.in_context path (of_string s)
+
+(* ---------------- analysis ---------------- *)
+
+let kind_line = function
+  | Journal.Window_cut { index; queries; qps; p99_ns; hotspot_ratio; alert; _ } ->
+    Printf.sprintf "window %3d cut: %d queries, %.0f q/s, p99 %.1f us, hotspot %.1fx%s" index
+      queries qps (p99_ns /. 1e3) hotspot_ratio
+      (if alert then "  << ALERT" else "")
+  | Journal.Alert_raised { index; ratio; factor } ->
+    Printf.sprintf "ALERT RAISED at window %d: ratio %.1fx > factor %.1fx" index ratio factor
+  | Journal.Alert_cleared { index; ratio; factor } ->
+    Printf.sprintf "alert cleared at window %d: ratio %.1fx <= factor %.1fx" index ratio factor
+  | Journal.Sketch_snapshot { top } ->
+    let cells =
+      top
+      |> List.filteri (fun i _ -> i < 4)
+      |> List.map (fun (i, c, e) -> Printf.sprintf "%d:%d±%d" i c e)
+      |> String.concat " "
+    in
+    Printf.sprintf "sketch top: %s" (if cells = "" then "(empty)" else cells)
+  | Journal.Stage { name; mark } ->
+    Printf.sprintf "stage %s %s" name (match mark with `Begin -> "begin" | `End -> "end")
+  | Journal.Publish { queries } -> Printf.sprintf "worker published (cumulative %d queries)" queries
+
+let writer_label ~domains w =
+  if w = 0 then "orch "
+  else if w <= domains then Printf.sprintf "wrk%-2d" w
+  else "mon  "
+
+let analyze t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "postmortem: %s / %s on %d domains (alert factor %.1fx, git %s, seed %d)\n" t.structure
+    t.workload t.domains t.alert_factor
+    (String.sub t.fingerprint.Artifact.git_rev 0
+       (min 12 (String.length t.fingerprint.Artifact.git_rev)))
+    t.fingerprint.Artifact.seed;
+  add "trigger: window %d hotspot ratio %.1fx exceeded %.1fx the flat bound\n" t.trigger.index
+    t.trigger.ratio t.trigger.factor;
+  add "alert state at dump: %s (firing run %d, fired in %d window(s) total)\n"
+    (if t.alert.active then "FIRING" else "quiet")
+    t.alert.firing_run t.alert.fired_total;
+  let alert_windows = List.filter (fun (w : Window.entry) -> w.Window.alert) t.windows in
+  add "windows retained: %d (%d in alert)\n" (List.length t.windows) (List.length alert_windows);
+  if t.dropped > 0 then add "journal: %d event(s) overwritten before the dump\n" t.dropped;
+  (match t.events with
+  | [] -> add "no journal events (run without a flight recorder)\n"
+  | first :: _ ->
+    add "\ntimeline (%d events, t0 = first retained event):\n" (List.length t.events);
+    let t0 = first.Journal.t_ns in
+    List.iter
+      (fun (e : Journal.event) ->
+        add "  +%10.3f ms  [%s]  %s\n"
+          (Int64.to_float (Int64.sub e.Journal.t_ns t0) /. 1e6)
+          (writer_label ~domains:t.domains e.Journal.writer)
+          (kind_line e.Journal.kind))
+      t.events);
+  (* The hot cells as last sketched before (or at) the raise. *)
+  let snap_before_raise =
+    let rec scan last = function
+      | [] -> last
+      | { Journal.kind = Journal.Sketch_snapshot { top }; _ } :: rest -> scan (Some top) rest
+      | { Journal.kind = Journal.Alert_raised _; _ } :: _ -> last
+      | _ :: rest -> scan last rest
+    in
+    scan None t.events
+  in
+  (match snap_before_raise with
+  | Some ((_ :: _) as top) ->
+    add "\nhot cells at the raise (item: count±err):\n";
+    List.iteri
+      (fun i (item, count, err) -> if i < 8 then add "  cell %d: %d±%d\n" item count err)
+      top
+  | _ -> ());
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(* Structure and workload selection by name — the one vocabulary shared
+   by the perf suite, the CLI and the artifact schema, so an entry's
+   (structure, workload) key in a BENCH_*.json written today still names
+   the same configuration when diffed months later. *)
+
+module Rng = Lc_prim.Rng
+module Qdist = Lc_cellprobe.Qdist
+module Keyset = Lc_workload.Keyset
+
+let structure_names = [ "lc"; "fks-norepl"; "fks"; "dm"; "cuckoo"; "binary" ]
+
+let structure rng ~universe ~keys = function
+  | "lc" -> Lc_dict.Instance.uninstrumented
+              (Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys))
+  | "fks-norepl" ->
+    Lc_dict.Instance.uninstrumented
+      (Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys))
+  | "fks" ->
+    Lc_dict.Instance.uninstrumented
+      (Lc_dict.Fks.instance (Lc_dict.Fks.build rng ~universe ~keys))
+  | "dm" ->
+    Lc_dict.Instance.uninstrumented
+      (Lc_dict.Dm_dict.instance (Lc_dict.Dm_dict.build rng ~universe ~keys))
+  | "cuckoo" ->
+    Lc_dict.Instance.uninstrumented
+      (Lc_dict.Cuckoo.instance (Lc_dict.Cuckoo.build rng ~universe ~keys))
+  | "binary" ->
+    Lc_dict.Instance.uninstrumented
+      (Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys))
+  | s -> failwith (Printf.sprintf "unknown structure %S (want one of %s)" s
+                     (String.concat ", " structure_names))
+
+let workload rng ~universe ~keys spec =
+  let negs () = Keyset.negatives rng ~universe ~keys ~count:(8 * Array.length keys) in
+  match String.split_on_char ':' spec with
+  | [ "pos" ] -> Qdist.uniform ~name:"uniform-positive" keys
+  | [ "neg" ] -> Qdist.uniform ~name:"uniform-negative" (negs ())
+  | [ "point" ] -> Qdist.point keys.(0)
+  | [ "mix"; p ] -> (
+    match float_of_string_opt p with
+    | Some p_pos when p_pos >= 0.0 && p_pos <= 1.0 ->
+      Qdist.pos_neg ~pos:keys ~neg:(negs ()) ~p_pos
+    | _ -> failwith (Printf.sprintf "bad mix probability in %S" spec))
+  | [ "zipf"; s ] -> (
+    match float_of_string_opt s with
+    | Some skew when skew >= 0.0 -> Qdist.zipf ~skew keys
+    | _ -> failwith (Printf.sprintf "bad zipf skew in %S" spec))
+  | _ -> failwith (Printf.sprintf "unknown distribution %S" spec)

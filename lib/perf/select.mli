@@ -1,0 +1,20 @@
+(** Structure and workload selection by name.
+
+    The perf suite, the differ and the CLI all key configurations by
+    [(structure, workload)] name pairs; this module is the single place
+    those names are interpreted, so a committed artifact's keys stay
+    meaningful across sessions. *)
+
+val structure_names : string list
+(** ["lc"; "fks-norepl"; "fks"; "dm"; "cuckoo"; "binary"]. *)
+
+val structure :
+  Lc_prim.Rng.t -> universe:int -> keys:int array -> string -> Lc_dict.Instance.t
+(** Build the named structure over [keys], in {e uninstrumented}
+    (reentrant) mode — what the serving engine wants. Raises [Failure]
+    on an unknown name. *)
+
+val workload :
+  Lc_prim.Rng.t -> universe:int -> keys:int array -> string -> Lc_cellprobe.Qdist.t
+(** Parse a workload spec: ['pos'], ['neg'], ['point'], ['mix:P'],
+    ['zipf:S']. Raises [Failure] on a malformed spec. *)

@@ -1,0 +1,170 @@
+(* The perf suite: run the serving engine over a grid of
+   structure x workload x domain-count configurations and distil each
+   into an Artifact entry.
+
+   Reproducibility discipline: one --seed pins everything. Each
+   configuration derives a combo seed (keys, structure build, workload
+   sampling), each trial a trial seed (engine batches), and the
+   bootstrap its own; nothing reads the wall clock except the timings
+   being measured and the fingerprint. Every trial runs against a fresh
+   Monitor and a fresh Obs handle, and its counters are reconciled
+   exactly against the engine's result totals before the trial is
+   believed — an artifact whose telemetry disagrees with its ground
+   truth must never be written. *)
+
+module Rng = Lc_prim.Rng
+module Engine = Lc_parallel.Engine
+module Metrics = Lc_obs.Metrics
+module Stats = Lc_analysis.Stats
+
+type spec = {
+  structures : string list;
+  workloads : string list;
+  domain_counts : int list;
+  queries_per_domain : int;
+  trials : int;
+  n : int;
+}
+
+let default =
+  {
+    structures = [ "lc"; "fks-norepl"; "binary" ];
+    workloads = [ "pos"; "zipf:1.0" ];
+    domain_counts = [ 1; 2 ];
+    queries_per_domain = 2000;
+    trials = 5;
+    n = 512;
+  }
+
+let quick =
+  {
+    structures = [ "lc"; "fks-norepl" ];
+    workloads = [ "pos" ];
+    domain_counts = [ 2 ];
+    queries_per_domain = 500;
+    trials = 3;
+    n = 256;
+  }
+
+let validate_spec s =
+  if s.structures = [] || s.workloads = [] || s.domain_counts = [] then
+    invalid_arg "Suite.run: empty configuration axis";
+  if s.trials < 1 then invalid_arg "Suite.run: trials must be >= 1";
+  if s.queries_per_domain < 1 then invalid_arg "Suite.run: queries_per_domain must be >= 1";
+  if s.n < 1 then invalid_arg "Suite.run: n must be >= 1";
+  List.iter (fun d -> if d < 1 then invalid_arg "Suite.run: domains must be >= 1") s.domain_counts
+
+let universe_for n = min (max (16 * n) (n * n)) (1 lsl 28)
+
+(* Distinct odd multipliers keep combo and trial streams disjoint for
+   any base seed; exact values are arbitrary but frozen — changing them
+   changes every committed artifact. *)
+let combo_seed ~seed i = seed + (1009 * (i + 1))
+let trial_seed ~combo t = combo + (131 * (t + 1))
+
+let reconcile ~(r : Engine.result) snap =
+  let counter name =
+    match Metrics.Snapshot.counter_value snap name with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Suite.run: counter %s missing from snapshot" name)
+  in
+  let q = counter "engine_queries_total" and p = counter "engine_probes_total" in
+  if q <> r.queries then
+    failwith
+      (Printf.sprintf "Suite.run: engine_queries_total %d <> result queries %d — telemetry \
+                       does not reconcile" q r.queries);
+  if p <> r.total_probes then
+    failwith
+      (Printf.sprintf "Suite.run: engine_probes_total %d <> result probes %d — telemetry \
+                       does not reconcile" p r.total_probes)
+
+type trial_out = {
+  ns_per_query : float;
+  probes_per_query : float;
+  p50 : float;
+  p99 : float;
+  ratio : float;
+  t_queries : int;
+  t_probes : int;
+}
+
+let run_trial ~inst ~qd ~domains ~queries_per_domain ~seed =
+  let mon = Engine.Monitor.create ~domains inst in
+  let w = Engine.serve_windowed ~monitor:mon ~domains ~queries_per_domain ~seed inst qd in
+  let r = w.Engine.result in
+  let snap = Lc_obs.Obs.snapshot (Engine.Monitor.obs mon) in
+  reconcile ~r snap;
+  let p50, p99 =
+    match Metrics.Snapshot.find_hist snap "engine_query_latency_ns" with
+    | Some h -> (Metrics.Snapshot.quantile h 0.5, Metrics.Snapshot.quantile h 0.99)
+    | None -> (0.0, 0.0)
+  in
+  let ratio =
+    match w.Engine.cells with
+    | None -> 0.0
+    | Some cells -> (
+      match Lc_obs.Heavy.max_guaranteed cells with
+      | None -> 0.0
+      | Some e -> float_of_int (e.Lc_obs.Heavy.count - e.Lc_obs.Heavy.err) /. r.Engine.flat_bound)
+  in
+  {
+    ns_per_query = r.Engine.seconds *. 1e9 /. float_of_int r.Engine.queries;
+    probes_per_query = float_of_int r.Engine.total_probes /. float_of_int r.Engine.queries;
+    p50;
+    p99;
+    ratio;
+    t_queries = r.Engine.queries;
+    t_probes = r.Engine.total_probes;
+  }
+
+let ci_of ~rng samples =
+  let arr = Array.of_list samples in
+  let lo, hi = Stats.bootstrap_ci ~rng arr in
+  { Artifact.mean = Stats.mean arr; lo; hi; samples }
+
+let run ?(progress = fun (_ : string) -> ()) ~seed spec =
+  validate_spec spec;
+  let universe = universe_for spec.n in
+  let boot_rng = Rng.create (seed lxor 0x5eed) in
+  let combos =
+    List.concat_map
+      (fun s ->
+        List.concat_map
+          (fun w -> List.map (fun d -> (s, w, d)) spec.domain_counts)
+          spec.workloads)
+      spec.structures
+  in
+  let entries =
+    List.mapi
+      (fun i (structure, workload, domains) ->
+        progress
+          (Printf.sprintf "%s / %s / %d domains (%d trials)" structure workload domains
+             spec.trials);
+        let cseed = combo_seed ~seed i in
+        let rng = Rng.create cseed in
+        let keys = Lc_workload.Keyset.random rng ~universe ~n:spec.n in
+        let inst = Select.structure rng ~universe ~keys structure in
+        let qd = Select.workload rng ~universe ~keys workload in
+        let outs =
+          List.init spec.trials (fun t ->
+              run_trial ~inst ~qd ~domains ~queries_per_domain:spec.queries_per_domain
+                ~seed:(trial_seed ~combo:cseed t))
+        in
+        let pick f = List.map f outs in
+        {
+          Artifact.structure;
+          workload;
+          domains;
+          queries_per_domain = spec.queries_per_domain;
+          trials = spec.trials;
+          ns_per_query = ci_of ~rng:boot_rng (pick (fun o -> o.ns_per_query));
+          probes_per_query = ci_of ~rng:boot_rng (pick (fun o -> o.probes_per_query));
+          p50_ns = Stats.median (Array.of_list (pick (fun o -> o.p50)));
+          p99_ns = Stats.median (Array.of_list (pick (fun o -> o.p99)));
+          hotspot_ratio = Stats.median (Array.of_list (pick (fun o -> o.ratio)));
+          queries = List.fold_left (fun a o -> a + o.t_queries) 0 outs;
+          probes = List.fold_left (fun a o -> a + o.t_probes) 0 outs;
+        })
+      combos
+  in
+  { Artifact.fingerprint = Artifact.fingerprint ~seed; entries }

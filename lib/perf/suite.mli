@@ -1,0 +1,39 @@
+(** The perf suite: a reproducible grid of serving-engine runs distilled
+    into one {!Artifact.t}.
+
+    Each [(structure, workload, domains)] configuration is served
+    [trials] times, each trial against a fresh monitor and telemetry
+    handle; per-trial ns/query and probes/query become bootstrap
+    confidence intervals, per-trial latency quantiles and sketch hotspot
+    ratios are summarised by their median. Every trial's telemetry
+    counters are reconciled {e exactly} against the engine's result
+    totals — a mismatch raises rather than writes a lying artifact.
+
+    One [--seed] pins the whole run: combo seeds (keys, builds,
+    workloads) and trial seeds (query batches) derive from it by fixed
+    arithmetic, so the same seed on the same machine reproduces the same
+    probe counts exactly (and timings up to noise). *)
+
+type spec = {
+  structures : string list;  (** {!Select.structure} names. *)
+  workloads : string list;  (** {!Select.workload} specs. *)
+  domain_counts : int list;
+  queries_per_domain : int;
+  trials : int;
+  n : int;  (** Keys per structure; universe is derived as in the CLI. *)
+}
+
+val default : spec
+(** The committed-baseline grid: lc / fks-norepl / binary x pos /
+    zipf:1.0 x 1, 2 domains; 5 trials of 2000 queries per domain over
+    512 keys. *)
+
+val quick : spec
+(** The CI smoke grid: lc / fks-norepl x pos x 2 domains; 3 trials of
+    500 queries per domain over 256 keys. *)
+
+val run : ?progress:(string -> unit) -> seed:int -> spec -> Artifact.t
+(** Run the grid and return the artifact (not yet written). [progress]
+    is called once per configuration with a human-readable label.
+    Raises [Failure] on telemetry/result mismatch and
+    [Invalid_argument] on a degenerate spec. *)

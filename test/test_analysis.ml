@@ -4,6 +4,8 @@ module Stats = Lc_analysis.Stats
 module Series = Lc_analysis.Series
 module Tablefmt = Lc_analysis.Tablefmt
 module Experiment = Lc_analysis.Experiment
+module Sigtest = Lc_analysis.Sigtest
+module Rng = Lc_prim.Rng
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -213,9 +215,9 @@ let test_registry_complete () =
     (fun id -> checkb (Printf.sprintf "%s registered" id) true (List.mem id ids))
     [
       "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "T7"; "T8"; "T9"; "T10"; "F1"; "F2"; "F3"; "F4";
-      "T11"; "T12"; "T13"; "F5"; "F6"; "F7"; "F8"; "F9"; "F10"; "F11";
+      "T11"; "T12"; "T13"; "T14"; "F5"; "F6"; "F7"; "F8"; "F9"; "F10"; "F11";
     ];
-  checki "exactly 24 experiments" 24 (List.length ids)
+  checki "exactly 25 experiments" 25 (List.length ids)
 
 let test_registry_lookup_case_insensitive () =
   Lc_experiments.Registry.install ();
@@ -227,7 +229,7 @@ let test_registry_order () =
   Lc_experiments.Registry.install ();
   let ids = List.map (fun (e : Experiment.t) -> e.id) (Experiment.all ()) in
   checkb "tables before figures, numeric order" true
-    (List.nth ids 0 = "T1" && List.nth ids 12 = "T13" && List.nth ids 13 = "F1")
+    (List.nth ids 0 = "T1" && List.nth ids 13 = "T14" && List.nth ids 14 = "F1")
 
 (* A fast smoke run of two cheap experiments end to end (the full suite
    is exercised by bench/main.exe). *)
@@ -261,6 +263,81 @@ let test_experiments_deterministic () =
           (String.length c > 0))
     [ "F3"; "T8" ]
 
+(* ------------------------------------------------------------------ *)
+(* Sigtest                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mw_exact_disjoint () =
+  (* Fully separated tie-free 5 vs 5: U = 0, and the exact two-sided
+     null gives p = 2 * C(5,5-choose paths) / C(10,5) = 2/252. *)
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let b = [| 10.0; 11.0; 12.0; 13.0; 14.0 |] in
+  let r = Sigtest.mann_whitney_u a b in
+  checkb "exact method on tiny tie-free samples" true (r.Sigtest.method_ = Sigtest.Exact);
+  checkf "U is minimal" 0.0 r.Sigtest.u;
+  checkf "p = 2/252" (2.0 /. 252.0) r.Sigtest.p_two_sided;
+  (* Symmetric in the arguments. *)
+  let r' = Sigtest.mann_whitney_u b a in
+  checkf "symmetric p" r.Sigtest.p_two_sided r'.Sigtest.p_two_sided;
+  checkf "mirrored U" 25.0 r'.Sigtest.u
+
+let test_mw_identical_samples () =
+  (* Every pooled value equal: zero rank variance, p must be 1. *)
+  let c = [| 5.0; 5.0; 5.0; 5.0 |] in
+  let r = Sigtest.mann_whitney_u c c in
+  checkf "constant samples give p = 1" 1.0 r.Sigtest.p_two_sided;
+  (* A distinct sample against itself ties every value pairwise, forcing
+     the normal approximation; U sits at its mean so p stays 1. *)
+  let d = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let r' = Sigtest.mann_whitney_u d d in
+  checkb "ties force the normal approximation" true
+    (r'.Sigtest.method_ = Sigtest.Normal_approx);
+  Alcotest.check (Alcotest.float 1e-6) "self-test p is 1" 1.0 r'.Sigtest.p_two_sided
+
+let test_mw_interleaved_not_significant () =
+  let a = [| 1.0; 3.0; 5.0; 7.0; 9.0 |] in
+  let b = [| 2.0; 4.0; 6.0; 8.0; 10.0 |] in
+  let r = Sigtest.mann_whitney_u a b in
+  checkb "interleaved samples are not significant" true (r.Sigtest.p_two_sided > 0.3)
+
+let test_mw_empty_rejected () =
+  checkb "empty sample raises" true
+    (try
+       ignore (Sigtest.mann_whitney_u [||] [| 1.0 |] : Sigtest.mann_whitney);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ci_disjoint () =
+  checkb "separated intervals are disjoint" true
+    (Sigtest.ci_disjoint ~a:(1.0, 2.0) ~b:(3.0, 4.0));
+  checkb "order does not matter" true (Sigtest.ci_disjoint ~a:(3.0, 4.0) ~b:(1.0, 2.0));
+  checkb "overlapping intervals are not" false
+    (Sigtest.ci_disjoint ~a:(1.0, 3.0) ~b:(2.0, 4.0));
+  checkb "a shared endpoint counts as overlap" false
+    (Sigtest.ci_disjoint ~a:(1.0, 2.0) ~b:(2.0, 3.0));
+  checkb "inverted interval raises" true
+    (try
+       ignore (Sigtest.ci_disjoint ~a:(2.0, 1.0) ~b:(3.0, 4.0) : bool);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bootstrap_ci () =
+  let samples = [| 100.0; 102.0; 98.0; 101.0; 99.0; 103.0; 97.0; 100.5 |] in
+  let lo, hi = Stats.bootstrap_ci ~rng:(Rng.create 7) samples in
+  let m = Stats.mean samples in
+  checkb "interval is ordered" true (lo <= hi);
+  checkb "interval contains the sample mean" true (lo <= m && m <= hi);
+  checkb "interval is inside the data range" true (lo >= 97.0 && hi <= 103.0);
+  (* Deterministic given the rng seed — what makes committed artifacts
+     reproducible. *)
+  let lo', hi' = Stats.bootstrap_ci ~rng:(Rng.create 7) samples in
+  checkf "lo deterministic" lo lo';
+  checkf "hi deterministic" hi hi';
+  (* A single sample degenerates to a point interval. *)
+  let x, y = Stats.bootstrap_ci ~rng:(Rng.create 7) [| 42.0 |] in
+  checkf "degenerate lo" 42.0 x;
+  checkf "degenerate hi" 42.0 y
+
 let () =
   Alcotest.run "lc_analysis"
     [
@@ -289,6 +366,16 @@ let () =
           Alcotest.test_case "row arity" `Quick test_table_row_arity;
           Alcotest.test_case "csv" `Quick test_table_csv;
           Alcotest.test_case "fmt_g" `Quick test_fmt_g;
+        ] );
+      ( "sigtest",
+        [
+          Alcotest.test_case "exact disjoint samples" `Quick test_mw_exact_disjoint;
+          Alcotest.test_case "identical samples" `Quick test_mw_identical_samples;
+          Alcotest.test_case "interleaved not significant" `Quick
+            test_mw_interleaved_not_significant;
+          Alcotest.test_case "empty rejected" `Quick test_mw_empty_rejected;
+          Alcotest.test_case "ci_disjoint" `Quick test_ci_disjoint;
+          Alcotest.test_case "bootstrap_ci" `Quick test_bootstrap_ci;
         ] );
       ( "chisq",
         [

@@ -79,6 +79,58 @@ let test_json_escapes () =
   | Ok _ -> Alcotest.fail "expected a string"
   | Error e -> Alcotest.fail e
 
+let test_json_strict_rejects_nonfinite () =
+  (match Json.to_string_strict (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float Float.nan ]) ]) with
+  | Error { Json.path; value } ->
+    checks "path pinpoints the NaN" "$.a[1]" path;
+    checkb "offending value reported" true (Float.is_nan value)
+  | Ok _ -> Alcotest.fail "NaN was encoded");
+  (match Json.to_string_strict (Json.Float Float.infinity) with
+  | Error { Json.path; _ } -> checks "root-level path" "$" path
+  | Ok _ -> Alcotest.fail "infinity was encoded");
+  let doc = Json.Obj [ ("x", Json.Float 1.5); ("y", Json.List [ Json.Float (-0.0) ]) ] in
+  match Json.to_string_strict doc with
+  | Ok s -> checks "clean documents match the lenient writer" (Json.to_string doc) s
+  | Error _ -> Alcotest.fail "finite document rejected"
+
+let test_json_float_spellings () =
+  let roundtrips f =
+    match Json.parse (Json.to_string (Json.Float f)) with
+    | Ok (Json.Float g) -> g = f
+    | Ok (Json.Int i) -> float_of_int i = f
+    | _ -> false
+  in
+  List.iter
+    (fun f -> checkb (Printf.sprintf "%h round-trips" f) true (roundtrips f))
+    [ 1e308; 5e-324; 1.0e-7; 3.141592653589793; 1e22; -1e22; 0.1; 1234567890.123 ];
+  checks "negative zero spelling" "-0.0" (Json.to_string (Json.Float (-0.0)));
+  match Json.parse "-0.0" with
+  | Ok (Json.Float g) -> checkb "negative zero keeps its sign" true (1.0 /. g < 0.0)
+  | _ -> Alcotest.fail "-0.0 did not parse as a float"
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"finite floats round-trip exactly through JSON" ~count:1000
+    QCheck.float (fun f ->
+      QCheck.assume (Float.is_finite f);
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) -> g = f
+      | Ok (Json.Int i) -> float_of_int i = f
+      | _ -> false)
+
+let prop_float_exponent_forms =
+  (* QCheck.float rarely strays far from magnitude 1; build m * 10^e
+     directly so both the %.12g fast path and the %.17g fallback see
+     subnormals, huge magnitudes and awkward mantissas. *)
+  QCheck.Test.make ~name:"m * 10^e round-trips across the exponent range" ~count:500
+    QCheck.(pair (int_range (-1_000_000) 1_000_000) (int_range (-320) 300))
+    (fun (m, e) ->
+      let f = float_of_int m *. (10.0 ** float_of_int e) in
+      QCheck.assume (Float.is_finite f);
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) -> g = f
+      | Ok (Json.Int i) -> float_of_int i = f
+      | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -421,6 +473,34 @@ let test_heavy_copy_into () =
        false
      with Invalid_argument _ -> true)
 
+let test_heavy_merge_edge_cases () =
+  (* Merging nothing is a well-defined empty sketch. *)
+  let z = Heavy.merge [] ~k:4 in
+  checki "empty merge total" 0 z.Heavy.total_observed;
+  checkb "empty merge has no entries" true (z.Heavy.top = []);
+  checki "empty merge error bound" 0 z.Heavy.error_bound;
+  checkb "no guaranteed max without entries" true (Heavy.max_guaranteed z = None);
+  (* A sketch that observed nothing merges as a no-op. *)
+  let m0 = Heavy.merge [ Heavy.create ~k:4 ] ~k:4 in
+  checkb "empty sketch contributes nothing" true (m0.Heavy.top = []);
+  checkb "still no guaranteed max" true (Heavy.max_guaranteed m0 = None);
+  (* A single entry stays exact through the merge. *)
+  let s = Heavy.create ~k:4 in
+  for _ = 1 to 3 do
+    Heavy.observe s 42
+  done;
+  let m1 = Heavy.merge [ s ] ~k:4 in
+  (match m1.Heavy.top with
+  | [ { Heavy.item = 42; count = 3; err = 0 } ] -> ()
+  | _ -> Alcotest.fail "single entry not exact after merge");
+  (* Merging a sketch with itself counts its stream twice — the
+     postmortem capture path must not deduplicate by identity. *)
+  let m2 = Heavy.merge [ s; s ] ~k:4 in
+  checki "self-merge doubles the total" 6 m2.Heavy.total_observed;
+  match m2.Heavy.top with
+  | [ { Heavy.item = 42; count = 6; err = 0 } ] -> ()
+  | _ -> Alcotest.fail "self-merge did not double the count"
+
 (* ------------------------------------------------------------------ *)
 (* Window                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -524,6 +604,41 @@ let test_window_alert_and_gauges () =
   checkb "hotspot gauge exposed" true (has "engine_hotspot_ratio 100");
   checkb "alert gauge exposed" true (has "engine_hotspot_alert 1");
   checkb "window qps gauge exposed" true (has "engine_window_qps ")
+
+let test_window_alert_hysteresis () =
+  let _, q, p, _, sh, w = window_fixture () in
+  let sketch = Heavy.create ~k:4 in
+  let pub = Window.publisher w 0 in
+  (* Phase 1: funnel every probe through cell 0. Guaranteed tally 400
+     against a flat bound of 100 * 4 / 100 = 4 -> ratio 100, far over
+     the factor of 8: the alert must raise. *)
+  Metrics.incr sh q 100;
+  Metrics.incr sh p 400;
+  for _ = 1 to 400 do
+    Heavy.observe sketch 0
+  done;
+  Window.publish pub sh sketch;
+  let e1 = Window.tick w in
+  checkb "alert raised on the funnel" true e1.Window.alert;
+  checkb "alert active" true (Window.alert_active w);
+  checki "firing run starts" 1 (Window.alert_firing_run w);
+  checki "one raise so far" 1 (Window.alert_fired_total w);
+  (* Phase 2: drown the sketch in uniform churn. With k = 4 and 100
+     rotating cells every Space-Saving entry decays to count - err = 1,
+     while the cumulative flat bound grows to ~404 — the ratio collapses
+     and the alert must clear, not latch. *)
+  Metrics.incr sh q 10_000;
+  Metrics.incr sh p 40_000;
+  for i = 1 to 40_000 do
+    Heavy.observe sketch (1 + (i mod 100))
+  done;
+  Window.publish pub sh sketch;
+  let e2 = Window.tick w in
+  checkb "ratio collapses under churn" true (e2.Window.hotspot_ratio <= 8.0);
+  checkb "alert cleared" true (not e2.Window.alert);
+  checkb "alert state cleared" true (not (Window.alert_active w));
+  checki "firing run reset" 0 (Window.alert_firing_run w);
+  checki "fired total remembers the raise edge" 1 (Window.alert_fired_total w)
 
 (* ------------------------------------------------------------------ *)
 (* Http                                                                 *)
@@ -889,6 +1004,14 @@ let () =
           Alcotest.test_case "numbers" `Quick test_json_numbers;
           Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
           Alcotest.test_case "escape decoding" `Quick test_json_escapes;
+          Alcotest.test_case "strict encode rejects non-finite" `Quick
+            test_json_strict_rejects_nonfinite;
+          Alcotest.test_case "float spellings" `Quick test_json_float_spellings;
+        ] );
+      ( "json properties",
+        [
+          QCheck_alcotest.to_alcotest prop_float_roundtrip;
+          QCheck_alcotest.to_alcotest prop_float_exponent_forms;
         ] );
       ( "metrics",
         [
@@ -921,12 +1044,14 @@ let () =
           Alcotest.test_case "tracks a heavy hitter" `Quick test_heavy_tracks_heavy_hitter;
           Alcotest.test_case "merge of disjoint streams" `Quick test_heavy_merge_disjoint;
           Alcotest.test_case "copy_into" `Quick test_heavy_copy_into;
+          Alcotest.test_case "merge edge cases" `Quick test_heavy_merge_edge_cases;
         ] );
       ( "window",
         [
           Alcotest.test_case "tick deltas" `Quick test_window_tick_deltas;
           Alcotest.test_case "ring eviction" `Quick test_window_ring_eviction;
           Alcotest.test_case "alert and gauges" `Quick test_window_alert_and_gauges;
+          Alcotest.test_case "alert hysteresis" `Quick test_window_alert_hysteresis;
         ] );
       ( "http",
         [ Alcotest.test_case "routes, errors, stop" `Quick test_http_routes ] );

@@ -1,0 +1,414 @@
+(* Tier-1 tests for the perf-trajectory subsystem: strict artifact
+   round-trips and schema validation, suite reconciliation against the
+   engine's ground truth, differential analysis on the committed
+   fixtures (a planted 2x regression must be flagged; a self-diff must
+   stay silent), the flight-recorder journal rings, and the
+   alert-triggered postmortem path end to end. *)
+
+module Artifact = Lc_perf.Artifact
+module Suite = Lc_perf.Suite
+module Diff = Lc_perf.Diff
+module Postmortem = Lc_perf.Postmortem
+module Select = Lc_perf.Select
+module Journal = Lc_obs.Journal
+module Window = Lc_obs.Window
+module Engine = Lc_parallel.Engine
+module Rng = Lc_prim.Rng
+module Keyset = Lc_workload.Keyset
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let fp =
+  {
+    Artifact.ocaml_version = "5.1.1";
+    os_type = "Unix";
+    word_size = 64;
+    cores = 2;
+    git_rev = "deadbeefdeadbeefdeadbeefdeadbeefdeadbeef";
+    seed = 42;
+    clock_overhead_ns = 25.5;
+    probe_sample_period = 64;
+    created_unix = 1754000000.0;
+  }
+
+let ci mean lo hi samples = { Artifact.mean; lo; hi; samples }
+
+let entry ?(structure = "lc") ?(workload = "pos") ?(domains = 2) ~ns ~probes () =
+  {
+    Artifact.structure;
+    workload;
+    domains;
+    queries_per_domain = 1000;
+    trials = List.length ns.Artifact.samples;
+    ns_per_query = ns;
+    probes_per_query = probes;
+    p50_ns = 90.0;
+    p99_ns = 140.0;
+    hotspot_ratio = 0.5;
+    queries = 4000;
+    probes = 60000;
+  }
+
+let small_artifact () =
+  {
+    Artifact.fingerprint = fp;
+    entries =
+      [
+        entry
+          ~ns:(ci 100.0 98.0 102.0 [ 100.0; 102.0; 98.0 ])
+          ~probes:(ci 15.0 15.0 15.0 [ 15.0; 15.0; 15.0 ])
+          ();
+        entry ~structure:"fks-norepl"
+          ~ns:(ci 50.25 48.0 52.5 [ 50.0; 51.0; 49.75 ])
+          ~probes:(ci 4.0 4.0 4.0 [ 4.0; 4.0; 4.0 ])
+          ();
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Artifact                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_artifact_roundtrip () =
+  let art = small_artifact () in
+  match Artifact.of_string (Artifact.to_string art) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok art' -> checkb "round-trip preserves the artifact exactly" true (art = art')
+
+let test_artifact_validation () =
+  let reject what s =
+    match Artifact.of_string s with
+    | Ok _ -> Alcotest.failf "%s was accepted" what
+    | Error _ -> ()
+  in
+  reject "wrong schema" {|{"schema":"nope","version":1}|};
+  reject "future version"
+    {|{"schema":"lowcon-bench","version":99,"fingerprint":{},"entries":[]}|};
+  reject "missing entries"
+    {|{"schema":"lowcon-bench","version":1,"fingerprint":{"ocaml_version":"5.1.1","os_type":"Unix","word_size":64,"cores":2,"git_rev":"x","seed":1,"clock_overhead_ns":1.0,"probe_sample_period":64,"created_unix":0.0}}|};
+  reject "not JSON" "BENCH";
+  (* Error messages carry enough context to locate the problem. *)
+  (match Artifact.of_string {|{"schema":"nope","version":1}|} with
+  | Error e -> checkb "error names the schema" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "accepted")
+
+let test_artifact_strict_rejects_nonfinite () =
+  let art = small_artifact () in
+  let bad =
+    {
+      art with
+      Artifact.entries =
+        [ entry ~ns:(ci Float.nan 0.0 1.0 [ 1.0 ]) ~probes:(ci 1.0 1.0 1.0 [ 1.0 ]) () ];
+    }
+  in
+  match Artifact.to_string bad with
+  | exception Failure msg ->
+    checkb "failure names the JSON path" true
+      (String.length msg > 0
+      &&
+      let rec contains i =
+        i + 4 <= String.length msg && (String.sub msg i 4 = "mean" || contains (i + 1))
+      in
+      contains 0)
+  | _ -> Alcotest.fail "NaN was serialised"
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "lcperf" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let test_artifact_next_path () =
+  with_temp_dir @@ fun dir ->
+  checks "first artifact is BENCH_0"
+    (Filename.concat dir "BENCH_0.json")
+    (Artifact.next_path ~dir);
+  let art = small_artifact () in
+  Artifact.write ~path:(Filename.concat dir "BENCH_0.json") art;
+  Artifact.write ~path:(Filename.concat dir "BENCH_3.json") art;
+  checks "numbering continues past the max"
+    (Filename.concat dir "BENCH_4.json")
+    (Artifact.next_path ~dir);
+  (* The written file is a valid artifact. *)
+  match Artifact.load (Filename.concat dir "BENCH_0.json") with
+  | Ok a -> checki "written artifact loads" 2 (List.length a.Artifact.entries)
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_spec =
+  {
+    Suite.structures = [ "lc" ];
+    workloads = [ "pos" ];
+    domain_counts = [ 2 ];
+    queries_per_domain = 200;
+    trials = 2;
+    n = 64;
+  }
+
+(* Suite.run raises if any trial's telemetry counters disagree with the
+   engine's result totals, so completing at all is the reconciliation
+   check; the entry's totals must then add up across trials. *)
+let test_suite_reconciles () =
+  let art = Suite.run ~seed:3 tiny_spec in
+  match art.Artifact.entries with
+  | [ e ] ->
+    checki "queries = trials * domains * queries_per_domain" (2 * 2 * 200) e.Artifact.queries;
+    checkb "probes accumulated" true (e.Artifact.probes > 0);
+    checki "one sample per trial" 2 (List.length e.Artifact.ns_per_query.Artifact.samples);
+    checkb "CI ordered" true
+      (e.Artifact.ns_per_query.Artifact.lo <= e.Artifact.ns_per_query.Artifact.hi);
+    checki "fingerprint records the seed" 3 art.Artifact.fingerprint.Artifact.seed;
+    checki "fingerprint records the sampling period" Engine.probe_sample_period
+      art.Artifact.fingerprint.Artifact.probe_sample_period
+  | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+
+let test_suite_probes_deterministic_in_seed () =
+  (* Binary search probes depend on where each queried key lands, so
+     probe totals fingerprint the sampled keys and query batches; the
+     low-contention structure would not work here (its positive lookups
+     cost the same number of probes whatever the seed). *)
+  let spec = { tiny_spec with Suite.structures = [ "binary" ] } in
+  let probes art =
+    List.map (fun (e : Artifact.entry) -> e.Artifact.probes) art.Artifact.entries
+  in
+  let a = Suite.run ~seed:11 spec and b = Suite.run ~seed:11 spec in
+  checkb "same seed, same probe totals" true (probes a = probes b);
+  let c = Suite.run ~seed:12 spec in
+  (* Different seed samples different keys and batches; identical probe
+     totals would mean the seed is not actually plumbed through. *)
+  checkb "different seed changes the workload" true (probes a <> probes c)
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The dune deps copy fixtures/ next to the test executable; resolve
+   against the executable so `dune exec` from the root also works. *)
+let fixture_path name =
+  Filename.concat (Filename.concat (Filename.dirname Sys.executable_name) "fixtures") name
+
+let load_fixture name =
+  match Artifact.load (fixture_path name) with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "fixture %s: %s" name e
+
+let test_diff_flags_planted_regression () =
+  let a = load_fixture "bench_a.json" and b = load_fixture "bench_b_regressed.json" in
+  let r = Diff.compare_artifacts a b in
+  checkb "regression detected" true (Diff.has_regression r);
+  checki "exactly one configuration regressed" 1 r.Diff.regressions;
+  let lc = List.find (fun row -> row.Diff.key = ("lc", "pos", 2)) r.Diff.rows in
+  checkb "ns verdict is regression" true (lc.Diff.ns.Diff.verdict = Diff.Regression);
+  checkb "MW-U used the exact null" true
+    (lc.Diff.ns.Diff.method_ = Lc_analysis.Sigtest.Exact);
+  checkb "p below alpha" true (lc.Diff.ns.Diff.p < 0.05);
+  checkb "CIs disjoint" true lc.Diff.ns.Diff.disjoint;
+  checkb "doubling reported" true (Float.abs (lc.Diff.ns.Diff.delta_pct -. 100.0) < 1.0);
+  checkb "identical probe counts stay quiet" true
+    (lc.Diff.probes.Diff.verdict = Diff.No_change);
+  let fks = List.find (fun row -> row.Diff.key = ("fks-norepl", "pos", 2)) r.Diff.rows in
+  checkb "untouched configuration stays quiet" true
+    (fks.Diff.ns.Diff.verdict = Diff.No_change);
+  (* Reversed direction reads as an improvement, not a regression. *)
+  let r' = Diff.compare_artifacts b a in
+  checki "no regression in reverse" 0 r'.Diff.regressions;
+  checki "improvement in reverse" 1 r'.Diff.improvements
+
+let test_diff_self_is_silent () =
+  let a = load_fixture "bench_a.json" in
+  let r = Diff.compare_artifacts a a in
+  checki "no regressions against self" 0 r.Diff.regressions;
+  checki "no improvements against self" 0 r.Diff.improvements;
+  List.iter
+    (fun row ->
+      checkb "every metric reports no change" true
+        (row.Diff.ns.Diff.verdict = Diff.No_change
+        && row.Diff.probes.Diff.verdict = Diff.No_change);
+      (* The normal-approximation CDF is accurate to ~1e-7, so p lands
+         that close to 1 rather than exactly on it. *)
+      Alcotest.check (Alcotest.float 1e-6) "self-diff p-value is 1" 1.0 row.Diff.ns.Diff.p)
+    r.Diff.rows
+
+let test_diff_unmatched_and_render () =
+  let a = small_artifact () in
+  let b = { a with Artifact.entries = [ List.hd a.Artifact.entries ] } in
+  let r = Diff.compare_artifacts a b in
+  checki "matched rows" 1 (List.length r.Diff.rows);
+  checkb "missing config reported" true (r.Diff.only_in_a = [ ("fks-norepl", "pos", 2) ]);
+  let rendered = Diff.render r in
+  let contains needle hay =
+    let rec go i =
+      i + String.length needle <= String.length hay
+      && (String.sub hay i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "render names the missing config" true (contains "only in A" rendered);
+  checkb "render names the key" true (contains "lc/pos@2" rendered);
+  (match Lc_obs.Json.to_string_strict (Diff.to_json r) with
+  | Ok s -> checkb "report JSON parses back" true (Result.is_ok (Lc_obs.Json.parse s))
+  | Error _ -> Alcotest.fail "report JSON had non-finite values");
+  checkb "prometheus gauges exported" true
+    (contains "perf_diff_regressions" (Diff.prometheus r))
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_ring_overwrite () =
+  let j = Journal.create ~writers:2 ~capacity:4 in
+  for i = 1 to 6 do
+    Journal.record j ~writer:0 (Journal.Publish { queries = i })
+  done;
+  checki "total counts every record" 6 (Journal.total_recorded j);
+  checki "overwritten events are dropped" 2 (Journal.dropped j);
+  let es = Journal.events j in
+  checki "ring retains capacity events" 4 (List.length es);
+  let queries =
+    List.filter_map
+      (function { Journal.kind = Journal.Publish { queries }; _ } -> Some queries | _ -> None)
+      es
+  in
+  checkb "newest events win" true (queries = [ 3; 4; 5; 6 ]);
+  List.iteri
+    (fun i (e : Journal.event) -> checki "seq numbers are monotone" (i + 2) e.Journal.seq)
+    es
+
+let test_journal_merges_writers_by_time () =
+  let j = Journal.create ~writers:3 ~capacity:8 in
+  Journal.record j ~writer:0 (Journal.Stage { name = "build"; mark = `Begin });
+  Journal.record j ~writer:1 (Journal.Publish { queries = 10 });
+  Journal.record j ~writer:2 (Journal.Window_cut
+    { index = 0; queries = 10; qps = 1.0; p50_ns = 1.0; p99_ns = 2.0;
+      hotspot_ratio = 0.5; alert = false });
+  Journal.record j ~writer:0 (Journal.Stage { name = "build"; mark = `End });
+  let es = Journal.events j in
+  checki "all writers merged" 4 (List.length es);
+  let ts = List.map (fun (e : Journal.event) -> e.Journal.t_ns) es in
+  checkb "timestamp order" true (List.sort compare ts = ts);
+  checkb "writer ids preserved" true
+    (List.sort compare (List.map (fun (e : Journal.event) -> e.Journal.writer) es)
+    = [ 0; 0; 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Postmortem                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let universe = 1 lsl 16
+
+let serve_with_recorder ~structure ~alert_factor ~seed =
+  let rng = Rng.create seed in
+  let keys = Keyset.random rng ~universe ~n:128 in
+  let inst = Select.structure rng ~universe ~keys structure in
+  let qd = Select.workload rng ~universe ~keys "pos" in
+  let domains = 2 in
+  let journal = Journal.create ~writers:(domains + 2) ~capacity:512 in
+  let captured = ref None in
+  let mon_ref = ref None in
+  let on_alert e =
+    match !mon_ref with
+    | None -> ()
+    | Some mon ->
+      captured :=
+        Some
+          (Postmortem.capture ~fingerprint:fp ~structure ~workload:"pos" ~domains ~trigger:e
+             mon)
+  in
+  let mon = Engine.Monitor.create ~alert_factor ~journal ~on_alert ~domains inst in
+  mon_ref := Some mon;
+  let w =
+    Engine.serve_windowed ~monitor:mon ~domains ~queries_per_domain:500 ~seed inst qd
+  in
+  (w, !captured)
+
+let contains needle hay =
+  let rec go i =
+    i + String.length needle <= String.length hay
+    && (String.sub hay i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+let test_postmortem_dump_on_hot_structure () =
+  (* Unreplicated FKS funnels every query through its parameter cell;
+     at a low factor the alert must fire and the hook must capture. *)
+  let w, captured = serve_with_recorder ~structure:"fks-norepl" ~alert_factor:2.0 ~seed:9 in
+  checkb "alert fired" true (w.Engine.alert_windows > 0);
+  match captured with
+  | None -> Alcotest.fail "on_alert hook never captured a postmortem"
+  | Some pm ->
+    checkb "trigger ratio above factor" true (pm.Postmortem.trigger.Postmortem.ratio > 2.0);
+    checkb "windows captured" true (pm.Postmortem.windows <> []);
+    checkb "journal events captured" true (pm.Postmortem.events <> []);
+    checkb "alert state captured" true pm.Postmortem.alert.Postmortem.active;
+    (* Round-trip: the dump re-reads into the same value. *)
+    (match Postmortem.of_string (Postmortem.to_string pm) with
+    | Error e -> Alcotest.failf "postmortem round-trip failed: %s" e
+    | Ok pm' -> checkb "round-trip preserves the dump exactly" true (pm = pm'));
+    (* The analyzer reconstructs the story from the document alone. *)
+    let report = Postmortem.analyze pm in
+    checkb "analyzer names the structure" true (contains "fks-norepl" report);
+    checkb "analyzer shows the raise" true (contains "ALERT RAISED" report);
+    checkb "analyzer shows the serve stage" true (contains "stage serve" report);
+    checkb "analyzer shows worker publications" true (contains "worker published" report)
+
+let test_postmortem_quiet_on_low_contention () =
+  let w, captured = serve_with_recorder ~structure:"lc" ~alert_factor:8.0 ~seed:9 in
+  checki "no alert windows on the low-contention dictionary" 0 w.Engine.alert_windows;
+  checkb "no dump captured" true (captured = None)
+
+let test_postmortem_validation () =
+  (match Postmortem.of_string {|{"schema":"lowcon-bench","version":1}|} with
+  | Ok _ -> Alcotest.fail "bench schema accepted as postmortem"
+  | Error _ -> ());
+  match Postmortem.of_string {|{"schema":"lowcon-postmortem","version":7}|} with
+  | Ok _ -> Alcotest.fail "future version accepted"
+  | Error e -> checkb "version error mentions the number" true (contains "7" e)
+
+let () =
+  Alcotest.run "lc_perf"
+    [
+      ( "artifact",
+        [
+          Alcotest.test_case "strict round-trip" `Quick test_artifact_roundtrip;
+          Alcotest.test_case "schema validation" `Quick test_artifact_validation;
+          Alcotest.test_case "rejects non-finite floats" `Quick
+            test_artifact_strict_rejects_nonfinite;
+          Alcotest.test_case "BENCH_<n> numbering" `Quick test_artifact_next_path;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "reconciles with engine totals" `Quick test_suite_reconciles;
+          Alcotest.test_case "probes deterministic in seed" `Quick
+            test_suite_probes_deterministic_in_seed;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "flags planted 2x regression" `Quick
+            test_diff_flags_planted_regression;
+          Alcotest.test_case "self-diff is silent" `Quick test_diff_self_is_silent;
+          Alcotest.test_case "unmatched keys and renderings" `Quick
+            test_diff_unmatched_and_render;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "ring overwrite" `Quick test_journal_ring_overwrite;
+          Alcotest.test_case "merges writers by time" `Quick
+            test_journal_merges_writers_by_time;
+        ] );
+      ( "postmortem",
+        [
+          Alcotest.test_case "dump on hot structure" `Quick test_postmortem_dump_on_hot_structure;
+          Alcotest.test_case "quiet on low contention" `Quick
+            test_postmortem_quiet_on_low_contention;
+          Alcotest.test_case "schema validation" `Quick test_postmortem_validation;
+        ] );
+    ]
