@@ -616,9 +616,10 @@ let perf_diff a b alpha json_out prom_out fail_on_regression =
         failwith (Printf.sprintf "non-finite value at %s in diff report" jpath))
     json_out;
   Option.iter (fun path -> Lc_obs.Export.write_file ~path (Diff.prometheus report)) prom_out;
-  if fail_on_regression && Diff.has_regression report then
-    failwith
-      (Printf.sprintf "%d configuration(s) regressed significantly" report.Diff.regressions)
+  if fail_on_regression && Diff.has_regression report then begin
+    Printf.printf "%d configuration(s) regressed significantly\n" report.Diff.regressions;
+    exit 1
+  end
 
 let perf_diff_cmd =
   Cmd.v
@@ -733,6 +734,19 @@ let validate_one path =
                (List.length art.Artifact.entries)
                art.Artifact.fingerprint.Artifact.seed)
         | Error e -> Error e)
+      | Some (Lc_obs.Json.String s) when s = Lc_lint.Report.schema_name -> (
+        match Lc_lint.Report.of_json doc with
+        | Ok r ->
+          let active =
+            List.length (List.filter (fun a -> a.Lc_lint.Report.suppressed = None)
+                           r.Lc_lint.Report.results)
+          in
+          Ok
+            (Printf.sprintf "%s v%d, %d file(s) scanned, %d active / %d suppressed finding(s)"
+               Lc_lint.Report.schema_name Lc_lint.Report.schema_version
+               r.Lc_lint.Report.files_scanned active
+               (List.length r.Lc_lint.Report.results - active))
+        | Error e -> Error e)
       | Some (Lc_obs.Json.String s) when s = Postmortem.schema_name -> (
         match Postmortem.of_json doc with
         | Ok pm ->
@@ -768,31 +782,192 @@ let validate files =
         incr failed;
         Printf.printf "%-40s FAIL (%s)\n" path msg)
     (List.concat_map expand files);
-  if !failed > 0 then failwith (Printf.sprintf "%d artifact(s) failed validation" !failed)
+  (* Same exit contract as lint: 1 = findings (here: failed artifacts),
+     2 = usage errors (handled by the driver in main). *)
+  if !failed > 0 then begin
+    Printf.printf "%d artifact(s) failed validation\n" !failed;
+    exit 1
+  end
 
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:
-         "Grammar-check artifacts: BENCH_*.json and postmortem dumps against their schemas, \
-          metrics JSON for its counters object, and .prom files against the Prometheus \
-          exposition line grammar. One pass/fail line per file; non-zero exit if any file \
-          fails.")
+         "Grammar-check artifacts: BENCH_*.json, postmortem dumps, and lowcon-lint reports \
+          against their schemas, metrics JSON for its counters object, and .prom files \
+          against the Prometheus exposition line grammar. One pass/fail line per file; exit \
+          1 if any file fails.")
     Term.(ret (const validate $ validate_files_arg))
+
+(* ------------------------------------------------------------------ *)
+
+module Lint_report = Lc_lint.Report
+module Lint_driver = Lc_lint.Driver
+
+let lint_root_arg =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to scan (lints every .ml under \\$(docv)/lib).")
+
+let lint_json_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Emit the schema-versioned lowcon-lint report as JSON to $(docv) ('-' or no value: \
+           stdout, replacing the text rendering).")
+
+let lint_baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"PATH"
+        ~doc:
+          "Allowlist of suppressed findings (default: ROOT/lint-baseline.txt when present). \
+           Each line: '<RULE> <file> <context> [expires=YYYY-MM-DD] -- <justification>'.")
+
+let lint_no_baseline_arg =
+  Arg.(
+    value & flag & info [ "no-baseline" ] ~doc:"Ignore any baseline; report raw findings.")
+
+let lint_rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"LIST"
+        ~doc:"Comma-separated rule subset to run (e.g. 'LC001,LC005'; default: all).")
+
+let lint_self_check_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "self-check" ]
+        ~doc:
+          "Instead of linting, parse every .ml and .mli in the repository and exit 2 if any \
+           fails — proof the AST rules saw the whole tree.")
+
+let lint_gh_summary_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "gh-summary" ] ~docv:"PATH"
+        ~doc:"Also append a Markdown findings table to $(docv) (GitHub job summary format).")
+
+let lint_show_suppressed_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "show-suppressed" ]
+        ~doc:"Include baseline-suppressed findings (with their justifications) in text output.")
+
+let usage_error msg =
+  prerr_endline ("lowcon: lint: " ^ msg);
+  exit 2
+
+let lint root json_out baseline_path no_baseline rules_opt self_check gh_summary show_suppressed
+    =
+  `Ok
+    (if self_check then begin
+       let files, errors = Lint_driver.self_check ~root in
+       List.iter
+         (fun (pe : Lint_report.parse_error) ->
+           Printf.printf "%s:%d:%d: parse error: %s\n" pe.pe_file pe.pe_line pe.pe_col
+             pe.pe_message)
+         errors;
+       Printf.printf "self-check: %d file(s) parsed, %d failure(s)\n" files
+         (List.length errors);
+       exit (if errors = [] then 0 else 2)
+     end
+     else begin
+       let rules =
+         match rules_opt with
+         | None -> Lc_lint.Rule.all
+         | Some s -> (
+           match Lc_lint.Rule.parse_list s with Ok rs -> rs | Error e -> usage_error e)
+       in
+       let baseline =
+         if no_baseline then None
+         else
+           let path =
+             match baseline_path with
+             | Some p -> Some p
+             | None ->
+               let d = Filename.concat root "lint-baseline.txt" in
+               if Sys.file_exists d then Some d else None
+           in
+           match path with
+           | None -> None
+           | Some p -> (
+             match Lc_lint.Baseline.load p with
+             | Ok b -> Some b
+             | Error e -> usage_error ("bad baseline: " ^ e))
+       in
+       let report = Lint_driver.run ~rules ?baseline ~root () in
+       let json_to_stdout = json_out = Some "-" in
+       (match json_out with
+       | Some "-" -> print_endline (Lc_obs.Json.to_string (Lint_report.to_json report))
+       | Some path ->
+         Lc_obs.Export.write_file ~path
+           (Lc_obs.Json.to_string (Lint_report.to_json report) ^ "\n")
+       | None -> ());
+       if not json_to_stdout then
+         print_string (Lint_report.render_text ~show_suppressed report);
+       Option.iter
+         (fun path ->
+           let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () -> output_string oc (Lint_report.render_markdown report)))
+         gh_summary;
+       exit (Lint_report.exit_code report)
+     end)
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static concurrency and hot-path analysis over lib/: non-atomic read-modify-writes \
+          (LC001), blocking primitives on hot paths (LC002), un-Atomic shared mutable state \
+          (LC003), allocation in manifest hot functions (LC004), Obj.magic (LC005). Exits 0 \
+          when clean or fully suppressed by the committed baseline, 1 on active findings, 2 \
+          on usage or parse errors.")
+    Term.(
+      ret
+        (const lint $ lint_root_arg $ lint_json_arg $ lint_baseline_arg $ lint_no_baseline_arg
+       $ lint_rules_arg $ lint_self_check_arg $ lint_gh_summary_arg $ lint_show_suppressed_arg
+        ))
 
 let () =
   let doc = "Workbench for low-contention static dictionaries (SPAA 2010)" in
-  exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "lowcon" ~version:"1.0.0" ~doc)
-          [
-            report_cmd;
-            compare_cmd;
-            hotspot_cmd;
-            profile_cmd;
-            monitor_cmd;
-            perf_cmd;
-            postmortem_cmd;
-            validate_cmd;
-          ]))
+  let man =
+    [
+      `S "EXIT CODES";
+      `P
+        "All commands follow one convention: 0 on success ($(b,lint): no unsuppressed \
+         findings; $(b,validate): every artifact passes), 1 when the check itself fails \
+         ($(b,lint): active findings; $(b,validate): failed artifacts; $(b,perf diff \
+         --fail-on-regression): significant regression), 2 on usage errors or inputs the \
+         tool cannot read (bad flags, unparseable sources, malformed baselines).";
+    ]
+  in
+  let code =
+    Cmd.eval
+      (Cmd.group
+         (Cmd.info "lowcon" ~version:"1.0.0" ~doc ~man)
+         [
+           report_cmd;
+           compare_cmd;
+           hotspot_cmd;
+           profile_cmd;
+           monitor_cmd;
+           perf_cmd;
+           postmortem_cmd;
+           validate_cmd;
+           lint_cmd;
+         ])
+  in
+  (* cmdliner's cli_error is 124; fold it into the documented usage-error
+     code so scripts and CI see the 0/1/2 contract everywhere. *)
+  exit (if code = 124 then 2 else code)

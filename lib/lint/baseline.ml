@@ -1,0 +1,118 @@
+(* The committed allowlist. Every suppression names its rule, its span
+   (file + enclosing definition), and a one-line justification — the
+   single-writer or seqlock argument that makes the flagged construct
+   safe. Entries may expire: after [expires=YYYY-MM-DD] the suppression
+   goes inert and the finding resurfaces, which is how "temporarily
+   accepted" debt is kept honest.
+
+   Grammar, one entry per line ('#' starts a comment):
+
+     <RULE> <file> <context> [expires=YYYY-MM-DD] -- <justification>
+
+   Matching is on (rule, file, context), not line numbers, so baseline
+   entries survive edits that only move code around. *)
+
+type date = { y : int; m : int; d : int }
+
+type entry = {
+  rule : Rule.t;
+  file : string;
+  context : string;
+  expires : date option;  (* None = never *)
+  justification : string;
+  line_no : int;  (* in the baseline file, for diagnostics *)
+}
+
+type t = { path : string; entries : entry list }
+
+let date_to_string d = Printf.sprintf "%04d-%02d-%02d" d.y d.m d.d
+
+let date_of_string s =
+  match Scanf.sscanf_opt s "%4d-%2d-%2d%!" (fun y m d -> { y; m; d }) with
+  | Some d when d.m >= 1 && d.m <= 12 && d.d >= 1 && d.d <= 31 -> Some d
+  | _ -> None
+
+(* An entry is expired from its expiry date onward (inclusive): the
+   date names the day the debt comes due. *)
+let is_expired ~today e =
+  match e.expires with
+  | None -> false
+  | Some d -> Stdlib.compare (d.y, d.m, d.d) (today.y, today.m, today.d) <= 0
+
+let matches e (f : Finding.t) =
+  e.rule = f.rule && e.file = f.file && e.context = f.context
+
+let entry_to_string e =
+  Printf.sprintf "%s %s %s%s" (Rule.id e.rule) e.file e.context
+    (match e.expires with None -> "" | Some d -> " expires=" ^ date_to_string d)
+
+(* Split "head -- justification" on the first " -- ". *)
+let split_justification line =
+  let n = String.length line in
+  let rec find i =
+    if i + 4 > n then None
+    else if String.sub line i 4 = " -- " then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> Some (String.sub line 0 i, String.trim (String.sub line (i + 4) (n - i - 4)))
+
+let parse_line ~line_no line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    let err msg = Error (Printf.sprintf "line %d: %s" line_no msg) in
+    match split_justification line with
+    | None -> err "missing ' -- justification'"
+    | Some (_, "") -> err "empty justification"
+    | Some (head, justification) -> (
+      let toks =
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' head)
+      in
+      match toks with
+      | rule_s :: file :: context :: rest -> (
+        match Rule.of_id rule_s with
+        | None -> err (Printf.sprintf "unknown rule %S" rule_s)
+        | Some rule -> (
+          let expires =
+            match rest with
+            | [] -> Ok None
+            | [ tok ] when String.length tok > 8 && String.sub tok 0 8 = "expires=" -> (
+              let ds = String.sub tok 8 (String.length tok - 8) in
+              match date_of_string ds with
+              | Some d -> Ok (Some d)
+              | None -> Error (Printf.sprintf "bad expiry date %S (want YYYY-MM-DD)" ds))
+            | tok :: _ -> Error (Printf.sprintf "unexpected token %S" tok)
+          in
+          match expires with
+          | Error msg -> err msg
+          | Ok expires ->
+            Ok (Some { rule; file; context; expires; justification; line_no })))
+      | _ -> err "want '<RULE> <file> <context> [expires=DATE] -- <justification>'")
+
+let parse ~path content =
+  let lines = String.split_on_char '\n' content in
+  let entries, errors =
+    List.fold_left
+      (fun (es, errs) (line_no, line) ->
+        match parse_line ~line_no line with
+        | Ok None -> (es, errs)
+        | Ok (Some e) -> (e :: es, errs)
+        | Error msg -> (es, msg :: errs))
+      ([], [])
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  match errors with
+  | [] -> Ok { path; entries = List.rev entries }
+  | errs -> Error (Printf.sprintf "%s: %s" path (String.concat "; " (List.rev errs)))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> parse ~path content
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,280 @@
+(* The rule implementations: one Ast_iterator pass per top-level
+   definition, so every finding carries the enclosing definition name as
+   its [context]. Granularity choices worth knowing:
+
+   - LC001 matches an Atomic.get and Atomic.set on the same *textual*
+     target within one top-level definition. Structural, not semantic —
+     aliasing an atomic through another name evades it, which is
+     acceptable for a lint whose job is catching the common slip.
+   - LC003 emits one aggregated finding per definition (first store's
+     location, store count in the message) plus one per record type that
+     declares mutable fields. Stores to plain local identifiers are
+     treated as domain-private: in this codebase every structure that
+     crosses a domain boundary is carried behind a record field, so the
+     heuristic "flag stores that reach through a field" keeps the signal
+     (journal rings, seqlock buffers, metric shards) without drowning it
+     in local scratch. Documented in DESIGN.md §7.
+   - LC004 exempts lambdas on the *spine* of a manifest function (its
+     own parameters and tail positions): returning a closure is the
+     function's contract; allocating one mid-body is the bug. *)
+
+open Parsetree
+
+type enabled = { r1 : bool; r2 : bool; r3 : bool; r4 : bool; r5 : bool }
+
+let enabled_of rules =
+  {
+    r1 = List.mem Rule.LC001 rules;
+    r2 = List.mem Rule.LC002 rules;
+    r3 = List.mem Rule.LC003 rules;
+    r4 = List.mem Rule.LC004 rules;
+    r5 = List.mem Rule.LC005 rules;
+  }
+
+type acc = { mutable findings : Finding.t list }
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let add acc ~file ~context rule (loc : Location.t) message =
+  let line, col = pos_of loc in
+  acc.findings <- { Finding.rule; file; line; col; context; message } :: acc.findings
+
+let flatten_lid lid = try Longident.flatten lid with _ -> []
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( match flatten_lid txt with [] -> None | p -> Some p)
+  | _ -> None
+
+let dots = String.concat "."
+
+(* A stable, source-like text for the target of an atomic operation, so
+   [Atomic.get c] and [Atomic.set c v] can be matched up by what they
+   operate on. Unrecognised subterms (literals, complex expressions)
+   collapse to "_", which errs towards matching — conservative for a
+   race lint. *)
+let rec target_text e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( match flatten_lid txt with [] -> "_" | p -> dots p)
+  | Pexp_field (b, { txt; _ }) -> (
+    target_text b ^ "." ^ match flatten_lid txt with [] -> "_" | p -> dots p)
+  | Pexp_apply (f, args) ->
+    "("
+    ^ target_text f
+    ^ " "
+    ^ String.concat " " (List.map (fun (_, a) -> target_text a) args)
+    ^ ")"
+  | _ -> "_"
+
+let rec pat_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | Ppat_alias (_, { txt; _ }) -> txt
+  | Ppat_constraint (p', _) -> pat_name p'
+  | _ -> "_"
+
+let mutator_fns = [ "set"; "unsafe_set"; "blit"; "unsafe_blit"; "fill"; "unsafe_fill" ]
+
+let is_mutator_path = function
+  | [ ("Array" | "Bytes"); fn ] -> List.mem fn mutator_fns
+  | _ -> false
+
+(* Does a store target reach through a record field (t.buf, sh.store,
+   st.hist_buckets.(h))? Plain local identifiers do not. *)
+let rec reaches_field e =
+  match e.pexp_desc with
+  | Pexp_field _ -> true
+  | Pexp_apply (f, (_, a) :: _) -> (
+    match ident_path f with
+    | Some [ ("Array" | "Bytes"); ("get" | "unsafe_get") ] -> reaches_field a
+    | _ -> false)
+  | _ -> false
+
+let blocking_roots = [ "Mutex"; "Condition"; "Semaphore" ]
+let obj_banned = [ "magic"; "repr"; "obj" ]
+let alloc_roots = [ "List"; "ListLabels"; "Printf"; "Format" ]
+let atomic_rmw = [ "incr"; "decr"; "fetch_and_add"; "compare_and_set"; "exchange" ]
+
+(* ------------------------------------------------------------------ *)
+(* LC004: walk a manifest hot function, tracking spine position.       *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk_hot acc ~file ~context ~spine e =
+  (match ident_path e with
+  | Some (root :: _ as p) when List.mem root alloc_roots ->
+    add acc ~file ~context Rule.LC004 e.pexp_loc
+      (Printf.sprintf "%s on a manifest hot path (allocates or formats per call)" (dots p))
+  | _ -> ());
+  match Compat.lambda_bodies e with
+  | Some bodies ->
+    if not spine then
+      add acc ~file ~context Rule.LC004 e.pexp_loc
+        "closure allocated on a manifest hot path (capture happens per call)";
+    List.iter (walk_hot acc ~file ~context ~spine:true) bodies
+  | None -> (
+    let walk ~spine e = walk_hot acc ~file ~context ~spine e in
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, body) ->
+      List.iter (fun vb -> walk ~spine:false vb.pvb_expr) vbs;
+      walk ~spine body
+    | Pexp_sequence (a, b) ->
+      walk ~spine:false a;
+      walk ~spine b
+    | Pexp_ifthenelse (c, t, e_opt) ->
+      walk ~spine:false c;
+      walk ~spine t;
+      Option.iter (walk ~spine) e_opt
+    | Pexp_match (s, cases) | Pexp_try (s, cases) ->
+      walk ~spine:false s;
+      List.iter
+        (fun c ->
+          Option.iter (walk ~spine:false) c.pc_guard;
+          walk ~spine c.pc_rhs)
+        cases
+    | _ ->
+      (* Generic: every child is off the spine. *)
+      let child =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ c -> walk_hot acc ~file ~context ~spine:false c);
+        }
+      in
+      Ast_iterator.default_iterator.expr child e)
+
+(* ------------------------------------------------------------------ *)
+(* One top-level definition.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_binding acc ~file ~hot ~on ~context expr =
+  let in_hot = on.r2 && hot.Hotpath.hot_module file in
+  let in_shared = on.r3 && hot.Hotpath.shared_scope file in
+  let gets : (string, Location.t) Hashtbl.t = Hashtbl.create 8 in
+  let sets : (string, Location.t) Hashtbl.t = Hashtbl.create 8 in
+  let rmws : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let store_count = ref 0 in
+  let first_store = ref None in
+  let note_store loc =
+    incr store_count;
+    if !first_store = None then first_store := Some loc
+  in
+  let expr_iter it e =
+    (match e.pexp_desc with
+    | Pexp_ident _ -> (
+      match ident_path e with
+      | Some (root :: _ as p) when in_hot && List.mem root blocking_roots ->
+        add acc ~file ~context Rule.LC002 e.pexp_loc
+          (Printf.sprintf "blocking primitive %s in a hot-path module" (dots p))
+      | Some [ "Unix"; (("sleep" | "sleepf") as fn) ] when in_hot ->
+        add acc ~file ~context Rule.LC002 e.pexp_loc
+          (Printf.sprintf "blocking primitive Unix.%s in a hot-path module" fn)
+      | Some [ "Obj"; fn ] when on.r5 && List.mem fn obj_banned ->
+        add acc ~file ~context Rule.LC005 e.pexp_loc
+          (Printf.sprintf "Obj.%s defeats the type system and the memory model" fn)
+      | _ -> ())
+    | Pexp_setfield (_, _, _) when in_shared -> note_store e.pexp_loc
+    | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | Some [ "Atomic"; op ] when on.r1 -> (
+        match args with
+        | (_, a) :: _ ->
+          let key = target_text a in
+          if op = "get" then (
+            if not (Hashtbl.mem gets key) then Hashtbl.add gets key e.pexp_loc)
+          else if op = "set" then (
+            if not (Hashtbl.mem sets key) then Hashtbl.add sets key e.pexp_loc)
+          else if List.mem op atomic_rmw then Hashtbl.replace rmws key ()
+        | [] -> ())
+      | Some ([ ("Array" | "Bytes"); _ ] as p) when in_shared && is_mutator_path p -> (
+        match args with
+        | (_, a) :: _ when reaches_field a -> note_store e.pexp_loc
+        | _ -> ())
+      | Some [ ":=" ] when in_shared -> (
+        match args with
+        | (_, lhs) :: _ when reaches_field lhs -> note_store e.pexp_loc
+        | _ -> ())
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_iter } in
+  it.expr it expr;
+  if on.r1 then
+    Hashtbl.iter
+      (fun key set_loc ->
+        if Hashtbl.mem gets key && not (Hashtbl.mem rmws key) then
+          add acc ~file ~context Rule.LC001 set_loc
+            (Printf.sprintf
+               "Atomic.get and Atomic.set on %s in one definition without an atomic RMW \
+                (fetch_and_add/compare_and_set/incr) — lost update under concurrency"
+               key))
+      sets;
+  if in_shared then (
+    match !first_store with
+    | Some loc ->
+      add acc ~file ~context Rule.LC003 loc
+        (Printf.sprintf
+           "%d non-atomic store(s) to field-reachable mutable state in this definition"
+           !store_count)
+    | None -> ());
+  if on.r4 && List.mem context (hot.Hotpath.hot_functions file) then
+    walk_hot acc ~file ~context ~spine:true expr
+
+let check_type_decl acc ~file ~hot ~on ~context (td : type_declaration) =
+  if on.r3 && hot.Hotpath.shared_scope file then
+    match td.ptype_kind with
+    | Ptype_record labels ->
+      let muts =
+        List.filter_map
+          (fun l -> if l.pld_mutable = Asttypes.Mutable then Some l.pld_name.txt else None)
+          labels
+      in
+      if muts <> [] then
+        add acc ~file ~context Rule.LC003 td.ptype_loc
+          (Printf.sprintf
+             "record type declares %d mutable field(s) (%s) in a multi-domain library"
+             (List.length muts) (String.concat ", " muts))
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Structure walk with module-qualified contexts.                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk_items acc ~file ~hot ~on ~prefix items =
+  List.iter
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let context = prefix ^ pat_name vb.pvb_pat in
+            check_binding acc ~file ~hot ~on ~context vb.pvb_expr)
+          vbs
+      | Pstr_eval (e, _) -> check_binding acc ~file ~hot ~on ~context:(prefix ^ "_") e
+      | Pstr_type (_, tds) ->
+        List.iter
+          (fun td ->
+            check_type_decl acc ~file ~hot ~on ~context:(prefix ^ td.ptype_name.txt) td)
+          tds
+      | Pstr_module mb -> walk_module_binding acc ~file ~hot ~on ~prefix mb
+      | Pstr_recmodule mbs ->
+        List.iter (walk_module_binding acc ~file ~hot ~on ~prefix) mbs
+      | Pstr_include { pincl_mod = me; _ } -> walk_module_expr acc ~file ~hot ~on ~prefix me
+      | _ -> ())
+    items
+
+and walk_module_binding acc ~file ~hot ~on ~prefix mb =
+  let name = match mb.pmb_name.txt with Some s -> s | None -> "_" in
+  walk_module_expr acc ~file ~hot ~on ~prefix:(prefix ^ name ^ ".") mb.pmb_expr
+
+and walk_module_expr acc ~file ~hot ~on ~prefix me =
+  match me.pmod_desc with
+  | Pmod_structure items -> walk_items acc ~file ~hot ~on ~prefix items
+  | Pmod_functor (_, body) -> walk_module_expr acc ~file ~hot ~on ~prefix body
+  | Pmod_constraint (me', _) -> walk_module_expr acc ~file ~hot ~on ~prefix me'
+  | _ -> ()
+
+let run ~hot ~rules ~file structure =
+  let acc = { findings = [] } in
+  walk_items acc ~file ~hot ~on:(enabled_of rules) ~prefix:"" structure;
+  List.sort Finding.compare acc.findings

@@ -1,0 +1,19 @@
+(* Version-specific view of the Parsetree, OCaml >= 5.2 flavour.
+
+   OCaml 5.2 replaced [Pexp_fun]/[Pexp_function] with a single
+   [Pexp_function of params * constraint * body]. Everything else
+   lc_lint consumes (idents, applications, setfield, let/match/if,
+   record type declarations) is stable across 5.1–5.3, so this is the
+   only seam; a dune rule copies the matching implementation to
+   compat.ml based on %{ocaml_version}. *)
+
+open Parsetree
+
+(* If [e] is a lambda, the expressions its body can evaluate to (one
+   per match case for [function]); [None] otherwise. *)
+let lambda_bodies (e : expression) : expression list option =
+  match e.pexp_desc with
+  | Pexp_function (_, _, Pfunction_body body) -> Some [ body ]
+  | Pexp_function (_, _, Pfunction_cases (cases, _, _)) ->
+    Some (List.map (fun c -> c.pc_rhs) cases)
+  | _ -> None

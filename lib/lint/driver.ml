@@ -1,0 +1,203 @@
+(* Discovery, parsing, baseline application, self-check. The driver is
+   filesystem-facing; Checks is pure AST; Report is pure data. Tests
+   exercise the pure layers through [lint_source] so fixtures don't
+   need to live where the scoping rules expect real code to live. *)
+
+type source = { path : string  (* repo-relative, '/'-separated *); abs : string }
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let has_suffix ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+(* Deterministic recursive listing, skipping build and VCS trees. *)
+let discover ~root ~subdir ~suffix =
+  let skip name = name = "_build" || name = ".git" || has_prefix ~prefix:"." name in
+  let out = ref [] in
+  let rec go rel abs =
+    match Sys.is_directory abs with
+    | true ->
+      let entries = Sys.readdir abs in
+      Array.sort String.compare entries;
+      Array.iter
+        (fun name ->
+          if not (skip name) then
+            go (if rel = "" then name else rel ^ "/" ^ name) (Filename.concat abs name))
+        entries
+    | false -> if has_suffix ~suffix rel then out := { path = rel; abs } :: !out
+    | exception Sys_error _ -> ()
+  in
+  let start_abs = if subdir = "" then root else Filename.concat root subdir in
+  if Sys.file_exists start_abs then go subdir start_abs;
+  List.rev !out
+
+let read_file abs =
+  let ic = open_in_bin abs in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse [content] as an implementation, attributing locations to
+   [path]. Lexer/parser errors land in many exception constructors
+   across compiler versions; rather than matching them all we format
+   via [Location.report_exception] when possible and fall back to
+   [Printexc]. *)
+let parse_impl ~path content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn ->
+    let line, col =
+      let p = lexbuf.Lexing.lex_curr_p in
+      (p.pos_lnum, p.pos_cnum - p.pos_bol)
+    in
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok (e : Location.error)) ->
+        Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    Error { Report.pe_file = path; pe_line = line; pe_col = col; pe_message = msg }
+
+let parse_intf ~path content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  match Parse.interface lexbuf with
+  | (_ : Parsetree.signature) -> Ok ()
+  | exception exn ->
+    let line, col =
+      let p = lexbuf.Lexing.lex_curr_p in
+      (p.pos_lnum, p.pos_cnum - p.pos_bol)
+    in
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok (e : Location.error)) ->
+        Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    Error { Report.pe_file = path; pe_line = line; pe_col = col; pe_message = msg }
+
+(* ------------------------------------------------------------------ *)
+(* Baseline application                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Annotate findings against the baseline and account for every entry:
+   entries that matched nothing are "unused" (stale debt — surfaced as
+   warnings so the allowlist shrinks as code improves), expired entries
+   never suppress. Entries for rules outside this run ([rules] is a
+   subset under --rules) are exempt from unused accounting: they had no
+   chance to match. *)
+let apply_baseline ?baseline ~rules ~today findings =
+  match (baseline : Baseline.t option) with
+  | None -> (List.map (fun f -> { Report.finding = f; suppressed = None }) findings, None)
+  | Some b ->
+    let used : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let live = List.filter (fun e -> not (Baseline.is_expired ~today e)) b.Baseline.entries in
+    let annotated =
+      List.map
+        (fun f ->
+          match List.find_opt (fun e -> Baseline.matches e f) live with
+          | Some e ->
+            Hashtbl.replace used e.Baseline.line_no ();
+            {
+              Report.finding = f;
+              suppressed =
+                Some
+                  {
+                    Report.justification = e.Baseline.justification;
+                    expires = Option.map Baseline.date_to_string e.Baseline.expires;
+                    entry_line = e.Baseline.line_no;
+                  };
+            }
+          | None -> { Report.finding = f; suppressed = None })
+        findings
+    in
+    let unused =
+      List.filter_map
+        (fun e ->
+          if
+            Baseline.is_expired ~today e
+            || Hashtbl.mem used e.Baseline.line_no
+            || not (List.mem e.Baseline.rule rules)
+          then None
+          else Some (Baseline.entry_to_string e, e.Baseline.line_no))
+        b.Baseline.entries
+    in
+    let expired =
+      List.filter_map
+        (fun e ->
+          if Baseline.is_expired ~today e then Some (Baseline.entry_to_string e, e.Baseline.line_no)
+          else None)
+        b.Baseline.entries
+    in
+    ( annotated,
+      Some
+        {
+          Report.baseline_path = b.Baseline.path;
+          entries = List.length b.Baseline.entries;
+          used = Hashtbl.length used;
+          unused;
+          expired;
+        } )
+
+let today_from_clock () =
+  let tm = Unix.localtime (Unix.time ()) in
+  { Baseline.y = tm.Unix.tm_year + 1900; m = tm.Unix.tm_mon + 1; d = tm.Unix.tm_mday }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Lint one in-memory source under a logical path (tests plant fixtures
+   at paths like "lib/parallel/fake.ml" without touching lib/). *)
+let lint_source ?(hot = Hotpath.default) ?(rules = Rule.all) ~path content =
+  match parse_impl ~path content with
+  | Ok structure -> Ok (Checks.run ~hot ~rules ~file:path structure)
+  | Error pe -> Error pe
+
+let run ?(hot = Hotpath.default) ?(rules = Rule.all) ?baseline ?today ~root () =
+  let today = match today with Some t -> t | None -> today_from_clock () in
+  let sources = discover ~root ~subdir:"lib" ~suffix:".ml" in
+  let findings, parse_errors =
+    List.fold_left
+      (fun (fs, pes) src ->
+        match lint_source ~hot ~rules ~path:src.path (read_file src.abs) with
+        | Ok found -> (found :: fs, pes)
+        | Error pe -> (fs, pe :: pes))
+      ([], []) sources
+  in
+  let findings = List.sort Finding.compare (List.concat (List.rev findings)) in
+  let results, baseline_summary = apply_baseline ?baseline ~rules ~today findings in
+  {
+    Report.root;
+    files_scanned = List.length sources;
+    rules;
+    results;
+    parse_errors = List.rev parse_errors;
+    baseline = baseline_summary;
+  }
+
+(* Self-check: every .ml and .mli in the repo must parse. This guards
+   the linter's own blind spots — a file the parser rejects is a file
+   no rule ever saw. *)
+let self_check ~root =
+  let mls = discover ~root ~subdir:"" ~suffix:".ml" in
+  let mlis = discover ~root ~subdir:"" ~suffix:".mli" in
+  let errors =
+    List.filter_map
+      (fun src ->
+        match parse_impl ~path:src.path (read_file src.abs) with
+        | Ok _ -> None
+        | Error pe -> Some pe)
+      mls
+    @ List.filter_map
+        (fun src ->
+          match parse_intf ~path:src.path (read_file src.abs) with
+          | Ok () -> None
+          | Error pe -> Some pe)
+        mlis
+  in
+  (List.length mls + List.length mlis, errors)

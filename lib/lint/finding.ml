@@ -1,0 +1,24 @@
+(* One diagnostic: a rule, a source span, the enclosing top-level
+   definition ([context] — the stable key baselines suppress on, since
+   names survive edits that shift line numbers), and an explanation. *)
+
+type t = {
+  rule : Rule.t;
+  file : string;  (* repo-relative, '/'-separated *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, like compiler diagnostics *)
+  context : string;  (* enclosing top-level definition or type *)
+  message : string;
+}
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Stdlib.compare (a.line, a.col) (b.line, b.col) with
+    | 0 -> String.compare (Rule.id a.rule) (Rule.id b.rule)
+    | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col (Rule.id f.rule) f.context
+    f.message

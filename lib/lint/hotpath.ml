@@ -1,0 +1,64 @@
+(* What counts as "hot" for the scoped rules, as data.
+
+   - [hot_module] (LC002): modules whose code runs on the probe, query,
+     or publish path of the serving engine. Blocking there is a bug by
+     construction. All of lib/parallel, lib/dict, lib/cellprobe, plus
+     the per-probe modules of lib/obs. lib/obs modules that run on the
+     monitor/export side (span registry, HTTP server, exporters, JSON)
+     are warm, not hot: they may block.
+   - [shared_scope] (LC003): libraries whose values are reachable from
+     more than one domain at once — the multicore engine and the whole
+     observability layer it publishes into.
+   - [hot_functions] (LC004): the per-module manifest of functions that
+     must stay allocation-free (or carry a documented suppression).
+     Factory functions that *build* hot closures (Engine.make_probe,
+     make_obs_probe) are deliberately absent: closure construction there
+     is per-run setup, and the closures' per-probe callees (Metrics.incr,
+     Heavy.observe, Window.publish, Journal.record, Table.peek) are the
+     manifest entries that audit the actual loop. *)
+
+type t = {
+  hot_module : string -> bool;
+  shared_scope : string -> bool;
+  hot_functions : string -> string list;
+}
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let obs_hot =
+  [
+    "lib/obs/metrics.ml";
+    "lib/obs/window.ml";
+    "lib/obs/heavy.ml";
+    "lib/obs/journal.ml";
+    "lib/obs/clock.ml";
+  ]
+
+let default_manifest =
+  [
+    ("lib/obs/metrics.ml", [ "bucket_of"; "incr"; "set_gauge"; "observe" ]);
+    ("lib/obs/heavy.ml", [ "observe"; "min_count"; "copy_into" ]);
+    ("lib/obs/window.ml", [ "publish" ]);
+    ("lib/obs/journal.ml", [ "record" ]);
+    ("lib/cellprobe/table.ml", [ "peek" ]);
+    ("lib/core/query.ml", [ "mem_probe" ]);
+    ("lib/dict/fks.ml", [ "mem_probe" ]);
+    ("lib/dict/dm_dict.ml", [ "mem_probe" ]);
+    ("lib/dict/cuckoo.ml", [ "mem_probe" ]);
+    ("lib/dict/sorted_array.ml", [ "mem_probe" ]);
+  ]
+
+let default =
+  {
+    hot_module =
+      (fun p ->
+        has_prefix ~prefix:"lib/parallel/" p
+        || has_prefix ~prefix:"lib/dict/" p
+        || has_prefix ~prefix:"lib/cellprobe/" p
+        || List.mem p obs_hot);
+    shared_scope =
+      (fun p -> has_prefix ~prefix:"lib/parallel/" p || has_prefix ~prefix:"lib/obs/" p);
+    hot_functions =
+      (fun p -> match List.assoc_opt p default_manifest with Some fns -> fns | None -> []);
+  }

@@ -1,0 +1,337 @@
+(* The lint report: findings annotated with their suppression status,
+   parse errors, baseline accounting, and the schema-versioned JSON
+   encoding ("lowcon-lint" v1) that `lowcon validate` checks.
+
+   Exit-code contract (shared with the CLI and documented in
+   `lowcon --help`): 0 = clean or fully suppressed, 1 = active
+   findings, 2 = usage or parse error. Parse errors dominate findings:
+   a tree the linter cannot read is not a tree it can vouch for. *)
+
+module Json = Lc_obs.Json
+
+let schema_name = "lowcon-lint"
+let schema_version = 1
+
+type suppression = {
+  justification : string;
+  expires : string option;  (* YYYY-MM-DD *)
+  entry_line : int;  (* line in the baseline file *)
+}
+
+type annotated = { finding : Finding.t; suppressed : suppression option }
+
+type parse_error = { pe_file : string; pe_line : int; pe_col : int; pe_message : string }
+
+type baseline_summary = {
+  baseline_path : string;
+  entries : int;
+  used : int;
+  unused : (string * int) list;  (* entry text, baseline line *)
+  expired : (string * int) list;
+}
+
+type t = {
+  root : string;
+  files_scanned : int;
+  rules : Rule.t list;
+  results : annotated list;
+  parse_errors : parse_error list;
+  baseline : baseline_summary option;
+}
+
+let active r = List.filter (fun a -> a.suppressed = None) r.results
+let suppressed r = List.filter (fun a -> a.suppressed <> None) r.results
+
+let exit_code r =
+  if r.parse_errors <> [] then 2 else if active r <> [] then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let annotated_to_json a =
+  let f = a.finding in
+  let base =
+    [
+      ("rule", Json.String (Rule.id f.Finding.rule));
+      ("file", Json.String f.Finding.file);
+      ("line", Json.Int f.Finding.line);
+      ("col", Json.Int f.Finding.col);
+      ("context", Json.String f.Finding.context);
+      ("message", Json.String f.Finding.message);
+    ]
+  in
+  let supp =
+    match a.suppressed with
+    | None -> [ ("suppressed", Json.Bool false) ]
+    | Some s ->
+      [
+        ("suppressed", Json.Bool true);
+        ( "suppression",
+          Json.Obj
+            ([
+               ("justification", Json.String s.justification);
+               ("entry_line", Json.Int s.entry_line);
+             ]
+            @
+            match s.expires with
+            | None -> []
+            | Some d -> [ ("expires", Json.String d) ]) );
+      ]
+  in
+  Json.Obj (base @ supp)
+
+let to_json r =
+  let rule_to_json rule =
+    Json.Obj
+      [
+        ("id", Json.String (Rule.id rule));
+        ("title", Json.String (Rule.title rule));
+        ("intent", Json.String (Rule.intent rule));
+      ]
+  in
+  let pe_to_json pe =
+    Json.Obj
+      [
+        ("file", Json.String pe.pe_file);
+        ("line", Json.Int pe.pe_line);
+        ("col", Json.Int pe.pe_col);
+        ("message", Json.String pe.pe_message);
+      ]
+  in
+  let unused_to_json (text, line) =
+    Json.Obj [ ("entry", Json.String text); ("line", Json.Int line) ]
+  in
+  Json.Obj
+    ([
+       ("schema", Json.String schema_name);
+       ("version", Json.Int schema_version);
+       ("root", Json.String r.root);
+       ("files_scanned", Json.Int r.files_scanned);
+       ("rules", Json.List (List.map rule_to_json r.rules));
+       ("findings", Json.List (List.map annotated_to_json r.results));
+       ("parse_errors", Json.List (List.map pe_to_json r.parse_errors));
+       ( "summary",
+         Json.Obj
+           [
+             ("active", Json.Int (List.length (active r)));
+             ("suppressed", Json.Int (List.length (suppressed r)));
+             ("parse_errors", Json.Int (List.length r.parse_errors));
+             ("exit_code", Json.Int (exit_code r));
+           ] );
+     ]
+    @
+    match r.baseline with
+    | None -> []
+    | Some b ->
+      [
+        ( "baseline",
+          Json.Obj
+            [
+              ("path", Json.String b.baseline_path);
+              ("entries", Json.Int b.entries);
+              ("used", Json.Int b.used);
+              ("unused", Json.List (List.map unused_to_json b.unused));
+              ("expired", Json.List (List.map unused_to_json b.expired));
+            ] );
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* JSON decoding (validate round-trips through this)                   *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Option.bind
+
+let str_m k j = Option.bind (Json.member k j) Json.string_value
+let int_m k j = Option.bind (Json.member k j) Json.int_value
+let bool_m k j = Option.bind (Json.member k j) Json.bool_value
+
+let annotated_of_json j =
+  let* rule_s = str_m "rule" j in
+  let* rule = Rule.of_id rule_s in
+  let* file = str_m "file" j in
+  let* line = int_m "line" j in
+  let* col = int_m "col" j in
+  let* context = str_m "context" j in
+  let* message = str_m "message" j in
+  let* supp_flag = bool_m "suppressed" j in
+  let* suppressed =
+    if not supp_flag then Some None
+    else
+      let* s = Json.member "suppression" j in
+      let* justification = str_m "justification" s in
+      let* entry_line = int_m "entry_line" s in
+      Some (Some { justification; expires = str_m "expires" s; entry_line })
+  in
+  Some { finding = { Finding.rule; file; line; col; context; message }; suppressed }
+
+let pe_of_json j =
+  let* pe_file = str_m "file" j in
+  let* pe_line = int_m "line" j in
+  let* pe_col = int_m "col" j in
+  let* pe_message = str_m "message" j in
+  Some { pe_file; pe_line; pe_col; pe_message }
+
+let entry_line_of_json j =
+  let* text = str_m "entry" j in
+  let* line = int_m "line" j in
+  Some (text, line)
+
+let baseline_of_json j =
+  let* baseline_path = str_m "path" j in
+  let* entries = int_m "entries" j in
+  let* used = int_m "used" j in
+  let* unused_j = Json.member "unused" j in
+  let* expired_j = Json.member "expired" j in
+  let all_some xs = if List.exists Option.is_none xs then None else Some (List.map Option.get xs) in
+  let* unused = all_some (List.map entry_line_of_json (Json.to_list unused_j)) in
+  let* expired = all_some (List.map entry_line_of_json (Json.to_list expired_j)) in
+  Some { baseline_path; entries; used; unused; expired }
+
+let of_json j =
+  let fail msg = Error msg in
+  match str_m "schema" j with
+  | Some s when s <> schema_name -> fail (Printf.sprintf "schema is %S, want %S" s schema_name)
+  | None -> fail "missing \"schema\" member"
+  | Some _ -> (
+    match int_m "version" j with
+    | Some v when v <> schema_version ->
+      fail (Printf.sprintf "version %d unsupported (reader knows %d)" v schema_version)
+    | None -> fail "missing \"version\" member"
+    | Some _ -> (
+      let req name = function
+        | Some v -> Ok v
+        | None -> fail (Printf.sprintf "missing or ill-typed %S" name)
+      in
+      let ( >>= ) r f = Result.bind r f in
+      req "root" (str_m "root" j) >>= fun root ->
+      req "files_scanned" (int_m "files_scanned" j) >>= fun files_scanned ->
+      req "rules" (Json.member "rules" j) >>= fun rules_j ->
+      let rules =
+        List.filter_map (fun rj -> Option.bind (str_m "id" rj) Rule.of_id)
+          (Json.to_list rules_j)
+      in
+      if List.length rules <> List.length (Json.to_list rules_j) then
+        fail "rules list contains an unknown rule id"
+      else
+        req "findings" (Json.member "findings" j) >>= fun findings_j ->
+        let results = List.map annotated_of_json (Json.to_list findings_j) in
+        if List.exists Option.is_none results then fail "malformed finding entry"
+        else
+          let results = List.map Option.get results in
+          req "parse_errors" (Json.member "parse_errors" j) >>= fun pes_j ->
+          let pes = List.map pe_of_json (Json.to_list pes_j) in
+          if List.exists Option.is_none pes then fail "malformed parse_errors entry"
+          else
+            let parse_errors = List.map Option.get pes in
+            req "summary" (Json.member "summary" j) >>= fun summary ->
+            req "summary.active" (int_m "active" summary) >>= fun s_active ->
+            req "summary.exit_code" (int_m "exit_code" summary) >>= fun s_exit ->
+            let baseline =
+              match Json.member "baseline" j with
+              | None -> Ok None
+              | Some bj -> (
+                match baseline_of_json bj with
+                | Some b -> Ok (Some b)
+                | None -> fail "malformed baseline summary")
+            in
+            baseline >>= fun baseline ->
+            let r = { root; files_scanned; rules; results; parse_errors; baseline } in
+            if List.length (active r) <> s_active then
+              fail
+                (Printf.sprintf "summary.active is %d but findings list %d unsuppressed"
+                   s_active
+                   (List.length (active r)))
+            else if exit_code r <> s_exit then
+              fail
+                (Printf.sprintf "summary.exit_code is %d but findings imply %d" s_exit
+                   (exit_code r))
+            else Ok r))
+
+(* ------------------------------------------------------------------ *)
+(* Renderings                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let render_text ?(show_suppressed = false) r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun pe ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: parse error: %s\n" pe.pe_file pe.pe_line pe.pe_col
+           pe.pe_message))
+    r.parse_errors;
+  List.iter
+    (fun a -> Buffer.add_string buf (Finding.to_string a.finding ^ "\n"))
+    (active r);
+  if show_suppressed then
+    List.iter
+      (fun a ->
+        match a.suppressed with
+        | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s  [suppressed: %s]\n" (Finding.to_string a.finding)
+               s.justification)
+        | None -> ())
+      r.results;
+  (match r.baseline with
+  | Some b ->
+    List.iter
+      (fun (text, line) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s:%d: warning: unused baseline entry: %s\n" b.baseline_path line
+             text))
+      b.unused;
+    List.iter
+      (fun (text, line) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s:%d: note: expired baseline entry (finding resurfaces): %s\n"
+             b.baseline_path line text))
+      b.expired
+  | None -> ());
+  let n_active = List.length (active r) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d file(s) scanned, %d active finding(s), %d suppressed, %d parse error(s)\n"
+       r.files_scanned n_active
+       (List.length (suppressed r))
+       (List.length r.parse_errors));
+  Buffer.contents buf
+
+(* GitHub job-summary flavour: a table of active findings. *)
+let render_markdown r =
+  let buf = Buffer.create 1024 in
+  let n_active = List.length (active r) in
+  Buffer.add_string buf
+    (Printf.sprintf "## lc_lint: %d active finding(s), %d suppressed, %d file(s) scanned\n\n"
+       n_active
+       (List.length (suppressed r))
+       r.files_scanned);
+  if r.parse_errors <> [] then begin
+    Buffer.add_string buf "### Parse errors\n\n";
+    List.iter
+      (fun pe ->
+        Buffer.add_string buf
+          (Printf.sprintf "- `%s:%d:%d` %s\n" pe.pe_file pe.pe_line pe.pe_col pe.pe_message))
+      r.parse_errors;
+    Buffer.add_char buf '\n'
+  end;
+  if n_active > 0 then begin
+    Buffer.add_string buf "| Rule | Location | Context | Message |\n";
+    Buffer.add_string buf "|------|----------|---------|--------|\n";
+    List.iter
+      (fun a ->
+        let f = a.finding in
+        Buffer.add_string buf
+          (Printf.sprintf "| %s | `%s:%d:%d` | `%s` | %s |\n" (Rule.id f.Finding.rule)
+             f.Finding.file f.Finding.line f.Finding.col f.Finding.context f.Finding.message))
+      (active r)
+  end
+  else if r.parse_errors = [] then Buffer.add_string buf "No unsuppressed findings. :white_check_mark:\n";
+  (match r.baseline with
+  | Some b when b.unused <> [] ->
+    Buffer.add_string buf "\n### Unused baseline entries\n\n";
+    List.iter
+      (fun (text, line) ->
+        Buffer.add_string buf (Printf.sprintf "- line %d: `%s`\n" line text))
+      b.unused
+  | _ -> ());
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(* Rule identities for lc_lint. IDs are stable: a rule, once shipped,
+   keeps its ID forever; a retired rule leaves a hole in the numbering
+   rather than renumbering its successors, so baseline entries and CI
+   history never change meaning. *)
+
+type t = LC001 | LC002 | LC003 | LC004 | LC005
+
+let all = [ LC001; LC002; LC003; LC004; LC005 ]
+
+let id = function
+  | LC001 -> "LC001"
+  | LC002 -> "LC002"
+  | LC003 -> "LC003"
+  | LC004 -> "LC004"
+  | LC005 -> "LC005"
+
+let title = function
+  | LC001 -> "non-atomic read-modify-write"
+  | LC002 -> "blocking primitive in a hot-path module"
+  | LC003 -> "shared mutable state outside Atomic"
+  | LC004 -> "allocation-prone construct on a manifest hot path"
+  | LC005 -> "unsafe Obj coercion"
+
+(* One-line statement of what the rule protects, used by the JSON
+   report and the DESIGN.md rule table. *)
+let intent = function
+  | LC001 ->
+    "an Atomic.get and Atomic.set on the same atomic in one definition lose updates under \
+     concurrency; use fetch_and_add/compare_and_set/incr, or prove a single writer"
+  | LC002 ->
+    "Mutex/Condition/Semaphore and Unix.sleep* must not appear in modules on the probe/publish \
+     path; blocking there serialises exactly the contention the engine exists to avoid"
+  | LC003 ->
+    "plain mutable state (mutable fields, array/bytes stores, field-held refs) reachable from \
+     multi-domain code is a data race unless it is Atomic or carries a documented \
+     single-writer/seqlock argument"
+  | LC004 ->
+    "closures, List combinators and Printf/Format inside manifest hot functions allocate or \
+     format on the per-probe path; hot loops must be allocation-free"
+  | LC005 ->
+    "Obj.magic/Obj.repr defeat the type system and the memory model; never acceptable in this \
+     codebase"
+
+let of_id s =
+  match String.uppercase_ascii (String.trim s) with
+  | "LC001" -> Some LC001
+  | "LC002" -> Some LC002
+  | "LC003" -> Some LC003
+  | "LC004" -> Some LC004
+  | "LC005" -> Some LC005
+  | _ -> None
+
+(* "LC001,LC004" -> [LC001; LC004]; duplicates collapse, order is the
+   canonical rule order. *)
+let parse_list s =
+  let parts =
+    List.filter (fun p -> String.trim p <> "") (String.split_on_char ',' s)
+  in
+  if parts = [] then Error "empty rule list"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.filter (fun r -> List.mem r acc) all)
+      | p :: rest -> (
+        match of_id p with
+        | Some r -> go (r :: acc) rest
+        | None -> Error (Printf.sprintf "unknown rule %S (want LC001..LC005)" (String.trim p)))
+    in
+    go [] parts

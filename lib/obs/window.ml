@@ -129,21 +129,19 @@ let read_all t =
 
 (* Callers of [live_*] and [tick] race on the scratch buffers, so the
    whole read-merge sequence runs under [lock]. *)
-let live_snapshot t =
+let with_lock t f =
   Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
-      read_all t;
-      Metrics.snapshot_frozen t.metrics (Array.to_list t.scratch_metrics))
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let live_snapshot t =
+  with_lock t @@ fun () ->
+  read_all t;
+  Metrics.snapshot_frozen t.metrics (Array.to_list t.scratch_metrics)
 
 let live_cells t =
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
-      read_all t;
-      Heavy.merge (Array.to_list t.scratch_sketches) ~k:t.config.top_k)
+  with_lock t @@ fun () ->
+  read_all t;
+  Heavy.merge (Array.to_list t.scratch_sketches) ~k:t.config.top_k
 
 (* Windowed histogram: subtract the previous cumulative bucket counts
    from the current ones. [max_value] of the delta is not recoverable
@@ -178,10 +176,7 @@ let push t e =
   t.next_index <- t.next_index + 1
 
 let tick t =
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
+  with_lock t (fun () ->
       read_all t;
       let snap = Metrics.snapshot_frozen t.metrics (Array.to_list t.scratch_metrics) in
       let cells = Heavy.merge (Array.to_list t.scratch_sketches) ~k:t.config.top_k in
@@ -255,10 +250,6 @@ let tick t =
       t.prev_latency <- lat_cum;
       t.prev_t <- now;
       e)
-
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let entries t =
   with_lock t @@ fun () ->

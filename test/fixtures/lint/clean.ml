@@ -1,0 +1,9 @@
+(* No findings, even when linted under a hot, shared-scope logical path
+   (lib/parallel/clean.ml): pure code with local recursion, no atomics,
+   no locks, no mutable state, no banned combinators. *)
+
+let add a b = a + b
+
+let total xs =
+  let rec go acc = function [] -> acc | x :: rest -> go (acc + x) rest in
+  go 0 xs

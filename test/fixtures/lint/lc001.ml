@@ -1,0 +1,6 @@
+(* Planted LC001: a read-modify-write spelled as get + set. Linted under
+   the logical path lib/misc/fake.ml (no scoped rule applies there). *)
+
+let bump counter =
+  let v = Atomic.get counter in
+  Atomic.set counter (v + 1)

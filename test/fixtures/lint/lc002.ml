@@ -1,0 +1,4 @@
+(* Planted LC002: a blocking primitive, linted under the logical path
+   lib/parallel/fake.ml (a hot-path module). *)
+
+let acquire m = Mutex.lock m

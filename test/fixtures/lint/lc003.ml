@@ -1,0 +1,7 @@
+(* Planted LC003: a mutable record field and a plain store to it, linted
+   under the logical path lib/obs/fake.ml (shared multi-domain scope).
+   Two findings, both LC003: the type declaration and the setfield. *)
+
+type t = { mutable count : int }
+
+let bump t = t.count <- t.count + 1

@@ -1,0 +1,4 @@
+(* Planted LC004: a List combinator inside a function the test's
+   manifest declares hot (probe_loop at logical path lib/misc/hot.ml). *)
+
+let probe_loop items f = List.iter f items

@@ -1,0 +1,4 @@
+(* Planted LC005: an Obj coercion; the rule is unscoped, any path
+   triggers it. *)
+
+let coerce (x : int) : bool = Obj.magic x

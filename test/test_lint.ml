@@ -1,0 +1,319 @@
+(* Tier-1 tests for lc_lint: each planted fixture triggers exactly its
+   rule, the clean fixture triggers nothing, baselines suppress / expire
+   / report unused entries, the lowcon-lint JSON report round-trips
+   through its own decoder, and exit codes follow the 0/1/2 contract. *)
+
+module Rule = Lc_lint.Rule
+module Finding = Lc_lint.Finding
+module Baseline = Lc_lint.Baseline
+module Hotpath = Lc_lint.Hotpath
+module Driver = Lc_lint.Driver
+module Report = Lc_lint.Report
+module Json = Lc_obs.Json
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let read_fixture name =
+  let ic = open_in_bin (Filename.concat "fixtures/lint" name) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_fixture ?hot ~path name =
+  match Driver.lint_source ?hot ~path (read_fixture name) with
+  | Ok findings -> findings
+  | Error pe -> Alcotest.failf "fixture %s failed to parse: %s" name pe.Report.pe_message
+
+let rule_ids findings =
+  List.map (fun f -> Rule.id f.Finding.rule) findings
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: one rule each                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixture_lc001 () =
+  let fs = lint_fixture ~path:"lib/misc/fake.ml" "lc001.ml" in
+  Alcotest.(check (list string)) "exactly one LC001" [ "LC001" ] (rule_ids fs);
+  checks "context is the binding" "bump" (List.hd fs).Finding.context
+
+let test_fixture_lc002 () =
+  let fs = lint_fixture ~path:"lib/parallel/fake.ml" "lc002.ml" in
+  Alcotest.(check (list string)) "exactly one LC002" [ "LC002" ] (rule_ids fs);
+  (* The same file under a cold path is silent: the rule is scoped. *)
+  checki "cold path silent" 0
+    (List.length (lint_fixture ~path:"lib/analysis/fake.ml" "lc002.ml"))
+
+let test_fixture_lc003 () =
+  let fs = lint_fixture ~path:"lib/obs/fake.ml" "lc003.ml" in
+  Alcotest.(check (list string))
+    "type decl + setfield, both LC003" [ "LC003"; "LC003" ] (rule_ids fs);
+  checki "cold scope silent" 0
+    (List.length (lint_fixture ~path:"lib/dict/fake.ml" "lc003.ml"))
+
+let test_fixture_lc004 () =
+  let hot =
+    {
+      Hotpath.default with
+      Hotpath.hot_functions =
+        (fun p -> if p = "lib/misc/hot.ml" then [ "probe_loop" ] else []);
+    }
+  in
+  let fs = lint_fixture ~hot ~path:"lib/misc/hot.ml" "lc004.ml" in
+  Alcotest.(check (list string)) "exactly one LC004" [ "LC004" ] (rule_ids fs);
+  checki "off-manifest silent" 0
+    (List.length (lint_fixture ~hot ~path:"lib/misc/cold.ml" "lc004.ml"))
+
+let test_fixture_lc005 () =
+  let fs = lint_fixture ~path:"lib/misc/unsafe.ml" "lc005.ml" in
+  Alcotest.(check (list string)) "exactly one LC005" [ "LC005" ] (rule_ids fs)
+
+let test_fixture_clean () =
+  checki "clean fixture, hot shared path" 0
+    (List.length (lint_fixture ~path:"lib/parallel/clean.ml" "clean.ml"))
+
+let test_rules_filter () =
+  (* lc003.ml under shared scope fires LC003 only when LC003 is run. *)
+  let content = read_fixture "lc003.ml" in
+  let lint rules =
+    match Driver.lint_source ~rules ~path:"lib/obs/fake.ml" content with
+    | Ok fs -> List.length fs
+    | Error _ -> Alcotest.fail "parse failed"
+  in
+  checki "LC003 subset fires" 2 (lint [ Rule.LC003 ]);
+  checki "disjoint subset silent" 0 (lint [ Rule.LC001; Rule.LC005 ])
+
+let test_parse_failure () =
+  match Driver.lint_source ~path:"lib/misc/broken.ml" "let = (" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error pe -> checks "error carries the logical path" "lib/misc/broken.ml" pe.Report.pe_file
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let jan1 = { Baseline.y = 2026; m = 1; d = 1 }
+
+let baseline_of lines =
+  match Baseline.parse ~path:"test-baseline" (String.concat "\n" lines) with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "baseline parse failed: %s" e
+
+let fake_finding =
+  {
+    Finding.rule = Rule.LC001;
+    file = "lib/misc/fake.ml";
+    line = 5;
+    col = 2;
+    context = "bump";
+    message = "planted";
+  }
+
+let test_baseline_suppresses () =
+  let b =
+    baseline_of
+      [ "# comment"; ""; "LC001 lib/misc/fake.ml bump -- one-way flag, single writer" ]
+  in
+  let results, summary =
+    Driver.apply_baseline ~baseline:b ~rules:Rule.all ~today:jan1 [ fake_finding ]
+  in
+  checkb "suppressed" true ((List.hd results).Report.suppressed <> None);
+  let s = Option.get summary in
+  checki "used" 1 s.Report.used;
+  checki "unused" 0 (List.length s.Report.unused);
+  (* Line numbers in the finding don't matter: same entry suppresses the
+     finding after it drifts. *)
+  let drifted = { fake_finding with Finding.line = 500 } in
+  let results, _ =
+    Driver.apply_baseline ~baseline:b ~rules:Rule.all ~today:jan1 [ drifted ]
+  in
+  checkb "line drift still suppressed" true ((List.hd results).Report.suppressed <> None)
+
+let test_baseline_expiry () =
+  let b =
+    baseline_of [ "LC001 lib/misc/fake.ml bump expires=2025-12-31 -- temporary" ]
+  in
+  let results, summary =
+    Driver.apply_baseline ~baseline:b ~rules:Rule.all ~today:jan1 [ fake_finding ]
+  in
+  checkb "expired entry no longer suppresses" true
+    ((List.hd results).Report.suppressed = None);
+  checki "reported as expired" 1 (List.length (Option.get summary).Report.expired);
+  (* Same entry before its expiry date still works. *)
+  let earlier = { Baseline.y = 2025; m = 6; d = 1 } in
+  let results, _ =
+    Driver.apply_baseline ~baseline:b ~rules:Rule.all ~today:earlier [ fake_finding ]
+  in
+  checkb "pre-expiry suppresses" true ((List.hd results).Report.suppressed <> None)
+
+let test_baseline_unused_and_scope () =
+  let b =
+    baseline_of
+      [
+        "LC001 lib/misc/fake.ml bump -- matches";
+        "LC005 lib/misc/other.ml gone -- stale entry";
+      ]
+  in
+  let _, summary =
+    Driver.apply_baseline ~baseline:b ~rules:Rule.all ~today:jan1 [ fake_finding ]
+  in
+  checki "stale entry reported unused" 1 (List.length (Option.get summary).Report.unused);
+  (* Under --rules LC001 the LC005 entry had no chance to match: exempt. *)
+  let _, summary =
+    Driver.apply_baseline ~baseline:b ~rules:[ Rule.LC001 ] ~today:jan1 [ fake_finding ]
+  in
+  checki "out-of-run entries not unused" 0 (List.length (Option.get summary).Report.unused)
+
+let test_baseline_rejects_garbage () =
+  let bad lines =
+    match Baseline.parse ~path:"b" (String.concat "\n" lines) with
+    | Ok _ -> Alcotest.failf "expected parse failure for %s" (String.concat "|" lines)
+    | Error _ -> ()
+  in
+  bad [ "LC001 lib/a.ml ctx" ] (* no justification *);
+  bad [ "LC001 lib/a.ml ctx --  " ] (* empty justification *);
+  bad [ "LC999 lib/a.ml ctx -- nope" ] (* unknown rule *);
+  bad [ "LC001 lib/a.ml ctx expires=garbage -- x" ] (* bad date *)
+
+(* ------------------------------------------------------------------ *)
+(* Report JSON round-trip                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_report () =
+  let b =
+    baseline_of
+      [
+        "LC001 lib/misc/fake.ml bump expires=2027-06-30 -- single writer";
+        "LC005 lib/misc/other.ml gone -- stale";
+      ]
+  in
+  let findings =
+    [
+      fake_finding;
+      {
+        Finding.rule = Rule.LC005;
+        file = "lib/misc/unsafe.ml";
+        line = 4;
+        col = 30;
+        context = "coerce";
+        message = "Obj.magic defeats the type system";
+      };
+    ]
+  in
+  let results, baseline =
+    Driver.apply_baseline ~baseline:b ~rules:Rule.all ~today:jan1 findings
+  in
+  {
+    Report.root = ".";
+    files_scanned = 2;
+    rules = Rule.all;
+    results;
+    parse_errors = [];
+    baseline;
+  }
+
+let test_report_roundtrip () =
+  let r = sample_report () in
+  let encoded = Json.to_string (Report.to_json r) in
+  match Json.parse encoded with
+  | Error e -> Alcotest.failf "report JSON does not parse: %s" e
+  | Ok doc -> (
+    match Report.of_json doc with
+    | Error e -> Alcotest.failf "report JSON does not decode: %s" e
+    | Ok r' ->
+      checks "re-encoding is byte-identical" encoded (Json.to_string (Report.to_json r'));
+      checki "one active survives" 1 (List.length (Report.active r'));
+      checki "one suppressed survives" 1
+        (List.length r'.Report.results - List.length (Report.active r')))
+
+let test_report_rejects_lies () =
+  let r = sample_report () in
+  let doc =
+    match Json.parse (Json.to_string (Report.to_json r)) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let tamper key value = function
+    | Json.Obj kvs ->
+      Json.Obj (List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) kvs)
+    | j -> j
+  in
+  (* A summary whose counts disagree with the findings list is invalid. *)
+  let lied =
+    tamper "summary"
+      (Json.Obj
+         [
+           ("active", Json.Int 0);
+           ("suppressed", Json.Int 0);
+           ("parse_errors", Json.Int 0);
+           ("exit_code", Json.Int 0);
+         ])
+      doc
+  in
+  checkb "inconsistent summary rejected" true (Result.is_error (Report.of_json lied));
+  let wrong_schema = tamper "schema" (Json.String "bench") doc in
+  checkb "wrong schema rejected" true (Result.is_error (Report.of_json wrong_schema));
+  let wrong_version = tamper "version" (Json.Int 99) doc in
+  checkb "unknown version rejected" true (Result.is_error (Report.of_json wrong_version))
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes and rule parsing                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_exit_codes () =
+  let base = sample_report () in
+  checki "active findings exit 1" 1 (Report.exit_code base);
+  let all_clean =
+    { base with Report.results = List.filter (fun a -> a.Report.suppressed <> None) base.results }
+  in
+  checki "fully suppressed exit 0" 0 (Report.exit_code all_clean);
+  let broken =
+    {
+      base with
+      Report.parse_errors =
+        [ { Report.pe_file = "lib/x.ml"; pe_line = 1; pe_col = 0; pe_message = "boom" } ];
+    }
+  in
+  checki "parse errors dominate: exit 2" 2 (Report.exit_code broken)
+
+let test_rule_parse_list () =
+  (match Rule.parse_list "LC005,LC001" with
+  | Ok rs ->
+    Alcotest.(check (list string)) "canonical order, both present" [ "LC001"; "LC005" ]
+      (List.map Rule.id rs)
+  | Error e -> Alcotest.failf "parse_list failed: %s" e);
+  checkb "unknown rule rejected" true (Result.is_error (Rule.parse_list "LC001,LC999"));
+  checkb "empty list rejected" true (Result.is_error (Rule.parse_list " , "))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "lc001" `Quick test_fixture_lc001;
+          Alcotest.test_case "lc002" `Quick test_fixture_lc002;
+          Alcotest.test_case "lc003" `Quick test_fixture_lc003;
+          Alcotest.test_case "lc004" `Quick test_fixture_lc004;
+          Alcotest.test_case "lc005" `Quick test_fixture_lc005;
+          Alcotest.test_case "clean" `Quick test_fixture_clean;
+          Alcotest.test_case "rules filter" `Quick test_rules_filter;
+          Alcotest.test_case "parse failure" `Quick test_parse_failure;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "suppresses by context" `Quick test_baseline_suppresses;
+          Alcotest.test_case "expiry" `Quick test_baseline_expiry;
+          Alcotest.test_case "unused accounting" `Quick test_baseline_unused_and_scope;
+          Alcotest.test_case "rejects garbage" `Quick test_baseline_rejects_garbage;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "rejects inconsistent documents" `Quick test_report_rejects_lies;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "rule list parsing" `Quick test_rule_parse_list;
+        ] );
+    ]
