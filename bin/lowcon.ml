@@ -37,7 +37,10 @@ let dist_arg =
   let doc =
     "Query distribution: 'pos' (uniform positive), 'neg' (uniform negative sample), \
      'mix:P' (positive with probability P), 'zipf:S' (Zipf skew S over the keys), \
-     'point' (a single hot key)."
+     'point' (a single hot key). For $(b,lowcon monitor) only, 'rw:F' selects a mixed \
+     read-write op stream (read fraction F, updates split evenly between inserts and \
+     deletes) served by the epoch-published dynamic dictionary — pair it with \
+     --structure lc-dyn."
   in
   Arg.(value & opt string "pos" & info [ "dist" ] ~docv:"DIST" ~doc)
 
@@ -172,14 +175,19 @@ let cost_arg =
   let doc = "Probe cost model: 'free' or 'spin:H' (per-cell spinlock held H extra relax loops)." in
   Arg.(value & opt string "free" & info [ "cost" ] ~docv:"COST" ~doc)
 
-let parse_cost spec =
-  match String.split_on_char ':' spec with
-  | [ "free" ] -> Lc_parallel.Engine.Free
-  | [ "spin"; h ] -> (
-    match int_of_string_opt h with
-    | Some hold when hold >= 0 -> Lc_parallel.Engine.Spinlock { hold }
-    | _ -> failwith (Printf.sprintf "bad spin hold in %S" spec))
-  | _ -> failwith (Printf.sprintf "unknown cost model %S (want 'free' or 'spin:H')" spec)
+(* Cost-model names, like structure and workload names, are interpreted
+   in exactly one place: Lc_perf.Select. *)
+let parse_cost spec = Lc_perf.Select.cost spec
+
+let structure_arg =
+  let doc =
+    "Structure to serve: 'lc' (the low-contention dictionary), 'fks-norepl' (unreplicated FKS \
+     — the deliberately hot one), 'fks', 'dm', 'cuckoo', 'binary', or 'lc-dyn' (the \
+     epoch-published dynamic dictionary; pair it with --dist rw:F)."
+  in
+  Arg.(value & opt string "lc" & info [ "structure" ] ~docv:"S" ~doc)
+
+let build_structure ?obs rng ~universe ~keys s = Lc_perf.Select.structure ?obs rng ~universe ~keys s
 
 let out_arg =
   Arg.(
@@ -191,19 +199,21 @@ let out_arg =
            chrome://tracing), $(docv).prom (Prometheus text exposition), and \
            $(docv).metrics.json.")
 
-let profile seed n universe_opt dist domains queries cost_spec out =
+let profile seed n universe_opt dist structure domains queries cost_spec out =
   with_errors @@ fun () ->
   let cost = parse_cost cost_spec in
   let rng = Rng.create seed in
   let universe = resolve_universe n universe_opt in
   let keys = Keyset.random rng ~universe ~n in
   let obs = Lc_obs.Obs.create () in
-  let dict = Lc_core.Dictionary.build ~obs rng ~universe ~keys in
-  let inst = Lc_core.Dictionary.instance dict in
+  let inst = build_structure ~obs rng ~universe ~keys structure in
   let qd = parse_dist rng ~universe ~keys dist in
-  let r =
-    Lc_parallel.Engine.serve ~cost ~obs ~domains ~queries_per_domain:queries ~seed inst qd
+  let cfg = Lc_parallel.Engine.Config.make ~cost ~obs ~domains ~seed () in
+  let o =
+    Lc_parallel.Engine.run cfg
+      (Lc_parallel.Engine.Static { inst; qdist = qd; queries_per_domain = queries })
   in
+  let r = o.Lc_parallel.Engine.result in
   let snap = Lc_obs.Obs.snapshot obs in
   Printf.printf "Served %d queries on %d domains in %.4f s (%.0f q/s).\n" r.queries r.domains
     r.seconds r.throughput;
@@ -242,26 +252,18 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:
-         "Build with build-stage spans, serve a workload with per-domain telemetry, and dump \
-          metrics (Prometheus + JSON) and a Chrome trace side by side.")
+         "Build any named structure (with build-stage spans where the builder supports them), \
+          serve a workload with per-domain telemetry, and dump metrics (Prometheus + JSON) and \
+          a Chrome trace side by side.")
     Term.(
       ret
-        (const profile $ seed_arg $ n_arg $ universe_arg $ dist_arg $ domains_arg $ queries_arg
-       $ cost_arg $ out_arg))
+        (const profile $ seed_arg $ n_arg $ universe_arg $ dist_arg $ structure_arg
+       $ domains_arg $ queries_arg $ cost_arg $ out_arg))
 
 (* ------------------------------------------------------------------ *)
 
 module Engine = Lc_parallel.Engine
 module Window = Lc_obs.Window
-
-let structure_arg =
-  let doc =
-    "Structure to serve: 'lc' (the low-contention dictionary), 'fks-norepl' (unreplicated FKS \
-     — the deliberately hot one), 'fks', 'dm', 'cuckoo', or 'binary'."
-  in
-  Arg.(value & opt string "lc" & info [ "structure" ] ~docv:"S" ~doc)
-
-let build_structure rng ~universe ~keys s = Lc_perf.Select.structure rng ~universe ~keys s
 
 let window_arg =
   Arg.(
@@ -357,6 +359,23 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
     top_k alert_factor no_dashboard linger dump_on_alert journal_capacity =
   with_errors @@ fun () ->
   let cost = parse_cost cost_spec in
+  let rw = Lc_perf.Select.rw_fraction dist in
+  (match (rw, structure) with
+  | Some _, s when s <> Lc_perf.Select.dynamic_name ->
+    failwith
+      (Printf.sprintf "--dist %s is a read-write op stream; pair it with --structure %s" dist
+         Lc_perf.Select.dynamic_name)
+  | None, s when s = Lc_perf.Select.dynamic_name ->
+    failwith
+      (Printf.sprintf "--structure %s serves read-write op streams; pair it with --dist rw:F"
+         Lc_perf.Select.dynamic_name)
+  | _ -> ());
+  (match (rw, cost) with
+  | Some _, Engine.Spinlock _ ->
+    failwith
+      "the epoch read path takes no per-cell locks; --cost spin:H only applies to static \
+       serving"
+  | _ -> ());
   let rng = Rng.create seed in
   let universe = resolve_universe n universe_opt in
   let keys = Keyset.random rng ~universe ~n in
@@ -371,9 +390,30 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
       journal
   in
   stage "build" `Begin;
-  let inst = build_structure rng ~universe ~keys structure in
+  let prepared =
+    match rw with
+    | None ->
+      let inst = build_structure rng ~universe ~keys structure in
+      let qd = parse_dist rng ~universe ~keys dist in
+      `Static (inst, qd)
+    | Some read_fraction ->
+      let epoch = Lc_dynamic.Epoch.create rng ~universe () in
+      Array.iter (fun k -> Lc_dynamic.Epoch.insert epoch k) keys;
+      Lc_dynamic.Epoch.publish epoch;
+      let ops =
+        Lc_workload.Opstream.generate
+          ~mix:(Lc_workload.Opstream.read_write_mix ~read_fraction)
+          ~initial_pool:keys rng ~universe ~length:(domains * queries)
+          ~working_set:(min universe (2 * n))
+      in
+      `Dynamic (epoch, ops)
+  in
   stage "build" `End;
-  let qd = parse_dist rng ~universe ~keys dist in
+  let display_name =
+    match prepared with
+    | `Static (inst, _) -> inst.Instance.name
+    | `Dynamic _ -> Lc_perf.Select.dynamic_name
+  in
   (* The dashboard hook needs the monitor (for the window ring) and the
      HTTP port, neither of which exists until after the hook does;
      thread both through refs set before the run starts. *)
@@ -388,8 +428,7 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
       match !mon_ref with
       | None -> ()
       | Some mon ->
-        render_dashboard ~name:inst.Instance.name ~domains ~port:!bound_port ~alert_factor
-          mon e
+        render_dashboard ~name:display_name ~domains ~port:!bound_port ~alert_factor mon e
   in
   let dumped = ref [] in
   let on_alert =
@@ -415,8 +454,15 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
             dumped := path :: !dumped)
   in
   let mon =
-    Engine.Monitor.create ~interval_s:window_s ~top_k ~alert_factor ~on_window ?journal
-      ?on_alert ~domains inst
+    match prepared with
+    | `Static (inst, _) ->
+      Engine.Monitor.create ~interval_s:window_s ~top_k ~alert_factor ~on_window ?journal
+        ?on_alert ~domains inst
+    | `Dynamic (epoch, _) ->
+      let s0 = Lc_dynamic.Epoch.current epoch in
+      Engine.Monitor.create_for ~interval_s:window_s ~top_k ~alert_factor ~on_window ?journal
+        ?on_alert ~domains ~space:(Lc_dynamic.Epoch.space s0)
+        ~max_probes:(Lc_dynamic.Epoch.max_probes s0) ()
   in
   mon_ref := Some mon;
   let server =
@@ -430,9 +476,14 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
       (Lc_obs.Http.port s)
   | None -> ());
   let w =
-    Engine.serve_windowed ~cost ~monitor:mon ~domains ~queries_per_domain:queries ~seed inst qd
+    let cfg = Engine.Config.make ~cost ~monitor:mon ~domains ~seed () in
+    match prepared with
+    | `Static (inst, qd) ->
+      Engine.run cfg (Engine.Static { inst; qdist = qd; queries_per_domain = queries })
+    | `Dynamic (epoch, ops) ->
+      Engine.run cfg (Engine.Dynamic { epoch; ops; publish_every = 64 })
   in
-  let r = w.result in
+  let r = w.Engine.result in
   if not no_dashboard then print_newline ();
   Printf.printf "\nServed %d queries on %d domains in %.4f s (%.0f q/s); %d windows.\n" r.queries
     r.domains r.seconds r.throughput (List.length w.windows);
@@ -461,6 +512,16 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
   else
     Printf.printf "Alert quiet: every window stayed within %.1fx of the flat bound.\n"
       alert_factor;
+  (match w.Engine.updates with
+  | None -> ()
+  | Some u ->
+    Printf.printf
+      "Updates: %d inserts + %d deletes applied off the read path; %d publications, %d levels \
+       reclaimed (%d pending), %d keys rebuilt, %d purges.\n"
+      u.Engine.inserts u.Engine.deletes u.Engine.publications u.Engine.reclaimed
+      u.Engine.retired_pending u.Engine.keys_rebuilt u.Engine.purges;
+    Printf.printf "Final snapshot: epoch %d, %d live keys; %d of %d queries hit.\n"
+      u.Engine.final_epoch u.Engine.final_live u.Engine.query_hits r.queries);
   List.iter
     (fun path ->
       Printf.printf "Postmortem dump: %s (inspect with 'lowcon postmortem %s').\n" path path)

@@ -1,0 +1,57 @@
+(** The uniform mutable-dictionary operations signature.
+
+    The static structures ({!Instance.t} over any {!Dict_intf.S} core)
+    and the dynamic logarithmic-method dictionary ([Lc_dynamic.Dynamic])
+    answer the same three requests — insert, delete, membership — but
+    until this signature existed every consumer (the op-stream player,
+    the CLI selectors, the perf suite) addressed them through ad-hoc
+    per-structure code. [S] is the common denominator: the three
+    operations plus cumulative probe accounting, so a consumer can play
+    a mixed workload against {e any} structure and still reconcile the
+    probes it caused.
+
+    Static structures implement the signature trivially: [insert] and
+    [delete] raise (their tables are immutable by construction), which
+    is the honest encoding — a caller that feeds updates to a static
+    structure has made a wiring error and should hear about it loudly.
+
+    The packing is a first-class module pair ({!handle}), so call sites
+    stay monomorphic and allocation-free on the query path. *)
+
+module type S = sig
+  type t
+
+  val name : t -> string
+  (** Human-readable structure name for tables and artifacts. *)
+
+  val insert : t -> int -> unit
+  (** Add a key. Static structures raise [Invalid_argument]. *)
+
+  val delete : t -> int -> unit
+  (** Remove a key. Static structures raise [Invalid_argument]. *)
+
+  val mem : t -> Lc_prim.Rng.t -> int -> bool
+  (** Membership; [rng] drives only probe balancing, never the answer.
+      Probes made through this entry point must be counted (visible via
+      {!probes}). *)
+
+  val size : t -> int
+  (** Live keys currently stored. *)
+
+  val probes : t -> int
+  (** Cumulative cell probes issued by {!mem} through this handle since
+      construction — the accounting that lets a mixed-workload driver
+      reconcile its telemetry against the structure's own counters. *)
+end
+
+type handle = Handle : (module S with type t = 'a) * 'a -> handle
+(** A structure packed with its operations — what {!Instance.ops_handle}
+    and [Lc_dynamic.Dynamic.ops_handle] return and what
+    [Lc_workload.Opstream.apply_handle] consumes. *)
+
+let name (Handle ((module M), t)) = M.name t
+let insert (Handle ((module M), t)) x = M.insert t x
+let delete (Handle ((module M), t)) x = M.delete t x
+let mem (Handle ((module M), t)) rng x = M.mem t rng x
+let size (Handle ((module M), t)) = M.size t
+let probes (Handle ((module M), t)) = M.probes t

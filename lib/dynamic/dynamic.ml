@@ -21,6 +21,7 @@ type t = {
   mutable stored : int;  (* keys across levels, tombstones included *)
   mutable keys_rebuilt : int;
   mutable purges : int;
+  mutable probe_count : int;  (* cumulative cell probes issued by [mem] *)
 }
 
 let is_power_of_two v = v > 0 && v land (v - 1) = 0
@@ -40,6 +41,7 @@ let create ?(small_level_boost = 1) rng ~universe () =
     stored = 0;
     keys_rebuilt = 0;
     purges = 0;
+    probe_count = 0;
   }
 
 let replica_count t index = max 1 (t.boost lsr index)
@@ -71,7 +73,15 @@ let mem t rng x =
         | None -> ()
         | Some l ->
           let d = l.replicas.(Rng.int rng (Array.length l.replicas)) in
-          if Dictionary.mem d rng x then hit := true
+          (* Same instrumented probes Dictionary.mem would make (feeding
+             the table's per-step counters), plus the dictionary-wide
+             cumulative tally behind [probes] / [ops_handle]. *)
+          let (module D : Lc_dict.Dict_intf.S) = Dictionary.core d in
+          let probe ~step j =
+            t.probe_count <- t.probe_count + 1;
+            Lc_cellprobe.Table.read D.table ~step j
+          in
+          if D.mem ~probe rng x then hit := true
     done;
     !hit
   end
@@ -156,6 +166,7 @@ let delete t x =
   end
 
 let size t = t.live
+let universe t = t.universe
 
 let space t =
   Array.fold_left
@@ -172,6 +183,39 @@ let level_sizes t =
 
 let keys_rebuilt t = t.keys_rebuilt
 let purges t = t.purges
+let probes t = t.probe_count
+
+type level_view = {
+  lv_index : int;
+  lv_keys : int array;
+  lv_replicas : Dictionary.t array;
+}
+
+let level_views t =
+  Array.to_list t.levels
+  |> List.filter_map
+       (Option.map (fun l ->
+            (* lv_replicas is the level's own replica array, NOT a copy:
+               its physical identity is stable for the level's whole
+               lifetime (rebuilds allocate a fresh level record), which
+               is exactly what Epoch keys its snapshot cache on. *)
+            { lv_index = l.index; lv_keys = Array.copy l.keys; lv_replicas = l.replicas }))
+
+let tombstone_keys t =
+  Hashtbl.fold (fun x () acc -> x :: acc) t.deleted [] |> List.sort compare
+
+module Ops = struct
+  type nonrec t = t
+
+  let name _ = "lc-dyn"
+  let insert = insert
+  let delete = delete
+  let mem = mem
+  let size t = t.live
+  let probes = probes
+end
+
+let ops_handle t = Lc_dict.Ops_intf.Handle ((module Ops), t)
 
 type contention_summary = {
   total_cells : int;

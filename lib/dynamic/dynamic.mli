@@ -61,6 +61,9 @@ val mem : t -> Lc_prim.Rng.t -> int -> bool
 val size : t -> int
 (** Number of live keys. *)
 
+val universe : t -> int
+(** The key universe bound given to {!create}. *)
+
 val space : t -> int
 (** Total cells across all level tables and replicas. *)
 
@@ -73,6 +76,34 @@ val keys_rebuilt : t -> int
 
 val purges : t -> int
 (** Number of global tombstone purges. *)
+
+val probes : t -> int
+(** Cumulative cell probes issued by {!mem} since creation (across all
+    rebuilds — unlike the per-table counters, this survives levels being
+    discarded). *)
+
+type level_view = {
+  lv_index : int;  (** The level's index [i]; it holds [2^i] keys. *)
+  lv_keys : int array;  (** The stored keys (tombstones included), a copy. *)
+  lv_replicas : Lc_core.Dictionary.t array;
+      (** The level's replica array — {e not} a copy. Its physical
+          identity is stable for the level's whole lifetime (every
+          rebuild allocates a fresh level), so callers may use it as the
+          level's identity token across calls; {!Epoch} keys its
+          snapshot cache on exactly this. Treat as read-only. *)
+}
+
+val level_views : t -> level_view list
+(** The non-empty levels, ascending by index — the introspection hook
+    {!Epoch} snapshots from. *)
+
+val tombstone_keys : t -> int list
+(** The currently tombstoned keys, sorted ascending. *)
+
+val ops_handle : t -> Lc_dict.Ops_intf.handle
+(** The dictionary as a uniform {!Lc_dict.Ops_intf.S} structure (name
+    ["lc-dyn"]): real [insert]/[delete], [mem] counted by {!probes}.
+    The static counterpart is {!Lc_dict.Instance.ops_handle}. *)
 
 type contention_summary = {
   total_cells : int;

@@ -1,0 +1,353 @@
+module Rng = Lc_prim.Rng
+module Table = Lc_cellprobe.Table
+module Dictionary = Lc_core.Dictionary
+
+exception Freed_level of { epoch : int; level : int }
+
+(* One published level: the immutable replica tables of a Dynamic level,
+   plus per-replica/per-cell atomic probe tallies and the poison flag
+   reclamation sets when the level's memory is handed back. The record is
+   shared by every snapshot that contains the level; [identity] (the
+   Dynamic level's own replica array) is the token the builder's cache is
+   keyed on. *)
+type elevel = {
+  el_index : int;
+  cores : (module Lc_dict.Dict_intf.S) array;
+  tables : Table.t array;
+  counters : int Atomic.t array array;  (* per replica, per cell *)
+  rep_base : int array;  (* replica's first cell id within the level *)
+  el_space : int;
+  el_max_probes : int;  (* max over replicas *)
+  freed : bool Atomic.t;
+  identity : Dictionary.t array;
+}
+
+type snapshot = {
+  epoch : int;
+  levels : elevel array;  (* probe order: largest index first *)
+  bases : int array;  (* levels.(i)'s first global cell id *)
+  deleted : int array;  (* sorted tombstoned keys *)
+  snap_space : int;
+  snap_max_probes : int;  (* sum over levels: a miss probes them all *)
+  snap_live : int;
+  snap_universe : int;
+}
+
+(* Reader slots: quiescent readers announce [quiescent]; a pinned reader
+   announces the epoch of the snapshot it probes. *)
+let quiescent = max_int
+
+type t = {
+  inner : Dynamic.t;
+  current : snapshot Atomic.t;
+  slots : int Atomic.t array;
+  next_reader : int Atomic.t;
+  (* Builder-owned bookkeeping (single-writer by protocol; never touched
+     on the read path): *)
+  mutable cache : (Dictionary.t array * elevel) list;
+      (* levels of the current snapshot, keyed by physical identity *)
+  mutable retired : (int * elevel) list;  (* (retiring publication epoch, level) *)
+  mutable publications : int;
+  mutable reclaimed : int;
+  mutable drained_probes : int;  (* tallies of freed levels, preserved *)
+}
+
+type reader = {
+  slot : int Atomic.t;
+  r_rng : Rng.t;
+  mutable snap : snapshot;  (* last pinned snapshot *)
+  mutable r_probes : int;
+  (* The probe closure is allocated once per reader and re-pointed at
+     the replica under probe by [mem] — the hot read path allocates
+     nothing per query or per level. *)
+  mutable cur_counters : int Atomic.t array;
+  mutable cur_table : Table.t;
+  mutable cur_base : int;
+  mutable observe : int -> unit;
+  mutable probe : Lc_dict.Dict_intf.probe;
+}
+
+let no_observe (_ : int) = ()
+
+let make_elevel (v : Dynamic.level_view) =
+  let cores = Array.map Dictionary.core v.lv_replicas in
+  let tables =
+    Array.map (fun c -> let (module D : Lc_dict.Dict_intf.S) = c in D.table) cores
+  in
+  let spaces =
+    Array.map (fun c -> let (module D : Lc_dict.Dict_intf.S) = c in D.space) cores
+  in
+  let counters = Array.map (fun s -> Array.init s (fun _ -> Atomic.make 0)) spaces in
+  let rep_base = Array.make (Array.length cores) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i s ->
+      rep_base.(i) <- !total;
+      total := !total + s)
+    spaces;
+  let el_max_probes =
+    Array.fold_left
+      (fun acc c -> let (module D : Lc_dict.Dict_intf.S) = c in max acc D.max_probes)
+      0 cores
+  in
+  {
+    el_index = v.lv_index;
+    cores;
+    tables;
+    counters;
+    rep_base;
+    el_space = !total;
+    el_max_probes;
+    freed = Atomic.make false;
+    identity = v.lv_replicas;
+  }
+
+(* Build the next snapshot from the inner dictionary's current levels,
+   reusing published elevels for levels whose identity is unchanged (so
+   their probe tallies keep accumulating across publications). Returns
+   the snapshot and the refreshed cache. Builder-only. *)
+let snapshot_of_inner t ~epoch =
+  let views = List.rev (Dynamic.level_views t.inner) (* largest first *) in
+  let levels =
+    Array.of_list
+      (List.map
+         (fun (v : Dynamic.level_view) ->
+           match List.assq_opt v.lv_replicas t.cache with
+           | Some el -> el
+           | None -> make_elevel v)
+         views)
+  in
+  let bases = Array.make (Array.length levels) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i l ->
+      bases.(i) <- !total;
+      total := !total + l.el_space)
+    levels;
+  let snap_max_probes = Array.fold_left (fun acc l -> acc + l.el_max_probes) 0 levels in
+  let deleted = Array.of_list (Dynamic.tombstone_keys t.inner) in
+  ( {
+      epoch;
+      levels;
+      bases;
+      deleted;
+      snap_space = !total;
+      snap_max_probes;
+      snap_live = Dynamic.size t.inner;
+      snap_universe = Dynamic.universe t.inner;
+    },
+    Array.to_list (Array.map (fun l -> (l.identity, l)) levels) )
+
+let create ?small_level_boost ?(max_readers = 64) rng ~universe () =
+  if max_readers < 1 then invalid_arg "Epoch.create: max_readers must be >= 1";
+  let inner = Dynamic.create ?small_level_boost rng ~universe () in
+  let t =
+    {
+      inner;
+      current =
+        Atomic.make
+          {
+            epoch = 0;
+            levels = [||];
+            bases = [||];
+            deleted = [||];
+            snap_space = 0;
+            snap_max_probes = 0;
+            snap_live = 0;
+            snap_universe = universe;
+          };
+      slots = Array.init max_readers (fun _ -> Atomic.make quiescent);
+      next_reader = Atomic.make 0;
+      cache = [];
+      retired = [];
+      publications = 0;
+      reclaimed = 0;
+      drained_probes = 0;
+    }
+  in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Builder side                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let insert t x = Dynamic.insert t.inner x
+let delete t x = Dynamic.delete t.inner x
+let inner t = t.inner
+
+let publish t =
+  let old = Atomic.get t.current in
+  let snap, cache = snapshot_of_inner t ~epoch:(old.epoch + 1) in
+  (* Levels of the outgoing cache that the new snapshot no longer
+     references retire at this publication's epoch: a reader announcing
+     an epoch >= snap.epoch can only reach the new snapshot. *)
+  let dropped =
+    List.filter (fun (id, _) -> not (List.mem_assq id cache)) t.cache
+  in
+  t.retired <- List.map (fun (_, el) -> (snap.epoch, el)) dropped @ t.retired;
+  t.cache <- cache;
+  t.publications <- t.publications + 1;
+  (* The one linearisation point: readers pinning from here on see the
+     new level set. *)
+  Atomic.set t.current snap
+
+let min_announced t =
+  Array.fold_left (fun acc s -> min acc (Atomic.get s)) quiescent t.slots
+
+let drain_elevel el =
+  Array.fold_left
+    (fun acc cells -> Array.fold_left (fun a c -> a + Atomic.get c) acc cells)
+    0 el.counters
+
+let try_reclaim t =
+  match t.retired with
+  | [] -> 0
+  | retired ->
+    let horizon = min_announced t in
+    (* A level that retired at publication epoch [e] is reachable only
+       through snapshots of epoch < e; once every announced epoch is
+       >= e (quiescent slots announce max_int), no reader can hold such
+       a snapshot pinned, so the level is free. *)
+    let free, keep = List.partition (fun (e, _) -> e <= horizon) retired in
+    List.iter
+      (fun (_, el) ->
+        Atomic.set el.freed true;
+        t.drained_probes <- t.drained_probes + drain_elevel el;
+        t.reclaimed <- t.reclaimed + 1)
+      free;
+    t.retired <- keep;
+    List.length free
+
+(* ------------------------------------------------------------------ *)
+(* Reader side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reader t rng =
+  let idx = Atomic.fetch_and_add t.next_reader 1 in
+  if idx >= Array.length t.slots then
+    invalid_arg "Epoch.reader: max_readers exhausted";
+  let r =
+    {
+      slot = t.slots.(idx);
+      r_rng = rng;
+      snap = Atomic.get t.current;
+      r_probes = 0;
+      cur_counters = [||];
+      cur_table = Table.create ~cells:1 ~bits:1 ();
+      cur_base = 0;
+      observe = no_observe;
+      probe = (fun ~step:_ j -> j);
+    }
+  in
+  r.probe <-
+    (fun ~step:_ j ->
+      Atomic.incr r.cur_counters.(j);
+      r.r_probes <- r.r_probes + 1;
+      r.observe (r.cur_base + j);
+      Table.peek r.cur_table j);
+  r
+
+let set_observe r f = r.observe <- f
+let clear_observe r = r.observe <- no_observe
+let reader_probes r = r.r_probes
+let last_epoch r = r.snap.epoch
+
+(* Pin: announce an epoch, then confirm the snapshot did not move past
+   us while we were announcing. OCaml atomics are SC, so once the
+   re-read returns the same snapshot the builder is guaranteed to see
+   our announcement before it retires anything that snapshot holds. *)
+let rec pin r t =
+  let s = Atomic.get t.current in
+  Atomic.set r.slot s.epoch;
+  let s' = Atomic.get t.current in
+  if s == s' then begin
+    r.snap <- s;
+    s
+  end
+  else pin r t
+
+let unpin r = Atomic.set r.slot quiescent
+
+let tombstoned (deleted : int array) x =
+  let n = Array.length deleted in
+  if n = 0 then false
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = deleted.(mid) in
+      if v = x then found := true else if v < x then lo := mid + 1 else hi := mid - 1
+    done;
+    !found
+  end
+
+let mem t r x =
+  let s = pin r t in
+  if x < 0 || x >= s.snap_universe then begin
+    unpin r;
+    invalid_arg "Epoch.mem: key outside universe"
+  end;
+  let answer =
+    if tombstoned s.deleted x then false
+    else begin
+      (* Largest level first, like Dynamic.mem; stop at the first hit. *)
+      let hit = ref false in
+      let nl = Array.length s.levels in
+      let i = ref 0 in
+      while (not !hit) && !i < nl do
+        let l = s.levels.(!i) in
+        (* Poison check: under a correct reclamation protocol this is
+           unreachable; the concurrent property test exists to prove it
+           stays that way. *)
+        if Atomic.get l.freed then begin
+          unpin r;
+          raise (Freed_level { epoch = s.epoch; level = l.el_index })
+        end;
+        let rep = Rng.int r.r_rng (Array.length l.cores) in
+        r.cur_counters <- l.counters.(rep);
+        r.cur_table <- l.tables.(rep);
+        r.cur_base <- s.bases.(!i) + l.rep_base.(rep);
+        let (module D : Lc_dict.Dict_intf.S) = l.cores.(rep) in
+        if D.mem ~probe:r.probe r.r_rng x then hit := true;
+        incr i
+      done;
+      !hit
+    end
+  in
+  unpin r;
+  answer
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let current t = Atomic.get t.current
+let epoch s = s.epoch
+let space s = s.snap_space
+let max_probes s = s.snap_max_probes
+let live s = s.snap_live
+
+let snapshot_counts s =
+  let counts = Array.make s.snap_space 0 in
+  Array.iteri
+    (fun i l ->
+      Array.iteri
+        (fun rep cells ->
+          let base = s.bases.(i) + l.rep_base.(rep) in
+          Array.iteri (fun j c -> counts.(base + j) <- Atomic.get c) cells)
+        l.counters)
+    s.levels;
+  counts
+
+let publications t = t.publications
+let reclaimed t = t.reclaimed
+let retired_pending t = List.length t.retired
+
+let total_probes t =
+  (* Live (cached) levels + retired-but-unfreed levels + drained tallies
+     of freed levels: every probe any reader ever made is in exactly one
+     of the three buckets. *)
+  let live = List.fold_left (fun acc (_, el) -> acc + drain_elevel el) 0 t.cache in
+  let pending = List.fold_left (fun acc (_, el) -> acc + drain_elevel el) 0 t.retired in
+  t.drained_probes + live + pending

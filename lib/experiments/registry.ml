@@ -17,5 +17,6 @@ let install () =
     Exp_predecessor.register ();
     Exp_parallel.register ();
     Exp_windowed.register ();
-    Exp_perf.register ()
+    Exp_perf.register ();
+    Exp_epoch.register ()
   end

@@ -2,13 +2,17 @@
 
    - [hot_module] (LC002): modules whose code runs on the probe, query,
      or publish path of the serving engine. Blocking there is a bug by
-     construction. All of lib/parallel, lib/dict, lib/cellprobe, plus
-     the per-probe modules of lib/obs. lib/obs modules that run on the
-     monitor/export side (span registry, HTTP server, exporters, JSON)
-     are warm, not hot: they may block.
+     construction. All of lib/parallel, lib/dict, lib/cellprobe,
+     lib/dynamic (the epoch read path and the builder it feeds) and
+     lib/workload (op streams consumed mid-run), plus the per-probe
+     modules of lib/obs. lib/obs modules that run on the monitor/export
+     side (span registry, HTTP server, exporters, JSON) are warm, not
+     hot: they may block.
    - [shared_scope] (LC003): libraries whose values are reachable from
-     more than one domain at once — the multicore engine and the whole
-     observability layer it publishes into.
+     more than one domain at once — the multicore engine, the
+     observability layer it publishes into, the epoch-published dynamic
+     dictionary (readers and builder share it by design) and the op
+     streams the engine deals across domains.
    - [hot_functions] (LC004): the per-module manifest of functions that
      must stay allocation-free (or carry a documented suppression).
      Factory functions that *build* hot closures (Engine.make_probe,
@@ -38,6 +42,11 @@ let obs_hot =
 let default_manifest =
   [
     ("lib/obs/metrics.ml", [ "bucket_of"; "incr"; "set_gauge"; "observe" ]);
+    (* Epoch read path: pin/mem/unpin run per query on every reader
+       domain. The reader's probe closure factory (Epoch.reader) is
+       deliberately absent — closure construction there is per-reader
+       setup, same policy as Engine.make_probe. *)
+    ("lib/dynamic/epoch.ml", [ "pin"; "unpin"; "tombstoned"; "mem" ]);
     ("lib/obs/heavy.ml", [ "observe"; "min_count"; "copy_into" ]);
     ("lib/obs/window.ml", [ "publish" ]);
     ("lib/obs/journal.ml", [ "record" ]);
@@ -56,9 +65,15 @@ let default =
         has_prefix ~prefix:"lib/parallel/" p
         || has_prefix ~prefix:"lib/dict/" p
         || has_prefix ~prefix:"lib/cellprobe/" p
+        || has_prefix ~prefix:"lib/dynamic/" p
+        || has_prefix ~prefix:"lib/workload/" p
         || List.mem p obs_hot);
     shared_scope =
-      (fun p -> has_prefix ~prefix:"lib/parallel/" p || has_prefix ~prefix:"lib/obs/" p);
+      (fun p ->
+        has_prefix ~prefix:"lib/parallel/" p
+        || has_prefix ~prefix:"lib/obs/" p
+        || has_prefix ~prefix:"lib/dynamic/" p
+        || has_prefix ~prefix:"lib/workload/" p);
     hot_functions =
       (fun p -> match List.assoc_opt p default_manifest with Some fns -> fns | None -> []);
   }

@@ -8,6 +8,8 @@ module Window = Lc_obs.Window
 module Heavy = Lc_obs.Heavy
 module Http = Lc_obs.Http
 module Journal = Lc_obs.Journal
+module Epoch = Lc_dynamic.Epoch
+module Opstream = Lc_workload.Opstream
 
 type cost = Free | Spinlock of { hold : int }
 
@@ -210,11 +212,13 @@ module Monitor = struct
     mutable live_counts : int Atomic.t array option;
   }
 
-  let create ?(ring = 512) ?(interval_s = 0.25) ?(publish_period = 256) ?(top_k = 16)
-      ?(alert_factor = 8.0) ?on_window ?journal ?on_alert ?obs ~domains inst =
+  let create_for ?(ring = 512) ?(interval_s = 0.25) ?(publish_period = 256) ?(top_k = 16)
+      ?(alert_factor = 8.0) ?on_window ?journal ?on_alert ?obs ~domains ~space ~max_probes () =
     if domains < 1 then invalid_arg "Monitor.create: domains must be >= 1";
     if interval_s <= 0.0 then invalid_arg "Monitor.create: interval_s must be > 0";
     if publish_period < 1 then invalid_arg "Monitor.create: publish_period must be >= 1";
+    if space < 1 then invalid_arg "Monitor.create: space must be >= 1";
+    if max_probes < 1 then invalid_arg "Monitor.create: max_probes must be >= 1";
     (match journal with
     | Some j when Journal.writers j < domains + 2 ->
       invalid_arg
@@ -227,15 +231,14 @@ module Monitor = struct
     (* Register before sizing the seqlock buffers: Window.frozen copies
        only metrics that exist at creation time. *)
     let _ids = register_metrics obs in
-    let (module D : Lc_dict.Dict_intf.S) = Instance.core inst in
     let config =
       {
         Window.ring_capacity = ring;
         queries_counter = "engine_queries_total";
         probes_counter = "engine_probes_total";
         latency_histogram = "engine_query_latency_ns";
-        space = D.space;
-        max_probes = D.max_probes;
+        space;
+        max_probes;
         top_k;
         alert_factor;
       }
@@ -254,6 +257,12 @@ module Monitor = struct
       alert_was_firing = false;
       live_counts = None;
     }
+
+  let create ?ring ?interval_s ?publish_period ?top_k ?alert_factor ?on_window ?journal
+      ?on_alert ?obs ~domains inst =
+    let (module D : Lc_dict.Dict_intf.S) = Instance.core inst in
+    create_for ?ring ?interval_s ?publish_period ?top_k ?alert_factor ?on_window ?journal
+      ?on_alert ?obs ~domains ~space:D.space ~max_probes:D.max_probes ()
 
   let obs t = t.obs
   let window t = t.window
@@ -599,6 +608,345 @@ let serve_windowed ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst q
       cells = Some (Window.live_cells m.Monitor.window);
       alert_windows = Window.alert_fired_total m.Monitor.window;
     }
+
+(* ------------------------------------------------------------------ *)
+(* The unified entry point                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Config = struct
+  type nonrec t = {
+    domains : int;
+    seed : int;
+    cost : cost;
+    obs : Lc_obs.Obs.t option;
+    monitor : Monitor.t option;
+  }
+
+  let make ?(cost = Free) ?obs ?monitor ~domains ~seed () =
+    { domains; seed; cost; obs; monitor }
+end
+
+type workload =
+  | Static of {
+      inst : Instance.t;
+      qdist : Qdist.t;
+      queries_per_domain : int;
+    }
+  | Dynamic of {
+      epoch : Epoch.t;
+      ops : Opstream.op array;
+      publish_every : int;
+    }
+
+type update_stats = {
+  inserts : int;
+  deletes : int;
+  query_hits : int;
+  publications : int;
+  reclaimed : int;
+  retired_pending : int;
+  keys_rebuilt : int;
+  purges : int;
+  final_live : int;
+  final_epoch : int;
+}
+
+type outcome = {
+  result : result;
+  windows : Window.entry list;
+  cells : Heavy.merged option;
+  alert_windows : int;
+  updates : update_stats option;
+}
+
+let monitored_outcome ?updates result = function
+  | None -> { result; windows = []; cells = None; alert_windows = 0; updates }
+  | Some (m : Monitor.t) ->
+    {
+      result;
+      windows = Window.entries m.Monitor.window;
+      cells = Some (Window.live_cells m.Monitor.window);
+      alert_windows = Window.alert_fired_total m.Monitor.window;
+      updates;
+    }
+
+(* The dynamic serving mode: [domains] reader domains drain pre-split
+   query batches through epoch-pinned lock-free probes while one builder
+   domain applies the update subsequence in stream order, publishing a
+   fresh snapshot every [publish_every] updates and reclaiming retired
+   levels as readers leave. The spinlock cost model is a per-cell lock
+   array sized at build time — meaningless when the cell set changes per
+   publication — so dynamic serving accepts only [Free]. *)
+let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
+  let { Config.domains; seed; cost; obs; monitor } = cfg in
+  if domains < 1 then invalid_arg "Engine.run: domains must be >= 1";
+  if publish_every < 1 then invalid_arg "Engine.run: publish_every must be >= 1";
+  (match cost with
+  | Free -> ()
+  | Spinlock _ ->
+    invalid_arg "Engine.run: the Spinlock cost model applies to static serving only");
+  (match monitor with
+  | Some (m : Monitor.t) when m.Monitor.domains <> domains ->
+    invalid_arg
+      (Printf.sprintf "Engine.run: monitor was created for %d domains, run got %d"
+         m.Monitor.domains domains)
+  | _ -> ());
+  let obs = match monitor with Some m -> Some m.Monitor.obs | None -> obs in
+  let updates, query_batches = Opstream.split ops ~domains in
+  let total_queries = Array.fold_left (fun acc b -> acc + Array.length b) 0 query_batches in
+  (* Readers are registered on the orchestrator so worker domains never
+     race the slot allocator; each gets a private rng. *)
+  let readers =
+    Array.init domains (fun w -> Epoch.reader epoch (Rng.create (seed lxor (104729 * (w + 1)))))
+  in
+  let hits = Array.make domains 0 in
+  (* Per-domain observability plumbing, as in the static path: shard
+     0 = orchestrator, 1..domains = readers, domains + 1 = builder. *)
+  let setup =
+    match obs with
+    | None -> None
+    | Some (o : Lc_obs.Obs.t) ->
+      let ids = register_metrics o in
+      let main_shard = Lc_obs.Obs.shard o ~domain:0 in
+      Metrics.set_gauge main_shard ids.m_domains (float_of_int domains);
+      let main_tl = Lc_obs.Obs.timeline o ~tid:0 in
+      let workers =
+        Array.init domains (fun w ->
+            {
+              shard = Lc_obs.Obs.shard o ~domain:(w + 1);
+              timeline = Lc_obs.Obs.timeline o ~tid:(w + 1);
+              queries_c = ids.m_queries;
+              probes_c = ids.m_probes;
+              latency_h = ids.m_latency;
+              probe_latency_h = ids.m_probe_latency;
+              spin_wait_h = ids.m_spin_wait;
+            })
+      in
+      let builder_shard = Lc_obs.Obs.shard o ~domain:(domains + 1) in
+      let builder_tl = Lc_obs.Obs.timeline o ~tid:(domains + 1) in
+      let b_inserts_c =
+        Metrics.counter o.metrics ~help:"Inserts applied by the builder domain"
+          "engine_inserts_total"
+      in
+      let b_deletes_c =
+        Metrics.counter o.metrics ~help:"Deletes applied by the builder domain"
+          "engine_deletes_total"
+      in
+      let b_publications_c =
+        Metrics.counter o.metrics ~help:"Epoch snapshots published" "engine_publications_total"
+      in
+      let b_reclaimed_c =
+        Metrics.counter o.metrics ~help:"Retired levels reclaimed" "engine_reclaimed_total"
+      in
+      (match monitor with
+      | Some m ->
+        Window.publish (Window.publisher m.Monitor.window 0) main_shard m.Monitor.orch_sketch
+      | None -> ());
+      Some
+        ( main_tl,
+          workers,
+          (builder_shard, builder_tl, b_inserts_c, b_deletes_c, b_publications_c, b_reclaimed_c)
+        )
+  in
+  let journal = Option.bind monitor (fun (m : Monitor.t) -> m.Monitor.journal) in
+  let main_span name f =
+    let body () =
+      match setup with
+      | None -> f ()
+      | Some (main_tl, _, _) -> Span.with_span main_tl name f
+    in
+    match journal with
+    | None -> body ()
+    | Some j ->
+      Journal.record j ~writer:0 (Journal.Stage { name; mark = `Begin });
+      Fun.protect
+        ~finally:(fun () -> Journal.record j ~writer:0 (Journal.Stage { name; mark = `End }))
+        body
+  in
+  (* Builder-side totals, written by the builder domain and read by the
+     orchestrator strictly after the join. *)
+  let b_inserts = ref 0 and b_deletes = ref 0 in
+  let builder () =
+    let apply_updates () =
+      let applied = ref 0 in
+      Array.iter
+        (fun op ->
+          (match op with
+          | Opstream.Insert x ->
+            Epoch.insert epoch x;
+            incr b_inserts
+          | Opstream.Delete x ->
+            Epoch.delete epoch x;
+            incr b_deletes
+          | Opstream.Query _ -> assert false (* split put queries elsewhere *));
+          incr applied;
+          if !applied mod publish_every = 0 then begin
+            Epoch.publish epoch;
+            ignore (Epoch.try_reclaim epoch : int)
+          end)
+        updates;
+      (* Final publication: readers finish against the complete table. *)
+      Epoch.publish epoch;
+      ignore (Epoch.try_reclaim epoch : int)
+    in
+    match setup with
+    | None -> apply_updates ()
+    | Some (_, _, (bshard, btl, ins_c, del_c, pub_c, rec_c)) ->
+      Span.with_span btl "apply-updates" apply_updates;
+      Metrics.incr bshard ins_c !b_inserts;
+      Metrics.incr bshard del_c !b_deletes;
+      Metrics.incr bshard pub_c (Epoch.publications epoch);
+      Metrics.incr bshard rec_c (Epoch.reclaimed epoch)
+  in
+  let worker w () =
+    let r = readers.(w) in
+    let batch = query_batches.(w) in
+    match (setup, monitor) with
+    | None, _ ->
+      let h = ref 0 in
+      Array.iter (fun x -> if Epoch.mem epoch r x then incr h) batch;
+      hits.(w) <- !h
+    | Some (_, workers, _), None ->
+      let wo = workers.(w) in
+      Span.with_span wo.timeline "serve-batch" (fun () ->
+          let h = ref 0 in
+          Array.iter
+            (fun x ->
+              let p0 = Epoch.reader_probes r in
+              let t0 = Lc_obs.Clock.now_ns () in
+              if Epoch.mem epoch r x then incr h;
+              Metrics.observe wo.shard wo.latency_h
+                (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
+              Metrics.incr wo.shard wo.queries_c 1;
+              Metrics.incr wo.shard wo.probes_c (Epoch.reader_probes r - p0))
+            batch;
+          hits.(w) <- !h)
+    | Some (_, workers, _), Some m ->
+      let wo = workers.(w) in
+      let sketch = m.Monitor.sketches.(w) in
+      let pub = Window.publisher m.Monitor.window (w + 1) in
+      let period = m.Monitor.publish_period in
+      (* The observe hook feeds every probed cell (snapshot-global id)
+         into the worker-private sketch, like the static obs probe. *)
+      Epoch.set_observe r (fun cell -> Heavy.observe sketch cell);
+      let journal_publish =
+        match m.Monitor.journal with
+        | None -> fun _ -> ()
+        | Some j -> fun q -> Journal.record j ~writer:(w + 1) (Journal.Publish { queries = q })
+      in
+      Span.with_span wo.timeline "serve-batch" (fun () ->
+          let h = ref 0 in
+          let since_publish = ref 0 in
+          let served = ref 0 in
+          Array.iter
+            (fun x ->
+              let p0 = Epoch.reader_probes r in
+              let t0 = Lc_obs.Clock.now_ns () in
+              if Epoch.mem epoch r x then incr h;
+              Metrics.observe wo.shard wo.latency_h
+                (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
+              Metrics.incr wo.shard wo.queries_c 1;
+              Metrics.incr wo.shard wo.probes_c (Epoch.reader_probes r - p0);
+              incr served;
+              incr since_publish;
+              if !since_publish >= period then begin
+                since_publish := 0;
+                Window.publish pub wo.shard sketch;
+                journal_publish !served
+              end)
+            batch;
+          hits.(w) <- !h;
+          Window.publish pub wo.shard sketch;
+          journal_publish !served);
+      Epoch.clear_observe r
+  in
+  let monitor_stop = Atomic.make false in
+  let monitor_domain =
+    match monitor with
+    | None -> None
+    | Some m ->
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get monitor_stop) do
+               interruptible_sleep m.Monitor.interval_s monitor_stop;
+               if not (Atomic.get monitor_stop) then ignore (Monitor.tick m : Window.entry)
+             done))
+  in
+  let t0 = Unix.gettimeofday () in
+  let seconds =
+    main_span "serve" @@ fun () ->
+    let builder_d = Domain.spawn builder in
+    let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
+    Array.iter Domain.join spawned;
+    Domain.join builder_d;
+    Unix.gettimeofday () -. t0
+  in
+  (match monitor_domain with
+  | None -> ()
+  | Some d ->
+    Atomic.set monitor_stop true;
+    Domain.join d;
+    ignore (Monitor.tick (Option.get monitor) : Window.entry));
+  main_span "merge" @@ fun () ->
+  (* Every reader is quiescent now, so the remainder of the retired list
+     reclaims here (the orchestrator has taken over the builder role). *)
+  ignore (Epoch.try_reclaim epoch : int);
+  let snap = Epoch.current epoch in
+  let counts = Epoch.snapshot_counts snap in
+  let total_probes = Array.fold_left (fun acc r -> acc + Epoch.reader_probes r) 0 readers in
+  let hottest_cell = ref 0 in
+  Array.iteri (fun j c -> if c > counts.(!hottest_cell) then hottest_cell := j) counts;
+  let hottest_count = if Array.length counts = 0 then 0 else counts.(!hottest_cell) in
+  let space = Epoch.space snap in
+  let result =
+    {
+      name = "lc-dyn";
+      domains;
+      queries = total_queries;
+      seconds;
+      throughput =
+        (if seconds > 0.0 then float_of_int total_queries /. seconds else Float.infinity);
+      total_probes;
+      counts;
+      hottest_cell = !hottest_cell;
+      hottest_count;
+      hottest_share =
+        (if total_probes = 0 then 0.0
+         else float_of_int hottest_count /. float_of_int total_probes);
+      flat_bound =
+        (if space = 0 then 0.0
+         else
+           float_of_int total_queries
+           *. float_of_int (Epoch.max_probes snap)
+           /. float_of_int space);
+    }
+  in
+  let inner = Epoch.inner epoch in
+  let updates_stats =
+    {
+      inserts = !b_inserts;
+      deletes = !b_deletes;
+      query_hits = Array.fold_left ( + ) 0 hits;
+      publications = Epoch.publications epoch;
+      reclaimed = Epoch.reclaimed epoch;
+      retired_pending = Epoch.retired_pending epoch;
+      keys_rebuilt = Lc_dynamic.Dynamic.keys_rebuilt inner;
+      purges = Lc_dynamic.Dynamic.purges inner;
+      final_live = Epoch.live snap;
+      final_epoch = Epoch.epoch snap;
+    }
+  in
+  monitored_outcome ~updates:updates_stats result monitor
+
+let run (cfg : Config.t) workload =
+  match workload with
+  | Static { inst; qdist; queries_per_domain } ->
+    let result =
+      serve_internal ~cost:cfg.Config.cost ?obs:cfg.Config.obs ?monitor:cfg.Config.monitor
+        ~domains:cfg.Config.domains ~queries_per_domain ~seed:cfg.Config.seed inst qdist
+    in
+    monitored_outcome result cfg.Config.monitor
+  | Dynamic { epoch; ops; publish_every } -> serve_dynamic cfg ~epoch ~ops ~publish_every
 
 let hotspot_ratio r = float_of_int r.hottest_count /. r.flat_bound
 

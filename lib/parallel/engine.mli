@@ -58,7 +58,10 @@ val serve :
   Lc_dict.Instance.t ->
   Lc_cellprobe.Qdist.t ->
   result
-(** [serve ~domains ~queries_per_domain ~seed inst qdist] pre-samples
+(** @deprecated Thin wrapper kept for mechanical migration; new code
+    should use {!run} with a {!Static} workload.
+
+    [serve ~domains ~queries_per_domain ~seed inst qdist] pre-samples
     each domain's query batch from [qdist] (outside the timed section),
     spawns the domains, serves every query through the core's reentrant
     [mem] with per-cell atomic counting, and reports. [cost] defaults to
@@ -145,6 +148,30 @@ module Monitor : sig
       cumulative, so reusing one across runs conflates their streams
       (create a fresh monitor per run, like a fresh [obs] handle). *)
 
+  val create_for :
+    ?ring:int ->
+    ?interval_s:float ->
+    ?publish_period:int ->
+    ?top_k:int ->
+    ?alert_factor:float ->
+    ?on_window:(Lc_obs.Window.entry -> unit) ->
+    ?journal:Lc_obs.Journal.t ->
+    ?on_alert:(Lc_obs.Window.entry -> unit) ->
+    ?obs:Lc_obs.Obs.t ->
+    domains:int ->
+    space:int ->
+    max_probes:int ->
+    unit ->
+    t
+  (** {!create} generalised to an explicit [space] / [max_probes]
+      budget instead of an {!Lc_dict.Instance.t} — what the dynamic
+      serving mode needs, where there is no static instance and the
+      budget comes from a published {!Lc_dynamic.Epoch} snapshot
+      (typically the preloaded one; the windowed flat bound then tracks
+      that budget even as later publications change the level set).
+      All other parameters and the single-use rule are as for
+      {!create}. *)
+
   val obs : t -> Lc_obs.Obs.t
   val window : t -> Lc_obs.Window.t
   val interval_s : t -> float
@@ -199,7 +226,10 @@ val serve_windowed :
   Lc_dict.Instance.t ->
   Lc_cellprobe.Qdist.t ->
   windowed
-(** {!serve} with live windows. Without [monitor] this {e is} [serve]
+(** @deprecated Thin wrapper kept for mechanical migration; new code
+    should use {!run} with a {!Static} workload.
+
+    {!serve} with live windows. Without [monitor] this {e is} [serve]
     — same code path, including the telemetry-free hot path when [obs]
     is also absent, so [result] stays byte-identical to the
     uninstrumented engine. With [monitor] (which must have been created
@@ -209,6 +239,99 @@ val serve_windowed :
     authoritative window is cut after the join; [obs] is ignored in
     favour of the monitor's handle. Start {!Lc_obs.Http.start}[ ~port
     (Monitor.routes m)] before calling to scrape the run live. *)
+
+(** {1 The unified entry point}
+
+    One configuration record, one [run] function, two workload shapes.
+    [Config] carries everything that describes {e how} to serve
+    (parallelism, seed, cost model, observability); the {!workload}
+    variant describes {e what} to serve — a static instance under a
+    query distribution, or an epoch-published dynamic dictionary under
+    a mixed insert/delete/query stream. {!serve} and {!serve_windowed}
+    remain as thin wrappers over the static path. *)
+
+module Config : sig
+  type t = {
+    domains : int;  (** Worker (reader) domains, the paper's [m]. *)
+    seed : int;  (** Seeds batch sampling and per-domain rngs. *)
+    cost : cost;  (** Probe cost model; {!Static} workloads only. *)
+    obs : Lc_obs.Obs.t option;  (** Observability handle, as for {!serve}. *)
+    monitor : Monitor.t option;
+        (** Live monitoring; its handle supersedes [obs] when present. *)
+  }
+
+  val make :
+    ?cost:cost ->
+    ?obs:Lc_obs.Obs.t ->
+    ?monitor:Monitor.t ->
+    domains:int ->
+    seed:int ->
+    unit ->
+    t
+  (** [cost] defaults to {!Free}; [obs] and [monitor] to absent. *)
+end
+
+type workload =
+  | Static of {
+      inst : Lc_dict.Instance.t;
+      qdist : Lc_cellprobe.Qdist.t;
+      queries_per_domain : int;
+    }
+      (** Exactly the {!serve} / {!serve_windowed} serving mode: each
+          domain drains a pre-sampled batch of [queries_per_domain]
+          membership queries against a static instance. *)
+  | Dynamic of {
+      epoch : Lc_dynamic.Epoch.t;
+      ops : Lc_workload.Opstream.op array;
+      publish_every : int;
+    }
+      (** The read-write serving mode. [ops] is split by
+          {!Lc_workload.Opstream.split}: queries are dealt round-robin
+          to the [domains] reader domains (lock-free epoch-pinned
+          probes), updates go in stream order to one extra builder
+          domain, which publishes a snapshot every [publish_every]
+          updates (plus once at stream end) and reclaims retired levels
+          as readers leave. Requires [cost = Free]: the per-cell
+          spinlock array is meaningless when the cell set changes per
+          publication. Updates invisible to readers between
+          publications; telemetry reconciles exactly —
+          [engine_queries_total] = query ops, [engine_probes_total] =
+          the readers' cumulative probe count. *)
+
+type update_stats = {
+  inserts : int;  (** Insert ops applied by the builder. *)
+  deletes : int;  (** Delete ops applied by the builder. *)
+  query_hits : int;  (** Queries that answered [true]. *)
+  publications : int;  (** Snapshots published. *)
+  reclaimed : int;  (** Levels freed by epoch reclamation. *)
+  retired_pending : int;
+      (** Retired levels still unfreed at the end — 0 after the
+          post-join reclaim unless a reader leaked a pin. *)
+  keys_rebuilt : int;  (** {!Lc_dynamic.Dynamic.keys_rebuilt} total. *)
+  purges : int;  (** Tombstone purges triggered. *)
+  final_live : int;  (** Live keys in the final snapshot. *)
+  final_epoch : int;  (** Epoch of the final snapshot. *)
+}
+
+type outcome = {
+  result : result;
+      (** For {!Dynamic}: [queries] counts query ops, [counts] /
+          [flat_bound] describe the {e final} snapshot's cells (probes
+          to levels retired mid-run are preserved in [total_probes]
+          but not in [counts]), and [name] is ["lc-dyn"]. *)
+  windows : Lc_obs.Window.entry list;  (** As {!windowed.windows}. *)
+  cells : Lc_obs.Heavy.merged option;  (** As {!windowed.cells}. *)
+  alert_windows : int;  (** As {!windowed.alert_windows}. *)
+  updates : update_stats option;
+      (** Builder-side statistics; [None] for {!Static} workloads. *)
+}
+
+val run : Config.t -> workload -> outcome
+(** The single entry point. [run config (Static ...)] is
+    {!serve_windowed} (same code path, telemetry-free when unobserved);
+    [run config (Dynamic ...)] is the epoch-published read-write mode.
+    Raises [Invalid_argument] on a monitor sized for a different domain
+    count, and for {!Dynamic} with a [Spinlock] cost. *)
 
 val probe_sample_period : int
 (** The engine samples 1 probe in this many for

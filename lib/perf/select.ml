@@ -9,9 +9,11 @@ module Keyset = Lc_workload.Keyset
 
 let structure_names = [ "lc"; "fks-norepl"; "fks"; "dm"; "cuckoo"; "binary" ]
 
-let structure rng ~universe ~keys = function
+let dynamic_name = "lc-dyn"
+
+let structure ?obs rng ~universe ~keys = function
   | "lc" -> Lc_dict.Instance.uninstrumented
-              (Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys))
+              (Lc_core.Dictionary.instance (Lc_core.Dictionary.build ?obs rng ~universe ~keys))
   | "fks-norepl" ->
     Lc_dict.Instance.uninstrumented
       (Lc_dict.Fks.instance (Lc_dict.Fks.build ~replicate:false rng ~universe ~keys))
@@ -30,6 +32,14 @@ let structure rng ~universe ~keys = function
   | s -> failwith (Printf.sprintf "unknown structure %S (want one of %s)" s
                      (String.concat ", " structure_names))
 
+let ops_handle ?small_level_boost rng ~universe ~keys name =
+  if String.equal name dynamic_name then begin
+    let d = Lc_dynamic.Dynamic.create ?small_level_boost rng ~universe () in
+    Array.iter (fun k -> Lc_dynamic.Dynamic.insert d k) keys;
+    Lc_dynamic.Dynamic.ops_handle d
+  end
+  else Lc_dict.Instance.ops_handle (structure rng ~universe ~keys name)
+
 let workload rng ~universe ~keys spec =
   let negs () = Keyset.negatives rng ~universe ~keys ~count:(8 * Array.length keys) in
   match String.split_on_char ':' spec with
@@ -46,3 +56,20 @@ let workload rng ~universe ~keys spec =
     | Some skew when skew >= 0.0 -> Qdist.zipf ~skew keys
     | _ -> failwith (Printf.sprintf "bad zipf skew in %S" spec))
   | _ -> failwith (Printf.sprintf "unknown distribution %S" spec)
+
+let rw_fraction spec =
+  match String.split_on_char ':' spec with
+  | [ "rw"; f ] -> (
+    match float_of_string_opt f with
+    | Some r when r >= 0.0 && r <= 1.0 -> Some r
+    | _ -> failwith (Printf.sprintf "bad read fraction in %S (want rw:F, F in [0,1])" spec))
+  | _ -> None
+
+let cost spec =
+  match String.split_on_char ':' spec with
+  | [ "free" ] -> Lc_parallel.Engine.Free
+  | [ "spin"; h ] -> (
+    match int_of_string_opt h with
+    | Some hold when hold >= 0 -> Lc_parallel.Engine.Spinlock { hold }
+    | _ -> failwith (Printf.sprintf "bad spin hold in %S" spec))
+  | _ -> failwith (Printf.sprintf "unknown cost model %S (want 'free' or 'spin:H')" spec)

@@ -8,13 +8,52 @@
 val structure_names : string list
 (** ["lc"; "fks-norepl"; "fks"; "dm"; "cuckoo"; "binary"]. *)
 
+val dynamic_name : string
+(** ["lc-dyn"] — the epoch-published dynamic dictionary's name in
+    artifact keys and CLI selection. Not a {!structure} name: it has no
+    static instance; the mixed serving path builds an
+    [Lc_dynamic.Epoch.t] instead. *)
+
 val structure :
-  Lc_prim.Rng.t -> universe:int -> keys:int array -> string -> Lc_dict.Instance.t
+  ?obs:Lc_obs.Obs.t ->
+  Lc_prim.Rng.t ->
+  universe:int ->
+  keys:int array ->
+  string ->
+  Lc_dict.Instance.t
 (** Build the named structure over [keys], in {e uninstrumented}
-    (reentrant) mode — what the serving engine wants. Raises [Failure]
-    on an unknown name. *)
+    (reentrant) mode — what the serving engine wants. [obs] wires the
+    build into the observability layer where the builder supports it
+    (currently ["lc"]'s construction spans); other structures ignore
+    it. Raises [Failure] on an unknown name. *)
+
+val ops_handle :
+  ?small_level_boost:int ->
+  Lc_prim.Rng.t ->
+  universe:int ->
+  keys:int array ->
+  string ->
+  Lc_dict.Ops_intf.handle
+(** The named structure as a uniform {!Lc_dict.Ops_intf.S} handle,
+    preloaded with [keys]: {!dynamic_name} builds a (sequential)
+    [Lc_dynamic.Dynamic] and inserts the keys; any {!structure} name
+    builds the static instance (updates raise, by design).
+    [small_level_boost] applies to the dynamic structure only. *)
 
 val workload :
   Lc_prim.Rng.t -> universe:int -> keys:int array -> string -> Lc_cellprobe.Qdist.t
 (** Parse a workload spec: ['pos'], ['neg'], ['point'], ['mix:P'],
     ['zipf:S']. Raises [Failure] on a malformed spec. *)
+
+val rw_fraction : string -> float option
+(** [rw_fraction "rw:F"] is [Some F] — the read fraction of a mixed
+    read-write op-stream workload (the remaining mass splits evenly
+    between inserts and deletes, {!Lc_workload.Opstream.read_write_mix}).
+    [None] for any other spec shape (use {!workload} then); raises
+    [Failure] if the spec looks like [rw:...] but [F] is not a
+    probability. *)
+
+val cost : string -> Lc_parallel.Engine.cost
+(** Parse a probe cost model: ['free'] or ['spin:H] (per-cell spinlock
+    held [H] extra relax loops). Raises [Failure] on a malformed
+    spec. *)

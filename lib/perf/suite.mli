@@ -21,19 +21,38 @@ type spec = {
   queries_per_domain : int;
   trials : int;
   n : int;  (** Keys per structure; universe is derived as in the CLI. *)
+  rw_workloads : string list;
+      (** Mixed read-write specs (["rw:F"], {!Select.rw_fraction}),
+          served by the epoch-published dynamic dictionary
+          ({!Select.dynamic_name} entries). Empty = no mixed axis. *)
+  rw_domain_counts : int list;  (** Reader domains for the mixed axis. *)
+  ops_per_domain : int;
+      (** Op-stream length per reader domain for the mixed axis; the
+          entry's [queries_per_domain] field records this number (the
+          actual query count depends on the mix draw and is in
+          [queries]). *)
 }
 
 val default : spec
 (** The committed-baseline grid: lc / fks-norepl / binary x pos /
     zipf:1.0 x 1, 2 domains; 5 trials of 2000 queries per domain over
-    512 keys. *)
+    512 keys — plus the mixed axis lc-dyn x rw:0.90 x 1..4 domains,
+    2000 ops per domain. *)
 
 val quick : spec
 (** The CI smoke grid: lc / fks-norepl x pos x 2 domains; 3 trials of
-    500 queries per domain over 256 keys. *)
+    500 queries per domain over 256 keys — plus one mixed lc-dyn /
+    rw:0.90 / 2 domains configuration (500 ops per domain), so the
+    perf-smoke job covers read-write serving too. *)
 
 val run : ?progress:(string -> unit) -> seed:int -> spec -> Artifact.t
 (** Run the grid and return the artifact (not yet written). [progress]
     is called once per configuration with a human-readable label.
-    Raises [Failure] on telemetry/result mismatch and
-    [Invalid_argument] on a degenerate spec. *)
+    Static combos are enumerated before mixed ones, so adding the mixed
+    axis never re-seeds an existing static configuration (their entries
+    stay bit-identical under the same seed, which is what keeps
+    [lowcon perf diff] silent on them). Mixed trials reconcile twice:
+    window telemetry against the engine result, and the epoch
+    structure's per-cell tallies (live + retired + drained) against the
+    readers' cumulative probe count. Raises [Failure] on any mismatch
+    and [Invalid_argument] on a degenerate spec. *)

@@ -6,15 +6,35 @@ type mix = { p_insert : float; p_delete : float }
 
 let default_mix = { p_insert = 0.4; p_delete = 0.1 }
 
-let generate ?(mix = default_mix) rng ~universe ~length ~working_set =
+let read_write_mix ~read_fraction =
+  if read_fraction < 0.0 || read_fraction > 1.0 then
+    invalid_arg "Opstream.read_write_mix: read_fraction must be in [0, 1]";
+  let update = 1.0 -. read_fraction in
+  { p_insert = update /. 2.0; p_delete = update /. 2.0 }
+
+let generate ?(mix = default_mix) ?initial_pool rng ~universe ~length ~working_set =
   if mix.p_insert < 0.0 || mix.p_delete < 0.0 || mix.p_insert +. mix.p_delete > 1.0 then
     invalid_arg "Opstream.generate: bad mix";
   if working_set < 1 then invalid_arg "Opstream.generate: working_set must be >= 1";
   if working_set > universe then invalid_arg "Opstream.generate: working set exceeds universe";
   (* The pool of keys the stream talks about; grows lazily up to
-     working_set distinct values. *)
+     working_set distinct values. [initial_pool] seeds it — the mixed
+     serving workloads preload the dictionary and pass the same keys
+     here so queries hit from the first operation. *)
   let pool = Array.make working_set (-1) in
   let pool_size = ref 0 in
+  (match initial_pool with
+  | None -> ()
+  | Some seed_keys ->
+    if Array.length seed_keys > working_set then
+      invalid_arg "Opstream.generate: initial_pool larger than working_set";
+    Array.iter
+      (fun x ->
+        if x < 0 || x >= universe then
+          invalid_arg "Opstream.generate: initial_pool key outside universe";
+        pool.(!pool_size) <- x;
+        incr pool_size)
+      seed_keys);
   let fresh_key () =
     if !pool_size < working_set then begin
       let x = Rng.int rng universe in
@@ -31,6 +51,33 @@ let generate ?(mix = default_mix) rng ~universe ~length ~working_set =
       else if u < mix.p_insert +. mix.p_delete then Delete (known_key ())
       else Query (known_key ()))
 
+let counts ops =
+  let inserts = ref 0 and deletes = ref 0 and queries = ref 0 in
+  Array.iter
+    (function
+      | Insert _ -> incr inserts
+      | Delete _ -> incr deletes
+      | Query _ -> incr queries)
+    ops;
+  (!inserts, !deletes, !queries)
+
+let split ops ~domains =
+  if domains < 1 then invalid_arg "Opstream.split: domains must be >= 1";
+  let updates = ref [] in
+  let queries = Array.make domains [] in
+  let q = ref 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Insert _ | Delete _ -> updates := op :: !updates
+      | Query x ->
+        (* Round-robin so every domain sees the same key locality. *)
+        queries.(!q mod domains) <- x :: queries.(!q mod domains);
+        incr q)
+    ops;
+  ( Array.of_list (List.rev !updates),
+    Array.map (fun l -> Array.of_list (List.rev l)) queries )
+
 let apply t rng ops =
   let inserts = ref 0 and deletes = ref 0 and hits = ref 0 in
   Array.iter
@@ -43,6 +90,21 @@ let apply t rng ops =
         Lc_dynamic.Dynamic.delete t x;
         incr deletes
       | Query x -> if Lc_dynamic.Dynamic.mem t rng x then incr hits)
+    ops;
+  (!inserts, !deletes, !hits)
+
+let apply_handle h rng ops =
+  let inserts = ref 0 and deletes = ref 0 and hits = ref 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Insert x ->
+        Lc_dict.Ops_intf.insert h x;
+        incr inserts
+      | Delete x ->
+        Lc_dict.Ops_intf.delete h x;
+        incr deletes
+      | Query x -> if Lc_dict.Ops_intf.mem h rng x then incr hits)
     ops;
   (!inserts, !deletes, !hits)
 

@@ -19,8 +19,15 @@ val default_mix : mix
 (** 40% inserts, 10% deletes, 50% queries — a read-mostly table with
     churn. *)
 
+val read_write_mix : read_fraction:float -> mix
+(** The serving-workload shape: [read_fraction] of the stream is
+    queries, the remaining update mass split evenly between inserts and
+    deletes (so the live size stays roughly stationary). The perf
+    suite's 90/10 configuration is [read_write_mix ~read_fraction:0.9]. *)
+
 val generate :
   ?mix:mix ->
+  ?initial_pool:int array ->
   Lc_prim.Rng.t ->
   universe:int ->
   length:int ->
@@ -30,13 +37,36 @@ val generate :
     operations. Keys come from a working set of [working_set] distinct
     values (fresh uniform keys enter the set when an insert needs one);
     deletes and queries target current or recently-seen members, so the
-    stream exercises hits, misses and re-insertions. *)
+    stream exercises hits, misses and re-insertions.
+
+    [initial_pool] seeds the working set (it must fit in [working_set]
+    and lie inside the universe): the mixed serving workloads preload
+    the dictionary with these keys, so queries can hit from the very
+    first operation instead of warming up from an empty pool. *)
+
+val counts : op array -> int * int * int
+(** [(inserts, deletes, queries)] in the stream — the totals a serving
+    run reconciles its telemetry against. *)
+
+val split : op array -> domains:int -> op array * int array array
+(** [split ops ~domains] partitions a stream for the concurrent engine:
+    the update subsequence (inserts and deletes, in stream order — the
+    single builder domain applies them as-is) and one query-key array
+    per reader domain, dealt round-robin so each domain sees the same
+    key locality. Query count over all domains equals the stream's. *)
 
 val apply :
   Lc_dynamic.Dynamic.t -> Lc_prim.Rng.t -> op array -> int * int * int
 (** [apply t rng ops] plays the stream against a dynamic dictionary and
     returns [(inserts, deletes, query_hits)] — the consumer used by the
     tests to cross-check against a model set. *)
+
+val apply_handle :
+  Lc_dict.Ops_intf.handle -> Lc_prim.Rng.t -> op array -> int * int * int
+(** {!apply} generalised to any {!Lc_dict.Ops_intf.S} structure — the
+    one consumer that addresses static instances and the dynamic
+    dictionary uniformly. Static handles raise on the first update op,
+    by design. *)
 
 val replay_oracle : op array -> bool array
 (** The reference semantics: the expected result of each [Query] when

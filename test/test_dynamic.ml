@@ -272,6 +272,150 @@ let prop_insert_only_oracle =
       && Array.for_all (fun x -> Dynamic.mem t rng x) keys
       && Result.is_ok (Dynamic.check t rng))
 
+(* ------------------------------------------------------------------ *)
+(* Epoch publication                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Epoch = Lc_dynamic.Epoch
+
+let test_epoch_publish_visibility () =
+  let t = Epoch.create (Rng.create 50) ~universe () in
+  let r = Epoch.reader t (Rng.create 51) in
+  Epoch.insert t 7;
+  Epoch.insert t 11;
+  checkb "insert invisible before publish" false (Epoch.mem t r 7);
+  Epoch.publish t;
+  checkb "visible after publish" true (Epoch.mem t r 7);
+  checkb "visible after publish" true (Epoch.mem t r 11);
+  checkb "absent key" false (Epoch.mem t r 12);
+  Epoch.delete t 7;
+  checkb "delete invisible before publish" true (Epoch.mem t r 7);
+  Epoch.publish t;
+  checkb "tombstone visible after publish" false (Epoch.mem t r 7);
+  checki "epoch advanced per publish" 2 (Epoch.epoch (Epoch.current t))
+
+let test_epoch_reclamation_and_accounting () =
+  let t = Epoch.create (Rng.create 52) ~universe () in
+  let r = Epoch.reader t (Rng.create 53) in
+  (* Churn with periodic publication: cascading rebuilds drop levels
+     constantly; with the only reader quiescent between queries, every
+     retired level frees on the builder's next try_reclaim. *)
+  for x = 0 to 499 do
+    Epoch.insert t x;
+    if (x + 1) mod 32 = 0 then begin
+      Epoch.publish t;
+      ignore (Epoch.try_reclaim t)
+    end;
+    if x mod 16 = 0 then ignore (Epoch.mem t r x)
+  done;
+  Epoch.publish t;
+  ignore (Epoch.try_reclaim t);
+  checkb "levels were reclaimed" true (Epoch.reclaimed t > 0);
+  checki "nothing left pending" 0 (Epoch.retired_pending t);
+  checki "per-cell tallies reconcile with the reader" (Epoch.reader_probes r)
+    (Epoch.total_probes t);
+  checkb "all inserts live" true
+    (let ok = ref true in
+     for x = 0 to 499 do
+       if not (Epoch.mem t r x) then ok := false
+     done;
+     !ok)
+
+(* The linchpin property: under a hard-driven concurrent builder and
+   several readers, (a) no query ever touches a freed level (the poison
+   flag never trips), (b) every answer agrees with the sequential
+   oracle of the epoch the query pinned, and (c) at quiescence the
+   per-cell tallies reconcile exactly with the readers' own counts. *)
+let prop_epoch_concurrent_oracle =
+  QCheck.Test.make ~name:"concurrent readers agree with the pinned epoch's oracle" ~count:8
+    QCheck.(pair (list_of_size (Gen.int_range 100 400) (pair bool (int_range 0 199)))
+              (int_range 8 48))
+    (fun (raw_ops, publish_every) ->
+      let uni = 4096 in
+      let ops = Array.of_list raw_ops in
+      let len = Array.length ops in
+      let publications = (len + publish_every - 1) / publish_every in
+      (* Oracle per epoch: epoch e publishes the prefix of e*publish_every
+         operations (the last one whatever remains). *)
+      let expected =
+        let model = Hashtbl.create 64 in
+        let tbl = Array.make (publications + 1) [||] in
+        tbl.(0) <- Array.make 200 false;
+        let upto = ref 0 in
+        for e = 1 to publications do
+          let stop = min (e * publish_every) len in
+          while !upto < stop do
+            let ins, x = ops.(!upto) in
+            if ins then Hashtbl.replace model x () else Hashtbl.remove model x;
+            incr upto
+          done;
+          tbl.(e) <- Array.init 200 (Hashtbl.mem model)
+        done;
+        tbl
+      in
+      let t = Epoch.create (Rng.create 54) ~universe:uni () in
+      let n_readers = 3 in
+      let readers =
+        Array.init n_readers (fun i -> Epoch.reader t (Rng.create (55 + i)))
+      in
+      let done_flag = Atomic.make false in
+      let builder =
+        Domain.spawn (fun () ->
+            Array.iteri
+              (fun i (ins, x) ->
+                if ins then Epoch.insert t x else Epoch.delete t x;
+                if (i + 1) mod publish_every = 0 || i + 1 = len then begin
+                  Epoch.publish t;
+                  ignore (Epoch.try_reclaim t)
+                end)
+              ops;
+            Atomic.set done_flag true)
+      in
+      let reader_domains =
+        Array.map
+          (fun r ->
+            Domain.spawn (fun () ->
+                let rng = Rng.create (Epoch.reader_probes r + 97) in
+                let mismatches = ref 0 and freed = ref 0 and queries = ref 0 in
+                let budget = ref 200_000 in
+                while (not (Atomic.get done_flag)) && !budget > 0 do
+                  decr budget;
+                  incr queries;
+                  let x = Rng.int rng 200 in
+                  (try
+                     let got = Epoch.mem t r x in
+                     let e = Epoch.last_epoch r in
+                     if got <> expected.(e).(x) then incr mismatches
+                   with Epoch.Freed_level _ -> incr freed)
+                done;
+                (* A few queries after the builder is done must see the
+                   final epoch's contents. *)
+                for _ = 1 to 50 do
+                  let x = Rng.int rng 200 in
+                  try
+                    let got = Epoch.mem t r x in
+                    let e = Epoch.last_epoch r in
+                    if got <> expected.(e).(x) then incr mismatches
+                  with Epoch.Freed_level _ -> incr freed
+                done;
+                (!mismatches, !freed, !queries)))
+          readers
+      in
+      Domain.join builder;
+      let results = Array.map Domain.join reader_domains in
+      let mismatches = Array.fold_left (fun a (m, _, _) -> a + m) 0 results in
+      let freed_hits = Array.fold_left (fun a (_, f, _) -> a + f) 0 results in
+      (* All readers quiescent now: everything retired must free, and
+         the structure-side tallies must equal the readers' counters. *)
+      ignore (Epoch.try_reclaim t);
+      let reader_probes =
+        Array.fold_left (fun a r -> a + Epoch.reader_probes r) 0 readers
+      in
+      mismatches = 0 && freed_hits = 0
+      && Epoch.retired_pending t = 0
+      && Epoch.total_probes t = reader_probes
+      && Epoch.epoch (Epoch.current t) = publications)
+
 let () =
   Alcotest.run "lc_dynamic"
     [
@@ -302,7 +446,13 @@ let () =
             test_positive_queries_hide_the_hotspot;
           Alcotest.test_case "boost levels the hot spot" `Quick test_boost_levels_the_hotspot;
         ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "publish visibility" `Quick test_epoch_publish_visibility;
+          Alcotest.test_case "reclamation + accounting" `Quick
+            test_epoch_reclamation_and_accounting;
+        ] );
       ( "oracle",
         List.map (QCheck_alcotest.to_alcotest ~long:false)
-          [ prop_matches_set_oracle; prop_insert_only_oracle ] );
+          [ prop_matches_set_oracle; prop_insert_only_oracle; prop_epoch_concurrent_oracle ] );
     ]

@@ -251,6 +251,57 @@ let test_top_cells () =
    discrete enough that a first-trial rejection happens for a few
    percent of seeds, so with max_trials:1 some seed below 300 surfaces
    the exception, which must carry the stage and the trial budget. *)
+(* Dynamic serving through the unified entry point: windowed telemetry,
+   the engine result and the epoch structure's own per-cell tallies
+   must all agree exactly — Σ window queries = result.queries, the
+   metrics counters match, and Epoch.total_probes equals the readers'
+   cumulative count. *)
+let test_dynamic_serving_reconciles () =
+  let module Epoch = Lc_dynamic.Epoch in
+  let module Opstream = Lc_workload.Opstream in
+  let rng = Rng.create 41 in
+  let keys = Keyset.random rng ~universe ~n in
+  let epoch = Epoch.create rng ~universe () in
+  Array.iter (Epoch.insert epoch) keys;
+  Epoch.publish epoch;
+  let snap0 = Epoch.current epoch in
+  let domains = 3 in
+  let ops =
+    Opstream.generate
+      ~mix:(Opstream.read_write_mix ~read_fraction:0.9)
+      ~initial_pool:keys rng ~universe ~length:(domains * 800) ~working_set:(2 * n)
+  in
+  let mon =
+    Engine.Monitor.create_for ~interval_s:0.02 ~domains ~space:(Epoch.space snap0)
+      ~max_probes:(Epoch.max_probes snap0) ()
+  in
+  let cfg = Engine.Config.make ~monitor:mon ~domains ~seed:42 () in
+  let o = Engine.run cfg (Engine.Dynamic { epoch; ops; publish_every = 64 }) in
+  let r = o.Engine.result in
+  let ins, del, qry = Opstream.counts ops in
+  checki "result.queries = stream queries" qry r.Engine.queries;
+  checki "window queries sum to the result" r.Engine.queries
+    (List.fold_left (fun a (w : Lc_obs.Window.entry) -> a + w.queries) 0 o.Engine.windows);
+  let snap = Lc_obs.Obs.snapshot (Engine.Monitor.obs mon) in
+  let counter name =
+    match Lc_obs.Metrics.Snapshot.counter_value snap name with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %s missing" name
+  in
+  checki "engine_queries_total" r.Engine.queries (counter "engine_queries_total");
+  checki "engine_probes_total" r.Engine.total_probes (counter "engine_probes_total");
+  checki "epoch tallies = reader probes" r.Engine.total_probes (Epoch.total_probes epoch);
+  match o.Engine.updates with
+  | None -> Alcotest.fail "dynamic run must report update stats"
+  | Some u ->
+    checki "inserts applied" ins u.Engine.inserts;
+    checki "deletes applied" del u.Engine.deletes;
+    checki "builder insert counter" ins (counter "engine_inserts_total");
+    checki "builder delete counter" del (counter "engine_deletes_total");
+    checkb "published beyond the preload snapshot" true (u.Engine.publications >= 2);
+    checki "final epoch counts every publication" u.Engine.publications
+      (Epoch.epoch (Epoch.current epoch))
+
 let test_build_failed_diagnostics () =
   let found = ref None in
   let seed = ref 0 in
@@ -294,5 +345,7 @@ let () =
       ( "build",
         [
           Alcotest.test_case "Build_failed diagnostics" `Quick test_build_failed_diagnostics;
+          Alcotest.test_case "dynamic serving reconciles" `Quick
+            test_dynamic_serving_reconciles;
         ] );
     ]

@@ -152,6 +152,10 @@ let tiny_spec =
     queries_per_domain = 200;
     trials = 2;
     n = 64;
+    (* No mixed axis: the static tests below expect exactly one entry. *)
+    rw_workloads = [];
+    rw_domain_counts = [];
+    ops_per_domain = 1;
   }
 
 (* Suite.run raises if any trial's telemetry counters disagree with the
@@ -170,6 +174,27 @@ let test_suite_reconciles () =
     checki "fingerprint records the sampling period" Engine.probe_sample_period
       art.Artifact.fingerprint.Artifact.probe_sample_period
   | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+
+(* The mixed axis rides behind the static grid: entries keep their
+   order (static first), the mixed entry is keyed by the dynamic
+   structure name, and completing at all means both reconciliations
+   (telemetry vs result, epoch tallies vs reader probes) held. *)
+let test_suite_mixed_axis () =
+  let spec =
+    { tiny_spec with Suite.rw_workloads = [ "rw:0.80" ]; rw_domain_counts = [ 2 ];
+      ops_per_domain = 300 }
+  in
+  let art = Suite.run ~seed:5 spec in
+  match art.Artifact.entries with
+  | [ stat; mixed ] ->
+    checks "static entry first" "lc" stat.Artifact.structure;
+    checks "mixed entry keyed by the dynamic name" Lc_perf.Select.dynamic_name
+      mixed.Artifact.structure;
+    checks "mixed workload spec preserved" "rw:0.80" mixed.Artifact.workload;
+    checki "queries_per_domain records the op budget" 300 mixed.Artifact.queries_per_domain;
+    checkb "queries counted across trials" true (mixed.Artifact.queries > 0);
+    checkb "probes accumulated" true (mixed.Artifact.probes > 0)
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es)
 
 let test_suite_probes_deterministic_in_seed () =
   (* Binary search probes depend on where each queried key lands, so
@@ -387,6 +412,7 @@ let () =
       ( "suite",
         [
           Alcotest.test_case "reconciles with engine totals" `Quick test_suite_reconciles;
+          Alcotest.test_case "mixed axis" `Quick test_suite_mixed_axis;
           Alcotest.test_case "probes deterministic in seed" `Quick
             test_suite_probes_deterministic_in_seed;
         ] );

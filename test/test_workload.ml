@@ -128,6 +128,98 @@ let test_opstream_apply_counters () =
   checkb "counts partition the stream's updates" true
     (ins + del <= 500 && hits <= 500 && ins > 0)
 
+let test_read_write_mix_fractions () =
+  let rng = Rng.create 19 in
+  let ops =
+    Opstream.generate ~mix:(Opstream.read_write_mix ~read_fraction:0.9) rng ~universe
+      ~length:10_000 ~working_set:200
+  in
+  let ins, del, qry = Opstream.counts ops in
+  let frac c = float_of_int c /. 10_000.0 in
+  checkb "query fraction ~0.9" true (Float.abs (frac qry -. 0.9) < 0.02);
+  checkb "insert fraction ~0.05" true (Float.abs (frac ins -. 0.05) < 0.02);
+  checkb "delete fraction ~0.05" true (Float.abs (frac del -. 0.05) < 0.02);
+  checkb "read_fraction outside [0,1] rejected" true
+    (try
+       ignore (Opstream.read_write_mix ~read_fraction:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_opstream_counts () =
+  let rng = Rng.create 20 in
+  let ops = Opstream.generate rng ~universe ~length:3_000 ~working_set:80 in
+  let ins, del, qry = Opstream.counts ops in
+  checki "counts partition the stream" 3_000 (ins + del + qry)
+
+let test_opstream_split_round_robin () =
+  let rng = Rng.create 21 in
+  let ops = Opstream.generate rng ~universe ~length:2_000 ~working_set:80 in
+  let domains = 3 in
+  let updates, per_domain = Opstream.split ops ~domains in
+  let ins, del, qry = Opstream.counts ops in
+  checki "updates keep every insert and delete" (ins + del) (Array.length updates);
+  checki "queries are dealt without loss" qry
+    (Array.fold_left (fun a q -> a + Array.length q) 0 per_domain);
+  (* The update subsequence preserves stream order, and domain d gets
+     exactly the queries whose query-index is d mod domains, in order. *)
+  let expected_updates =
+    Array.of_list
+      (List.filter
+         (function Opstream.Insert _ | Opstream.Delete _ -> true | Opstream.Query _ -> false)
+         (Array.to_list ops))
+  in
+  checkb "updates in stream order" true (updates = expected_updates);
+  let q_keys =
+    Array.of_list
+      (List.filter_map
+         (function Opstream.Query x -> Some x | _ -> None)
+         (Array.to_list ops))
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun d qs ->
+      Array.iteri (fun i x -> if q_keys.((i * domains) + d) <> x then ok := false) qs)
+    per_domain;
+  checkb "round-robin deal" true !ok
+
+let test_opstream_initial_pool () =
+  let rng = Rng.create 22 in
+  let pool = Keyset.random (Rng.create 23) ~universe ~n:30 in
+  let ops =
+    Opstream.generate ~mix:{ p_insert = 0.0; p_delete = 0.0 } ~initial_pool:pool rng ~universe
+      ~length:500 ~working_set:30
+  in
+  (* A query-only stream over a seeded pool can only talk about the pool. *)
+  checkb "queries drawn from the seeded pool" true
+    (Array.for_all
+       (function Opstream.Query x -> Array.mem x pool | _ -> false)
+       ops);
+  checkb "oversized pool rejected" true
+    (try
+       ignore (Opstream.generate ~initial_pool:pool rng ~universe ~length:10 ~working_set:10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_apply_handle_uniform () =
+  let rng = Rng.create 24 in
+  let ops = Opstream.generate rng ~universe ~length:800 ~working_set:60 in
+  (* The dynamic handle agrees with the direct consumer... *)
+  let t = Lc_dynamic.Dynamic.create (Rng.create 25) ~universe () in
+  let direct = Opstream.apply t (Rng.create 26) ops in
+  let t' = Lc_dynamic.Dynamic.create (Rng.create 25) ~universe () in
+  let via_handle =
+    Opstream.apply_handle (Lc_dynamic.Dynamic.ops_handle t') (Rng.create 26) ops
+  in
+  checkb "dynamic handle = direct apply" true (direct = via_handle);
+  (* ...and a static handle refuses the first update, by design. *)
+  let keys = Keyset.random (Rng.create 27) ~universe ~n:64 in
+  let h = Lc_perf.Select.ops_handle (Rng.create 28) ~universe ~keys "binary" in
+  checkb "static handle rejects updates" true
+    (try
+       ignore (Opstream.apply_handle h (Rng.create 29) ops);
+       false
+     with Invalid_argument _ -> true)
+
 let test_opstream_validates () =
   let rng = Rng.create 18 in
   let raised =
@@ -175,6 +267,11 @@ let () =
           Alcotest.test_case "oracle consistency" `Quick test_opstream_oracle_consistency;
           Alcotest.test_case "apply counters" `Quick test_opstream_apply_counters;
           Alcotest.test_case "mix validation" `Quick test_opstream_validates;
+          Alcotest.test_case "read-write mix" `Quick test_read_write_mix_fractions;
+          Alcotest.test_case "counts" `Quick test_opstream_counts;
+          Alcotest.test_case "split round-robin" `Quick test_opstream_split_round_robin;
+          Alcotest.test_case "initial pool" `Quick test_opstream_initial_pool;
+          Alcotest.test_case "uniform ops handle" `Quick test_apply_handle_uniform;
         ] );
       ( "properties",
         List.map (QCheck_alcotest.to_alcotest ~long:false)
