@@ -34,6 +34,14 @@ let cuckoo_inst = Lc_dict.Cuckoo.instance cuckoo
 let bs_inst = Lc_dict.Sorted_array.instance (Lc_dict.Sorted_array.build ~universe ~keys)
 let pos_dist = Lc_cellprobe.Qdist.uniform ~name:"pos" keys
 
+(* All whole-engine benches below go through the unified entry point;
+   the deprecated [serve]/[serve_windowed] wrappers are not exercised
+   here. *)
+let run_static ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist =
+  Lc_parallel.Engine.run
+    (Lc_parallel.Engine.Config.make ?cost ?obs ?monitor ~domains ~seed ())
+    (Lc_parallel.Engine.Static { inst; qdist; queries_per_domain })
+
 let params = Lc_core.Dictionary.params lc
 
 let histogram_words =
@@ -108,31 +116,27 @@ let tests =
           Test.make ~name:"serve_1dom_lowcon_500q"
             (Staged.stage (fun () ->
                  ignore
-                   (Lc_parallel.Engine.serve ~domains:1 ~queries_per_domain:500 ~seed:3 lc_inst
-                      pos_dist)));
+                   (run_static ~domains:1 ~queries_per_domain:500 ~seed:3 lc_inst pos_dist)));
           Test.make ~name:"serve_2dom_lowcon_500q"
             (Staged.stage (fun () ->
                  ignore
-                   (Lc_parallel.Engine.serve ~domains:2 ~queries_per_domain:500 ~seed:3 lc_inst
-                      pos_dist)));
+                   (run_static ~domains:2 ~queries_per_domain:500 ~seed:3 lc_inst pos_dist)));
           Test.make ~name:"serve_2dom_fks_500q"
             (Staged.stage (fun () ->
                  ignore
-                   (Lc_parallel.Engine.serve ~domains:2 ~queries_per_domain:500 ~seed:3 fks_inst
-                      pos_dist)));
+                   (run_static ~domains:2 ~queries_per_domain:500 ~seed:3 fks_inst pos_dist)));
           Test.make ~name:"serve_2dom_binsearch_500q"
             (Staged.stage (fun () ->
                  ignore
-                   (Lc_parallel.Engine.serve ~domains:2 ~queries_per_domain:500 ~seed:3 bs_inst
-                      pos_dist)));
+                   (run_static ~domains:2 ~queries_per_domain:500 ~seed:3 bs_inst pos_dist)));
           (* Telemetry overhead: the same run with per-domain metric
              shards, latency histograms, and span timelines attached. *)
           Test.make ~name:"serve_2dom_lowcon_500q_obs"
             (Staged.stage (fun () ->
                  let obs = Lc_obs.Obs.create () in
                  ignore
-                   (Lc_parallel.Engine.serve ~obs ~domains:2 ~queries_per_domain:500 ~seed:3
-                      lc_inst pos_dist)));
+                   (run_static ~obs ~domains:2 ~queries_per_domain:500 ~seed:3 lc_inst
+                      pos_dist)));
         ];
       Test.make_grouped ~name:"obs"
         [
@@ -197,8 +201,8 @@ let tests =
             (Staged.stage (fun () ->
                  let mon = Lc_parallel.Engine.Monitor.create ~interval_s:0.05 ~domains:2 lc_inst in
                  ignore
-                   (Lc_parallel.Engine.serve_windowed ~monitor:mon ~domains:2
-                      ~queries_per_domain:500 ~seed:3 lc_inst pos_dist)));
+                   (run_static ~monitor:mon ~domains:2 ~queries_per_domain:500 ~seed:3
+                      lc_inst pos_dist)));
           (* Flight recorder armed: the same monitored run with a
              journal attached. Workers record once per publication and
              the monitor once per window, so this twin must sit within a
@@ -214,8 +218,8 @@ let tests =
                    Lc_parallel.Engine.Monitor.create ~interval_s:0.05 ~journal ~domains:2 lc_inst
                  in
                  ignore
-                   (Lc_parallel.Engine.serve_windowed ~monitor:mon ~domains:2
-                      ~queries_per_domain:500 ~seed:3 lc_inst pos_dist)));
+                   (run_static ~monitor:mon ~domains:2 ~queries_per_domain:500 ~seed:3
+                      lc_inst pos_dist)));
         ];
       Test.make_grouped ~name:"harness(T1/T2)"
         [

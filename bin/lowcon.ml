@@ -277,8 +277,8 @@ let port_arg =
     & opt (some int) None
     & info [ "port" ] ~docv:"PORT"
         ~doc:
-          "Serve /metrics, /snapshot.json, /cells.json, /windows.json and /healthz on \
-           127.0.0.1:$(docv) during the run (0 picks an ephemeral port).")
+          "Serve /metrics, /snapshot.json, /cells.json, /windows.json, /updates.json and \
+           /healthz on 127.0.0.1:$(docv) during the run (0 picks an ephemeral port).")
 
 let top_k_arg =
   Arg.(value & opt int 16 & info [ "top-k" ] ~docv:"K" ~doc:"Hot-cell sketch capacity per worker.")
@@ -326,10 +326,20 @@ let journal_capacity_arg =
         ~doc:"Flight-recorder ring capacity per recording domain (oldest events overwritten).")
 
 let window_line (e : Window.entry) =
-  Printf.sprintf "w%03d  [%6.2fs,%6.2fs)  q %7d  qps %9.0f  p50 %7.1fus  p99 %7.1fus  hot %6.1fx  %s"
-    e.index e.t_start_s e.t_end_s e.queries e.qps (e.p50_ns /. 1e3) (e.p99_ns /. 1e3)
-    e.hotspot_ratio
-    (if e.alert then "ALERT" else "-")
+  let base =
+    Printf.sprintf
+      "w%03d  [%6.2fs,%6.2fs)  q %7d  qps %9.0f  p50 %7.1fus  p99 %7.1fus  hot %6.1fx  %s"
+      e.index e.t_start_s e.t_end_s e.queries e.qps (e.p50_ns /. 1e3) (e.p99_ns /. 1e3)
+      e.hotspot_ratio
+      (if e.alert then "ALERT" else "-")
+  in
+  match e.updates with
+  | None -> base
+  | Some u ->
+    base
+    ^ Printf.sprintf "  | ups %7.0f/s  pubs %5.1f/s  w-amp %5.2f  rb-p99 %6.1fus" u.Window.ups
+        u.Window.pubs_per_s u.Window.write_amp
+        (u.Window.rebuild_p99_ns /. 1e3)
 
 let render_dashboard ~name ~domains ~port ~alert_factor mon (_ : Window.entry) =
   let w = Engine.Monitor.window mon in
@@ -352,6 +362,19 @@ let render_dashboard ~name ~domains ~port ~alert_factor mon (_ : Window.entry) =
        (Window.total_windows w)
        (if Window.alert_active w then "FIRING" else "quiet")
        (Window.alert_fired_total w) (Window.alert_firing_run w));
+  (* Update panel: present only while the builder is reporting (the
+     epoch-published dynamic dictionary under --dist rw:F). *)
+  (match Window.last w with
+  | Some { Window.updates = Some u; _ } ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "updates   ups %8.0f/s   pubs %5.1f/s   write-amp %6.2f   rebuild p99 %7.1fus\n\
+          epoch %-6d retired-pending %-4d reader-lag %-3d cum updates %d (cells %d)\n"
+         u.Window.ups u.Window.pubs_per_s u.Window.write_amp
+         (u.Window.rebuild_p99_ns /. 1e3)
+         u.Window.u_epoch u.Window.u_retired u.Window.u_reader_lag u.Window.cum_updates
+         u.Window.cum_cells)
+  | _ -> ());
   print_string (Buffer.contents buf);
   flush stdout
 
@@ -380,8 +403,12 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
   let universe = resolve_universe n universe_opt in
   let keys = Keyset.random rng ~universe ~n in
   let journal =
+    (* Ring layout: 0 = orchestrator, 1..domains = workers,
+       domains+1 = monitor; a dynamic run gets one more ring
+       (domains+2) for the builder's publish/merge/reclaim events. *)
+    let writers = domains + 2 + if rw <> None then 1 else 0 in
     Option.map
-      (fun _ -> Lc_obs.Journal.create ~writers:(domains + 2) ~capacity:journal_capacity)
+      (fun _ -> Lc_obs.Journal.create ~writers ~capacity:journal_capacity)
       dump_on_alert
   in
   let stage name mark =
@@ -472,7 +499,7 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
   | Some s ->
     bound_port := Some (Lc_obs.Http.port s);
     Printf.printf "Scrape endpoint: http://127.0.0.1:%d/metrics (also /snapshot.json, \
-                   /cells.json, /windows.json, /healthz)\n%!"
+                   /cells.json, /windows.json, /updates.json, /healthz)\n%!"
       (Lc_obs.Http.port s)
   | None -> ());
   let w =
@@ -520,6 +547,16 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
        reclaimed (%d pending), %d keys rebuilt, %d purges.\n"
       u.Engine.inserts u.Engine.deletes u.Engine.publications u.Engine.reclaimed
       u.Engine.retired_pending u.Engine.keys_rebuilt u.Engine.purges;
+    let update_ops = u.Engine.inserts + u.Engine.deletes in
+    Printf.printf
+      "Write path: %d cells written in %d level builds (write-amp %.2f); %.1f us/update, \
+       rebuild %.2f ms + publish %.2f ms wall; worst reclaim lag %d epoch(s).\n"
+      u.Engine.cells_written u.Engine.rebuilds u.Engine.write_amp
+      (if update_ops = 0 then 0.0
+       else float_of_int u.Engine.builder_ns /. float_of_int update_ops /. 1e3)
+      (float_of_int u.Engine.rebuild_ns /. 1e6)
+      (float_of_int u.Engine.publish_ns /. 1e6)
+      u.Engine.reclaim_lag_max;
     Printf.printf "Final snapshot: epoch %d, %d live keys; %d of %d queries hit.\n"
       u.Engine.final_epoch u.Engine.final_live u.Engine.query_hits r.queries);
   List.iter
@@ -583,7 +620,10 @@ let entry_table (entries : Artifact.entry list) =
   let t =
     Tablefmt.create ~title:"perf suite results"
       ~columns:
-        [ "config"; "ns/q"; "95% CI"; "probes/q"; "p50 us"; "p99 us"; "hotspot"; "queries" ]
+        [
+          "config"; "ns/q"; "95% CI"; "probes/q"; "p50 us"; "p99 us"; "hotspot"; "queries";
+          "ns/upd"; "w-amp";
+        ]
   in
   List.iter
     (fun (e : Artifact.entry) ->
@@ -598,6 +638,12 @@ let entry_table (entries : Artifact.entry list) =
           Printf.sprintf "%.1f" (e.Artifact.p99_ns /. 1e3);
           Printf.sprintf "%.2fx" e.Artifact.hotspot_ratio;
           string_of_int e.Artifact.queries;
+          (match e.Artifact.ns_per_update with
+          | Some c -> Printf.sprintf "%.0f" c.Artifact.mean
+          | None -> "-");
+          (match e.Artifact.write_amp with
+          | Some w -> Printf.sprintf "%.2f" w
+          | None -> "-");
         ])
     entries;
   Tablefmt.render t
@@ -752,6 +798,55 @@ let check_prom_line line =
         Error (Printf.sprintf "unparseable value %S" value)
       else Ok ()
 
+(* The /updates.json document ("lowcon-updates" v1): cumulative builder
+   counters — null exactly when the run never exercised the update path
+   — plus the per-window update entries. Validated structurally, the
+   same way the monitor builds it. *)
+let validate_updates doc =
+  let module J = Lc_obs.Json in
+  let module U = Lc_perf.Jsonu in
+  let ( let* ) = Result.bind in
+  let* () =
+    U.check_schema ~expect:Engine.Monitor.updates_schema_name
+      ~version:Engine.Monitor.updates_schema_version doc
+  in
+  let* seen = U.bool_field "updates_seen" doc in
+  let* cumulative = U.field "cumulative" doc in
+  let* () =
+    match (seen, cumulative) with
+    | false, J.Null -> Ok ()
+    | false, _ -> Error "\"cumulative\" must be null when updates_seen is false"
+    | true, J.Null -> Error "\"cumulative\" must be an object when updates_seen is true"
+    | true, c ->
+      let* _ = U.int_field "inserts" c in
+      let* _ = U.int_field "deletes" c in
+      let* _ = U.int_field "publications" c in
+      let* _ = U.int_field "reclaimed" c in
+      let* _ = U.int_field "cells_written" c in
+      let* _ = U.float_field "write_amp" c in
+      let* _ = U.int_field "epoch" c in
+      let* _ = U.int_field "retired_pending" c in
+      let* _ = U.int_field "reader_lag" c in
+      Ok ()
+  in
+  let* windows = U.list_field "windows" doc in
+  let* _ =
+    U.decode_list "windows"
+      (fun w ->
+        let* _ = U.int_field "index" w in
+        let* _ = U.float_field "ups" w in
+        let* _ = U.int_field "publications" w in
+        let* _ = U.int_field "cells_written" w in
+        let* _ = U.float_field "write_amp" w in
+        let* _ = U.float_field "rebuild_p99_ns" w in
+        let* _ = U.int_field "epoch" w in
+        let* _ = U.int_field "retired_pending" w in
+        let* _ = U.int_field "reader_lag" w in
+        Ok ())
+      windows
+  in
+  Ok (seen, List.length windows)
+
 (* Per-file verdict: Ok describes what was recognised, Error what broke.
    Recognition is by content (the "schema" member), not by filename, so
    a renamed artifact still validates against the right grammar. *)
@@ -807,6 +902,15 @@ let validate_one path =
                Lc_lint.Report.schema_name Lc_lint.Report.schema_version
                r.Lc_lint.Report.files_scanned active
                (List.length r.Lc_lint.Report.results - active))
+        | Error e -> Error e)
+      | Some (Lc_obs.Json.String s) when s = Engine.Monitor.updates_schema_name -> (
+        match validate_updates doc with
+        | Ok (seen, nwindows) ->
+          Ok
+            (Printf.sprintf "%s v%d, %s, %d update window(s)"
+               Engine.Monitor.updates_schema_name Engine.Monitor.updates_schema_version
+               (if seen then "updates seen" else "no updates (static run)")
+               nwindows)
         | Error e -> Error e)
       | Some (Lc_obs.Json.String s) when s = Postmortem.schema_name -> (
         match Postmortem.of_json doc with

@@ -27,7 +27,12 @@ let run_pass ~cost ~label arms qdist =
     (fun (name, inst) ->
       List.iter
         (fun domains ->
-          let r = Engine.serve ~cost ~domains ~queries_per_domain:qpd ~seed:11 inst qdist in
+          let o =
+            Engine.run
+              (Engine.Config.make ~cost ~domains ~seed:11 ())
+              (Engine.Static { inst; qdist; queries_per_domain = qpd })
+          in
+          let r = o.Engine.result in
           Printf.printf "%-16s %3d %10.0f %12d %10.1f %8.2f %9.3f\n" name domains
             (r.throughput /. 1e3) r.hottest_count (Engine.hotspot_ratio r)
             (100.0 *. r.hottest_share) r.seconds)

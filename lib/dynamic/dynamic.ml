@@ -10,6 +10,19 @@ type level = {
   replicas : Dictionary.t array;  (* >= 1 independently built copies *)
 }
 
+(* One Bentley–Saxe merge, as seen by the update-path observatory: the
+   level (re)built, how many keys went in, across how many replicas,
+   the exact cell count written (sum of replica spaces) and the build's
+   wall duration. Reported to the build hook and folded into the
+   cumulative rebuild counters. *)
+type build_info = {
+  bi_index : int;
+  bi_keys : int;
+  bi_replicas : int;
+  bi_cells : int;
+  bi_ns : int;
+}
+
 type t = {
   universe : int;
   boost : int;
@@ -22,6 +35,14 @@ type t = {
   mutable keys_rebuilt : int;
   mutable purges : int;
   mutable probe_count : int;  (* cumulative cell probes issued by [mem] *)
+  (* Update-path accounting, builder-owned like everything above: every
+     level build adds its exact written-cell count (the write half of
+     write amplification), bumps the rebuild counter and accumulates the
+     build's wall time. *)
+  mutable cells_written : int;
+  mutable rebuilds : int;
+  mutable rebuild_ns : int;
+  mutable build_hook : (build_info -> unit) option;
 }
 
 let is_power_of_two v = v > 0 && v land (v - 1) = 0
@@ -42,16 +63,37 @@ let create ?(small_level_boost = 1) rng ~universe () =
     keys_rebuilt = 0;
     purges = 0;
     probe_count = 0;
+    cells_written = 0;
+    rebuilds = 0;
+    rebuild_ns = 0;
+    build_hook = None;
   }
 
 let replica_count t index = max 1 (t.boost lsr index)
 
 let build_level t ~index keys =
+  let t0 = Monotonic_clock.now () in
   let replicas =
     Array.init (replica_count t index) (fun _ ->
         Dictionary.build t.rng ~universe:t.universe ~keys)
   in
+  let ns = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+  let cells = Array.fold_left (fun a d -> a + Dictionary.space d) 0 replicas in
   t.keys_rebuilt <- t.keys_rebuilt + (Array.length keys * Array.length replicas);
+  t.cells_written <- t.cells_written + cells;
+  t.rebuilds <- t.rebuilds + 1;
+  t.rebuild_ns <- t.rebuild_ns + ns;
+  (match t.build_hook with
+  | None -> ()
+  | Some f ->
+    f
+      {
+        bi_index = index;
+        bi_keys = Array.length keys;
+        bi_replicas = Array.length replicas;
+        bi_cells = cells;
+        bi_ns = ns;
+      });
   { index; keys = Array.copy keys; replicas }
 
 let ensure_capacity t index =
@@ -184,6 +226,11 @@ let level_sizes t =
 let keys_rebuilt t = t.keys_rebuilt
 let purges t = t.purges
 let probes t = t.probe_count
+let cells_written t = t.cells_written
+let rebuilds t = t.rebuilds
+let rebuild_ns t = t.rebuild_ns
+let set_build_hook t f = t.build_hook <- Some f
+let clear_build_hook t = t.build_hook <- None
 
 type level_view = {
   lv_index : int;

@@ -82,6 +82,41 @@ val probes : t -> int
     rebuilds — unlike the per-table counters, this survives levels being
     discarded). *)
 
+val cells_written : t -> int
+(** Exact cells written by level builds since creation: every
+    {e build_level} adds the sum of [Dictionary.space] over the replicas
+    it constructed. Divided by the number of keys inserted this is the
+    structure's write amplification. Builder-owned plain counter — read
+    it only from the domain that mutates [t]. *)
+
+val rebuilds : t -> int
+(** Number of level builds since creation (each Bentley–Saxe cascade
+    target or purge-rebuild chunk counts once). Builder-owned. *)
+
+val rebuild_ns : t -> int
+(** Cumulative wall time, in nanoseconds, spent inside level builds.
+    Builder-owned. *)
+
+type build_info = {
+  bi_index : int;  (** Level index that was (re)built. *)
+  bi_keys : int;  (** Keys merged into the level ([2^bi_index]). *)
+  bi_replicas : int;  (** Independently built replica count. *)
+  bi_cells : int;  (** Exact cells written (sum of replica spaces). *)
+  bi_ns : int;  (** Wall duration of the build, nanoseconds. *)
+}
+(** One Bentley–Saxe merge as seen by the update-path observatory. *)
+
+val set_build_hook : t -> (build_info -> unit) -> unit
+(** [set_build_hook t f] calls [f] after every level build with that
+    build's exact accounting, from the mutating (builder) domain, before
+    the level is installed. At most one hook; a second call replaces the
+    first. The hook runs on the update path — keep it allocation-light
+    (plain stores into builder-owned telemetry, as {!Lc_obs.Metrics}
+    shards do). *)
+
+val clear_build_hook : t -> unit
+(** Remove the build hook, if any. *)
+
 type level_view = {
   lv_index : int;  (** The level's index [i]; it holds [2^i] keys. *)
   lv_keys : int array;  (** The stored keys (tombstones included), a copy. *)

@@ -50,6 +50,13 @@ type t = {
   mutable publications : int;
   mutable reclaimed : int;
   mutable drained_probes : int;  (* tallies of freed levels, preserved *)
+  (* Update-path observatory (builder-owned, like the rest of this
+     block): updates applied since the last publication, cumulative
+     publication wall time, and reclamation lag in epochs. *)
+  mutable pending_updates : int;
+  mutable publish_ns_total : int;
+  mutable reclaim_lag_total : int;
+  mutable reclaim_lag_max : int;
 }
 
 type reader = {
@@ -163,6 +170,10 @@ let create ?small_level_boost ?(max_readers = 64) rng ~universe () =
       publications = 0;
       reclaimed = 0;
       drained_probes = 0;
+      pending_updates = 0;
+      publish_ns_total = 0;
+      reclaim_lag_total = 0;
+      reclaim_lag_max = 0;
     }
   in
   t
@@ -171,11 +182,27 @@ let create ?small_level_boost ?(max_readers = 64) rng ~universe () =
 (* Builder side                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let insert t x = Dynamic.insert t.inner x
-let delete t x = Dynamic.delete t.inner x
+let insert t x =
+  Dynamic.insert t.inner x;
+  t.pending_updates <- t.pending_updates + 1
+
+let delete t x =
+  Dynamic.delete t.inner x;
+  t.pending_updates <- t.pending_updates + 1
+
 let inner t = t.inner
 
-let publish t =
+type publish_info = {
+  pi_epoch : int;
+  pi_batch : int;
+  pi_levels : int;
+  pi_fresh_levels : int;
+  pi_fresh_cells : int;
+  pi_dur_ns : int;
+}
+
+let publish_stats t =
+  let t0 = Monotonic_clock.now () in
   let old = Atomic.get t.current in
   let snap, cache = snapshot_of_inner t ~epoch:(old.epoch + 1) in
   (* Levels of the outgoing cache that the new snapshot no longer
@@ -184,12 +211,32 @@ let publish t =
   let dropped =
     List.filter (fun (id, _) -> not (List.mem_assq id cache)) t.cache
   in
+  (* Levels in the new snapshot the outgoing cache did not hold were
+     materialised by this publication — the write half of the epoch's
+     work, reported exactly. *)
+  let fresh =
+    List.filter (fun (id, _) -> not (List.mem_assq id t.cache)) cache
+  in
   t.retired <- List.map (fun (_, el) -> (snap.epoch, el)) dropped @ t.retired;
   t.cache <- cache;
   t.publications <- t.publications + 1;
+  let batch = t.pending_updates in
+  t.pending_updates <- 0;
   (* The one linearisation point: readers pinning from here on see the
      new level set. *)
-  Atomic.set t.current snap
+  Atomic.set t.current snap;
+  let ns = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+  t.publish_ns_total <- t.publish_ns_total + ns;
+  {
+    pi_epoch = snap.epoch;
+    pi_batch = batch;
+    pi_levels = Array.length snap.levels;
+    pi_fresh_levels = List.length fresh;
+    pi_fresh_cells = List.fold_left (fun a (_, el) -> a + el.el_space) 0 fresh;
+    pi_dur_ns = ns;
+  }
+
+let publish t = ignore (publish_stats t : publish_info)
 
 let min_announced t =
   Array.fold_left (fun acc s -> min acc (Atomic.get s)) quiescent t.slots
@@ -204,16 +251,22 @@ let try_reclaim t =
   | [] -> 0
   | retired ->
     let horizon = min_announced t in
+    let now_epoch = (Atomic.get t.current).epoch in
     (* A level that retired at publication epoch [e] is reachable only
        through snapshots of epoch < e; once every announced epoch is
        >= e (quiescent slots announce max_int), no reader can hold such
        a snapshot pinned, so the level is free. *)
     let free, keep = List.partition (fun (e, _) -> e <= horizon) retired in
     List.iter
-      (fun (_, el) ->
+      (fun (e, el) ->
         Atomic.set el.freed true;
         t.drained_probes <- t.drained_probes + drain_elevel el;
-        t.reclaimed <- t.reclaimed + 1)
+        t.reclaimed <- t.reclaimed + 1;
+        (* Reclamation lag: how many publications the level outlived its
+           retirement by before memory actually came back. *)
+        let lag = now_epoch - e in
+        t.reclaim_lag_total <- t.reclaim_lag_total + lag;
+        t.reclaim_lag_max <- max t.reclaim_lag_max lag)
       free;
     t.retired <- keep;
     List.length free
@@ -267,6 +320,14 @@ let rec pin r t =
   else pin r t
 
 let unpin r = Atomic.set r.slot quiescent
+
+(* Explicit pin/unpin, exposed for readers that need to hold a snapshot
+   across other work (and for the reclamation-lag tests, which park a
+   reader across many publications). Note [mem] manages its own pin:
+   calling it between [acquire] and [release] re-announces and then
+   returns the slot to quiescent, ending the held pin. *)
+let acquire t r = ignore (pin r t : snapshot)
+let release r = unpin r
 
 let tombstoned (deleted : int array) x =
   let n = Array.length deleted in
@@ -343,6 +404,25 @@ let snapshot_counts s =
 let publications t = t.publications
 let reclaimed t = t.reclaimed
 let retired_pending t = List.length t.retired
+let pending_updates t = t.pending_updates
+let publish_ns_total t = t.publish_ns_total
+let reclaim_lag_total t = t.reclaim_lag_total
+let reclaim_lag_max t = t.reclaim_lag_max
+
+let announced_min t =
+  let m = min_announced t in
+  if m = quiescent then None else Some m
+
+let reader_lag t =
+  match announced_min t with
+  | None -> 0
+  | Some m -> max 0 ((Atomic.get t.current).epoch - m)
+
+let oldest_retired_age t =
+  let cur = (Atomic.get t.current).epoch in
+  List.fold_left (fun acc (e, _) -> max acc (cur - e)) 0 t.retired
+
+let reader_staleness t r = (Atomic.get t.current).epoch - r.snap.epoch
 
 let total_probes t =
   (* Live (cached) levels + retired-but-unfreed levels + drained tallies

@@ -87,6 +87,26 @@ val publish : t -> unit
     current pointer — the single linearisation point readers observe.
     Levels no longer referenced retire at the new snapshot's epoch. *)
 
+type publish_info = {
+  pi_epoch : int;  (** Epoch of the snapshot just published. *)
+  pi_batch : int;
+      (** Updates ({!insert} + {!delete} calls) applied since the
+          previous publication — the batch this snapshot made visible. *)
+  pi_levels : int;  (** Levels in the published snapshot. *)
+  pi_fresh_levels : int;
+      (** Levels materialised by this publication (not shared with the
+          previous snapshot). *)
+  pi_fresh_cells : int;  (** Total cells of the fresh levels. *)
+  pi_dur_ns : int;
+      (** Wall time of snapshot construction + pointer swing, ns. *)
+}
+(** What one publication did — the per-publish record the engine feeds
+    into histograms and the flight recorder. *)
+
+val publish_stats : t -> publish_info
+(** {!publish}, additionally returning the publication's accounting.
+    [publish t] is [ignore (publish_stats t)]. *)
+
 val try_reclaim : t -> int
 (** Free every retired level whose retiring epoch all readers have
     provably left (minimum announced epoch, quiescent = [max_int]);
@@ -130,6 +150,18 @@ val last_epoch : reader -> int
 (** Epoch of the snapshot the reader's latest query pinned — what the
     linearizability property test records next to each answer. *)
 
+val acquire : t -> reader -> unit
+(** Pin the current snapshot and {e keep} it pinned — the announce /
+    re-read / retry loop {!mem} uses per query, exposed for readers that
+    must hold an epoch across other work (batched reads, or the
+    reclamation-lag tests that park a reader across publications). While
+    pinned, levels of the held snapshot cannot be reclaimed. Do not call
+    {!mem} on the same reader while holding an acquire: [mem] manages
+    its own pin and returns the slot to quiescent when it finishes. *)
+
+val release : reader -> unit
+(** Return the reader's slot to quiescent, ending an {!acquire}. *)
+
 (** {2 Introspection} *)
 
 val current : t -> snapshot
@@ -159,6 +191,41 @@ val reclaimed : t -> int
 
 val retired_pending : t -> int
 (** Retired levels still waiting for readers to leave. *)
+
+val pending_updates : t -> int
+(** Updates applied since the last publication (the batch the next
+    {!publish} will make visible). Builder-owned counter. *)
+
+val publish_ns_total : t -> int
+(** Cumulative wall time spent inside {!publish}, nanoseconds.
+    Builder-owned. *)
+
+val reclaim_lag_total : t -> int
+(** Sum over freed levels of their reclamation lag — how many epochs
+    each level sat retired before {!try_reclaim} freed it. With
+    {!reclaimed} this gives the mean lag. Builder-owned. *)
+
+val reclaim_lag_max : t -> int
+(** Worst reclamation lag observed so far, in epochs. Builder-owned. *)
+
+val announced_min : t -> int option
+(** The minimum epoch currently announced across reader slots — the
+    reclamation horizon — or [None] when every reader is quiescent.
+    Reads only atomics; safe from any domain. *)
+
+val reader_lag : t -> int
+(** [epoch (current t) - announced_min], or [0] when all readers are
+    quiescent: how far the slowest pinned reader trails the published
+    epoch right now. Safe from any domain. *)
+
+val oldest_retired_age : t -> int
+(** Age in epochs of the oldest retired-but-unfreed level ([0] when the
+    retired list is empty). Builder-owned. *)
+
+val reader_staleness : t -> reader -> int
+(** [epoch (current t) - last_epoch r]: how many publications have
+    happened since [r] last pinned. Reads [r]'s own snapshot field, so
+    call it from [r]'s owning domain or after joining it. *)
 
 val total_probes : t -> int
 (** Probes across live levels, retired-but-unfreed levels and the

@@ -1,0 +1,134 @@
+(* T16: the update-path observatory answering the paper's closing
+   question with live numbers. Aspnes-Eisenstat-Yampolskiy close by
+   asking what dynamization costs when the structure must stay
+   low-contention: level replication (small_level_boost) multiplies the
+   cells each Bentley-Saxe merge writes, so the update path pays for
+   the read path's contention bound. This experiment sweeps the boost
+   against the read fraction and reads the price off the telemetry the
+   engine now keeps: exact cells written per level build, wall time
+   split between merging and publishing, and write amplification —
+   all reconciled against the op stream's own counts and the epoch
+   structure's publication/reclamation tallies. *)
+
+module Rng = Lc_prim.Rng
+module Tablefmt = Lc_analysis.Tablefmt
+module Experiment = Lc_analysis.Experiment
+module Engine = Lc_parallel.Engine
+module Epoch = Lc_dynamic.Epoch
+module Opstream = Lc_workload.Opstream
+module Window = Lc_obs.Window
+
+let t16 =
+  {
+    Experiment.id = "T16";
+    title = "Write amplification vs small_level_boost: what dynamization costs";
+    claim =
+      "The observatory prices dynamization exactly as the level geometry predicts: raising \
+       small_level_boost grows the cells written (and the write amplification) sub-linearly \
+       in B — only levels with B >> i > 1 carry extra replicas, so boost 4 costs ~1.5x \
+       boost 1, not 4x — a higher read fraction raises the amplification ratio because the \
+       preloaded large level's merges amortize over fewer inserts, and every row reconciles \
+       exactly: builder inserts/deletes/queries equal Opstream.counts, the windowed u_cells \
+       sums equal the run's cells_written, and the engine's publication/reclamation totals \
+       equal the epoch structure's own.";
+    run =
+      (fun ~seed ->
+        let n = 512 in
+        let rng = Rng.create seed in
+        let universe = Common.universe_for n in
+        let keys = Lc_workload.Keyset.random rng ~universe ~n in
+        let domains = 2 and ops_per_domain = 8_000 and publish_every = 64 in
+        let tbl =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf
+                 "T16: boost x read-fraction sweep, %d domains, %d ops/domain, publish \
+                  every %d (n = %d preloaded)"
+                 domains ops_per_domain publish_every n)
+            ~columns:
+              [
+                "boost"; "rw"; "ins+del"; "pubs"; "cells"; "w-amp"; "rebuilds"; "ns/upd";
+                "rb-share"; "reconcile";
+              ]
+        in
+        List.iter
+          (fun small_level_boost ->
+            List.iter
+              (fun read_fraction ->
+                let erng =
+                  Rng.create (seed + (31 * small_level_boost) + (7 * int_of_float (read_fraction *. 100.)))
+                in
+                let epoch = Epoch.create ~small_level_boost erng ~universe () in
+                Array.iter (Epoch.insert epoch) keys;
+                Epoch.publish epoch;
+                let snap0 = Epoch.current epoch in
+                let ops =
+                  Opstream.generate
+                    ~mix:(Opstream.read_write_mix ~read_fraction)
+                    ~initial_pool:keys erng ~universe ~length:(domains * ops_per_domain)
+                    ~working_set:(2 * n)
+                in
+                let s_ins, s_del, s_q = Opstream.counts ops in
+                let mon =
+                  Engine.Monitor.create_for ~interval_s:0.03 ~domains
+                    ~space:(Epoch.space snap0) ~max_probes:(Epoch.max_probes snap0) ()
+                in
+                let cfg = Engine.Config.make ~monitor:mon ~domains ~seed:(seed + 23) () in
+                let o = Engine.run cfg (Engine.Dynamic { epoch; ops; publish_every }) in
+                let r = o.Engine.result in
+                let u = Option.get o.Engine.updates in
+                let win_cells =
+                  List.fold_left
+                    (fun a (e : Window.entry) ->
+                      match e.updates with Some w -> a + w.Window.u_cells | None -> a)
+                    0 o.Engine.windows
+                in
+                let update_ops = u.Engine.inserts + u.Engine.deletes in
+                let reconcile =
+                  if
+                    u.Engine.inserts = s_ins && u.Engine.deletes = s_del
+                    && r.Engine.queries = s_q
+                    && win_cells = u.Engine.cells_written
+                    && u.Engine.publications = Epoch.publications epoch
+                    && u.Engine.reclaimed = Epoch.reclaimed epoch
+                  then "exact"
+                  else "MISMATCH"
+                in
+                Tablefmt.add_row tbl
+                  [
+                    string_of_int small_level_boost;
+                    Printf.sprintf "%.2f" read_fraction;
+                    Printf.sprintf "%d+%d" u.Engine.inserts u.Engine.deletes;
+                    string_of_int u.Engine.publications;
+                    string_of_int u.Engine.cells_written;
+                    Printf.sprintf "%.2f" u.Engine.write_amp;
+                    string_of_int u.Engine.rebuilds;
+                    Printf.sprintf "%.0f"
+                      (if update_ops = 0 then 0.
+                       else float_of_int u.Engine.builder_ns /. float_of_int update_ops);
+                    Printf.sprintf "%.2f"
+                      (if u.Engine.builder_ns = 0 then 0.
+                       else
+                         float_of_int u.Engine.rebuild_ns /. float_of_int u.Engine.builder_ns);
+                    reconcile;
+                  ])
+              [ 0.5; 0.9 ])
+          [ 1; 2; 4 ];
+        Tablefmt.render tbl
+        ^ "\nExpected shape: every row reconciles exactly. At fixed rw the cells and w-amp \
+           columns grow with the boost but sub-linearly — boost B replicates level i into \
+           max(1, B >> i) copies, so only the smallest levels pay extra and boost 4 writes \
+           ~1.5x the cells of boost 1 — while pubs and ins+del stay put (the stream and \
+           publish cadence do not depend on the boost). Dropping rw from 0.90 to 0.50 \
+           multiplies the update count ~5x and the absolute cells with it, yet w-amp \
+           (cells per insert) is {e lower}: the preloaded n-key level is rewritten by \
+           cascades either way, and the longer stream amortizes that fixed bill over more \
+           inserts. rb-share is the fraction of builder wall time spent inside merges — \
+           the paper's closing question priced per row: the boost buys the read side its \
+           contention bound, and this column (with ns/upd and w-amp) is what the write \
+           side pays for it. ns/upd is machine-dependent; reconciliation and the \
+           amplification ratios are not."
+        ^ "\n");
+  }
+
+let register () = Experiment.register t16

@@ -69,10 +69,12 @@ let t12 =
                        histograms and spin-wait totals below come from
                        this serve alone. *)
                     let obs = Lc_obs.Obs.create () in
-                    let r =
-                      Engine.serve ~cost ~obs ~domains:m ~queries_per_domain:qpd
-                        ~seed:(seed + (13 * m)) inst qd
+                    let o =
+                      Engine.run
+                        (Engine.Config.make ~cost ~obs ~domains:m ~seed:(seed + (13 * m)) ())
+                        (Engine.Static { inst; qdist = qd; queries_per_domain = qpd })
                     in
+                    let r = o.Engine.result in
                     let snap = Lc_obs.Obs.snapshot obs in
                     let lat_q q =
                       match Lc_obs.Metrics.Snapshot.find_hist snap "engine_query_latency_ns" with

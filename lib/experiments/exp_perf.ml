@@ -64,8 +64,9 @@ let flight_recorder_arm ~seed ~structure ~alert_factor =
   let mon = Engine.Monitor.create ~alert_factor ~journal ~on_alert ~domains inst in
   mon_ref := Some mon;
   let w =
-    Engine.serve_windowed ~monitor:mon ~domains ~queries_per_domain:2_000 ~seed:(seed + 5)
-      inst qd
+    Engine.run
+      (Engine.Config.make ~monitor:mon ~domains ~seed:(seed + 5) ())
+      (Engine.Static { inst; qdist = qd; queries_per_domain = 2_000 })
   in
   (w, !captured)
 

@@ -65,8 +65,9 @@ let t13 =
                 ~alert_factor ~domains inst
             in
             let w =
-              Engine.serve_windowed ~monitor:mon ~domains ~queries_per_domain:qpd
-                ~seed:(seed + 17) inst qd
+              Engine.run
+                (Engine.Config.make ~monitor:mon ~domains ~seed:(seed + 17) ())
+                (Engine.Static { inst; qdist = qd; queries_per_domain = qpd })
             in
             let r = w.result in
             let sum_q = List.fold_left (fun a (e : Window.entry) -> a + e.queries) 0 w.windows in

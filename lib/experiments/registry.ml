@@ -18,5 +18,6 @@ let install () =
     Exp_parallel.register ();
     Exp_windowed.register ();
     Exp_perf.register ();
-    Exp_epoch.register ()
+    Exp_epoch.register ();
+    Exp_observatory.register ()
   end

@@ -46,7 +46,15 @@ let default_manifest =
        domain. The reader's probe closure factory (Epoch.reader) is
        deliberately absent — closure construction there is per-reader
        setup, same policy as Engine.make_probe. *)
-    ("lib/dynamic/epoch.ml", [ "pin"; "unpin"; "tombstoned"; "mem" ]);
+    (* acquire/release are the parked-pin variants of pin/unpin;
+       reader_lag/reader_staleness are the epoch-lifecycle gauges the
+       monitor scrapes per window cut while readers probe — none may
+       allocate. *)
+    ( "lib/dynamic/epoch.ml",
+      [
+        "pin"; "unpin"; "tombstoned"; "mem"; "acquire"; "release"; "reader_lag";
+        "reader_staleness";
+      ] );
     ("lib/obs/heavy.ml", [ "observe"; "min_count"; "copy_into" ]);
     ("lib/obs/window.ml", [ "publish" ]);
     ("lib/obs/journal.ml", [ "record" ]);

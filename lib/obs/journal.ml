@@ -13,6 +13,21 @@ type kind =
   | Sketch_snapshot of { top : (int * int * int) list }
   | Stage of { name : string; mark : [ `Begin | `End ] }
   | Publish of { queries : int }
+  | Epoch_publish of {
+      epoch : int;
+      batch : int;
+      levels : int;
+      fresh_cells : int;
+      dur_ns : int;
+    }
+  | Level_merge of {
+      level : int;
+      keys : int;
+      replicas : int;
+      cells : int;
+      dur_ns : int;
+    }
+  | Reclaim of { epoch : int; freed : int; lag : int; pending : int }
 
 type event = { t_ns : int64; writer : int; seq : int; kind : kind }
 

@@ -42,6 +42,29 @@ type kind =
   | Publish of { queries : int }
       (** A worker published its shard and sketch; [queries] is its
           cumulative query count at publication. *)
+  | Epoch_publish of {
+      epoch : int;
+      batch : int;
+      levels : int;
+      fresh_cells : int;
+      dur_ns : int;
+    }
+      (** The builder published epoch [epoch]: [batch] updates made
+          visible, [levels] levels in the snapshot of which the fresh
+          ones total [fresh_cells] cells, in [dur_ns] wall ns. *)
+  | Level_merge of {
+      level : int;
+      keys : int;
+      replicas : int;
+      cells : int;
+      dur_ns : int;
+    }
+      (** One Bentley–Saxe level build on the builder domain: [keys]
+          keys into level [level] across [replicas] replicas, writing
+          exactly [cells] cells in [dur_ns] wall ns. *)
+  | Reclaim of { epoch : int; freed : int; lag : int; pending : int }
+      (** [try_reclaim] at published epoch [epoch] freed [freed] levels
+          (max lag [lag] epochs), leaving [pending] still retired. *)
 
 type event = { t_ns : int64;  (** {!Clock.now_ns} at record time. *)
                writer : int;  (** Ring index of the recording domain. *)
@@ -53,7 +76,9 @@ type t
 val create : writers:int -> capacity:int -> t
 (** [create ~writers ~capacity]: one ring of [capacity] slots per
     writer. For a monitored serve: writer 0 is the orchestrator, [1..m]
-    the workers, [m+1] the monitor domain. *)
+    the workers, [m+1] the monitor domain, and — for dynamic
+    (read-write) runs given one more ring — [m+2] the builder domain's
+    update-path events. *)
 
 val writers : t -> int
 val capacity : t -> int

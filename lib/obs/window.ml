@@ -24,6 +24,37 @@ type config = {
   alert_factor : float;
 }
 
+(* Names of the builder-domain update metrics the windowed view diffs —
+   the update-path counterpart of the counter/histogram names in
+   [config]. Supplied by the engine when the run can mutate. *)
+type update_config = {
+  inserts_counter : string;
+  deletes_counter : string;
+  publications_counter : string;
+  cells_counter : string;
+  rebuild_histogram : string;
+  epoch_gauge : string;
+  retired_gauge : string;
+  reader_lag_gauge : string;
+}
+
+type uentry = {
+  u_inserts : int;
+  u_deletes : int;
+  ups : float;
+  u_pubs : int;
+  pubs_per_s : float;
+  u_cells : int;
+  write_amp : float;
+  rebuild_p50_ns : float;
+  rebuild_p99_ns : float;
+  u_epoch : int;
+  u_retired : int;
+  u_reader_lag : int;
+  cum_updates : int;
+  cum_cells : int;
+}
+
 type entry = {
   index : int;
   t_start_s : float;
@@ -41,11 +72,13 @@ type entry = {
   alert : bool;
   cum_queries : int;
   cum_probes : int;
+  updates : uentry option;
 }
 
 type t = {
   metrics : Metrics.t;
   config : config;
+  updates_cfg : update_config option;
   publishers : publisher array;
   (* Reader-side private buffers: [stable_read] copies a publisher's
      slots here under the seqlock retry loop, so merging never touches a
@@ -61,13 +94,18 @@ type t = {
   mutable prev_queries : int;
   mutable prev_probes : int;
   mutable prev_latency : Metrics.Snapshot.hist option;
+  mutable prev_inserts : int;
+  mutable prev_deletes : int;
+  mutable prev_pubs : int;
+  mutable prev_cells : int;
+  mutable prev_rebuild : Metrics.Snapshot.hist option;
   mutable prev_t : float;
   mutable firing_run : int;
   mutable fired_total : int;
   t0_ns : int64;
 }
 
-let create metrics config ~publishers:np =
+let create ?updates metrics config ~publishers:np =
   if np < 1 then invalid_arg "Window.create: need at least one publisher";
   if config.ring_capacity < 1 then invalid_arg "Window.create: ring_capacity must be >= 1";
   let mk_pub () =
@@ -80,6 +118,7 @@ let create metrics config ~publishers:np =
   {
     metrics;
     config;
+    updates_cfg = updates;
     publishers = Array.init np (fun _ -> mk_pub ());
     scratch_metrics = Array.init np (fun _ -> Metrics.frozen metrics);
     scratch_sketches = Array.init np (fun _ -> Heavy.create ~k:config.top_k);
@@ -89,6 +128,11 @@ let create metrics config ~publishers:np =
     prev_queries = 0;
     prev_probes = 0;
     prev_latency = None;
+    prev_inserts = 0;
+    prev_deletes = 0;
+    prev_pubs = 0;
+    prev_cells = 0;
+    prev_rebuild = None;
     prev_t = 0.0;
     firing_run = 0;
     fired_total = 0;
@@ -224,6 +268,73 @@ let tick t =
         t.fired_total <- t.fired_total + 1
       end
       else t.firing_run <- 0;
+      (* The windowed update view. [None] both when the recorder has no
+         update config and when the run never exercised the update path
+         (a static workload leaves the builder counters at zero) — the
+         absence /updates.json reports for read-only serves. *)
+      let rebuild_cum, updates =
+        match t.updates_cfg with
+        | None -> (None, None)
+        | Some uc ->
+          let c name =
+            Option.value ~default:0 (Metrics.Snapshot.counter_value snap name)
+          in
+          let cum_ins = c uc.inserts_counter in
+          let cum_del = c uc.deletes_counter in
+          let cum_pubs = c uc.publications_counter in
+          let cum_cells = c uc.cells_counter in
+          let reb_cum = Metrics.Snapshot.find_hist snap uc.rebuild_histogram in
+          if cum_ins + cum_del + cum_pubs = 0 then (reb_cum, None)
+          else begin
+            let di = cum_ins - t.prev_inserts in
+            let dd = cum_del - t.prev_deletes in
+            let dpub = cum_pubs - t.prev_pubs in
+            let dcells = cum_cells - t.prev_cells in
+            let rp50, rp99 =
+              match reb_cum with
+              | None -> (0.0, 0.0)
+              | Some cur ->
+                let d = hist_delta cur t.prev_rebuild in
+                if d.count <= 0 then (0.0, 0.0)
+                else (Metrics.Snapshot.quantile d 0.5, Metrics.Snapshot.quantile d 0.99)
+            in
+            let g name =
+              match Metrics.Snapshot.gauge_value snap name with
+              | None -> 0
+              | Some v -> int_of_float v
+            in
+            ( reb_cum,
+              Some
+                {
+                  u_inserts = di;
+                  u_deletes = dd;
+                  ups = (if dt > 0.0 then float_of_int (di + dd) /. dt else 0.0);
+                  u_pubs = dpub;
+                  pubs_per_s = (if dt > 0.0 then float_of_int dpub /. dt else 0.0);
+                  u_cells = dcells;
+                  write_amp =
+                    (if di > 0 then float_of_int dcells /. float_of_int di else 0.0);
+                  rebuild_p50_ns = rp50;
+                  rebuild_p99_ns = rp99;
+                  u_epoch = g uc.epoch_gauge;
+                  u_retired = g uc.retired_gauge;
+                  u_reader_lag = g uc.reader_lag_gauge;
+                  cum_updates = cum_ins + cum_del;
+                  cum_cells;
+                } )
+          end
+      in
+      (match t.updates_cfg with
+      | None -> ()
+      | Some uc ->
+        let c name =
+          Option.value ~default:0 (Metrics.Snapshot.counter_value snap name)
+        in
+        t.prev_inserts <- c uc.inserts_counter;
+        t.prev_deletes <- c uc.deletes_counter;
+        t.prev_pubs <- c uc.publications_counter;
+        t.prev_cells <- c uc.cells_counter;
+        t.prev_rebuild <- rebuild_cum);
       let e =
         {
           index = t.next_index;
@@ -242,6 +353,7 @@ let tick t =
           alert;
           cum_queries;
           cum_probes;
+          updates;
         }
       in
       push t e;
@@ -294,4 +406,21 @@ let prometheus_gauges t =
     "1 while engine_hotspot_ratio exceeds the configured alert factor" (if alert then 1.0 else 0.0);
   gauge "engine_window_qps" "Queries per second over the last completed window" qps;
   gauge "engine_window_p99_latency_ns" "Windowed p99 query latency (ns)" p99;
+  (* Update-path gauges, present only when the run exercised the update
+     path (mirrors the /updates.json absent-when-static semantics). *)
+  (match e with
+  | Some { updates = Some u; _ } ->
+    gauge "engine_window_ups" "Updates per second over the last completed window" u.ups;
+    gauge "engine_window_pubs_per_s" "Epoch publications per second over the last window"
+      u.pubs_per_s;
+    gauge "engine_window_write_amp"
+      "Cells written per key inserted over the last completed window" u.write_amp;
+    gauge "engine_window_rebuild_p99_ns" "Windowed p99 level-rebuild duration (ns)"
+      u.rebuild_p99_ns;
+    gauge "engine_epoch" "Currently published epoch" (float_of_int u.u_epoch);
+    gauge "engine_retired_pending" "Retired levels awaiting reclamation"
+      (float_of_int u.u_retired);
+    gauge "engine_reader_lag" "Published epoch minus the slowest pinned reader's epoch"
+      (float_of_int u.u_reader_lag)
+  | _ -> ());
   Buffer.contents b

@@ -47,6 +47,49 @@ type config = {
           bound — the Θ(√n)-regression detector's threshold. *)
 }
 
+type update_config = {
+  inserts_counter : string;  (** Counter diffed into [u_inserts]. *)
+  deletes_counter : string;  (** Counter diffed into [u_deletes]. *)
+  publications_counter : string;  (** Counter diffed into [u_pubs]. *)
+  cells_counter : string;
+      (** Cells-written counter diffed into [u_cells] / [write_amp]. *)
+  rebuild_histogram : string;
+      (** Per-level-build duration histogram diffed into windowed
+          rebuild p50/p99. *)
+  epoch_gauge : string;  (** Published-epoch gauge read into [u_epoch]. *)
+  retired_gauge : string;  (** Retired-pending gauge ([u_retired]). *)
+  reader_lag_gauge : string;  (** Reader-lag gauge ([u_reader_lag]). *)
+}
+(** Names of the builder-domain update metrics the windowed view diffs —
+    the update-path counterpart of the counter/histogram names in
+    {!config}. The engine supplies this for runs that can mutate; like
+    those, the metrics must be registered before {!create}. *)
+
+type uentry = {
+  u_inserts : int;  (** Inserts applied in this window. *)
+  u_deletes : int;  (** Deletes applied in this window. *)
+  ups : float;  (** Updates (inserts + deletes) per second. *)
+  u_pubs : int;  (** Epoch publications in this window. *)
+  pubs_per_s : float;
+  u_cells : int;  (** Cells written by level builds in this window. *)
+  write_amp : float;
+      (** [u_cells / u_inserts] — windowed write amplification; [0] when
+          the window saw no inserts. *)
+  rebuild_p50_ns : float;
+      (** Windowed level-rebuild duration quantiles from histogram
+          deltas; 0 when the window saw no rebuilds. *)
+  rebuild_p99_ns : float;
+  u_epoch : int;  (** Published epoch at window end (gauge read). *)
+  u_retired : int;  (** Retired-but-unfreed levels at window end. *)
+  u_reader_lag : int;
+      (** Published epoch minus the slowest pinned reader's announced
+          epoch at window end (0 when all readers are quiescent). *)
+  cum_updates : int;  (** Cumulative inserts + deletes at window end. *)
+  cum_cells : int;  (** Cumulative cells written at window end. *)
+}
+(** The windowed update view — what the update path did during one
+    window, cut by the same {!tick} that cuts the read-side fields. *)
+
 type entry = {
   index : int;  (** 0-based window sequence number. *)
   t_start_s : float;  (** Window bounds, seconds since {!create}. *)
@@ -72,16 +115,20 @@ type entry = {
   alert : bool;  (** [hotspot_ratio > alert_factor] this window. *)
   cum_queries : int;  (** Cumulative totals at window end. *)
   cum_probes : int;
+  updates : uentry option;
+      (** The update-path view — [None] when the recorder has no
+          {!update_config} {e or} the run never exercised the update
+          path (static workloads leave the builder counters at zero). *)
 }
 
 type t
 (** The recorder: publishers, ring, delta state, alert state. *)
 
-val create : Metrics.t -> config -> publishers:int -> t
+val create : ?updates:update_config -> Metrics.t -> config -> publishers:int -> t
 (** [create metrics config ~publishers] sizes one publisher per
     recording domain. Create it {e after} registering the metrics named
-    in [config] (buffers are sized to the registry's current
-    definitions). *)
+    in [config] — and in [?updates], when given — (buffers are sized to
+    the registry's current definitions). *)
 
 val publisher : t -> int -> publisher
 val config : t -> config
@@ -119,4 +166,8 @@ val prometheus_gauges : t -> string
 (** [# HELP]/[# TYPE]/value lines for [engine_hotspot_ratio],
     [engine_hotspot_alert], [engine_window_qps] and
     [engine_window_p99_latency_ns] from the latest window — appended by
-    the [/metrics] route after the merged snapshot's series. *)
+    the [/metrics] route after the merged snapshot's series. When the
+    latest window carries an update view, also [engine_window_ups],
+    [engine_window_pubs_per_s], [engine_window_write_amp],
+    [engine_window_rebuild_p99_ns], [engine_epoch],
+    [engine_retired_pending] and [engine_reader_lag]. *)

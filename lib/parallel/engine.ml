@@ -167,6 +167,72 @@ let register_metrics (o : Lc_obs.Obs.t) =
     m_domains = Metrics.gauge o.metrics ~help:"Worker domains in the last serve" "engine_domains";
   }
 
+(* Update-path metric ids (builder-domain shard only). Registered next
+   to [register_metrics] so the Window's frozen buffers include them;
+   idempotent per name like everything in the registry. *)
+type update_metric_ids = {
+  u_inserts_c : Metrics.counter;
+  u_deletes_c : Metrics.counter;
+  u_pubs_c : Metrics.counter;
+  u_reclaimed_c : Metrics.counter;
+  u_cells_c : Metrics.counter;
+  u_rebuild_h : Metrics.histogram;
+  u_publish_h : Metrics.histogram;
+  u_batch_h : Metrics.histogram;
+  u_epoch_g : Metrics.gauge;
+  u_retired_g : Metrics.gauge;
+  u_lag_g : Metrics.gauge;
+}
+
+(* The metric names the windowed update view diffs — one shared value so
+   the registration below, the Window config and the /updates.json body
+   can never drift apart. *)
+let update_metric_names : Window.update_config =
+  {
+    Window.inserts_counter = "engine_inserts_total";
+    deletes_counter = "engine_deletes_total";
+    publications_counter = "engine_publications_total";
+    cells_counter = "engine_cells_written_total";
+    rebuild_histogram = "engine_rebuild_ns";
+    epoch_gauge = "engine_epoch";
+    retired_gauge = "engine_retired_pending";
+    reader_lag_gauge = "engine_reader_lag";
+  }
+
+let register_update_metrics (o : Lc_obs.Obs.t) =
+  let n = update_metric_names in
+  {
+    u_inserts_c =
+      Metrics.counter o.metrics ~help:"Inserts applied by the builder domain"
+        n.Window.inserts_counter;
+    u_deletes_c =
+      Metrics.counter o.metrics ~help:"Deletes applied by the builder domain"
+        n.Window.deletes_counter;
+    u_pubs_c =
+      Metrics.counter o.metrics ~help:"Epoch snapshots published" n.Window.publications_counter;
+    u_reclaimed_c =
+      Metrics.counter o.metrics ~help:"Retired levels reclaimed" "engine_reclaimed_total";
+    u_cells_c =
+      Metrics.counter o.metrics ~help:"Cells written by level rebuilds (exact)"
+        n.Window.cells_counter;
+    u_rebuild_h =
+      Metrics.histogram o.metrics ~help:"Per-level-build duration (ns)"
+        n.Window.rebuild_histogram;
+    u_publish_h =
+      Metrics.histogram o.metrics ~help:"Per-publication latency (ns)" "engine_publish_ns";
+    u_batch_h =
+      Metrics.histogram o.metrics ~help:"Updates made visible per publication"
+        "engine_publish_batch";
+    u_epoch_g = Metrics.gauge o.metrics ~help:"Currently published epoch" n.Window.epoch_gauge;
+    u_retired_g =
+      Metrics.gauge o.metrics ~help:"Retired levels awaiting reclamation"
+        n.Window.retired_gauge;
+    u_lag_g =
+      Metrics.gauge o.metrics
+        ~help:"Published epoch minus the slowest pinned reader's epoch"
+        n.Window.reader_lag_gauge;
+  }
+
 (* Shared by [count_histogram] (exact, post-run) and the live
    /cells.json route (exact mid-run, from the per-cell atomics). *)
 let histogram_of_counts counts =
@@ -200,6 +266,7 @@ module Monitor = struct
     window : Window.t;
     sketches : Heavy.t array;
     orch_sketch : Heavy.t;
+    builder_sketch : Heavy.t;
     domains : int;
     interval_s : float;
     publish_period : int;
@@ -224,13 +291,18 @@ module Monitor = struct
       invalid_arg
         (Printf.sprintf
            "Monitor.create: journal has %d writer rings, need domains + 2 = %d \
-            (orchestrator, workers, monitor)"
+            (orchestrator, workers, monitor; dynamic runs want one more for the \
+            builder)"
            (Journal.writers j) (domains + 2))
     | _ -> ());
     let obs = match obs with Some o -> o | None -> Lc_obs.Obs.create () in
     (* Register before sizing the seqlock buffers: Window.frozen copies
-       only metrics that exist at creation time. *)
+       only metrics that exist at creation time. The update metrics are
+       registered unconditionally — a static run simply never touches
+       them, which is exactly the absent-when-static signal the windowed
+       update view keys on. *)
     let _ids = register_metrics obs in
+    let _uids = register_update_metrics obs in
     let config =
       {
         Window.ring_capacity = ring;
@@ -245,9 +317,15 @@ module Monitor = struct
     in
     {
       obs;
-      window = Window.create obs.metrics config ~publishers:(domains + 1);
+      (* Publisher layout: 0 = orchestrator, 1..domains = workers,
+         domains + 1 = the builder domain of a dynamic run (left zeroed
+         by static serves). *)
+      window =
+        Window.create ~updates:update_metric_names obs.metrics config
+          ~publishers:(domains + 2);
       sketches = Array.init domains (fun _ -> Heavy.create ~k:top_k);
       orch_sketch = Heavy.create ~k:top_k;
+      builder_sketch = Heavy.create ~k:top_k;
       domains;
       interval_s;
       publish_period;
@@ -380,6 +458,83 @@ module Monitor = struct
            ("alert_fired_total", Lc_obs.Json.Int (Window.alert_fired_total t.window));
          ])
 
+  (* /updates.json: the update-path counterpart of /windows.json,
+     schema-versioned ("lowcon-updates" v1) so `lowcon validate` can
+     check a saved scrape. [cumulative] is null and [windows] empty for
+     a run that never exercised the update path (static workloads). *)
+  let updates_schema_name = "lowcon-updates"
+  let updates_schema_version = 1
+
+  let updates_body t =
+    let module J = Lc_obs.Json in
+    let snap = Window.live_snapshot t.window in
+    let n = update_metric_names in
+    let c name = Option.value ~default:0 (Metrics.Snapshot.counter_value snap name) in
+    let g name =
+      match Metrics.Snapshot.gauge_value snap name with
+      | None -> 0
+      | Some v -> int_of_float v
+    in
+    let inserts = c n.Window.inserts_counter in
+    let deletes = c n.Window.deletes_counter in
+    let pubs = c n.Window.publications_counter in
+    let cells = c n.Window.cells_counter in
+    let active = inserts + deletes + pubs > 0 in
+    let cumulative =
+      if not active then J.Null
+      else
+        J.Obj
+          [
+            ("inserts", J.Int inserts);
+            ("deletes", J.Int deletes);
+            ("publications", J.Int pubs);
+            ("reclaimed", J.Int (c "engine_reclaimed_total"));
+            ("cells_written", J.Int cells);
+            ( "write_amp",
+              J.Float
+                (if inserts > 0 then float_of_int cells /. float_of_int inserts else 0.0) );
+            ("epoch", J.Int (g n.Window.epoch_gauge));
+            ("retired_pending", J.Int (g n.Window.retired_gauge));
+            ("reader_lag", J.Int (g n.Window.reader_lag_gauge));
+          ]
+    in
+    let uwindows =
+      List.filter_map
+        (fun (e : Window.entry) ->
+          match e.Window.updates with
+          | None -> None
+          | Some u ->
+            Some
+              (J.Obj
+                 [
+                   ("index", J.Int e.Window.index);
+                   ("t_start_s", J.Float e.Window.t_start_s);
+                   ("t_end_s", J.Float e.Window.t_end_s);
+                   ("inserts", J.Int u.Window.u_inserts);
+                   ("deletes", J.Int u.Window.u_deletes);
+                   ("ups", J.Float u.Window.ups);
+                   ("publications", J.Int u.Window.u_pubs);
+                   ("pubs_per_s", J.Float u.Window.pubs_per_s);
+                   ("cells_written", J.Int u.Window.u_cells);
+                   ("write_amp", J.Float u.Window.write_amp);
+                   ("rebuild_p50_ns", J.Float u.Window.rebuild_p50_ns);
+                   ("rebuild_p99_ns", J.Float u.Window.rebuild_p99_ns);
+                   ("epoch", J.Int u.Window.u_epoch);
+                   ("retired_pending", J.Int u.Window.u_retired);
+                   ("reader_lag", J.Int u.Window.u_reader_lag);
+                 ]))
+        (Window.entries t.window)
+    in
+    J.to_string
+      (J.Obj
+         [
+           ("schema", J.String updates_schema_name);
+           ("version", J.Int updates_schema_version);
+           ("updates_seen", J.Bool active);
+           ("cumulative", cumulative);
+           ("windows", J.List uwindows);
+         ])
+
   let routes t : Http.route list =
     [
       ("/metrics", fun () -> Http.text (metrics_body t));
@@ -387,6 +542,7 @@ module Monitor = struct
         fun () -> Http.json (Lc_obs.Export.json_snapshot (Window.live_snapshot t.window)) );
       ("/cells.json", fun () -> Http.json (cells_body t));
       ("/windows.json", fun () -> Http.json (windows_body t));
+      ("/updates.json", fun () -> Http.json (updates_body t));
       ("/healthz", fun () -> Http.text "ok\n");
     ]
 end
@@ -649,6 +805,13 @@ type update_stats = {
   purges : int;
   final_live : int;
   final_epoch : int;
+  cells_written : int;
+  rebuilds : int;
+  rebuild_ns : int;
+  publish_ns : int;
+  write_amp : float;
+  builder_ns : int;
+  reclaim_lag_max : int;
 }
 
 type outcome = {
@@ -724,29 +887,12 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
       in
       let builder_shard = Lc_obs.Obs.shard o ~domain:(domains + 1) in
       let builder_tl = Lc_obs.Obs.timeline o ~tid:(domains + 1) in
-      let b_inserts_c =
-        Metrics.counter o.metrics ~help:"Inserts applied by the builder domain"
-          "engine_inserts_total"
-      in
-      let b_deletes_c =
-        Metrics.counter o.metrics ~help:"Deletes applied by the builder domain"
-          "engine_deletes_total"
-      in
-      let b_publications_c =
-        Metrics.counter o.metrics ~help:"Epoch snapshots published" "engine_publications_total"
-      in
-      let b_reclaimed_c =
-        Metrics.counter o.metrics ~help:"Retired levels reclaimed" "engine_reclaimed_total"
-      in
+      let uids = register_update_metrics o in
       (match monitor with
       | Some m ->
         Window.publish (Window.publisher m.Monitor.window 0) main_shard m.Monitor.orch_sketch
       | None -> ());
-      Some
-        ( main_tl,
-          workers,
-          (builder_shard, builder_tl, b_inserts_c, b_deletes_c, b_publications_c, b_reclaimed_c)
-        )
+      Some (main_tl, workers, (builder_shard, builder_tl, uids))
   in
   let journal = Option.bind monitor (fun (m : Monitor.t) -> m.Monitor.journal) in
   let main_span name f =
@@ -764,39 +910,144 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
         body
   in
   (* Builder-side totals, written by the builder domain and read by the
-     orchestrator strictly after the join. *)
+     orchestrator strictly after the join. [b_ns] is the builder's wall
+     time over the whole update stream — the denominator-free numerator
+     of ns/update, measured whether or not telemetry is attached. *)
   let b_inserts = ref 0 and b_deletes = ref 0 in
+  let b_ns = ref 0 in
+  (* Run-scoped baselines: a preloaded epoch arrives with build work
+     already on its lifetime totals (Dynamic counters never reset),
+     while the engine_* metrics only ever see this run — subtracting
+     the baseline keeps [update_stats] reconciling exactly with the
+     counters and the windowed sums. *)
+  let cells0 = Lc_dynamic.Dynamic.cells_written (Epoch.inner epoch) in
+  let rebuilds0 = Lc_dynamic.Dynamic.rebuilds (Epoch.inner epoch) in
+  let rebuild_ns0 = Lc_dynamic.Dynamic.rebuild_ns (Epoch.inner epoch) in
+  let publish_ns0 = Epoch.publish_ns_total epoch in
+  (* Builder journal ring (writer domains + 2) — recorded only when the
+     journal was sized for it, so PR 6-era journals (domains + 2 rings)
+     keep working with the builder simply silent. *)
+  let bjournal =
+    match journal with
+    | Some j when Journal.writers j >= domains + 3 -> Some j
+    | _ -> None
+  in
+  let bwriter = domains + 2 in
   let builder () =
-    let apply_updates () =
-      let applied = ref 0 in
-      Array.iter
-        (fun op ->
-          (match op with
-          | Opstream.Insert x ->
-            Epoch.insert epoch x;
-            incr b_inserts
-          | Opstream.Delete x ->
-            Epoch.delete epoch x;
-            incr b_deletes
-          | Opstream.Query _ -> assert false (* split put queries elsewhere *));
-          incr applied;
-          if !applied mod publish_every = 0 then begin
-            Epoch.publish epoch;
-            ignore (Epoch.try_reclaim epoch : int)
-          end)
-        updates;
-      (* Final publication: readers finish against the complete table. *)
-      Epoch.publish epoch;
-      ignore (Epoch.try_reclaim epoch : int)
-    in
-    match setup with
-    | None -> apply_updates ()
-    | Some (_, _, (bshard, btl, ins_c, del_c, pub_c, rec_c)) ->
-      Span.with_span btl "apply-updates" apply_updates;
-      Metrics.incr bshard ins_c !b_inserts;
-      Metrics.incr bshard del_c !b_deletes;
-      Metrics.incr bshard pub_c (Epoch.publications epoch);
-      Metrics.incr bshard rec_c (Epoch.reclaimed epoch)
+    let t_start = Lc_obs.Clock.now_ns () in
+    (match setup with
+    | None ->
+      let apply_updates () =
+        let applied = ref 0 in
+        Array.iter
+          (fun op ->
+            (match op with
+            | Opstream.Insert x ->
+              Epoch.insert epoch x;
+              incr b_inserts
+            | Opstream.Delete x ->
+              Epoch.delete epoch x;
+              incr b_deletes
+            | Opstream.Query _ -> assert false (* split put queries elsewhere *));
+            incr applied;
+            if !applied mod publish_every = 0 then begin
+              Epoch.publish epoch;
+              ignore (Epoch.try_reclaim epoch : int)
+            end)
+          updates;
+        (* Final publication: readers finish against the complete table. *)
+        Epoch.publish epoch;
+        ignore (Epoch.try_reclaim epoch : int)
+      in
+      apply_updates ()
+    | Some (_, _, (bshard, btl, uids)) ->
+      (* Every level build lands in the builder's own shard (plain
+         stores) the moment it happens — the windowed view and the
+         flight recorder see rebuild cost mid-run, not at join. *)
+      Lc_dynamic.Dynamic.set_build_hook (Epoch.inner epoch) (fun bi ->
+          Metrics.incr bshard uids.u_cells_c bi.Lc_dynamic.Dynamic.bi_cells;
+          Metrics.observe bshard uids.u_rebuild_h bi.Lc_dynamic.Dynamic.bi_ns;
+          match bjournal with
+          | None -> ()
+          | Some j ->
+            Journal.record j ~writer:bwriter
+              (Journal.Level_merge
+                 {
+                   level = bi.Lc_dynamic.Dynamic.bi_index;
+                   keys = bi.Lc_dynamic.Dynamic.bi_keys;
+                   replicas = bi.Lc_dynamic.Dynamic.bi_replicas;
+                   cells = bi.Lc_dynamic.Dynamic.bi_cells;
+                   dur_ns = bi.Lc_dynamic.Dynamic.bi_ns;
+                 }));
+      let bpub =
+        match monitor with
+        | None -> None
+        | Some m ->
+          Some (Window.publisher m.Monitor.window (domains + 1), m.Monitor.builder_sketch)
+      in
+      let publish_now () =
+        let pi = Epoch.publish_stats epoch in
+        Metrics.incr bshard uids.u_pubs_c 1;
+        Metrics.observe bshard uids.u_publish_h pi.Epoch.pi_dur_ns;
+        Metrics.observe bshard uids.u_batch_h pi.Epoch.pi_batch;
+        (match bjournal with
+        | None -> ()
+        | Some j ->
+          Journal.record j ~writer:bwriter
+            (Journal.Epoch_publish
+               {
+                 epoch = pi.Epoch.pi_epoch;
+                 batch = pi.Epoch.pi_batch;
+                 levels = pi.Epoch.pi_levels;
+                 fresh_cells = pi.Epoch.pi_fresh_cells;
+                 dur_ns = pi.Epoch.pi_dur_ns;
+               }));
+        let freed = Epoch.try_reclaim epoch in
+        if freed > 0 then begin
+          Metrics.incr bshard uids.u_reclaimed_c freed;
+          match bjournal with
+          | None -> ()
+          | Some j ->
+            Journal.record j ~writer:bwriter
+              (Journal.Reclaim
+                 {
+                   epoch = pi.Epoch.pi_epoch;
+                   freed;
+                   lag = Epoch.reclaim_lag_max epoch;
+                   pending = Epoch.retired_pending epoch;
+                 })
+        end;
+        Metrics.set_gauge bshard uids.u_epoch_g (float_of_int pi.Epoch.pi_epoch);
+        Metrics.set_gauge bshard uids.u_retired_g
+          (float_of_int (Epoch.retired_pending epoch));
+        Metrics.set_gauge bshard uids.u_lag_g (float_of_int (Epoch.reader_lag epoch));
+        match bpub with
+        | None -> ()
+        | Some (pub, sketch) -> Window.publish pub bshard sketch
+      in
+      Span.with_span btl "apply-updates" (fun () ->
+          let applied = ref 0 in
+          Array.iter
+            (fun op ->
+              (match op with
+              | Opstream.Insert x ->
+                Epoch.insert epoch x;
+                incr b_inserts;
+                Metrics.incr bshard uids.u_inserts_c 1
+              | Opstream.Delete x ->
+                Epoch.delete epoch x;
+                incr b_deletes;
+                Metrics.incr bshard uids.u_deletes_c 1
+              | Opstream.Query _ -> assert false (* split put queries elsewhere *));
+              incr applied;
+              if !applied mod publish_every = 0 then publish_now ())
+            updates;
+          (* Final publication: readers finish against the complete
+             table, and the monitor's last tick sees the complete
+             builder shard. *)
+          publish_now ());
+      Lc_dynamic.Dynamic.clear_build_hook (Epoch.inner epoch));
+    b_ns := Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t_start)
   in
   let worker w () =
     let r = readers.(w) in
@@ -934,6 +1185,17 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
       purges = Lc_dynamic.Dynamic.purges inner;
       final_live = Epoch.live snap;
       final_epoch = Epoch.epoch snap;
+      cells_written = Lc_dynamic.Dynamic.cells_written inner - cells0;
+      rebuilds = Lc_dynamic.Dynamic.rebuilds inner - rebuilds0;
+      rebuild_ns = Lc_dynamic.Dynamic.rebuild_ns inner - rebuild_ns0;
+      publish_ns = Epoch.publish_ns_total epoch - publish_ns0;
+      write_amp =
+        (if !b_inserts > 0 then
+           float_of_int (Lc_dynamic.Dynamic.cells_written inner - cells0)
+           /. float_of_int !b_inserts
+         else 0.0);
+      builder_ns = !b_ns;
+      reclaim_lag_max = Epoch.reclaim_lag_max epoch;
     }
   in
   monitored_outcome ~updates:updates_stats result monitor

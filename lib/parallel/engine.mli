@@ -58,6 +58,7 @@ val serve :
   Lc_dict.Instance.t ->
   Lc_cellprobe.Qdist.t ->
   result
+[@@deprecated "use Engine.run with a Static workload (Engine.Config.make + Engine.run)"]
 (** @deprecated Thin wrapper kept for mechanical migration; new code
     should use {!run} with a {!Static} workload.
 
@@ -137,7 +138,11 @@ module Monitor : sig
         orchestrator build/serve stage marks. Must have been created
         with at least [domains + 2] writers (ring 0 is the orchestrator,
         rings 1..[domains] the workers, ring [domains + 1] the monitor
-        domain). Recording is lock-free and allocation-light, so a
+        domain). A {!Dynamic} run additionally records builder events
+        (epoch publish, level merge, reclaim) on ring [domains + 2]
+        when the journal was sized with [domains + 3] writers — with
+        fewer, the builder is simply silent and everything else works
+        as before. Recording is lock-free and allocation-light, so a
         journal can stay attached to production runs and be dumped only
         when something fires.
       - [on_alert]: called once per quiet->firing alert {e edge} (not
@@ -186,6 +191,12 @@ module Monitor : sig
       monitor domain every [interval_s] and once after the join; exposed
       for tests and custom drivers. *)
 
+  val updates_schema_name : string
+  (** ["lowcon-updates"] — the [/updates.json] document's schema, so
+      [lowcon validate] recognises a saved scrape by content. *)
+
+  val updates_schema_version : int
+
   val routes : t -> Lc_obs.Http.route list
   (** Scrape routes over the live (seqlock-read) state, safe to serve
       from an {!Lc_obs.Http} domain mid-run:
@@ -199,6 +210,11 @@ module Monitor : sig
         plus an exact log-bucketed per-cell count histogram read from
         the engine's live atomics;
       - [/windows.json] — the window ring and alert state;
+      - [/updates.json] — the update-path view, schema-versioned
+        (["lowcon-updates"] v1): cumulative builder counters (null when
+        the run never exercised the update path) and the per-window
+        update entries (ups, publications/s, write-amp, rebuild
+        p50/p99, epoch/retired/reader-lag gauges);
       - [/healthz] — liveness. *)
 end
 
@@ -226,6 +242,7 @@ val serve_windowed :
   Lc_dict.Instance.t ->
   Lc_cellprobe.Qdist.t ->
   windowed
+[@@deprecated "use Engine.run with a Static workload (Engine.Config.make + Engine.run)"]
 (** @deprecated Thin wrapper kept for mechanical migration; new code
     should use {!run} with a {!Static} workload.
 
@@ -311,6 +328,26 @@ type update_stats = {
   purges : int;  (** Tombstone purges triggered. *)
   final_live : int;  (** Live keys in the final snapshot. *)
   final_epoch : int;  (** Epoch of the final snapshot. *)
+  cells_written : int;
+      (** Exact cells written by level builds {e during this run}
+          (lifetime {!Lc_dynamic.Dynamic.cells_written} minus the
+          preload baseline) — reconciles with the
+          [engine_cells_written_total] counter and the windowed
+          [u_cells] sums. [rebuilds], [rebuild_ns] and [publish_ns]
+          are baselined the same way. *)
+  rebuilds : int;  (** Level builds performed. *)
+  rebuild_ns : int;  (** Wall ns spent inside level builds. *)
+  publish_ns : int;  (** Wall ns spent inside {!Lc_dynamic.Epoch.publish}. *)
+  write_amp : float;
+      (** [cells_written / inserts] — cells written per key inserted;
+          0 when the stream had no inserts. *)
+  builder_ns : int;
+      (** Builder-domain wall time over the whole update stream,
+          measured whether or not telemetry is attached — the numerator
+          of ns/update. *)
+  reclaim_lag_max : int;
+      (** Worst reclamation lag in epochs
+          ({!Lc_dynamic.Epoch.reclaim_lag_max}). *)
 }
 
 type outcome = {

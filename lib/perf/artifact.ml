@@ -26,6 +26,8 @@ type entry = {
   hotspot_ratio : float;
   queries : int;
   probes : int;
+  ns_per_update : ci option;
+  write_amp : float option;
 }
 
 type fingerprint = {
@@ -129,21 +131,31 @@ let json_of_ci c =
     ]
 
 let json_of_entry e =
+  (* The update-path fields are written only for configurations that
+     exercised the update path, so artifacts from older suites (and
+     read-only configurations) stay byte-compatible. *)
+  let update_fields =
+    (match e.ns_per_update with
+    | Some c -> [ ("ns_per_update", json_of_ci c) ]
+    | None -> [])
+    @ match e.write_amp with Some w -> [ ("write_amp", Json.Float w) ] | None -> []
+  in
   Json.Obj
-    [
-      ("structure", Json.String e.structure);
-      ("workload", Json.String e.workload);
-      ("domains", Json.Int e.domains);
-      ("queries_per_domain", Json.Int e.queries_per_domain);
-      ("trials", Json.Int e.trials);
-      ("ns_per_query", json_of_ci e.ns_per_query);
-      ("probes_per_query", json_of_ci e.probes_per_query);
-      ("p50_ns", Json.Float e.p50_ns);
-      ("p99_ns", Json.Float e.p99_ns);
-      ("hotspot_ratio", Json.Float e.hotspot_ratio);
-      ("queries", Json.Int e.queries);
-      ("probes", Json.Int e.probes);
-    ]
+    ([
+       ("structure", Json.String e.structure);
+       ("workload", Json.String e.workload);
+       ("domains", Json.Int e.domains);
+       ("queries_per_domain", Json.Int e.queries_per_domain);
+       ("trials", Json.Int e.trials);
+       ("ns_per_query", json_of_ci e.ns_per_query);
+       ("probes_per_query", json_of_ci e.probes_per_query);
+       ("p50_ns", Json.Float e.p50_ns);
+       ("p99_ns", Json.Float e.p99_ns);
+       ("hotspot_ratio", Json.Float e.hotspot_ratio);
+       ("queries", Json.Int e.queries);
+       ("probes", Json.Int e.probes);
+     ]
+    @ update_fields)
 
 let json_of_fingerprint f =
   Json.Obj
@@ -219,6 +231,23 @@ let entry_of_json i j =
      let* hotspot_ratio = float_field "hotspot_ratio" j in
      let* queries = int_field "queries" j in
      let* probes = int_field "probes" j in
+     (* Optional update-path fields: absent in read-only configurations
+        and in artifacts written before the update observatory. *)
+     let* ns_per_update =
+       match Json.member "ns_per_update" j with
+       | None -> Ok None
+       | Some _ ->
+         let* c = ci_of_json "ns_per_update" j in
+         Ok (Some c)
+     in
+     let* write_amp =
+       match Json.member "write_amp" j with
+       | None -> Ok None
+       | Some v -> (
+         match Json.float_value v with
+         | Some f -> Ok (Some f)
+         | None -> Error "field \"write_amp\": expected a number")
+     in
      if domains < 1 then Error "domains must be >= 1"
      else if trials < 1 then Error "trials must be >= 1"
      else
@@ -236,6 +265,8 @@ let entry_of_json i j =
            hotspot_ratio;
            queries;
            probes;
+           ns_per_update;
+           write_amp;
          }
 
 let fingerprint_of_json j =

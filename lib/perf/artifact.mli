@@ -36,6 +36,13 @@ type entry = {
   hotspot_ratio : float;  (** Sketch-guaranteed hottest tally over the flat bound. *)
   queries : int;  (** Total queries across all trials (reconciled with counters). *)
   probes : int;
+  ns_per_update : ci option;
+      (** Builder wall-time per update op; [None] for read-only
+          configurations and in artifacts written before the update
+          observatory (the field is simply absent from their JSON). *)
+  write_amp : float option;
+      (** Mean cells written per key inserted across trials; [None]
+          exactly when [ns_per_update] is. *)
 }
 
 type fingerprint = {

@@ -61,9 +61,31 @@ let capture ~fingerprint ~structure ~workload ~domains ~trigger:(e : Window.entr
 let json_of_cells top =
   Json.List (List.map (fun (i, c, e) -> Json.List [ Json.Int i; Json.Int c; Json.Int e ]) top)
 
-let json_of_window (e : Window.entry) =
+let json_of_uentry (u : Window.uentry) =
   Json.Obj
     [
+      ("inserts", Json.Int u.Window.u_inserts);
+      ("deletes", Json.Int u.Window.u_deletes);
+      ("ups", Json.Float u.Window.ups);
+      ("publications", Json.Int u.Window.u_pubs);
+      ("pubs_per_s", Json.Float u.Window.pubs_per_s);
+      ("cells_written", Json.Int u.Window.u_cells);
+      ("write_amp", Json.Float u.Window.write_amp);
+      ("rebuild_p50_ns", Json.Float u.Window.rebuild_p50_ns);
+      ("rebuild_p99_ns", Json.Float u.Window.rebuild_p99_ns);
+      ("epoch", Json.Int u.Window.u_epoch);
+      ("retired_pending", Json.Int u.Window.u_retired);
+      ("reader_lag", Json.Int u.Window.u_reader_lag);
+      ("cum_updates", Json.Int u.Window.cum_updates);
+      ("cum_cells", Json.Int u.Window.cum_cells);
+    ]
+
+let json_of_window (e : Window.entry) =
+  Json.Obj
+    ((match e.Window.updates with
+     | None -> []
+     | Some u -> [ ("updates", json_of_uentry u) ])
+    @ [
       ("index", Json.Int e.Window.index);
       ("t_start_s", Json.Float e.Window.t_start_s);
       ("t_end_s", Json.Float e.Window.t_end_s);
@@ -83,7 +105,7 @@ let json_of_window (e : Window.entry) =
       ("alert", Json.Bool e.Window.alert);
       ("cum_queries", Json.Int e.Window.cum_queries);
       ("cum_probes", Json.Int e.Window.cum_probes);
-    ]
+    ])
 
 let json_of_kind = function
   | Journal.Window_cut { index; queries; qps; p50_ns; p99_ns; hotspot_ratio; alert } ->
@@ -119,6 +141,32 @@ let json_of_kind = function
       ("mark", Json.String (match mark with `Begin -> "begin" | `End -> "end"));
     ]
   | Journal.Publish { queries } -> [ ("type", Json.String "publish"); ("queries", Json.Int queries) ]
+  | Journal.Epoch_publish { epoch; batch; levels; fresh_cells; dur_ns } ->
+    [
+      ("type", Json.String "epoch_publish");
+      ("epoch", Json.Int epoch);
+      ("batch", Json.Int batch);
+      ("levels", Json.Int levels);
+      ("fresh_cells", Json.Int fresh_cells);
+      ("dur_ns", Json.Int dur_ns);
+    ]
+  | Journal.Level_merge { level; keys; replicas; cells; dur_ns } ->
+    [
+      ("type", Json.String "level_merge");
+      ("level", Json.Int level);
+      ("keys", Json.Int keys);
+      ("replicas", Json.Int replicas);
+      ("cells", Json.Int cells);
+      ("dur_ns", Json.Int dur_ns);
+    ]
+  | Journal.Reclaim { epoch; freed; lag; pending } ->
+    [
+      ("type", Json.String "reclaim");
+      ("epoch", Json.Int epoch);
+      ("freed", Json.Int freed);
+      ("lag", Json.Int lag);
+      ("pending", Json.Int pending);
+    ]
 
 let json_of_event (e : Journal.event) =
   Json.Obj
@@ -182,6 +230,39 @@ let cells_of_json name j =
       | _ -> Error "expected a 3-element array")
     l
 
+let uentry_of_json j =
+  let* u_inserts = Jsonu.int_field "inserts" j in
+  let* u_deletes = Jsonu.int_field "deletes" j in
+  let* ups = Jsonu.float_field "ups" j in
+  let* u_pubs = Jsonu.int_field "publications" j in
+  let* pubs_per_s = Jsonu.float_field "pubs_per_s" j in
+  let* u_cells = Jsonu.int_field "cells_written" j in
+  let* write_amp = Jsonu.float_field "write_amp" j in
+  let* rebuild_p50_ns = Jsonu.float_field "rebuild_p50_ns" j in
+  let* rebuild_p99_ns = Jsonu.float_field "rebuild_p99_ns" j in
+  let* u_epoch = Jsonu.int_field "epoch" j in
+  let* u_retired = Jsonu.int_field "retired_pending" j in
+  let* u_reader_lag = Jsonu.int_field "reader_lag" j in
+  let* cum_updates = Jsonu.int_field "cum_updates" j in
+  let* cum_cells = Jsonu.int_field "cum_cells" j in
+  Ok
+    {
+      Window.u_inserts;
+      u_deletes;
+      ups;
+      u_pubs;
+      pubs_per_s;
+      u_cells;
+      write_amp;
+      rebuild_p50_ns;
+      rebuild_p99_ns;
+      u_epoch;
+      u_retired;
+      u_reader_lag;
+      cum_updates;
+      cum_cells;
+    }
+
 let window_of_json j =
   let* index = Jsonu.int_field "index" j in
   let* t_start_s = Jsonu.float_field "t_start_s" j in
@@ -199,6 +280,13 @@ let window_of_json j =
   let* alert = Jsonu.bool_field "alert" j in
   let* cum_queries = Jsonu.int_field "cum_queries" j in
   let* cum_probes = Jsonu.int_field "cum_probes" j in
+  (* Optional: pre-observatory dumps (and static-workload windows) have
+     no "updates" member. *)
+  let* updates =
+    match Json.member "updates" j with
+    | None -> Ok None
+    | Some u -> Result.map Option.some (Jsonu.in_context "updates" (uentry_of_json u))
+  in
   Ok
     {
       Window.index;
@@ -218,6 +306,7 @@ let window_of_json j =
       alert;
       cum_queries;
       cum_probes;
+      updates;
     }
 
 let kind_of_json j =
@@ -255,6 +344,26 @@ let kind_of_json j =
   | "publish" ->
     let* queries = Jsonu.int_field "queries" j in
     Ok (Journal.Publish { queries })
+  | "epoch_publish" ->
+    let* epoch = Jsonu.int_field "epoch" j in
+    let* batch = Jsonu.int_field "batch" j in
+    let* levels = Jsonu.int_field "levels" j in
+    let* fresh_cells = Jsonu.int_field "fresh_cells" j in
+    let* dur_ns = Jsonu.int_field "dur_ns" j in
+    Ok (Journal.Epoch_publish { epoch; batch; levels; fresh_cells; dur_ns })
+  | "level_merge" ->
+    let* level = Jsonu.int_field "level" j in
+    let* keys = Jsonu.int_field "keys" j in
+    let* replicas = Jsonu.int_field "replicas" j in
+    let* cells = Jsonu.int_field "cells" j in
+    let* dur_ns = Jsonu.int_field "dur_ns" j in
+    Ok (Journal.Level_merge { level; keys; replicas; cells; dur_ns })
+  | "reclaim" ->
+    let* epoch = Jsonu.int_field "epoch" j in
+    let* freed = Jsonu.int_field "freed" j in
+    let* lag = Jsonu.int_field "lag" j in
+    let* pending = Jsonu.int_field "pending" j in
+    Ok (Journal.Reclaim { epoch; freed; lag; pending })
   | ty -> Error (Printf.sprintf "unknown event type %S" ty)
 
 let event_of_json j =
@@ -344,11 +453,23 @@ let kind_line = function
   | Journal.Stage { name; mark } ->
     Printf.sprintf "stage %s %s" name (match mark with `Begin -> "begin" | `End -> "end")
   | Journal.Publish { queries } -> Printf.sprintf "worker published (cumulative %d queries)" queries
+  | Journal.Epoch_publish { epoch; batch; levels; fresh_cells; dur_ns } ->
+    Printf.sprintf "epoch %d published: %d update(s), %d level(s), %d fresh cell(s), %.1f us"
+      epoch batch levels fresh_cells
+      (float_of_int dur_ns /. 1e3)
+  | Journal.Level_merge { level; keys; replicas; cells; dur_ns } ->
+    Printf.sprintf "level %d merge: %d key(s) x %d replica(s) -> %d cell(s), %.1f us" level keys
+      replicas cells
+      (float_of_int dur_ns /. 1e3)
+  | Journal.Reclaim { epoch; freed; lag; pending } ->
+    Printf.sprintf "reclaim at epoch %d: freed %d level(s) (max lag %d), %d still retired" epoch
+      freed lag pending
 
 let writer_label ~domains w =
   if w = 0 then "orch "
   else if w <= domains then Printf.sprintf "wrk%-2d" w
-  else "mon  "
+  else if w = domains + 1 then "mon  "
+  else "bld  "
 
 let analyze t =
   let buf = Buffer.create 4096 in

@@ -113,6 +113,8 @@ type trial_out = {
   ratio : float;
   t_queries : int;
   t_probes : int;
+  t_ns_per_update : float option;  (* builder wall ns / update ops; dynamic trials only *)
+  t_write_amp : float option;  (* cells written / keys inserted; dynamic trials only *)
 }
 
 let out_of_windowed ~(r : Engine.result) ~cells snap =
@@ -139,6 +141,8 @@ let out_of_windowed ~(r : Engine.result) ~cells snap =
     ratio;
     t_queries = r.Engine.queries;
     t_probes = r.Engine.total_probes;
+    t_ns_per_update = None;
+    t_write_amp = None;
   }
 
 let run_trial ~inst ~qd ~domains ~queries_per_domain ~seed =
@@ -185,7 +189,18 @@ let run_dynamic_trial ~universe ~keys ~read_fraction ~domains ~ops_per_domain ~s
       (Printf.sprintf
          "Suite.run: epoch per-cell tallies %d <> reader probes %d — epoch accounting does \
           not reconcile" structure_probes r.Engine.total_probes);
-  out_of_windowed ~r ~cells:o.Engine.cells snap
+  let base = out_of_windowed ~r ~cells:o.Engine.cells snap in
+  match o.Engine.updates with
+  | None -> base
+  | Some u ->
+    let update_ops = u.Engine.inserts + u.Engine.deletes in
+    {
+      base with
+      t_ns_per_update =
+        (if update_ops = 0 then None
+         else Some (float_of_int u.Engine.builder_ns /. float_of_int update_ops));
+      t_write_amp = Some u.Engine.write_amp;
+    }
 
 let ci_of ~rng samples =
   let arr = Array.of_list samples in
@@ -253,6 +268,8 @@ let run ?(progress = fun (_ : string) -> ()) ~seed spec =
             hotspot_ratio = Stats.median (Array.of_list (pick (fun o -> o.ratio)));
             queries = List.fold_left (fun a o -> a + o.t_queries) 0 outs;
             probes = List.fold_left (fun a o -> a + o.t_probes) 0 outs;
+            ns_per_update = None;
+            write_amp = None;
           }
         | Mixed_combo (workload, read_fraction, domains) ->
           progress
@@ -278,6 +295,14 @@ let run ?(progress = fun (_ : string) -> ()) ~seed spec =
             hotspot_ratio = Stats.median (Array.of_list (pick (fun o -> o.ratio)));
             queries = List.fold_left (fun a o -> a + o.t_queries) 0 outs;
             probes = List.fold_left (fun a o -> a + o.t_probes) 0 outs;
+            ns_per_update =
+              (match List.filter_map (fun o -> o.t_ns_per_update) outs with
+              | [] -> None
+              | samples -> Some (ci_of ~rng:boot_rng samples));
+            write_amp =
+              (match List.filter_map (fun o -> o.t_write_amp) outs with
+              | [] -> None
+              | samples -> Some (Stats.mean (Array.of_list samples)));
           })
       combos
   in

@@ -22,6 +22,20 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checks = Alcotest.check Alcotest.string
 
+(* Static serving through the unified entry point. Only
+   [test_engine_obs_off_is_byte_identical] below still drives the
+   deprecated [serve]/[serve_windowed] wrappers, deliberately. *)
+let run_serve ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist =
+  (Engine.run
+     (Engine.Config.make ?cost ?obs ~domains ~seed ())
+     (Engine.Static { inst; qdist; queries_per_domain }))
+    .Engine.result
+
+let run_monitored ~monitor ~domains ~queries_per_domain ~seed inst qdist =
+  Engine.run
+    (Engine.Config.make ~monitor ~domains ~seed ())
+    (Engine.Static { inst; qdist; queries_per_domain })
+
 let universe = 1 lsl 18
 let n = 256
 
@@ -726,7 +740,11 @@ let marshal r = Marshal.to_string (normalized r) []
 let test_engine_obs_off_is_byte_identical () =
   let keys, inst = lc_fixture 21 in
   let keys_dist = Qdist.uniform ~name:"pos" keys in
-  let serve ?obs () =
+  (* The deprecated wrappers are exercised on purpose here — this test
+     pins their byte-level equivalence with the unified [Engine.run]
+     path — so the deprecation alert is silenced for these bindings
+     only. *)
+  let[@alert "-deprecated"] serve ?obs () =
     Engine.serve ?obs ~domains:2 ~queries_per_domain:600 ~seed:33 inst keys_dist
   in
   let r1 = serve () in
@@ -734,11 +752,18 @@ let test_engine_obs_off_is_byte_identical () =
   checks "two uninstrumented runs marshal identically" (marshal r1) (marshal r2);
   let r3 = serve ~obs:(Obs.create ()) () in
   checks "telemetry does not perturb the result record" (marshal r1) (marshal r3);
+  let o =
+    Engine.run
+      (Engine.Config.make ~domains:2 ~seed:33 ())
+      (Engine.Static { inst; qdist = keys_dist; queries_per_domain = 600 })
+  in
+  checks "Engine.run matches the wrapper byte for byte" (marshal r1) (marshal o.Engine.result);
   (* serve_windowed without a monitor is the same code path: same bytes,
      and no window machinery engages. *)
-  let w =
+  let[@alert "-deprecated"] windowed () =
     Engine.serve_windowed ~domains:2 ~queries_per_domain:600 ~seed:33 inst keys_dist
   in
+  let w = windowed () in
   checks "serve_windowed without a monitor stays byte-identical" (marshal r1)
     (marshal w.Engine.result);
   checkb "no windows without a monitor" true
@@ -748,7 +773,7 @@ let test_engine_obs_reconciles () =
   let keys, inst = lc_fixture 22 in
   let qd = Qdist.uniform ~name:"pos" keys in
   let obs = Obs.create () in
-  let r = Engine.serve ~obs ~domains:3 ~queries_per_domain:700 ~seed:5 inst qd in
+  let r = run_serve ~obs ~domains:3 ~queries_per_domain:700 ~seed:5 inst qd in
   let snap = Obs.snapshot obs in
   checki "engine_probes_total = result.total_probes" r.Engine.total_probes
     (Option.get (Metrics.Snapshot.counter_value snap "engine_probes_total"));
@@ -763,7 +788,7 @@ let test_engine_obs_trace_balanced () =
   let keys, inst = lc_fixture 23 in
   let qd = Qdist.uniform ~name:"pos" keys in
   let obs = Obs.create () in
-  let r = Engine.serve ~obs ~domains:3 ~queries_per_domain:300 ~seed:6 inst qd in
+  let r = run_serve ~obs ~domains:3 ~queries_per_domain:300 ~seed:6 inst qd in
   checki "sanity: all queries served" 900 r.Engine.queries;
   checkb "collector reports balance" true (Span.check_balanced obs.Obs.spans = Ok ());
   (* Independently re-check balance from the emitted JSON itself. *)
@@ -804,13 +829,13 @@ let test_engine_obs_spinlock_wait () =
   let qd = Qdist.uniform ~name:"pos" keys in
   let obs = Obs.create () in
   let r =
-    Engine.serve ~cost:(Engine.Spinlock { hold = 2 }) ~obs ~domains:2 ~queries_per_domain:400
+    run_serve ~cost:(Engine.Spinlock { hold = 2 }) ~obs ~domains:2 ~queries_per_domain:400
       ~seed:7 inst qd
   in
   let snap = Obs.snapshot obs in
   let wait = Option.get (Metrics.Snapshot.find_hist snap "engine_spinlock_wait_ns") in
   checki "one wait observation per probe" r.Engine.total_probes wait.count;
-  let free = Engine.serve ~domains:2 ~queries_per_domain:400 ~seed:7 inst qd in
+  let free = run_serve ~domains:2 ~queries_per_domain:400 ~seed:7 inst qd in
   checki "same tallies as the free uninstrumented run" free.Engine.total_probes
     r.Engine.total_probes
 
@@ -833,7 +858,7 @@ let test_windowed_sketch_agrees_with_exact () =
   let qd = Qdist.uniform ~name:"pos" keys in
   let mon = Engine.Monitor.create ~interval_s:0.02 ~publish_period:64 ~domains:2 inst in
   let w =
-    Engine.serve_windowed ~monitor:mon ~domains:2 ~queries_per_domain:20_000 ~seed:9 inst qd
+    run_monitored ~monitor:mon ~domains:2 ~queries_per_domain:20_000 ~seed:9 inst qd
   in
   let r = w.Engine.result in
   let sum_q =
@@ -862,7 +887,7 @@ let test_windowed_quiet_on_low_contention () =
   let qd = Qdist.uniform ~name:"pos" keys in
   let mon = Engine.Monitor.create ~interval_s:0.02 ~publish_period:64 ~domains:2 inst in
   let w =
-    Engine.serve_windowed ~monitor:mon ~domains:2 ~queries_per_domain:8_000 ~seed:10 inst qd
+    run_monitored ~monitor:mon ~domains:2 ~queries_per_domain:8_000 ~seed:10 inst qd
   in
   let r = w.Engine.result in
   checkb "sanity: the exact ratio is itself small" true (Engine.hotspot_ratio r < 16.0);
@@ -892,8 +917,7 @@ let test_windowed_live_scrape_monotone () =
                 (status, body)))
       in
       let w =
-        Engine.serve_windowed ~monitor:mon ~domains:2 ~queries_per_domain:30_000 ~seed:11 inst
-          qd
+        run_monitored ~monitor:mon ~domains:2 ~queries_per_domain:30_000 ~seed:11 inst qd
       in
       let scrapes = Domain.join scraper in
       List.iter (fun (status, _) -> checki "every scrape answered 200" 200 status) scrapes;
@@ -943,6 +967,90 @@ let test_windowed_live_scrape_monotone () =
       checki "windows.json 200" 200 status;
       checkb "windows.json parses" true (Result.is_ok (Json.parse windows)))
 
+(* The /updates.json route, both shapes. A dynamic run exposes the
+   update-path observatory — schema-tagged, cumulative stats matching
+   the outcome's update_stats, windowed u_cells summing to the run's
+   cells_written. A static run behind the same monitor answers the
+   same route with updates_seen = false and a null cumulative, so
+   scrapers need no out-of-band knowledge of the workload kind. *)
+let test_updates_json_route () =
+  let module Epoch = Lc_dynamic.Epoch in
+  let module Opstream = Lc_workload.Opstream in
+  let get key j =
+    match Json.member key j with
+    | Some v -> v
+    | None -> Alcotest.failf "updates.json missing %S" key
+  in
+  let geti key j = Option.get (Json.int_value (get key j)) in
+  (* Dynamic: the observatory is live. *)
+  let rng = Rng.create 61 in
+  let keys = Keyset.random rng ~universe ~n in
+  let epoch = Epoch.create rng ~universe () in
+  Array.iter (Epoch.insert epoch) keys;
+  Epoch.publish epoch;
+  let snap0 = Epoch.current epoch in
+  let domains = 2 in
+  let ops =
+    Opstream.generate
+      ~mix:(Opstream.read_write_mix ~read_fraction:0.6)
+      ~initial_pool:keys rng ~universe ~length:(domains * 2_000) ~working_set:(2 * n)
+  in
+  let mon =
+    Engine.Monitor.create_for ~interval_s:0.02 ~domains ~space:(Epoch.space snap0)
+      ~max_probes:(Epoch.max_probes snap0) ()
+  in
+  let server = Http.start ~port:0 (Engine.Monitor.routes mon) in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let o =
+        Engine.run
+          (Engine.Config.make ~monitor:mon ~domains ~seed:62 ())
+          (Engine.Dynamic { epoch; ops; publish_every = 64 })
+      in
+      let u = Option.get o.Engine.updates in
+      let status, body = http_get (Http.port server) "/updates.json" in
+      checki "updates.json 200 on a dynamic run" 200 status;
+      let j = Result.get_ok (Json.parse body) in
+      checks "schema tag" Engine.Monitor.updates_schema_name
+        (Option.get (Json.string_value (get "schema" j)));
+      checki "schema version" Engine.Monitor.updates_schema_version (geti "version" j);
+      checkb "updates_seen on a dynamic run" true
+        (Option.get (Json.bool_value (get "updates_seen" j)));
+      let cum = get "cumulative" j in
+      checkb "cumulative present (not null)" true (cum <> Json.Null);
+      checki "cumulative inserts = update_stats" u.Engine.inserts (geti "inserts" cum);
+      checki "cumulative deletes = update_stats" u.Engine.deletes (geti "deletes" cum);
+      (* update_stats.publications is the epoch structure's lifetime
+         count (it includes the one preload publish); the scrape's
+         counter is run-scoped. *)
+      checki "cumulative publications = update_stats minus the preload"
+        (u.Engine.publications - 1)
+        (geti "publications" cum);
+      checki "cumulative cells = update_stats" u.Engine.cells_written
+        (geti "cells_written" cum);
+      checki "retired pending zero at quiescence" 0 (geti "retired_pending" cum);
+      let windows = Json.to_list (get "windows" j) in
+      checkb "windowed update view non-empty" true (windows <> []);
+      checki "windowed cells sum to the run's cells_written" u.Engine.cells_written
+        (List.fold_left (fun a w -> a + geti "cells_written" w) 0 windows));
+  (* Static: same route, absent semantics. *)
+  let keys2, inst = lc_fixture 63 in
+  let qd = Qdist.uniform ~name:"pos" keys2 in
+  let mon2 = Engine.Monitor.create ~interval_s:0.02 ~domains:2 inst in
+  let server2 = Http.start ~port:0 (Engine.Monitor.routes mon2) in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server2)
+    (fun () ->
+      ignore (run_monitored ~monitor:mon2 ~domains:2 ~queries_per_domain:2_000 ~seed:64 inst qd);
+      let status, body = http_get (Http.port server2) "/updates.json" in
+      checki "updates.json 200 on a static run" 200 status;
+      let j = Result.get_ok (Json.parse body) in
+      checkb "updates_seen false on a static run" false
+        (Option.get (Json.bool_value (get "updates_seen" j)));
+      checkb "cumulative is null on a static run" true (get "cumulative" j = Json.Null);
+      checki "no update windows on a static run" 0 (List.length (Json.to_list (get "windows" j))))
+
 (* ------------------------------------------------------------------ *)
 (* Build-stage telemetry                                                *)
 (* ------------------------------------------------------------------ *)
@@ -986,7 +1094,7 @@ let test_build_then_serve_shared_handle () =
   let dict = Lc_core.Dictionary.build ~obs rng ~universe ~keys in
   let inst = Lc_core.Dictionary.instance dict in
   let qd = Qdist.uniform ~name:"pos" keys in
-  let r = Engine.serve ~obs ~domains:2 ~queries_per_domain:300 ~seed:8 inst qd in
+  let r = run_serve ~obs ~domains:2 ~queries_per_domain:300 ~seed:8 inst qd in
   let snap = Obs.snapshot obs in
   checki "build trials survive engine registration"
     (Lc_core.Dictionary.build_trials dict)
@@ -1063,6 +1171,7 @@ let () =
             test_windowed_quiet_on_low_contention;
           Alcotest.test_case "live scrape is monotone" `Quick
             test_windowed_live_scrape_monotone;
+          Alcotest.test_case "updates.json both shapes" `Quick test_updates_json_route;
         ] );
       ( "engine",
         [

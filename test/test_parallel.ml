@@ -14,6 +14,14 @@ module Engine = Lc_parallel.Engine
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
+(* Static serving through the unified entry point; the deprecated
+   [Engine.serve] wrapper is pinned against this path in test_obs.ml. *)
+let serve ?cost ~domains ~queries_per_domain ~seed inst qdist =
+  (Engine.run
+     (Engine.Config.make ?cost ~domains ~seed ())
+     (Engine.Static { inst; qdist; queries_per_domain }))
+    .Engine.result
+
 let universe = 1 lsl 18
 let n = 256
 
@@ -154,7 +162,7 @@ let test_hotspot_separation () =
   let qd = Qdist.uniform ~name:"pos" keys in
   List.iter
     (fun domains ->
-      let r = Engine.serve ~domains ~queries_per_domain:1_500 ~seed:13 lc qd in
+      let r = serve ~domains ~queries_per_domain:1_500 ~seed:13 lc qd in
       checki "all queries served" (domains * 1_500) r.Engine.queries;
       checki "counts sum to total" r.Engine.total_probes
         (Array.fold_left ( + ) 0 r.Engine.counts);
@@ -165,7 +173,7 @@ let test_hotspot_separation () =
         true
         (Engine.hotspot_ratio r < 16.0))
     [ 1; 2 ];
-  let r = Engine.serve ~domains:2 ~queries_per_domain:1_500 ~seed:13 fks qd in
+  let r = serve ~domains:2 ~queries_per_domain:1_500 ~seed:13 fks qd in
   checkb
     (Printf.sprintf "unreplicated fks hot spot far above flat bound (ratio %.1f)"
        (Engine.hotspot_ratio r))
@@ -181,10 +189,10 @@ let test_spinlock_same_tallies () =
   let keys = Keyset.random rng ~universe ~n in
   let lc = Lc_core.Dictionary.instance (Lc_core.Dictionary.build rng ~universe ~keys) in
   let qd = Qdist.uniform ~name:"pos" keys in
-  let free = Engine.serve ~domains:2 ~queries_per_domain:400 ~seed:15 lc qd in
+  let free = serve ~domains:2 ~queries_per_domain:400 ~seed:15 lc qd in
   let locked =
-    Engine.serve ~cost:(Engine.Spinlock { hold = 4 }) ~domains:2 ~queries_per_domain:400
-      ~seed:15 lc qd
+    serve ~cost:(Engine.Spinlock { hold = 4 }) ~domains:2 ~queries_per_domain:400 ~seed:15
+      lc qd
   in
   checki "same total probes under spinlock" free.Engine.total_probes locked.Engine.total_probes
 

@@ -35,7 +35,8 @@ let fp =
 
 let ci mean lo hi samples = { Artifact.mean; lo; hi; samples }
 
-let entry ?(structure = "lc") ?(workload = "pos") ?(domains = 2) ~ns ~probes () =
+let entry ?(structure = "lc") ?(workload = "pos") ?(domains = 2) ?ns_per_update ?write_amp
+    ~ns ~probes () =
   {
     Artifact.structure;
     workload;
@@ -49,6 +50,8 @@ let entry ?(structure = "lc") ?(workload = "pos") ?(domains = 2) ~ns ~probes () 
     hotspot_ratio = 0.5;
     queries = 4000;
     probes = 60000;
+    ns_per_update;
+    write_amp;
   }
 
 let small_artifact () =
@@ -72,10 +75,28 @@ let small_artifact () =
 (* ------------------------------------------------------------------ *)
 
 let test_artifact_roundtrip () =
-  let art = small_artifact () in
+  let base = small_artifact () in
+  (* A dynamic entry carrying the optional update-path fields sits next
+     to entries without them: the codec must round-trip both shapes,
+     and reading back an entry with no such fields must yield [None]
+     (the back-compat path for artifacts written before the update
+     observatory). *)
+  let dyn =
+    entry ~structure:"lc-dyn" ~workload:"rw:0.90"
+      ~ns_per_update:(ci 800.0 750.0 850.0 [ 780.0; 800.0; 820.0 ])
+      ~write_amp:6.5
+      ~ns:(ci 120.0 118.0 122.0 [ 119.0; 120.0; 121.0 ])
+      ~probes:(ci 9.0 9.0 9.0 [ 9.0; 9.0; 9.0 ])
+      ()
+  in
+  let art = { base with Artifact.entries = base.Artifact.entries @ [ dyn ] } in
   match Artifact.of_string (Artifact.to_string art) with
   | Error e -> Alcotest.failf "round-trip failed: %s" e
-  | Ok art' -> checkb "round-trip preserves the artifact exactly" true (art = art')
+  | Ok art' ->
+    checkb "round-trip preserves the artifact exactly" true (art = art');
+    let first = List.hd art'.Artifact.entries in
+    checkb "static entries read back without update fields" true
+      (first.Artifact.ns_per_update = None && first.Artifact.write_amp = None)
 
 let test_artifact_validation () =
   let reject what s =
@@ -351,7 +372,9 @@ let serve_with_recorder ~structure ~alert_factor ~seed =
   let mon = Engine.Monitor.create ~alert_factor ~journal ~on_alert ~domains inst in
   mon_ref := Some mon;
   let w =
-    Engine.serve_windowed ~monitor:mon ~domains ~queries_per_domain:500 ~seed inst qd
+    Engine.run
+      (Engine.Config.make ~monitor:mon ~domains ~seed ())
+      (Engine.Static { inst; qdist = qd; queries_per_domain = 500 })
   in
   (w, !captured)
 
