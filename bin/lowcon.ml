@@ -277,8 +277,9 @@ let port_arg =
     & opt (some int) None
     & info [ "port" ] ~docv:"PORT"
         ~doc:
-          "Serve /metrics, /snapshot.json, /cells.json, /windows.json, /updates.json and \
-           /healthz on 127.0.0.1:$(docv) during the run (0 picks an ephemeral port).")
+          "Serve /metrics, /snapshot.json, /cells.json, /windows.json, /updates.json, \
+           /scaling.json and /healthz on 127.0.0.1:$(docv) during the run (0 picks an \
+           ephemeral port).")
 
 let top_k_arg =
   Arg.(value & opt int 16 & info [ "top-k" ] ~docv:"K" ~doc:"Hot-cell sketch capacity per worker.")
@@ -499,7 +500,7 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
   | Some s ->
     bound_port := Some (Lc_obs.Http.port s);
     Printf.printf "Scrape endpoint: http://127.0.0.1:%d/metrics (also /snapshot.json, \
-                   /cells.json, /windows.json, /updates.json, /healthz)\n%!"
+                   /cells.json, /windows.json, /updates.json, /scaling.json, /healthz)\n%!"
       (Lc_obs.Http.port s)
   | None -> ());
   let w =
@@ -516,6 +517,20 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
     r.domains r.seconds r.throughput (List.length w.windows);
   Printf.printf "Hottest cell %d: %d probes, %.1fx the flat bound %.1f (exact).\n" r.hottest_cell
     r.hottest_count (Engine.hotspot_ratio r) r.flat_bound;
+  (* Cache-line co-heat: how much probe traffic lands next to other
+     traffic on the same line — the false-sharing signature. Exact
+     per-cell counts exist only for static runs. *)
+  (if Array.length r.Engine.counts > 0 then
+     let ch = Lc_analysis.Coheat.of_counts r.Engine.counts in
+     if ch.Lc_analysis.Coheat.total > 0 then
+       Printf.printf
+         "Cache-line co-heat: %.3f over %d lines of %d cells (uniform bound %.3f); hottest \
+          line %d carries %.1f%% of probes.\n"
+         ch.Lc_analysis.Coheat.ratio ch.Lc_analysis.Coheat.lines
+         ch.Lc_analysis.Coheat.line_cells
+         (Lc_analysis.Coheat.uniform_bound ch)
+         ch.Lc_analysis.Coheat.hottest_line
+         (100.0 *. ch.Lc_analysis.Coheat.hottest_line_share));
   (match w.windows with
   | [] -> ()
   | ws ->
@@ -750,6 +765,71 @@ let perf_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+module Scaling = Lc_perf.Scaling
+
+let max_domains_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "max-domains" ] ~docv:"M" ~doc:"Sweep domain counts 1 through $(docv).")
+
+let scale_queries_arg =
+  Arg.(
+    value
+    & opt int 2000
+    & info [ "queries" ] ~docv:"Q" ~doc:"Queries per domain per trial.")
+
+let scale_trials_arg =
+  Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per sweep point.")
+
+let scale_out_arg =
+  Arg.(
+    value
+    & opt string "SCALING.json"
+    & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Write the lowcon-scaling artifact to $(docv).")
+
+let scale seed n dist structure max_domains queries trials out =
+  with_errors @@ fun () ->
+  if max_domains < 1 then failwith "--max-domains must be >= 1";
+  if structure = Lc_perf.Select.dynamic_name then
+    failwith "lowcon scale sweeps static read-side serving; lc-dyn is not supported here";
+  let spec =
+    {
+      Scaling.structure;
+      workload = dist;
+      domain_counts = List.init max_domains (fun i -> i + 1);
+      queries_per_domain = queries;
+      trials;
+      n;
+    }
+  in
+  let art = Scaling.run ~progress:(fun label -> Printf.printf "  %s\n%!" label) ~seed spec in
+  print_newline ();
+  print_string (Scaling.render art);
+  Scaling.write ~path:out art;
+  (* Read back through the strict decoder: a written artifact that does
+     not validate must never be reported as written. *)
+  (match Scaling.load out with
+  | Ok _ -> ()
+  | Error e -> failwith (Printf.sprintf "written artifact fails validation — %s" e));
+  Printf.printf "\nWrote %s (%s v%d, seed %d).\n" out Scaling.schema_name
+    Scaling.schema_version seed
+
+let scale_cmd =
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Serve one structure across a 1..M domain sweep with phase and GC attribution, fit \
+          the Universal Scalability Law to the throughput curve, and write a schema-versioned \
+          lowcon-scaling artifact (lambda / sigma / kappa, per-phase time shares, allocation \
+          per query).")
+    Term.(
+      ret
+        (const scale $ seed_arg $ n_arg $ dist_arg $ structure_arg $ max_domains_arg
+       $ scale_queries_arg $ scale_trials_arg $ scale_out_arg))
+
+(* ------------------------------------------------------------------ *)
+
 let postmortem_file_arg =
   Arg.(
     required
@@ -847,6 +927,74 @@ let validate_updates doc =
   in
   Ok (seen, List.length windows)
 
+(* The /scaling.json document ("lowcon-scaling-live" v1): cumulative
+   phase counters (checked against the attribution invariant: the five
+   in-wall phases sum exactly to wall), GC counters with their windowed
+   entries, and the co-heat object (null for runs without live per-cell
+   counters). *)
+let validate_scaling_live doc =
+  let module J = Lc_obs.Json in
+  let module U = Lc_perf.Jsonu in
+  let ( let* ) = Result.bind in
+  let* () =
+    U.check_schema ~expect:Engine.Monitor.scaling_schema_name
+      ~version:Engine.Monitor.scaling_schema_version doc
+  in
+  let* domains = U.int_field "domains" doc in
+  let* phases = U.field "phases" doc in
+  let* () =
+    List.fold_left
+      (fun acc (phase, _) ->
+        let* () = acc in
+        let* _ = U.in_context "phases" (U.int_field (phase ^ "_ns") phases) in
+        Ok ())
+      (Ok ()) Engine.phase_counter_names
+  in
+  let* () =
+    let ns phase =
+      match J.member (phase ^ "_ns") phases with
+      | Some v -> Option.value ~default:0 (J.int_value v)
+      | None -> 0
+    in
+    let parts = ns "probe" + ns "tally" + ns "publish" + ns "pin" + ns "other" in
+    if parts <> ns "wall" then
+      Error
+        (Printf.sprintf "phases sum to %d ns but wall is %d ns — attribution does not \
+                         reconcile" parts (ns "wall"))
+    else Ok ()
+  in
+  let* gc = U.field "gc" doc in
+  let* _ = U.in_context "gc" (U.int_field "minor_words" gc) in
+  let* _ = U.in_context "gc" (U.int_field "promoted_words" gc) in
+  let* _ = U.in_context "gc" (U.int_field "major_words" gc) in
+  let* gws = U.in_context "gc" (U.list_field "windows" gc) in
+  let* _ =
+    U.decode_list "windows"
+      (fun w ->
+        let* _ = U.int_field "index" w in
+        let* _ = U.int_field "queries" w in
+        let* _ = U.int_field "minor_words" w in
+        let* _ = U.int_field "minor_collections" w in
+        let* _ = U.int_field "major_collections" w in
+        let* _ = U.float_field "alloc_per_query" w in
+        let* _ = U.int_field "heap_words" w in
+        Ok ())
+      gws
+  in
+  let* () =
+    match J.member "coheat" doc with
+    | None -> Error "missing member \"coheat\""
+    | Some J.Null -> Ok ()
+    | Some ch ->
+      U.in_context "coheat"
+        (let* _ = U.int_field "line_cells" ch in
+         let* ratio = U.float_field "ratio" ch in
+         let* _ = U.float_field "uniform_bound" ch in
+         let* _ = U.int_field "hottest_line" ch in
+         if ratio < 0.0 || ratio >= 1.0 then Error "ratio out of [0, 1)" else Ok ())
+  in
+  Ok (domains, List.length gws)
+
 (* Per-file verdict: Ok describes what was recognised, Error what broke.
    Recognition is by content (the "schema" member), not by filename, so
    a renamed artifact still validates against the right grammar. *)
@@ -912,6 +1060,27 @@ let validate_one path =
                (if seen then "updates seen" else "no updates (static run)")
                nwindows)
         | Error e -> Error e)
+      | Some (Lc_obs.Json.String s) when s = Scaling.schema_name -> (
+        match Scaling.of_json doc with
+        | Ok sc ->
+          Ok
+            (Printf.sprintf "%s v%d, %s/%s, %d point(s), %s" Scaling.schema_name
+               Scaling.schema_version sc.Scaling.structure sc.Scaling.workload
+               (List.length sc.Scaling.points)
+               (match sc.Scaling.fit with
+               | Some f ->
+                 Printf.sprintf "sigma %.4f kappa %.6f" f.Lc_analysis.Usl.sigma
+                   f.Lc_analysis.Usl.kappa
+               | None -> "no fit"))
+        | Error e -> Error e)
+      | Some (Lc_obs.Json.String s) when s = Engine.Monitor.scaling_schema_name -> (
+        match validate_scaling_live doc with
+        | Ok (domains, gwindows) ->
+          Ok
+            (Printf.sprintf "%s v%d, %d domain(s), %d GC window(s)"
+               Engine.Monitor.scaling_schema_name Engine.Monitor.scaling_schema_version domains
+               gwindows)
+        | Error e -> Error e)
       | Some (Lc_obs.Json.String s) when s = Postmortem.schema_name -> (
         match Postmortem.of_json doc with
         | Ok pm ->
@@ -958,10 +1127,11 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:
-         "Grammar-check artifacts: BENCH_*.json, postmortem dumps, and lowcon-lint reports \
-          against their schemas, metrics JSON for its counters object, and .prom files \
-          against the Prometheus exposition line grammar. One pass/fail line per file; exit \
-          1 if any file fails.")
+         "Grammar-check artifacts: BENCH_*.json, lowcon-scaling sweeps, /scaling.json and \
+          /updates.json scrapes, postmortem dumps, and lowcon-lint reports against their \
+          schemas, metrics JSON for its counters object, and .prom files against the \
+          Prometheus exposition line grammar. One pass/fail line per file; exit 1 if any \
+          file fails.")
     Term.(ret (const validate $ validate_files_arg))
 
 (* ------------------------------------------------------------------ *)
@@ -1128,6 +1298,7 @@ let () =
            profile_cmd;
            monitor_cmd;
            perf_cmd;
+           scale_cmd;
            postmortem_cmd;
            validate_cmd;
            lint_cmd;

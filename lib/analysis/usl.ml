@@ -1,0 +1,133 @@
+(* Universal Scalability Law fitting (Gunther): throughput at n domains
+   is modelled as
+
+       X(n) = lambda * n / (1 + sigma*(n-1) + kappa*n*(n-1))
+
+   where [lambda] is per-domain capacity at n=1, [sigma] the contention
+   (serialisation) coefficient and [kappa] the coherency (crosstalk)
+   coefficient. The fit is deterministic: for fixed (sigma, kappa) the
+   optimal lambda has a closed form (linear least squares through the
+   origin against g(n) = n / denom(n)), so we only search the
+   (sigma, kappa) plane, with a multi-resolution grid that shrinks the
+   search box around the argmin. No randomness, no NaN escapes: inputs
+   that cannot identify the parameters (fewer than three distinct
+   domain counts, flat or perfectly linear curves, non-positive or
+   non-finite throughputs) are rejected with a diagnostic string. *)
+
+type fit = {
+  lambda : float;  (** per-domain capacity at n=1 (queries/s) *)
+  sigma : float;  (** contention coefficient, >= 0 *)
+  kappa : float;  (** coherency coefficient, >= 0 *)
+  r2 : float;  (** coefficient of determination of the fit *)
+}
+
+let denom ~sigma ~kappa n =
+  let nf = float_of_int n in
+  1.0 +. (sigma *. (nf -. 1.0)) +. (kappa *. nf *. (nf -. 1.0))
+
+let predict f n = f.lambda *. float_of_int n /. denom ~sigma:f.sigma ~kappa:f.kappa n
+
+(* Fitted throughput peak: X(n) is maximised at n* = sqrt((1-sigma)/kappa)
+   when kappa > 0; with kappa = 0 the curve is monotone (no peak). *)
+let peak f =
+  if f.kappa > 0.0 && f.sigma < 1.0 then Some (sqrt ((1.0 -. f.sigma) /. f.kappa))
+  else None
+
+(* Closed-form lambda for fixed (sigma, kappa): minimise
+   sum (y_i - lambda*g_i)^2 with g_i = n_i/denom(n_i), giving
+   lambda* = sum(y_i*g_i) / sum(g_i^2). Returns (lambda, sse). *)
+let lambda_and_sse pts ~sigma ~kappa =
+  let num = ref 0.0 and den = ref 0.0 in
+  List.iter
+    (fun (n, y) ->
+      let g = float_of_int n /. denom ~sigma ~kappa n in
+      num := !num +. (y *. g);
+      den := !den +. (g *. g))
+    pts;
+  let lambda = if !den > 0.0 then !num /. !den else 0.0 in
+  let sse =
+    List.fold_left
+      (fun acc (n, y) ->
+        let g = float_of_int n /. denom ~sigma ~kappa n in
+        let r = y -. (lambda *. g) in
+        acc +. (r *. r))
+      0.0 pts
+  in
+  (lambda, sse)
+
+let sigma_max = 4.0
+let kappa_max = 2.0
+let grid_steps = 24
+let refine_rounds = 5
+
+let fit points =
+  let pts = List.filter (fun (n, _) -> n >= 1) points in
+  if List.length pts <> List.length points then
+    Error "usl: domain counts must be >= 1"
+  else if List.exists (fun (_, y) -> not (Float.is_finite y)) pts then
+    Error "usl: non-finite throughput in input"
+  else if List.exists (fun (_, y) -> y <= 0.0) pts then
+    Error "usl: non-positive throughput in input"
+  else begin
+    let distinct = List.sort_uniq compare (List.map fst pts) in
+    if List.length distinct < 3 then
+      Error
+        (Printf.sprintf
+           "usl: need >= 3 distinct domain counts to identify (sigma, kappa), got %d"
+           (List.length distinct))
+    else begin
+      let ys = List.map snd pts in
+      let ymin = List.fold_left min infinity ys in
+      let ymax = List.fold_left max neg_infinity ys in
+      if ymax -. ymin <= 1e-9 *. ymax then
+        Error "usl: flat throughput curve (same throughput at every domain count); contention parameters are unidentifiable"
+      else begin
+        (* Perfectly linear through the origin means sigma = kappa = 0
+           exactly: the whole (sigma, kappa) neighbourhood of 0 fits
+           equally well, so report it as degenerate rather than claiming
+           a fitted contention coefficient. *)
+        let lin_lambda, lin_sse = lambda_and_sse pts ~sigma:0.0 ~kappa:0.0 in
+        let scale =
+          List.fold_left (fun acc (_, y) -> acc +. (y *. y)) 0.0 pts
+        in
+        if lin_lambda > 0.0 && lin_sse <= 1e-12 *. scale then
+          Error "usl: throughput is exactly linear in domains (no measurable contention); sigma and kappa are unidentifiable"
+        else begin
+          let best_sigma = ref 0.0 and best_kappa = ref 0.0 in
+          let best_sse = ref infinity and best_lambda = ref 0.0 in
+          let slo = ref 0.0 and shi = ref sigma_max in
+          let klo = ref 0.0 and khi = ref kappa_max in
+          for _round = 1 to refine_rounds do
+            let sstep = (!shi -. !slo) /. float_of_int grid_steps in
+            let kstep = (!khi -. !klo) /. float_of_int grid_steps in
+            for i = 0 to grid_steps do
+              for j = 0 to grid_steps do
+                let sigma = !slo +. (float_of_int i *. sstep) in
+                let kappa = !klo +. (float_of_int j *. kstep) in
+                let lambda, sse = lambda_and_sse pts ~sigma ~kappa in
+                if sse < !best_sse then begin
+                  best_sse := sse;
+                  best_sigma := sigma;
+                  best_kappa := kappa;
+                  best_lambda := lambda
+                end
+              done
+            done;
+            (* Shrink the box to +-1.5 grid cells around the argmin,
+               clamped to the original bounds. *)
+            slo := Float.max 0.0 (!best_sigma -. (1.5 *. sstep));
+            shi := Float.min sigma_max (!best_sigma +. (1.5 *. sstep));
+            klo := Float.max 0.0 (!best_kappa -. (1.5 *. kstep));
+            khi := Float.min kappa_max (!best_kappa +. (1.5 *. kstep))
+          done;
+          let n = float_of_int (List.length pts) in
+          let mean = List.fold_left ( +. ) 0.0 ys /. n in
+          let sst =
+            List.fold_left (fun acc y -> acc +. ((y -. mean) *. (y -. mean))) 0.0 ys
+          in
+          let r2 = if sst > 0.0 then 1.0 -. (!best_sse /. sst) else 0.0 in
+          Ok { lambda = !best_lambda; sigma = !best_sigma; kappa = !best_kappa; r2 }
+        end
+      end
+    end
+  end

@@ -1,0 +1,32 @@
+(** Universal Scalability Law fitting.
+
+    Fits Gunther's USL — X(n) = lambda*n / (1 + sigma*(n-1) +
+    kappa*n*(n-1)) — to a measured throughput-vs-domains curve. [sigma]
+    is the contention (serialisation) coefficient the paper's
+    replication argument is supposed to shrink; [kappa] captures
+    coherency crosstalk (the false-sharing signature: throughput that
+    *decreases* past its peak). The fitter is deterministic: closed-form
+    lambda per candidate, multi-resolution grid search over
+    (sigma, kappa) in [0,4] x [0,2]. *)
+
+type fit = {
+  lambda : float;  (** per-domain capacity at n=1 (queries/s) *)
+  sigma : float;  (** contention coefficient, >= 0 *)
+  kappa : float;  (** coherency coefficient, >= 0 *)
+  r2 : float;  (** coefficient of determination vs the mean model *)
+}
+
+val fit : (int * float) list -> (fit, string) result
+(** [fit points] fits the USL to [(domains, throughput)] samples.
+    Degenerate inputs are rejected with a human-readable reason instead
+    of producing NaN: fewer than three distinct domain counts, any
+    non-finite or non-positive throughput, a flat curve (identical
+    throughput everywhere), or a perfectly linear curve (sigma and kappa
+    indistinguishable from zero). *)
+
+val predict : fit -> int -> float
+(** [predict f n] evaluates the fitted curve at [n] domains. *)
+
+val peak : fit -> float option
+(** Domain count maximising the fitted curve: sqrt((1-sigma)/kappa) when
+    [kappa > 0] (and [sigma < 1]); [None] for monotone fits. *)

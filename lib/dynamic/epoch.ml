@@ -64,6 +64,10 @@ type reader = {
   r_rng : Rng.t;
   mutable snap : snapshot;  (* last pinned snapshot *)
   mutable r_probes : int;
+  (* Owner-domain scratch for phase accounting: nanoseconds spent in the
+     pin/unpin announcement windows by [mem_phased]. Plain field — read
+     by the engine after joining the owning domain. *)
+  mutable r_pin_ns : int;
   (* The probe closure is allocated once per reader and re-pointed at
      the replica under probe by [mem] — the hot read path allocates
      nothing per query or per level. *)
@@ -285,6 +289,7 @@ let reader t rng =
       r_rng = rng;
       snap = Atomic.get t.current;
       r_probes = 0;
+      r_pin_ns = 0;
       cur_counters = [||];
       cur_table = Table.create ~cells:1 ~bits:1 ();
       cur_base = 0;
@@ -303,6 +308,7 @@ let reader t rng =
 let set_observe r f = r.observe <- f
 let clear_observe r = r.observe <- no_observe
 let reader_probes r = r.r_probes
+let reader_pin_ns r = r.r_pin_ns
 let last_epoch r = r.snap.epoch
 
 (* Pin: announce an epoch, then confirm the snapshot did not move past
@@ -377,6 +383,54 @@ let mem t r x =
     end
   in
   unpin r;
+  answer
+
+(* Phase-accounted variant of [mem] for monitored readers: the same
+   probe protocol, plus monotonic timing of the pin and unpin
+   announcement windows accumulated into the reader-owned [r_pin_ns]
+   scratch. The probe loop is duplicated from [mem] deliberately — the
+   untimed path must stay byte-identical for obs-off runs, and sharing
+   an inner function would put an extra call (and clock plumbing) in
+   it. Keep the two loops in sync. Error paths (invalid key, poisoned
+   level) unpin without charging the pin phase: they abort the run. *)
+let mem_phased t r x =
+  let p0 = Monotonic_clock.now () in
+  let s = pin r t in
+  let p1 = Monotonic_clock.now () in
+  if x < 0 || x >= s.snap_universe then begin
+    unpin r;
+    invalid_arg "Epoch.mem: key outside universe"
+  end;
+  let answer =
+    if tombstoned s.deleted x then false
+    else begin
+      let hit = ref false in
+      let nl = Array.length s.levels in
+      let i = ref 0 in
+      while (not !hit) && !i < nl do
+        let l = s.levels.(!i) in
+        if Atomic.get l.freed then begin
+          unpin r;
+          raise (Freed_level { epoch = s.epoch; level = l.el_index })
+        end;
+        let rep = Rng.int r.r_rng (Array.length l.cores) in
+        r.cur_counters <- l.counters.(rep);
+        r.cur_table <- l.tables.(rep);
+        r.cur_base <- s.bases.(!i) + l.rep_base.(rep);
+        let (module D : Lc_dict.Dict_intf.S) = l.cores.(rep) in
+        if D.mem ~probe:r.probe r.r_rng x then hit := true;
+        incr i
+      done;
+      !hit
+    end
+  in
+  let u0 = Monotonic_clock.now () in
+  unpin r;
+  let u1 = Monotonic_clock.now () in
+  r.r_pin_ns <-
+    r.r_pin_ns
+    + Int64.to_int (Int64.sub p1 p0)
+    + Int64.to_int (Int64.sub u1 u0);
   answer
 
 (* ------------------------------------------------------------------ *)

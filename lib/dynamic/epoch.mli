@@ -135,6 +135,20 @@ val mem : t -> reader -> int -> bool
     per-cell tally and [r]'s cumulative counter, and feeds the observe
     hook with the snapshot-global cell id. *)
 
+val mem_phased : t -> reader -> int -> bool
+(** {!mem} with phase accounting: additionally times the pin and unpin
+    announcement windows with the monotonic clock and accumulates the
+    nanoseconds into a reader-owned counter ({!reader_pin_ns}). Answers
+    and probe accounting are identical to {!mem}; the only extra cost is
+    four clock reads per query. The engine's monitored dynamic path uses
+    this so epoch-protocol overhead shows up as its own phase instead of
+    being folded into probe work. *)
+
+val reader_pin_ns : reader -> int
+(** Cumulative nanoseconds {!mem_phased} spent announcing (pin) and
+    clearing (unpin) this reader's epoch slot. Reads owner scratch —
+    call from the owning domain or after joining it. *)
+
 val set_observe : reader -> (int -> unit) -> unit
 (** Install a per-probe hook called with the snapshot-global cell index
     of every visit — the engine wires the hot-cell sketch in here for

@@ -19,5 +19,6 @@ let install () =
     Exp_windowed.register ();
     Exp_perf.register ();
     Exp_epoch.register ();
-    Exp_observatory.register ()
+    Exp_observatory.register ();
+    Exp_scaling.register ()
   end

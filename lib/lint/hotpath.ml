@@ -49,12 +49,20 @@ let default_manifest =
     (* acquire/release are the parked-pin variants of pin/unpin;
        reader_lag/reader_staleness are the epoch-lifecycle gauges the
        monitor scrapes per window cut while readers probe — none may
-       allocate. *)
+       allocate. mem_phased is the instrumented variant of mem that
+       also attributes pin time — it runs per query whenever phase
+       accounting is on, so it belongs in the audit even though its
+       clock reads carry a documented boxed-Int64 suppression. *)
     ( "lib/dynamic/epoch.ml",
       [
         "pin"; "unpin"; "tombstoned"; "mem"; "acquire"; "release"; "reader_lag";
-        "reader_staleness";
+        "reader_staleness"; "mem_phased";
       ] );
+    (* Phase accounting flush and the per-window GC sample: each runs
+       once per worker batch end / window publish on a worker domain —
+       between query batches, not per query, but still inside the
+       serving loop, so they are audited like the publish path. *)
+    ("lib/parallel/engine.ml", [ "flush_phases"; "sample_gc" ]);
     ("lib/obs/heavy.ml", [ "observe"; "min_count"; "copy_into" ]);
     ("lib/obs/window.ml", [ "publish" ]);
     ("lib/obs/journal.ml", [ "record" ]);

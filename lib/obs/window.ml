@@ -38,6 +38,30 @@ type update_config = {
   reader_lag_gauge : string;
 }
 
+(* Names of the per-domain GC allocation counters the windowed view
+   diffs (workers flush their own [Gc.counters] deltas into their metric
+   shards at publish points, so the sums here carry per-domain words
+   without any cross-domain [Gc.quick_stat] staleness). Collection
+   *counts* have no per-domain reading — [quick_stat] aggregates across
+   domains — so those are sampled globally at each cut. *)
+type gc_config = {
+  minor_words_counter : string;
+  promoted_words_counter : string;
+  major_words_counter : string;
+}
+
+type gentry = {
+  g_minor_words : int;  (* windowed allocation words, summed over domains *)
+  g_promoted_words : int;
+  g_major_words : int;
+  g_minor_collections : int;  (* windowed delta of the global quick_stat count *)
+  g_major_collections : int;
+  alloc_per_query : float;  (* minor words per query over the window *)
+  g_heap_words : int;  (* major heap size at the cut *)
+  cum_minor_words : int;
+  cum_major_collections : int;
+}
+
 type uentry = {
   u_inserts : int;
   u_deletes : int;
@@ -73,12 +97,14 @@ type entry = {
   cum_queries : int;
   cum_probes : int;
   updates : uentry option;
+  gc : gentry option;
 }
 
 type t = {
   metrics : Metrics.t;
   config : config;
   updates_cfg : update_config option;
+  gc_cfg : gc_config option;
   publishers : publisher array;
   (* Reader-side private buffers: [stable_read] copies a publisher's
      slots here under the seqlock retry loop, so merging never touches a
@@ -99,15 +125,24 @@ type t = {
   mutable prev_pubs : int;
   mutable prev_cells : int;
   mutable prev_rebuild : Metrics.Snapshot.hist option;
+  mutable prev_gc_minor : int;
+  mutable prev_gc_promoted : int;
+  mutable prev_gc_major : int;
+  mutable prev_minor_colls : int;
+  mutable prev_major_colls : int;
   mutable prev_t : float;
   mutable firing_run : int;
   mutable fired_total : int;
   t0_ns : int64;
 }
 
-let create ?updates metrics config ~publishers:np =
+let create ?updates ?gc metrics config ~publishers:np =
   if np < 1 then invalid_arg "Window.create: need at least one publisher";
   if config.ring_capacity < 1 then invalid_arg "Window.create: ring_capacity must be >= 1";
+  (* Baseline the global collection counts at construction so the first
+     window reports collections *during* the run, not since process
+     start. *)
+  let s0 = if gc = None then None else Some (Gc.quick_stat ()) in
   let mk_pub () =
     {
       epoch = Atomic.make 0;
@@ -119,6 +154,7 @@ let create ?updates metrics config ~publishers:np =
     metrics;
     config;
     updates_cfg = updates;
+    gc_cfg = gc;
     publishers = Array.init np (fun _ -> mk_pub ());
     scratch_metrics = Array.init np (fun _ -> Metrics.frozen metrics);
     scratch_sketches = Array.init np (fun _ -> Heavy.create ~k:config.top_k);
@@ -133,6 +169,11 @@ let create ?updates metrics config ~publishers:np =
     prev_pubs = 0;
     prev_cells = 0;
     prev_rebuild = None;
+    prev_gc_minor = 0;
+    prev_gc_promoted = 0;
+    prev_gc_major = 0;
+    prev_minor_colls = (match s0 with None -> 0 | Some s -> s.Gc.minor_collections);
+    prev_major_colls = (match s0 with None -> 0 | Some s -> s.Gc.major_collections);
     prev_t = 0.0;
     firing_run = 0;
     fired_total = 0;
@@ -335,6 +376,43 @@ let tick t =
         t.prev_pubs <- c uc.publications_counter;
         t.prev_cells <- c uc.cells_counter;
         t.prev_rebuild <- rebuild_cum);
+      (* The windowed GC view: per-domain allocation words come from the
+         shard counters the workers flush (precise per domain); the
+         collection counts are the global [quick_stat] reading sampled
+         at the cut, diffed against the previous cut. *)
+      let gc =
+        match t.gc_cfg with
+        | None -> None
+        | Some gcfg ->
+          let c name =
+            Option.value ~default:0 (Metrics.Snapshot.counter_value snap name)
+          in
+          let cum_minor = c gcfg.minor_words_counter in
+          let cum_promoted = c gcfg.promoted_words_counter in
+          let cum_major = c gcfg.major_words_counter in
+          let st = Gc.quick_stat () in
+          let g =
+            {
+              g_minor_words = cum_minor - t.prev_gc_minor;
+              g_promoted_words = cum_promoted - t.prev_gc_promoted;
+              g_major_words = cum_major - t.prev_gc_major;
+              g_minor_collections = st.Gc.minor_collections - t.prev_minor_colls;
+              g_major_collections = st.Gc.major_collections - t.prev_major_colls;
+              alloc_per_query =
+                (if dq > 0 then float_of_int (cum_minor - t.prev_gc_minor) /. float_of_int dq
+                 else 0.0);
+              g_heap_words = st.Gc.heap_words;
+              cum_minor_words = cum_minor;
+              cum_major_collections = st.Gc.major_collections;
+            }
+          in
+          t.prev_gc_minor <- cum_minor;
+          t.prev_gc_promoted <- cum_promoted;
+          t.prev_gc_major <- cum_major;
+          t.prev_minor_colls <- st.Gc.minor_collections;
+          t.prev_major_colls <- st.Gc.major_collections;
+          Some g
+      in
       let e =
         {
           index = t.next_index;
@@ -354,6 +432,7 @@ let tick t =
           cum_queries;
           cum_probes;
           updates;
+          gc;
         }
       in
       push t e;
@@ -422,5 +501,26 @@ let prometheus_gauges t =
       (float_of_int u.u_retired);
     gauge "engine_reader_lag" "Published epoch minus the slowest pinned reader's epoch"
       (float_of_int u.u_reader_lag)
+  | _ -> ());
+  (* GC gauges, present only when the window keeps a GC view. *)
+  (match e with
+  | Some { gc = Some g; _ } ->
+    gauge "engine_window_alloc_per_query"
+      "Minor-heap words allocated per query over the last completed window"
+      g.alloc_per_query;
+    gauge "engine_window_minor_words"
+      "Minor-heap words allocated over the last completed window (all domains)"
+      (float_of_int g.g_minor_words);
+    gauge "engine_window_promoted_words"
+      "Words promoted to the major heap over the last completed window"
+      (float_of_int g.g_promoted_words);
+    gauge "engine_window_minor_collections"
+      "Minor collections during the last completed window (process-wide)"
+      (float_of_int g.g_minor_collections);
+    gauge "engine_window_major_collections"
+      "Major collection slices during the last completed window (process-wide)"
+      (float_of_int g.g_major_collections);
+    gauge "engine_gc_heap_words" "Major heap size in words at the last window cut"
+      (float_of_int g.g_heap_words)
   | _ -> ());
   Buffer.contents b

@@ -65,6 +65,42 @@ type update_config = {
     {!config}. The engine supplies this for runs that can mutate; like
     those, the metrics must be registered before {!create}. *)
 
+type gc_config = {
+  minor_words_counter : string;
+      (** Counter of per-domain minor-heap allocation words (workers
+          flush their own [Gc.counters] deltas into their shards). *)
+  promoted_words_counter : string;
+  major_words_counter : string;
+}
+(** Names of the per-domain GC allocation counters the windowed view
+    diffs. Allocation {e words} come from shard counters because
+    [Gc.counters] reads the calling domain's own state (precise,
+    per-domain); collection {e counts} have no per-domain reading —
+    [Gc.quick_stat] aggregates across domains — so {!tick} samples those
+    globally at each cut. Like {!update_config}, the named metrics must
+    be registered before {!create}. *)
+
+type gentry = {
+  g_minor_words : int;
+      (** Minor-heap words allocated in this window, summed over
+          domains. *)
+  g_promoted_words : int;  (** Words promoted to the major heap. *)
+  g_major_words : int;  (** Words allocated directly on the major heap. *)
+  g_minor_collections : int;
+      (** Minor collections during the window, process-wide
+          ([Gc.quick_stat] delta). *)
+  g_major_collections : int;  (** Major collection slices, process-wide. *)
+  alloc_per_query : float;
+      (** [g_minor_words / queries] — the allocation-per-query gauge; 0
+          when the window saw no queries. *)
+  g_heap_words : int;  (** Major heap size in words at the cut. *)
+  cum_minor_words : int;  (** Cumulative allocation words at window end. *)
+  cum_major_collections : int;
+}
+(** The windowed GC view — what the allocator and collector did during
+    one window, cut by the same {!tick} that cuts the read-side
+    fields. *)
+
 type uentry = {
   u_inserts : int;  (** Inserts applied in this window. *)
   u_deletes : int;  (** Deletes applied in this window. *)
@@ -119,16 +155,23 @@ type entry = {
       (** The update-path view — [None] when the recorder has no
           {!update_config} {e or} the run never exercised the update
           path (static workloads leave the builder counters at zero). *)
+  gc : gentry option;
+      (** The GC view — [None] when the recorder has no {!gc_config};
+          present on every window otherwise (a window with zero
+          allocation is itself a finding). *)
 }
 
 type t
 (** The recorder: publishers, ring, delta state, alert state. *)
 
-val create : ?updates:update_config -> Metrics.t -> config -> publishers:int -> t
+val create :
+  ?updates:update_config -> ?gc:gc_config -> Metrics.t -> config -> publishers:int -> t
 (** [create metrics config ~publishers] sizes one publisher per
     recording domain. Create it {e after} registering the metrics named
-    in [config] — and in [?updates], when given — (buffers are sized to
-    the registry's current definitions). *)
+    in [config] — and in [?updates] / [?gc], when given — (buffers are
+    sized to the registry's current definitions). With [?gc], the global
+    collection counts are baselined here so the first window reports
+    collections during the run, not since process start. *)
 
 val publisher : t -> int -> publisher
 val config : t -> config
@@ -170,4 +213,8 @@ val prometheus_gauges : t -> string
     latest window carries an update view, also [engine_window_ups],
     [engine_window_pubs_per_s], [engine_window_write_amp],
     [engine_window_rebuild_p99_ns], [engine_epoch],
-    [engine_retired_pending] and [engine_reader_lag]. *)
+    [engine_retired_pending] and [engine_reader_lag]. When it carries a
+    GC view, also [engine_window_alloc_per_query],
+    [engine_window_minor_words], [engine_window_promoted_words],
+    [engine_window_minor_collections], [engine_window_major_collections]
+    and [engine_gc_heap_words]. *)

@@ -10,6 +10,7 @@ module Http = Lc_obs.Http
 module Journal = Lc_obs.Journal
 module Epoch = Lc_dynamic.Epoch
 module Opstream = Lc_workload.Opstream
+module Coheat = Lc_analysis.Coheat
 
 type cost = Free | Spinlock of { hold : int }
 
@@ -132,6 +133,172 @@ let make_obs_probe ?sketch ~cost ~counters ~locks table (w : worker_obs) :
       Atomic.set l false;
       Atomic.incr counters.(j);
       v
+
+(* ------------------------------------------------------------------ *)
+(* Phase accounting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-domain wall-time attribution for instrumented serves: every
+   worker's batch time is split into disjoint monotonic-clock windows —
+   probe work (inside the dictionary's [mem]), tally work (per-query
+   telemetry recording), seqlock window publishes, epoch pin/unpin
+   (dynamic runs) — plus the residual [other] (loop overhead, the phase
+   bookkeeping itself, GC pauses landing between windows) defined as
+   wall minus the attributed phases, so the five phases sum to the
+   worker's batch wall time *exactly, by construction*. [idle] is
+   filled in by the orchestrator after the join: serve wall time minus
+   the worker's own batch wall (spawn/join skew and scheduler time).
+
+   The record is plain (no atomics): each worker owns exactly one
+   element of the run's array, written only by that domain and read by
+   the orchestrator strictly after the join — same single-writer
+   discipline as the metric shards. *)
+type phase_stats = {
+  ph_domain : int;
+  mutable ph_probe_ns : int;
+  mutable ph_tally_ns : int;
+  mutable ph_publish_ns : int;
+  mutable ph_pin_ns : int;
+  mutable ph_other_ns : int;
+  mutable ph_wall_ns : int;
+  mutable ph_idle_ns : int;
+}
+
+let fresh_phases domains =
+  Array.init domains (fun w ->
+      {
+        ph_domain = w;
+        ph_probe_ns = 0;
+        ph_tally_ns = 0;
+        ph_publish_ns = 0;
+        ph_pin_ns = 0;
+        ph_other_ns = 0;
+        ph_wall_ns = 0;
+        ph_idle_ns = 0;
+      })
+
+type phase_metric_ids = {
+  p_probe_c : Metrics.counter;
+  p_tally_c : Metrics.counter;
+  p_publish_c : Metrics.counter;
+  p_pin_c : Metrics.counter;
+  p_other_c : Metrics.counter;
+  p_wall_c : Metrics.counter;
+  p_idle_c : Metrics.counter;
+}
+
+(* One shared name list so registration, the /scaling.json body and the
+   scaling artifact cannot drift apart. *)
+let phase_counter_names =
+  [
+    ("probe", "engine_phase_probe_ns_total");
+    ("tally", "engine_phase_tally_ns_total");
+    ("publish", "engine_phase_publish_ns_total");
+    ("pin", "engine_phase_pin_ns_total");
+    ("other", "engine_phase_other_ns_total");
+    ("wall", "engine_phase_wall_ns_total");
+    ("idle", "engine_phase_idle_ns_total");
+  ]
+
+let register_phase_metrics (o : Lc_obs.Obs.t) =
+  let c phase help = Metrics.counter o.metrics ~help (List.assoc phase phase_counter_names) in
+  {
+    p_probe_c = c "probe" "Worker ns inside the dictionary's mem (probe work)";
+    p_tally_c = c "tally" "Worker ns recording per-query telemetry";
+    p_publish_c = c "publish" "Worker ns in seqlock window publishes";
+    p_pin_c = c "pin" "Reader ns in epoch pin/unpin announcements";
+    p_other_c = c "other" "Worker batch ns not attributed to a phase (residual)";
+    p_wall_c = c "wall" "Worker batch wall ns (sum of the five phases)";
+    p_idle_c = c "idle" "Serve wall ns minus worker batch wall, summed over workers";
+  }
+
+(* Flush a worker's phase totals into its own shard, once, at batch end
+   (before the final seqlock publish, so the monitor's last window sees
+   them). Counters start at zero and each worker flushes exactly once,
+   so the registry totals are the sums over domains. *)
+let flush_phases shard (p : phase_metric_ids) (ph : phase_stats) =
+  Metrics.incr shard p.p_probe_c ph.ph_probe_ns;
+  Metrics.incr shard p.p_tally_c ph.ph_tally_ns;
+  Metrics.incr shard p.p_publish_c ph.ph_publish_ns;
+  Metrics.incr shard p.p_pin_c ph.ph_pin_ns;
+  Metrics.incr shard p.p_other_c ph.ph_other_ns;
+  Metrics.incr shard p.p_wall_c ph.ph_wall_ns
+
+(* Close a worker's phase record at batch end: [wall] is the enclosing
+   monotonic window, [pin] (dynamic readers) was accumulated inside the
+   probe windows by [Epoch.mem_phased] and is carved out of probe here,
+   and [other] is the exact residual. *)
+let close_phases (ph : phase_stats) ~wall_ns ~pin_ns =
+  ph.ph_pin_ns <- pin_ns;
+  ph.ph_probe_ns <- ph.ph_probe_ns - pin_ns;
+  ph.ph_wall_ns <- wall_ns;
+  ph.ph_other_ns <-
+    wall_ns - ph.ph_probe_ns - ph.ph_tally_ns - ph.ph_publish_ns - ph.ph_pin_ns
+
+(* ------------------------------------------------------------------ *)
+(* GC telemetry                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-domain allocation accounting. [Gc.counters] reads the calling
+   domain's own state (precise, no cross-domain staleness), so each
+   worker samples its own cursor at batch start, at every publish point
+   and at batch end, flushing the word deltas into its own metric shard.
+   [Gc.counters] allocates a tuple of boxed floats — that is why it runs
+   only at those boundaries, never per query. *)
+type gc_cursor = {
+  mutable gcur_minor : float;
+  mutable gcur_promoted : float;
+  mutable gcur_major : float;
+}
+
+let fresh_gc_cursors n =
+  Array.init n (fun _ -> { gcur_minor = 0.0; gcur_promoted = 0.0; gcur_major = 0.0 })
+
+type gc_metric_ids = {
+  g_minor_c : Metrics.counter;
+  g_promoted_c : Metrics.counter;
+  g_major_c : Metrics.counter;
+}
+
+(* The metric names the windowed GC view diffs — shared with the Window
+   config like [update_metric_names]. *)
+let gc_metric_names : Window.gc_config =
+  {
+    Window.minor_words_counter = "engine_gc_minor_words_total";
+    promoted_words_counter = "engine_gc_promoted_words_total";
+    major_words_counter = "engine_gc_major_words_total";
+  }
+
+let register_gc_metrics (o : Lc_obs.Obs.t) =
+  let n = gc_metric_names in
+  {
+    g_minor_c =
+      Metrics.counter o.metrics ~help:"Minor-heap words allocated by engine domains"
+        n.Window.minor_words_counter;
+    g_promoted_c =
+      Metrics.counter o.metrics ~help:"Words promoted to the major heap by engine domains"
+        n.Window.promoted_words_counter;
+    g_major_c =
+      Metrics.counter o.metrics ~help:"Words allocated directly on the major heap"
+        n.Window.major_words_counter;
+  }
+
+(* Set the cursor without flushing: the baseline at batch start, so the
+   deltas cover only this worker's batch. *)
+let gc_baseline (cur : gc_cursor) =
+  let minor, promoted, major = Gc.counters () in
+  cur.gcur_minor <- minor;
+  cur.gcur_promoted <- promoted;
+  cur.gcur_major <- major
+
+let sample_gc shard (g : gc_metric_ids) (cur : gc_cursor) =
+  let minor, promoted, major = Gc.counters () in
+  Metrics.incr shard g.g_minor_c (int_of_float (minor -. cur.gcur_minor));
+  Metrics.incr shard g.g_promoted_c (int_of_float (promoted -. cur.gcur_promoted));
+  Metrics.incr shard g.g_major_c (int_of_float (major -. cur.gcur_major));
+  cur.gcur_minor <- minor;
+  cur.gcur_promoted <- promoted;
+  cur.gcur_major <- major
 
 (* Engine metric ids on an observability handle. Registration is
    idempotent per name, so both [Monitor.create] (which must size the
@@ -303,6 +470,8 @@ module Monitor = struct
        update view keys on. *)
     let _ids = register_metrics obs in
     let _uids = register_update_metrics obs in
+    let _pids = register_phase_metrics obs in
+    let _gids = register_gc_metrics obs in
     let config =
       {
         Window.ring_capacity = ring;
@@ -321,7 +490,7 @@ module Monitor = struct
          domains + 1 = the builder domain of a dynamic run (left zeroed
          by static serves). *)
       window =
-        Window.create ~updates:update_metric_names obs.metrics config
+        Window.create ~updates:update_metric_names ~gc:gc_metric_names obs.metrics config
           ~publishers:(domains + 2);
       sketches = Array.init domains (fun _ -> Heavy.create ~k:top_k);
       orch_sketch = Heavy.create ~k:top_k;
@@ -397,18 +566,47 @@ module Monitor = struct
     Lc_obs.Export.prometheus (Window.live_snapshot t.window)
     ^ Window.prometheus_gauges t.window
 
+  (* The co-heat JSON object shared by /cells.json and /scaling.json:
+     per-cell tallies bucketed into cache-line groups (see
+     {!Lc_analysis.Coheat}), or [Null] when the run keeps no live
+     per-cell counters (dynamic workloads, or before a serve starts). *)
+  let coheat_json counts_opt =
+    let module J = Lc_obs.Json in
+    match counts_opt with
+    | None -> J.Null
+    | Some counts ->
+      let ch = Coheat.of_counts counts in
+      J.Obj
+        [
+          ("line_cells", J.Int ch.Coheat.line_cells);
+          ("lines", J.Int ch.Coheat.lines);
+          ("total_probes", J.Int ch.Coheat.total);
+          ("ratio", J.Float ch.Coheat.ratio);
+          ("uniform_bound", J.Float (Coheat.uniform_bound ch));
+          ("hottest_line", J.Int ch.Coheat.hottest_line);
+          ("hottest_line_heat", J.Int ch.Coheat.hottest_line_heat);
+          ("hottest_line_share", J.Float ch.Coheat.hottest_line_share);
+        ]
+
+  let live_count_values t =
+    match t.live_counts with
+    | None -> None
+    | Some counters -> Some (Array.map Atomic.get counters)
+
   let cells_body t =
     let cells = Window.live_cells t.window in
+    let exact_counts = live_count_values t in
     let exact_hist =
-      match t.live_counts with
+      match exact_counts with
       | None -> []
-      | Some counters -> histogram_of_counts (Array.map Atomic.get counters)
+      | Some counts -> histogram_of_counts counts
     in
     Lc_obs.Json.to_string
       (Lc_obs.Json.Obj
          [
            ("total_observed", Lc_obs.Json.Int cells.Heavy.total_observed);
            ("error_bound", Lc_obs.Json.Int cells.Heavy.error_bound);
+           ("coheat", coheat_json exact_counts);
            ( "top",
              Lc_obs.Json.List
                (List.map
@@ -535,6 +733,69 @@ module Monitor = struct
            ("windows", J.List uwindows);
          ])
 
+  (* /scaling.json: the scaling observatory's live view — cumulative
+     per-phase time attribution, GC/allocation counters, the windowed GC
+     entries and the cache-line co-heat diagnostic, schema-versioned
+     ("lowcon-scaling-live" v1) so `lowcon validate` can check a saved
+     scrape. Distinct from the offline "lowcon-scaling" artifact the
+     `lowcon scale` sweep writes: this is one run's telemetry, that is a
+     fitted domain sweep. *)
+  let scaling_schema_name = "lowcon-scaling-live"
+  let scaling_schema_version = 1
+
+  let scaling_body t =
+    let module J = Lc_obs.Json in
+    let snap = Window.live_snapshot t.window in
+    let c name = Option.value ~default:0 (Metrics.Snapshot.counter_value snap name) in
+    let phases =
+      J.Obj
+        (List.map (fun (phase, counter) -> (phase ^ "_ns", J.Int (c counter)))
+           phase_counter_names)
+    in
+    let gn = gc_metric_names in
+    let gwindows =
+      List.filter_map
+        (fun (e : Window.entry) ->
+          match e.Window.gc with
+          | None -> None
+          | Some g ->
+            Some
+              (J.Obj
+                 [
+                   ("index", J.Int e.Window.index);
+                   ("t_start_s", J.Float e.Window.t_start_s);
+                   ("t_end_s", J.Float e.Window.t_end_s);
+                   ("queries", J.Int e.Window.queries);
+                   ("minor_words", J.Int g.Window.g_minor_words);
+                   ("promoted_words", J.Int g.Window.g_promoted_words);
+                   ("major_words", J.Int g.Window.g_major_words);
+                   ("minor_collections", J.Int g.Window.g_minor_collections);
+                   ("major_collections", J.Int g.Window.g_major_collections);
+                   ("alloc_per_query", J.Float g.Window.alloc_per_query);
+                   ("heap_words", J.Int g.Window.g_heap_words);
+                 ]))
+        (Window.entries t.window)
+    in
+    let gc =
+      J.Obj
+        [
+          ("minor_words", J.Int (c gn.Window.minor_words_counter));
+          ("promoted_words", J.Int (c gn.Window.promoted_words_counter));
+          ("major_words", J.Int (c gn.Window.major_words_counter));
+          ("windows", J.List gwindows);
+        ]
+    in
+    J.to_string
+      (J.Obj
+         [
+           ("schema", J.String scaling_schema_name);
+           ("version", J.Int scaling_schema_version);
+           ("domains", J.Int t.domains);
+           ("phases", phases);
+           ("gc", gc);
+           ("coheat", coheat_json (live_count_values t));
+         ])
+
   let routes t : Http.route list =
     [
       ("/metrics", fun () -> Http.text (metrics_body t));
@@ -543,6 +804,7 @@ module Monitor = struct
       ("/cells.json", fun () -> Http.json (cells_body t));
       ("/windows.json", fun () -> Http.json (windows_body t));
       ("/updates.json", fun () -> Http.json (updates_body t));
+      ("/scaling.json", fun () -> Http.json (scaling_body t));
       ("/healthz", fun () -> Http.text "ok\n");
     ]
 end
@@ -601,20 +863,27 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
               spin_wait_h = ids.m_spin_wait;
             })
       in
-      (* Publish the orchestrator's shard (the domains gauge) once; it
-         is quiescent for the rest of the run. *)
+      let pids = register_phase_metrics o in
+      let gids = register_gc_metrics o in
+      (* Publish the orchestrator's shard (the domains gauge) once now;
+         it is republished after the join with the idle-phase total. *)
       (match monitor with
       | Some m ->
         Window.publish (Window.publisher m.Monitor.window 0) main_shard m.Monitor.orch_sketch
       | None -> ());
-      Some (main_tl, workers)
+      Some (main_tl, workers, (main_shard, pids, gids))
   in
+  (* Per-worker phase records and GC cursors, allocated by the
+     orchestrator before any domain spawns (plain single-writer stores,
+     like the metric shards); untouched on the obs-off path. *)
+  let phases = fresh_phases domains in
+  let gcursors = fresh_gc_cursors domains in
   let journal = Option.bind monitor (fun (m : Monitor.t) -> m.Monitor.journal) in
   let main_span name f =
     let body () =
       match setup with
       | None -> f ()
-      | Some (main_tl, _) -> Span.with_span main_tl name f
+      | Some (main_tl, _, _) -> Span.with_span main_tl name f
     in
     match journal with
     | None -> body ()
@@ -640,20 +909,37 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
     | None, _ ->
       let probe = make_probe ~cost ~counters ~locks D.table in
       Array.iter (fun x -> ignore (D.mem ~probe rng x : bool)) batches.(w)
-    | Some (_, workers), None ->
+    | Some (_, workers, (_, pids, gids)), None ->
       let wo = workers.(w) in
+      let ph = phases.(w) in
+      let gcur = gcursors.(w) in
       let probe = make_obs_probe ~cost ~counters ~locks D.table wo in
       Span.with_span wo.timeline "serve-batch" (fun () ->
+          let w0 = Lc_obs.Clock.now_ns () in
+          gc_baseline gcur;
           Array.iter
             (fun x ->
               let t0 = Lc_obs.Clock.now_ns () in
               ignore (D.mem ~probe rng x : bool);
-              Metrics.observe wo.shard wo.latency_h
-                (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
-              Metrics.incr wo.shard wo.queries_c 1)
-            batches.(w))
-    | Some (_, workers), Some m ->
+              let t1 = Lc_obs.Clock.now_ns () in
+              Metrics.observe wo.shard wo.latency_h (Int64.to_int (Int64.sub t1 t0));
+              Metrics.incr wo.shard wo.queries_c 1;
+              let t2 = Lc_obs.Clock.now_ns () in
+              (* The phase stores below land after [t2]: the accounting
+                 overhead charges itself to the [other] residual, never
+                 to the phases it measures. *)
+              ph.ph_probe_ns <- ph.ph_probe_ns + Int64.to_int (Int64.sub t1 t0);
+              ph.ph_tally_ns <- ph.ph_tally_ns + Int64.to_int (Int64.sub t2 t1))
+            batches.(w);
+          sample_gc wo.shard gids gcur;
+          close_phases ph
+            ~wall_ns:(Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) w0))
+            ~pin_ns:0;
+          flush_phases wo.shard pids ph)
+    | Some (_, workers, (_, pids, gids)), Some m ->
       let wo = workers.(w) in
+      let ph = phases.(w) in
+      let gcur = gcursors.(w) in
       let sketch = m.Monitor.sketches.(w) in
       let pub = Window.publisher m.Monitor.window (w + 1) in
       let period = m.Monitor.publish_period in
@@ -667,25 +953,42 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
         | Some j -> fun q -> Journal.record j ~writer:(w + 1) (Journal.Publish { queries = q })
       in
       Span.with_span wo.timeline "serve-batch" (fun () ->
+          let w0 = Lc_obs.Clock.now_ns () in
+          gc_baseline gcur;
           let since_publish = ref 0 in
           let served = ref 0 in
           Array.iter
             (fun x ->
               let t0 = Lc_obs.Clock.now_ns () in
               ignore (D.mem ~probe rng x : bool);
-              Metrics.observe wo.shard wo.latency_h
-                (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
+              let t1 = Lc_obs.Clock.now_ns () in
+              Metrics.observe wo.shard wo.latency_h (Int64.to_int (Int64.sub t1 t0));
               Metrics.incr wo.shard wo.queries_c 1;
+              let t2 = Lc_obs.Clock.now_ns () in
+              ph.ph_probe_ns <- ph.ph_probe_ns + Int64.to_int (Int64.sub t1 t0);
+              ph.ph_tally_ns <- ph.ph_tally_ns + Int64.to_int (Int64.sub t2 t1);
               incr served;
               incr since_publish;
               if !since_publish >= period then begin
                 since_publish := 0;
+                let pb0 = Lc_obs.Clock.now_ns () in
+                sample_gc wo.shard gids gcur;
                 Window.publish pub wo.shard sketch;
-                journal_publish !served
+                journal_publish !served;
+                ph.ph_publish_ns <-
+                  ph.ph_publish_ns
+                  + Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) pb0)
               end)
             batches.(w);
+          sample_gc wo.shard gids gcur;
+          close_phases ph
+            ~wall_ns:(Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) w0))
+            ~pin_ns:0;
+          flush_phases wo.shard pids ph;
           (* Final publication: the monitor's last tick must see the
-             complete batch so windowed totals reconcile exactly. *)
+             complete batch (and the flushed phase totals) so windowed
+             totals reconcile exactly. Deliberately after the wall cut —
+             it cannot be charged to a phase it publishes. *)
           Window.publish pub wo.shard sketch;
           journal_publish !served)
   in
@@ -705,12 +1008,31 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
              done))
   in
   let t0 = Unix.gettimeofday () in
+  let serve_t0_ns = Lc_obs.Clock.now_ns () in
   let seconds =
     main_span "serve" @@ fun () ->
     let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
     Array.iter Domain.join spawned;
     Unix.gettimeofday () -. t0
   in
+  let serve_wall_ns = Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) serve_t0_ns) in
+  (* Idle/join accounting, filled in by the orchestrator now that the
+     workers' phase records are quiescent: what the serve section spent
+     spawning, joining and waiting around each worker's own batch. *)
+  (match setup with
+  | None -> ()
+  | Some (_, _, (main_shard, pids, _)) ->
+    Array.iter
+      (fun ph ->
+        ph.ph_idle_ns <- max 0 (serve_wall_ns - ph.ph_wall_ns);
+        Metrics.incr main_shard pids.p_idle_c ph.ph_idle_ns)
+      phases;
+    (* Republish the orchestrator's shard so the final tick's merged
+       snapshot carries the idle totals. *)
+    match monitor with
+    | Some m ->
+      Window.publish (Window.publisher m.Monitor.window 0) main_shard m.Monitor.orch_sketch
+    | None -> ());
   (match monitor_domain with
   | None -> ()
   | Some d ->
@@ -726,25 +1048,26 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
   Array.iteri (fun j c -> if c > counts.(!hottest_cell) then hottest_cell := j) counts;
   let hottest_count = counts.(!hottest_cell) in
   let queries = domains * queries_per_domain in
-  {
-    name = D.name;
-    domains;
-    queries;
-    seconds;
-    throughput =
-      (if seconds > 0.0 then float_of_int queries /. seconds else Float.infinity);
-    total_probes;
-    counts;
-    hottest_cell = !hottest_cell;
-    hottest_count;
-    hottest_share =
-      (if total_probes = 0 then 0.0
-       else float_of_int hottest_count /. float_of_int total_probes);
-    flat_bound = float_of_int queries *. float_of_int D.max_probes /. float_of_int D.space;
-  }
+  ( {
+      name = D.name;
+      domains;
+      queries;
+      seconds;
+      throughput =
+        (if seconds > 0.0 then float_of_int queries /. seconds else Float.infinity);
+      total_probes;
+      counts;
+      hottest_cell = !hottest_cell;
+      hottest_count;
+      hottest_share =
+        (if total_probes = 0 then 0.0
+         else float_of_int hottest_count /. float_of_int total_probes);
+      flat_bound = float_of_int queries *. float_of_int D.max_probes /. float_of_int D.space;
+    },
+    match setup with None -> None | Some _ -> Some phases )
 
 let serve ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist =
-  serve_internal ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist
+  fst (serve_internal ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist)
 
 type windowed = {
   result : result;
@@ -754,7 +1077,9 @@ type windowed = {
 }
 
 let serve_windowed ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist =
-  let result = serve_internal ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist in
+  let result, _phases =
+    serve_internal ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist
+  in
   match monitor with
   | None -> { result; windows = []; cells = None; alert_windows = 0 }
   | Some m ->
@@ -820,10 +1145,11 @@ type outcome = {
   cells : Heavy.merged option;
   alert_windows : int;
   updates : update_stats option;
+  phases : phase_stats array option;
 }
 
-let monitored_outcome ?updates result = function
-  | None -> { result; windows = []; cells = None; alert_windows = 0; updates }
+let monitored_outcome ?updates ?phases result = function
+  | None -> { result; windows = []; cells = None; alert_windows = 0; updates; phases }
   | Some (m : Monitor.t) ->
     {
       result;
@@ -831,6 +1157,7 @@ let monitored_outcome ?updates result = function
       cells = Some (Window.live_cells m.Monitor.window);
       alert_windows = Window.alert_fired_total m.Monitor.window;
       updates;
+      phases;
     }
 
 (* The dynamic serving mode: [domains] reader domains drain pre-split
@@ -888,18 +1215,24 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
       let builder_shard = Lc_obs.Obs.shard o ~domain:(domains + 1) in
       let builder_tl = Lc_obs.Obs.timeline o ~tid:(domains + 1) in
       let uids = register_update_metrics o in
+      let pids = register_phase_metrics o in
+      let gids = register_gc_metrics o in
       (match monitor with
       | Some m ->
         Window.publish (Window.publisher m.Monitor.window 0) main_shard m.Monitor.orch_sketch
       | None -> ());
-      Some (main_tl, workers, (builder_shard, builder_tl, uids))
+      Some (main_tl, workers, (main_shard, pids, gids), (builder_shard, builder_tl, uids))
   in
+  (* Reader phase records and GC cursors (slot [domains] is the
+     builder's GC cursor), orchestrator-allocated before any spawn. *)
+  let phases = fresh_phases domains in
+  let gcursors = fresh_gc_cursors (domains + 1) in
   let journal = Option.bind monitor (fun (m : Monitor.t) -> m.Monitor.journal) in
   let main_span name f =
     let body () =
       match setup with
       | None -> f ()
-      | Some (main_tl, _, _) -> Span.with_span main_tl name f
+      | Some (main_tl, _, _, _) -> Span.with_span main_tl name f
     in
     match journal with
     | None -> body ()
@@ -960,7 +1293,9 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
         ignore (Epoch.try_reclaim epoch : int)
       in
       apply_updates ()
-    | Some (_, _, (bshard, btl, uids)) ->
+    | Some (_, _, (_, _, gids), (bshard, btl, uids)) ->
+      let bgcur = gcursors.(domains) in
+      gc_baseline bgcur;
       (* Every level build lands in the builder's own shard (plain
          stores) the moment it happens — the windowed view and the
          flight recorder see rebuild cost mid-run, not at join. *)
@@ -1021,6 +1356,10 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
         Metrics.set_gauge bshard uids.u_retired_g
           (float_of_int (Epoch.retired_pending epoch));
         Metrics.set_gauge bshard uids.u_lag_g (float_of_int (Epoch.reader_lag epoch));
+        (* Builder allocation (level rebuilds dominate it) flushes at
+           every publication so the windowed GC view sees write-side
+           churn mid-run. *)
+        sample_gc bshard gids bgcur;
         match bpub with
         | None -> ()
         | Some (pub, sketch) -> Window.publish pub bshard sketch
@@ -1057,23 +1396,40 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
       let h = ref 0 in
       Array.iter (fun x -> if Epoch.mem epoch r x then incr h) batch;
       hits.(w) <- !h
-    | Some (_, workers, _), None ->
+    | Some (_, workers, (_, pids, gids), _), None ->
       let wo = workers.(w) in
+      let ph = phases.(w) in
+      let gcur = gcursors.(w) in
       Span.with_span wo.timeline "serve-batch" (fun () ->
+          let w0 = Lc_obs.Clock.now_ns () in
+          gc_baseline gcur;
           let h = ref 0 in
           Array.iter
             (fun x ->
               let p0 = Epoch.reader_probes r in
               let t0 = Lc_obs.Clock.now_ns () in
-              if Epoch.mem epoch r x then incr h;
-              Metrics.observe wo.shard wo.latency_h
-                (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
+              if Epoch.mem_phased epoch r x then incr h;
+              let t1 = Lc_obs.Clock.now_ns () in
+              Metrics.observe wo.shard wo.latency_h (Int64.to_int (Int64.sub t1 t0));
               Metrics.incr wo.shard wo.queries_c 1;
-              Metrics.incr wo.shard wo.probes_c (Epoch.reader_probes r - p0))
+              Metrics.incr wo.shard wo.probes_c (Epoch.reader_probes r - p0);
+              let t2 = Lc_obs.Clock.now_ns () in
+              ph.ph_probe_ns <- ph.ph_probe_ns + Int64.to_int (Int64.sub t1 t0);
+              ph.ph_tally_ns <- ph.ph_tally_ns + Int64.to_int (Int64.sub t2 t1))
             batch;
-          hits.(w) <- !h)
-    | Some (_, workers, _), Some m ->
+          hits.(w) <- !h;
+          sample_gc wo.shard gids gcur;
+          (* [mem_phased] accumulated pin/unpin ns inside the probe
+             windows; [close_phases] carves them out so probe means
+             probe. *)
+          close_phases ph
+            ~wall_ns:(Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) w0))
+            ~pin_ns:(Epoch.reader_pin_ns r);
+          flush_phases wo.shard pids ph)
+    | Some (_, workers, (_, pids, gids), _), Some m ->
       let wo = workers.(w) in
+      let ph = phases.(w) in
+      let gcur = gcursors.(w) in
       let sketch = m.Monitor.sketches.(w) in
       let pub = Window.publisher m.Monitor.window (w + 1) in
       let period = m.Monitor.publish_period in
@@ -1086,6 +1442,8 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
         | Some j -> fun q -> Journal.record j ~writer:(w + 1) (Journal.Publish { queries = q })
       in
       Span.with_span wo.timeline "serve-batch" (fun () ->
+          let w0 = Lc_obs.Clock.now_ns () in
+          gc_baseline gcur;
           let h = ref 0 in
           let since_publish = ref 0 in
           let served = ref 0 in
@@ -1093,20 +1451,33 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
             (fun x ->
               let p0 = Epoch.reader_probes r in
               let t0 = Lc_obs.Clock.now_ns () in
-              if Epoch.mem epoch r x then incr h;
-              Metrics.observe wo.shard wo.latency_h
-                (Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t0));
+              if Epoch.mem_phased epoch r x then incr h;
+              let t1 = Lc_obs.Clock.now_ns () in
+              Metrics.observe wo.shard wo.latency_h (Int64.to_int (Int64.sub t1 t0));
               Metrics.incr wo.shard wo.queries_c 1;
               Metrics.incr wo.shard wo.probes_c (Epoch.reader_probes r - p0);
+              let t2 = Lc_obs.Clock.now_ns () in
+              ph.ph_probe_ns <- ph.ph_probe_ns + Int64.to_int (Int64.sub t1 t0);
+              ph.ph_tally_ns <- ph.ph_tally_ns + Int64.to_int (Int64.sub t2 t1);
               incr served;
               incr since_publish;
               if !since_publish >= period then begin
                 since_publish := 0;
+                let pb0 = Lc_obs.Clock.now_ns () in
+                sample_gc wo.shard gids gcur;
                 Window.publish pub wo.shard sketch;
-                journal_publish !served
+                journal_publish !served;
+                ph.ph_publish_ns <-
+                  ph.ph_publish_ns
+                  + Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) pb0)
               end)
             batch;
           hits.(w) <- !h;
+          sample_gc wo.shard gids gcur;
+          close_phases ph
+            ~wall_ns:(Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) w0))
+            ~pin_ns:(Epoch.reader_pin_ns r);
+          flush_phases wo.shard pids ph;
           Window.publish pub wo.shard sketch;
           journal_publish !served);
       Epoch.clear_observe r
@@ -1124,6 +1495,7 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
              done))
   in
   let t0 = Unix.gettimeofday () in
+  let serve_t0_ns = Lc_obs.Clock.now_ns () in
   let seconds =
     main_span "serve" @@ fun () ->
     let builder_d = Domain.spawn builder in
@@ -1132,6 +1504,19 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
     Domain.join builder_d;
     Unix.gettimeofday () -. t0
   in
+  let serve_wall_ns = Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) serve_t0_ns) in
+  (match setup with
+  | None -> ()
+  | Some (_, _, (main_shard, pids, _), _) ->
+    Array.iter
+      (fun ph ->
+        ph.ph_idle_ns <- max 0 (serve_wall_ns - ph.ph_wall_ns);
+        Metrics.incr main_shard pids.p_idle_c ph.ph_idle_ns)
+      phases;
+    match monitor with
+    | Some m ->
+      Window.publish (Window.publisher m.Monitor.window 0) main_shard m.Monitor.orch_sketch
+    | None -> ());
   (match monitor_domain with
   | None -> ()
   | Some d ->
@@ -1198,16 +1583,18 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
       reclaim_lag_max = Epoch.reclaim_lag_max epoch;
     }
   in
-  monitored_outcome ~updates:updates_stats result monitor
+  monitored_outcome ~updates:updates_stats
+    ?phases:(match setup with None -> None | Some _ -> Some phases)
+    result monitor
 
 let run (cfg : Config.t) workload =
   match workload with
   | Static { inst; qdist; queries_per_domain } ->
-    let result =
+    let result, phases =
       serve_internal ~cost:cfg.Config.cost ?obs:cfg.Config.obs ?monitor:cfg.Config.monitor
         ~domains:cfg.Config.domains ~queries_per_domain ~seed:cfg.Config.seed inst qdist
     in
-    monitored_outcome result cfg.Config.monitor
+    monitored_outcome ?phases result cfg.Config.monitor
   | Dynamic { epoch; ops; publish_every } -> serve_dynamic cfg ~epoch ~ops ~publish_every
 
 let hotspot_ratio r = float_of_int r.hottest_count /. r.flat_bound

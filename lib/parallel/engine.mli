@@ -49,6 +49,61 @@ type result = {
           {!hotspot_ratio} divides by this. *)
 }
 
+(** {1 Phase accounting}
+
+    The scaling observatory's time-attribution layer: when a run is
+    instrumented ([obs] or [monitor] present), every worker splits its
+    batch wall time into disjoint monotonic-clock phases, kept in a
+    plain record the worker alone writes (same single-writer discipline
+    as the metric shards) and read by the orchestrator strictly after
+    the join. The invariant tests assert is exact by construction:
+
+    [probe + tally + publish + pin + other = wall].
+
+    [other] is the defined residual (loop overhead, the accounting
+    itself, GC pauses between windows); [idle] is serve wall minus the
+    worker's own batch wall (spawn/join skew), filled in post-join.
+    Totals are also flushed once per worker into the
+    [engine_phase_*_ns_total] counters, so [/metrics] and
+    [/scaling.json] carry the same numbers. Tally increments on
+    per-cell atomics happen {e inside} the dictionary's [mem], so they
+    are attributed to probe work — the probe phase is "time the hot
+    path spent where contention lives". *)
+
+type phase_stats = {
+  ph_domain : int;  (** Worker index [0 .. domains-1]. *)
+  mutable ph_probe_ns : int;
+      (** Inside the dictionary's [mem] (cell reads, per-cell tallies,
+          spin waits); for dynamic runs, minus the pin phase below. *)
+  mutable ph_tally_ns : int;
+      (** Per-query telemetry recording (latency observe, counters). *)
+  mutable ph_publish_ns : int;
+      (** Periodic seqlock window publishes + GC sampling + journal
+          appends (the final batch-end publish is not charged). *)
+  mutable ph_pin_ns : int;
+      (** Epoch pin/unpin announcements ({!Lc_dynamic.Epoch.mem_phased});
+          0 for static runs. *)
+  mutable ph_other_ns : int;  (** Exact residual: [wall] minus the above. *)
+  mutable ph_wall_ns : int;  (** The worker's batch wall time. *)
+  mutable ph_idle_ns : int;
+      (** Serve wall minus [ph_wall_ns], filled in after the join. *)
+}
+
+val phase_counter_names : (string * string) list
+(** [(phase, counter_name)] pairs for the seven
+    [engine_phase_*_ns_total] counters ([probe], [tally], [publish],
+    [pin], [other], [wall], [idle]) — shared by registration, the
+    [/scaling.json] body and the scaling artifact. *)
+
+val gc_metric_names : Lc_obs.Window.gc_config
+(** Names of the per-domain GC allocation counters instrumented runs
+    register ([engine_gc_minor_words_total],
+    [engine_gc_promoted_words_total], [engine_gc_major_words_total]) —
+    each worker flushes its own [Gc.counters] deltas into its shard at
+    batch end and before every window publish, so the windowed GC view
+    and the scaling artifact read per-domain allocation without any
+    cross-domain [Gc] call on the hot path. *)
+
 val serve :
   ?cost:cost ->
   ?obs:Lc_obs.Obs.t ->
@@ -197,6 +252,14 @@ module Monitor : sig
 
   val updates_schema_version : int
 
+  val scaling_schema_name : string
+  (** ["lowcon-scaling-live"] — the [/scaling.json] document's schema.
+      Distinct from the offline ["lowcon-scaling"] artifact written by
+      [lowcon scale]: this is one run's live telemetry, that is a
+      fitted domain sweep. *)
+
+  val scaling_schema_version : int
+
   val routes : t -> Lc_obs.Http.route list
   (** Scrape routes over the live (seqlock-read) state, safe to serve
       from an {!Lc_obs.Http} domain mid-run:
@@ -215,7 +278,15 @@ module Monitor : sig
         the run never exercised the update path) and the per-window
         update entries (ups, publications/s, write-amp, rebuild
         p50/p99, epoch/retired/reader-lag gauges);
-      - [/healthz] — liveness. *)
+      - [/scaling.json] — the scaling observatory's live view,
+        schema-versioned (["lowcon-scaling-live"] v1): cumulative
+        per-phase time attribution, GC allocation counters with the
+        per-window GC entries, and the cache-line co-heat diagnostic
+        (null for runs without live per-cell counters);
+      - [/healthz] — liveness.
+
+      [/cells.json] additionally carries the same co-heat object next
+      to its count histogram. *)
 end
 
 type windowed = {
@@ -361,6 +432,10 @@ type outcome = {
   alert_windows : int;  (** As {!windowed.alert_windows}. *)
   updates : update_stats option;
       (** Builder-side statistics; [None] for {!Static} workloads. *)
+  phases : phase_stats array option;
+      (** Per-worker phase accounting, one element per worker domain;
+          [None] exactly when the run was uninstrumented (no [obs], no
+          [monitor]) — the obs-off hot path stays byte-identical. *)
 }
 
 val run : Config.t -> workload -> outcome

@@ -28,6 +28,8 @@ type entry = {
   probes : int;
   ns_per_update : ci option;
   write_amp : float option;
+  minor_words_per_query : float option;
+  major_collections : int option;
 }
 
 type fingerprint = {
@@ -140,6 +142,17 @@ let json_of_entry e =
     | None -> [])
     @ match e.write_amp with Some w -> [ ("write_amp", Json.Float w) ] | None -> []
   in
+  (* GC fields follow the same optionality discipline: suites measure
+     them, hand-built or pre-observatory entries may not. *)
+  let gc_fields =
+    (match e.minor_words_per_query with
+    | Some w -> [ ("minor_words_per_query", Json.Float w) ]
+    | None -> [])
+    @
+    match e.major_collections with
+    | Some c -> [ ("major_collections", Json.Int c) ]
+    | None -> []
+  in
   Json.Obj
     ([
        ("structure", Json.String e.structure);
@@ -155,7 +168,7 @@ let json_of_entry e =
        ("queries", Json.Int e.queries);
        ("probes", Json.Int e.probes);
      ]
-    @ update_fields)
+    @ update_fields @ gc_fields)
 
 let json_of_fingerprint f =
   Json.Obj
@@ -248,6 +261,24 @@ let entry_of_json i j =
          | Some f -> Ok (Some f)
          | None -> Error "field \"write_amp\": expected a number")
      in
+     (* Optional GC fields: absent in artifacts written before the
+        scaling observatory. *)
+     let* minor_words_per_query =
+       match Json.member "minor_words_per_query" j with
+       | None -> Ok None
+       | Some v -> (
+         match Json.float_value v with
+         | Some f -> Ok (Some f)
+         | None -> Error "field \"minor_words_per_query\": expected a number")
+     in
+     let* major_collections =
+       match Json.member "major_collections" j with
+       | None -> Ok None
+       | Some v -> (
+         match Json.int_value v with
+         | Some c -> Ok (Some c)
+         | None -> Error "field \"major_collections\": expected an integer")
+     in
      if domains < 1 then Error "domains must be >= 1"
      else if trials < 1 then Error "trials must be >= 1"
      else
@@ -267,6 +298,8 @@ let entry_of_json i j =
            probes;
            ns_per_update;
            write_amp;
+           minor_words_per_query;
+           major_collections;
          }
 
 let fingerprint_of_json j =

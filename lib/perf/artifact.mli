@@ -43,6 +43,16 @@ type entry = {
   write_amp : float option;
       (** Mean cells written per key inserted across trials; [None]
           exactly when [ns_per_update] is. *)
+  minor_words_per_query : float option;
+      (** Mean minor-heap words allocated per query across trials (from
+          the per-domain [engine_gc_minor_words_total] counters); [None]
+          in artifacts written before the scaling observatory. The
+          engine hot path keeps this at 0 — a nonzero value in a bench
+          entry is itself a regression signal. *)
+  major_collections : int option;
+      (** Major collection slices during the entry's trials, summed
+          (process-wide [Gc.quick_stat] delta around each trial); [None]
+          in pre-observatory artifacts. *)
 }
 
 type fingerprint = {
@@ -88,9 +98,15 @@ val key : entry -> string * string * int
 (** The identity a differ matches entries by:
     [(structure, workload, domains)]. *)
 
-(** {2 Pieces shared with the postmortem artifact} *)
+(** {2 Pieces shared with the postmortem and scaling artifacts} *)
 
 val json_of_fingerprint : fingerprint -> Lc_obs.Json.t
 
 val fingerprint_of_json : Lc_obs.Json.t -> (fingerprint, string) result
 (** Reads the ["fingerprint"] member of the given document. *)
+
+val json_of_ci : ci -> Lc_obs.Json.t
+
+val ci_of_json : string -> Lc_obs.Json.t -> (ci, string) result
+(** [ci_of_json name j] reads and validates the [name] member of [j]
+    (non-empty samples, [lo <= hi]). *)

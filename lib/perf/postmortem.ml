@@ -80,11 +80,28 @@ let json_of_uentry (u : Window.uentry) =
       ("cum_cells", Json.Int u.Window.cum_cells);
     ]
 
+let json_of_gentry (g : Window.gentry) =
+  Json.Obj
+    [
+      ("minor_words", Json.Int g.Window.g_minor_words);
+      ("promoted_words", Json.Int g.Window.g_promoted_words);
+      ("major_words", Json.Int g.Window.g_major_words);
+      ("minor_collections", Json.Int g.Window.g_minor_collections);
+      ("major_collections", Json.Int g.Window.g_major_collections);
+      ("alloc_per_query", Json.Float g.Window.alloc_per_query);
+      ("heap_words", Json.Int g.Window.g_heap_words);
+      ("cum_minor_words", Json.Int g.Window.cum_minor_words);
+      ("cum_major_collections", Json.Int g.Window.cum_major_collections);
+    ]
+
 let json_of_window (e : Window.entry) =
   Json.Obj
     ((match e.Window.updates with
      | None -> []
      | Some u -> [ ("updates", json_of_uentry u) ])
+    @ (match e.Window.gc with
+      | None -> []
+      | Some g -> [ ("gc", json_of_gentry g) ])
     @ [
       ("index", Json.Int e.Window.index);
       ("t_start_s", Json.Float e.Window.t_start_s);
@@ -263,6 +280,29 @@ let uentry_of_json j =
       cum_cells;
     }
 
+let gentry_of_json j =
+  let* g_minor_words = Jsonu.int_field "minor_words" j in
+  let* g_promoted_words = Jsonu.int_field "promoted_words" j in
+  let* g_major_words = Jsonu.int_field "major_words" j in
+  let* g_minor_collections = Jsonu.int_field "minor_collections" j in
+  let* g_major_collections = Jsonu.int_field "major_collections" j in
+  let* alloc_per_query = Jsonu.float_field "alloc_per_query" j in
+  let* g_heap_words = Jsonu.int_field "heap_words" j in
+  let* cum_minor_words = Jsonu.int_field "cum_minor_words" j in
+  let* cum_major_collections = Jsonu.int_field "cum_major_collections" j in
+  Ok
+    {
+      Window.g_minor_words;
+      g_promoted_words;
+      g_major_words;
+      g_minor_collections;
+      g_major_collections;
+      alloc_per_query;
+      g_heap_words;
+      cum_minor_words;
+      cum_major_collections;
+    }
+
 let window_of_json j =
   let* index = Jsonu.int_field "index" j in
   let* t_start_s = Jsonu.float_field "t_start_s" j in
@@ -287,6 +327,13 @@ let window_of_json j =
     | None -> Ok None
     | Some u -> Result.map Option.some (Jsonu.in_context "updates" (uentry_of_json u))
   in
+  (* Optional for the same reason: pre-scaling-observatory dumps have no
+     "gc" member. *)
+  let* gc =
+    match Json.member "gc" j with
+    | None -> Ok None
+    | Some g -> Result.map Option.some (Jsonu.in_context "gc" (gentry_of_json g))
+  in
   Ok
     {
       Window.index;
@@ -307,6 +354,7 @@ let window_of_json j =
       cum_queries;
       cum_probes;
       updates;
+      gc;
     }
 
 let kind_of_json j =

@@ -115,9 +115,19 @@ type trial_out = {
   t_probes : int;
   t_ns_per_update : float option;  (* builder wall ns / update ops; dynamic trials only *)
   t_write_amp : float option;  (* cells written / keys inserted; dynamic trials only *)
+  t_minor_wpq : float;  (* minor words allocated per query (per-domain counters) *)
+  t_major_colls : int;  (* major collection slices during the trial, process-wide *)
 }
 
-let out_of_windowed ~(r : Engine.result) ~cells snap =
+let minor_words_per_query ~(r : Engine.result) snap =
+  match
+    Metrics.Snapshot.counter_value snap
+      Engine.gc_metric_names.Lc_obs.Window.minor_words_counter
+  with
+  | Some w -> float_of_int w /. float_of_int r.Engine.queries
+  | None -> 0.0
+
+let out_of_windowed ~(r : Engine.result) ~cells ~major_colls snap =
   let p50, p99 =
     match Metrics.Snapshot.find_hist snap "engine_query_latency_ns" with
     | Some h -> (Metrics.Snapshot.quantile h 0.5, Metrics.Snapshot.quantile h 0.99)
@@ -143,16 +153,20 @@ let out_of_windowed ~(r : Engine.result) ~cells snap =
     t_probes = r.Engine.total_probes;
     t_ns_per_update = None;
     t_write_amp = None;
+    t_minor_wpq = minor_words_per_query ~r snap;
+    t_major_colls = major_colls;
   }
 
 let run_trial ~inst ~qd ~domains ~queries_per_domain ~seed =
   let mon = Engine.Monitor.create ~domains inst in
   let cfg = Engine.Config.make ~monitor:mon ~domains ~seed () in
+  let colls0 = (Gc.quick_stat ()).Gc.major_collections in
   let o = Engine.run cfg (Engine.Static { inst; qdist = qd; queries_per_domain }) in
+  let major_colls = (Gc.quick_stat ()).Gc.major_collections - colls0 in
   let r = o.Engine.result in
   let snap = Lc_obs.Obs.snapshot (Engine.Monitor.obs mon) in
   reconcile ~r snap;
-  out_of_windowed ~r ~cells:o.Engine.cells snap
+  out_of_windowed ~r ~cells:o.Engine.cells ~major_colls snap
 
 (* One mixed read-write trial: fresh epoch-published dictionary
    preloaded with the combo's keys, a generated op stream whose queries
@@ -176,7 +190,9 @@ let run_dynamic_trial ~universe ~keys ~read_fraction ~domains ~ops_per_domain ~s
       ~max_probes:(Epoch.max_probes snap0) ()
   in
   let cfg = Engine.Config.make ~monitor:mon ~domains ~seed () in
+  let colls0 = (Gc.quick_stat ()).Gc.major_collections in
   let o = Engine.run cfg (Engine.Dynamic { epoch; ops; publish_every = 64 }) in
+  let major_colls = (Gc.quick_stat ()).Gc.major_collections - colls0 in
   let r = o.Engine.result in
   let snap = Lc_obs.Obs.snapshot (Engine.Monitor.obs mon) in
   reconcile ~r snap;
@@ -189,7 +205,7 @@ let run_dynamic_trial ~universe ~keys ~read_fraction ~domains ~ops_per_domain ~s
       (Printf.sprintf
          "Suite.run: epoch per-cell tallies %d <> reader probes %d — epoch accounting does \
           not reconcile" structure_probes r.Engine.total_probes);
-  let base = out_of_windowed ~r ~cells:o.Engine.cells snap in
+  let base = out_of_windowed ~r ~cells:o.Engine.cells ~major_colls snap in
   match o.Engine.updates with
   | None -> base
   | Some u ->
@@ -270,6 +286,9 @@ let run ?(progress = fun (_ : string) -> ()) ~seed spec =
             probes = List.fold_left (fun a o -> a + o.t_probes) 0 outs;
             ns_per_update = None;
             write_amp = None;
+            minor_words_per_query =
+              Some (Stats.mean (Array.of_list (pick (fun o -> o.t_minor_wpq))));
+            major_collections = Some (List.fold_left (fun a o -> a + o.t_major_colls) 0 outs);
           }
         | Mixed_combo (workload, read_fraction, domains) ->
           progress
@@ -303,6 +322,9 @@ let run ?(progress = fun (_ : string) -> ()) ~seed spec =
               (match List.filter_map (fun o -> o.t_write_amp) outs with
               | [] -> None
               | samples -> Some (Stats.mean (Array.of_list samples)));
+            minor_words_per_query =
+              Some (Stats.mean (Array.of_list (pick (fun o -> o.t_minor_wpq))));
+            major_collections = Some (List.fold_left (fun a o -> a + o.t_major_colls) 0 outs);
           })
       combos
   in

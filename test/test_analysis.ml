@@ -215,10 +215,10 @@ let test_registry_complete () =
     (fun id -> checkb (Printf.sprintf "%s registered" id) true (List.mem id ids))
     [
       "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "T7"; "T8"; "T9"; "T10"; "F1"; "F2"; "F3"; "F4";
-      "T11"; "T12"; "T13"; "T14"; "T15"; "T16"; "F5"; "F6"; "F7"; "F8"; "F9"; "F10";
-      "F11";
+      "T11"; "T12"; "T13"; "T14"; "T15"; "T16"; "T17"; "F5"; "F6"; "F7"; "F8"; "F9";
+      "F10"; "F11";
     ];
-  checki "exactly 27 experiments" 27 (List.length ids)
+  checki "exactly 28 experiments" 28 (List.length ids)
 
 let test_registry_lookup_case_insensitive () =
   Lc_experiments.Registry.install ();
@@ -230,7 +230,7 @@ let test_registry_order () =
   Lc_experiments.Registry.install ();
   let ids = List.map (fun (e : Experiment.t) -> e.id) (Experiment.all ()) in
   checkb "tables before figures, numeric order" true
-    (List.nth ids 0 = "T1" && List.nth ids 15 = "T16" && List.nth ids 16 = "F1")
+    (List.nth ids 0 = "T1" && List.nth ids 16 = "T17" && List.nth ids 17 = "F1")
 
 (* A fast smoke run of two cheap experiments end to end (the full suite
    is exercised by bench/main.exe). *)
@@ -339,6 +339,155 @@ let test_bootstrap_ci () =
   checkf "degenerate lo" 42.0 x;
   checkf "degenerate hi" 42.0 y
 
+(* ------------------------------------------------------------------ *)
+(* USL fitting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Usl = Lc_analysis.Usl
+
+(* Sample a known USL curve and check the fitter recovers the planted
+   parameters. The grid is deterministic, so tolerances can be tight:
+   one refinement cell at round 5 is well under 0.01 in sigma. *)
+let test_usl_recovers_planted () =
+  let lambda = 120_000.0 and sigma = 0.18 and kappa = 0.015 in
+  let curve n =
+    let nf = float_of_int n in
+    lambda *. nf /. (1.0 +. (sigma *. (nf -. 1.0)) +. (kappa *. nf *. (nf -. 1.0)))
+  in
+  let pts = List.map (fun n -> (n, curve n)) [ 1; 2; 3; 4; 6; 8 ] in
+  match Usl.fit pts with
+  | Error e -> Alcotest.failf "fit rejected a clean synthetic curve: %s" e
+  | Ok f ->
+    checkb "sigma recovered" true (Float.abs (f.Usl.sigma -. sigma) < 0.01);
+    checkb "kappa recovered" true (Float.abs (f.Usl.kappa -. kappa) < 0.005);
+    checkb "lambda recovered" true
+      (Float.abs (f.Usl.lambda -. lambda) /. lambda < 0.02);
+    checkb "r2 near 1" true (f.Usl.r2 > 0.999);
+    (* predict must reproduce the fitted curve's own samples. *)
+    List.iter
+      (fun (n, y) ->
+        checkb
+          (Printf.sprintf "predict matches at n=%d" n)
+          true
+          (Float.abs (Usl.predict f n -. y) /. y < 0.02))
+      pts;
+    (* The planted curve peaks at sqrt((1-sigma)/kappa) ~ 7.39. *)
+    (match Usl.peak f with
+    | None -> Alcotest.fail "peaked curve reported as monotone"
+    | Some p ->
+      checkb "peak location recovered" true
+        (Float.abs (p -. sqrt ((1.0 -. sigma) /. kappa)) < 0.5))
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let expect_usl_error name pts fragment =
+  match Usl.fit pts with
+  | Ok f ->
+    Alcotest.failf "%s: expected rejection, got sigma=%f kappa=%f" name f.Usl.sigma
+      f.Usl.kappa
+  | Error e ->
+    checkb (Printf.sprintf "%s mentions \"%s\"" name fragment) true
+      (contains ~needle:fragment e);
+    (* The diagnostic is prose, not a NaN leak. *)
+    checkb (Printf.sprintf "%s has no NaN" name) false (contains ~needle:"nan" e)
+
+let test_usl_rejects_degenerate () =
+  expect_usl_error "flat curve"
+    [ (1, 100.0); (2, 100.0); (3, 100.0); (4, 100.0) ]
+    "flat throughput curve";
+  expect_usl_error "perfectly linear"
+    [ (1, 100.0); (2, 200.0); (3, 300.0); (4, 400.0) ]
+    "exactly linear";
+  expect_usl_error "too few distinct points"
+    [ (1, 100.0); (2, 150.0); (2, 151.0) ]
+    "need >= 3 distinct domain counts";
+  expect_usl_error "single point" [ (1, 100.0) ] "need >= 3 distinct domain counts";
+  expect_usl_error "non-finite throughput"
+    [ (1, 100.0); (2, Float.nan); (3, 250.0) ]
+    "non-finite throughput";
+  expect_usl_error "non-positive throughput"
+    [ (1, 100.0); (2, 0.0); (3, 250.0) ]
+    "non-positive throughput";
+  expect_usl_error "bad domain count" [ (0, 100.0); (2, 150.0); (3, 180.0) ]
+    "domain counts must be >= 1"
+
+let test_usl_monotone_has_no_peak () =
+  (* kappa = 0: contention only, throughput saturates but never falls,
+     so the fitted curve must report no peak. *)
+  let lambda = 50_000.0 and sigma = 0.4 in
+  let curve n =
+    let nf = float_of_int n in
+    lambda *. nf /. (1.0 +. (sigma *. (nf -. 1.0)))
+  in
+  let pts = List.map (fun n -> (n, curve n)) [ 1; 2; 3; 4; 6; 8 ] in
+  match Usl.fit pts with
+  | Error e -> Alcotest.failf "fit rejected a saturating curve: %s" e
+  | Ok f ->
+    checkb "sigma recovered" true (Float.abs (f.Usl.sigma -. sigma) < 0.02);
+    checkb "kappa near zero" true (f.Usl.kappa < 0.005);
+    checkb "no peak for (near-)monotone fit" true
+      (match Usl.peak f with None -> true | Some p -> p > 8.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cache-line co-heat                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Coheat = Lc_analysis.Coheat
+
+let test_coheat_isolated_cells () =
+  (* One hot cell per 8-cell line: no probe shares a line with another
+     hot cell, so co-heat is exactly 0 however skewed the heats. *)
+  let counts = Array.make 32 0 in
+  counts.(0) <- 1000;
+  counts.(8) <- 50;
+  counts.(16) <- 7;
+  let t = Coheat.of_counts counts in
+  checki "lines" 4 t.Coheat.lines;
+  checki "total" 1057 t.Coheat.total;
+  checkf "isolated cells score 0" 0.0 t.Coheat.ratio;
+  checki "hottest line" 0 t.Coheat.hottest_line;
+  checki "hottest line heat" 1000 t.Coheat.hottest_line_heat;
+  checkb "hottest share" true (Float.abs (t.Coheat.hottest_line_share -. (1000.0 /. 1057.0)) < 1e-9)
+
+let test_coheat_uniform_hits_bound () =
+  (* Perfectly uniform traffic scores exactly the (L-1)/L bound. *)
+  let t = Coheat.of_counts (Array.make 64 5) in
+  checkf "uniform ratio = bound" (Coheat.uniform_bound t) t.Coheat.ratio;
+  checkf "bound is 7/8" (7.0 /. 8.0) (Coheat.uniform_bound t);
+  (* Narrower lines lower the bound: L = 2 gives 1/2. *)
+  let t2 = Coheat.of_counts ~line_cells:2 (Array.make 10 3) in
+  checkf "L=2 bound" 0.5 (Coheat.uniform_bound t2);
+  checkf "L=2 uniform ratio" 0.5 t2.Coheat.ratio
+
+let test_coheat_two_cells_one_line () =
+  (* Two equal cells on one line: each probe's line-mates are the other
+     cell's probes, ratio = 1/2 by the formula k*(H-k)/H / total. *)
+  let counts = Array.make 8 0 in
+  counts.(0) <- 100;
+  counts.(1) <- 100;
+  let t = Coheat.of_counts counts in
+  checkf "two equal cells score 1/2" 0.5 t.Coheat.ratio;
+  checkb "below the uniform bound" true (t.Coheat.ratio < Coheat.uniform_bound t)
+
+let test_coheat_rejects_bad_input () =
+  checkb "negative count raises" true
+    (try
+       ignore (Coheat.of_counts [| 1; -2; 3 |] : Coheat.t);
+       false
+     with Invalid_argument _ -> true);
+  checkb "line_cells 0 raises" true
+    (try
+       ignore (Coheat.of_counts ~line_cells:0 [| 1 |] : Coheat.t);
+       false
+     with Invalid_argument _ -> true);
+  (* Empty tallies are a valid (all-zero) diagnostic, not an error. *)
+  let t = Coheat.of_counts [||] in
+  checki "empty total" 0 t.Coheat.total;
+  checkf "empty ratio" 0.0 t.Coheat.ratio
+
 let () =
   Alcotest.run "lc_analysis"
     [
@@ -392,6 +541,19 @@ let () =
           Alcotest.test_case "log scales" `Quick test_plot_log_scale;
           Alcotest.test_case "degenerate range" `Quick test_plot_degenerate_range;
           Alcotest.test_case "rejects empty" `Quick test_plot_rejects_empty;
+        ] );
+      ( "usl",
+        [
+          Alcotest.test_case "recovers planted parameters" `Quick test_usl_recovers_planted;
+          Alcotest.test_case "rejects degenerate curves" `Quick test_usl_rejects_degenerate;
+          Alcotest.test_case "monotone fit has no peak" `Quick test_usl_monotone_has_no_peak;
+        ] );
+      ( "coheat",
+        [
+          Alcotest.test_case "isolated cells score 0" `Quick test_coheat_isolated_cells;
+          Alcotest.test_case "uniform hits the bound" `Quick test_coheat_uniform_hits_bound;
+          Alcotest.test_case "two cells one line" `Quick test_coheat_two_cells_one_line;
+          Alcotest.test_case "rejects bad input" `Quick test_coheat_rejects_bad_input;
         ] );
       ( "registry",
         [

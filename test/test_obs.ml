@@ -654,6 +654,79 @@ let test_window_alert_hysteresis () =
   checki "firing run reset" 0 (Window.alert_firing_run w);
   checki "fired total remembers the raise edge" 1 (Window.alert_fired_total w)
 
+(* The windowed GC view: a recorder created with a gc_config diffs the
+   named allocation counters per window exactly like the query counters,
+   derives alloc/query from the same tick, and reports [None] without a
+   gc_config (the pre-observatory shape, pinned above by every other
+   window test using the plain fixture). *)
+let test_window_gc_view () =
+  let m = Metrics.create () in
+  let q = Metrics.counter m "q_total" in
+  let p = Metrics.counter m "p_total" in
+  let _h = Metrics.histogram m "lat_ns" in
+  let gm = Metrics.counter m "gc_minor_w" in
+  let gp = Metrics.counter m "gc_promoted_w" in
+  let gmaj = Metrics.counter m "gc_major_w" in
+  let sh = Metrics.shard m ~domain:0 in
+  let w =
+    Window.create m
+      ~gc:
+        {
+          Window.minor_words_counter = "gc_minor_w";
+          promoted_words_counter = "gc_promoted_w";
+          major_words_counter = "gc_major_w";
+        }
+      {
+        Window.ring_capacity = 4;
+        queries_counter = "q_total";
+        probes_counter = "p_total";
+        latency_histogram = "lat_ns";
+        space = 100;
+        max_probes = 4;
+        top_k = 4;
+        alert_factor = 8.0;
+      }
+      ~publishers:1
+  in
+  let sketch = Heavy.create ~k:4 in
+  let pub = Window.publisher w 0 in
+  Metrics.incr sh q 10;
+  Metrics.incr sh p 40;
+  Metrics.incr sh gm 1_000;
+  Metrics.incr sh gp 64;
+  Metrics.incr sh gmaj 8;
+  Window.publish pub sh sketch;
+  let e1 = Window.tick w in
+  (match e1.Window.gc with
+  | None -> Alcotest.fail "gc_config present but window has no GC view"
+  | Some g ->
+    checki "minor words delta" 1_000 g.Window.g_minor_words;
+    checki "promoted words delta" 64 g.Window.g_promoted_words;
+    checki "major words delta" 8 g.Window.g_major_words;
+    checkb "alloc per query = minor/queries" true
+      (Float.abs (g.Window.alloc_per_query -. 100.0) < 1e-9);
+    checki "cumulative minor words" 1_000 g.Window.cum_minor_words;
+    checkb "collection counts are sane" true
+      (g.Window.g_minor_collections >= 0 && g.Window.g_major_collections >= 0);
+    checkb "heap gauge populated" true (g.Window.g_heap_words > 0));
+  (* Second window: only the new allocation shows, cumulative holds;
+     a window with zero queries reports alloc_per_query 0, not a NaN. *)
+  Metrics.incr sh gm 500;
+  Window.publish pub sh sketch;
+  let e2 = Window.tick w in
+  (match e2.Window.gc with
+  | None -> Alcotest.fail "GC view must be present on every window"
+  | Some g ->
+    checki "second window delta only" 500 g.Window.g_minor_words;
+    checki "cumulative advances" 1_500 g.Window.cum_minor_words;
+    checkb "zero-query window divides safely" true (g.Window.alloc_per_query = 0.0));
+  (* The plain fixture (no gc_config) keeps the pre-observatory shape. *)
+  let _, q', _, _, sh', w' = window_fixture () in
+  let pub' = Window.publisher w' 0 in
+  Metrics.incr sh' q' 1;
+  Window.publish pub' sh' (Heavy.create ~k:4);
+  checkb "no gc_config, no GC view" true ((Window.tick w').Window.gc = None)
+
 (* ------------------------------------------------------------------ *)
 (* Http                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -1160,6 +1233,7 @@ let () =
           Alcotest.test_case "ring eviction" `Quick test_window_ring_eviction;
           Alcotest.test_case "alert and gauges" `Quick test_window_alert_and_gauges;
           Alcotest.test_case "alert hysteresis" `Quick test_window_alert_hysteresis;
+          Alcotest.test_case "gc view" `Quick test_window_gc_view;
         ] );
       ( "http",
         [ Alcotest.test_case "routes, errors, stop" `Quick test_http_routes ] );

@@ -310,6 +310,93 @@ let test_dynamic_serving_reconciles () =
     checki "final epoch counts every publication" u.Engine.publications
       (Epoch.epoch (Epoch.current epoch))
 
+(* Phase accounting: instrumented runs must attribute every worker's
+   batch wall exactly — probe + tally + publish + pin + other = wall by
+   construction — flush the same totals into the engine_phase_*
+   counters, and stay [None] (hot path untouched) when uninstrumented. *)
+let phase_parts (p : Engine.phase_stats) =
+  p.Engine.ph_probe_ns + p.Engine.ph_tally_ns + p.Engine.ph_publish_ns + p.Engine.ph_pin_ns
+  + p.Engine.ph_other_ns
+
+let test_phase_accounting_static () =
+  let rng, keys, inst = lc_fixture 21 in
+  ignore (rng : Rng.t);
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let obs = Lc_obs.Obs.create () in
+  let domains = 3 in
+  let cfg = Engine.Config.make ~obs ~domains ~seed:22 () in
+  let o = Engine.run cfg (Engine.Static { inst; qdist = qd; queries_per_domain = 600 }) in
+  match o.Engine.phases with
+  | None -> Alcotest.fail "instrumented static run must carry phase stats"
+  | Some phases ->
+    checki "one record per worker" domains (Array.length phases);
+    Array.iteri
+      (fun w (p : Engine.phase_stats) ->
+        checki (Printf.sprintf "worker %d index" w) w p.Engine.ph_domain;
+        checki
+          (Printf.sprintf "worker %d phases sum to wall" w)
+          p.Engine.ph_wall_ns (phase_parts p);
+        checki (Printf.sprintf "worker %d static pin is 0" w) 0 p.Engine.ph_pin_ns;
+        checkb (Printf.sprintf "worker %d probe time positive" w) true
+          (p.Engine.ph_probe_ns > 0);
+        checkb (Printf.sprintf "worker %d idle non-negative" w) true
+          (p.Engine.ph_idle_ns >= 0))
+      phases;
+    (* The flushed counters must agree with the records they came from. *)
+    let snap = Lc_obs.Obs.snapshot obs in
+    let counter name =
+      match Lc_obs.Metrics.Snapshot.counter_value snap name with
+      | Some v -> v
+      | None -> Alcotest.failf "counter %s missing" name
+    in
+    let sum f = Array.fold_left (fun a p -> a + f p) 0 phases in
+    checki "wall counter = record sum"
+      (sum (fun p -> p.Engine.ph_wall_ns))
+      (counter "engine_phase_wall_ns_total");
+    checki "probe counter = record sum"
+      (sum (fun p -> p.Engine.ph_probe_ns))
+      (counter "engine_phase_probe_ns_total");
+    checki "idle counter = record sum"
+      (sum (fun p -> p.Engine.ph_idle_ns))
+      (counter "engine_phase_idle_ns_total")
+
+let test_phase_accounting_dynamic_pins () =
+  let module Epoch = Lc_dynamic.Epoch in
+  let module Opstream = Lc_workload.Opstream in
+  let rng = Rng.create 23 in
+  let keys = Keyset.random rng ~universe ~n in
+  let epoch = Epoch.create rng ~universe () in
+  Array.iter (Epoch.insert epoch) keys;
+  Epoch.publish epoch;
+  let domains = 2 in
+  let ops =
+    Opstream.generate
+      ~mix:(Opstream.read_write_mix ~read_fraction:0.9)
+      ~initial_pool:keys rng ~universe ~length:(domains * 600) ~working_set:(2 * n)
+  in
+  let obs = Lc_obs.Obs.create () in
+  let cfg = Engine.Config.make ~obs ~domains ~seed:24 () in
+  let o = Engine.run cfg (Engine.Dynamic { epoch; ops; publish_every = 64 }) in
+  match o.Engine.phases with
+  | None -> Alcotest.fail "instrumented dynamic run must carry phase stats"
+  | Some phases ->
+    checki "one record per worker" domains (Array.length phases);
+    Array.iteri
+      (fun w (p : Engine.phase_stats) ->
+        checki
+          (Printf.sprintf "worker %d phases sum to wall" w)
+          p.Engine.ph_wall_ns (phase_parts p);
+        checkb (Printf.sprintf "worker %d pin time positive" w) true
+          (p.Engine.ph_pin_ns > 0))
+      phases
+
+let test_phase_accounting_off_when_uninstrumented () =
+  let _, keys, inst = lc_fixture 25 in
+  let qd = Qdist.uniform ~name:"pos" keys in
+  let cfg = Engine.Config.make ~domains:2 ~seed:26 () in
+  let o = Engine.run cfg (Engine.Static { inst; qdist = qd; queries_per_domain = 200 }) in
+  checkb "uninstrumented run reports no phases" true (o.Engine.phases = None)
+
 let test_build_failed_diagnostics () =
   let found = ref None in
   let seed = ref 0 in
@@ -349,6 +436,15 @@ let () =
           Alcotest.test_case "uninstrumented agrees with spec" `Quick
             test_uninstrumented_agrees_with_spec;
           Alcotest.test_case "mode switching" `Quick test_mode_switching;
+        ] );
+      ( "phases",
+        [
+          Alcotest.test_case "static attribution reconciles" `Quick
+            test_phase_accounting_static;
+          Alcotest.test_case "dynamic runs charge pin time" `Quick
+            test_phase_accounting_dynamic_pins;
+          Alcotest.test_case "absent when uninstrumented" `Quick
+            test_phase_accounting_off_when_uninstrumented;
         ] );
       ( "build",
         [

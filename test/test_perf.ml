@@ -6,6 +6,8 @@
    alert-triggered postmortem path end to end. *)
 
 module Artifact = Lc_perf.Artifact
+module Scaling = Lc_perf.Scaling
+module Usl = Lc_analysis.Usl
 module Suite = Lc_perf.Suite
 module Diff = Lc_perf.Diff
 module Postmortem = Lc_perf.Postmortem
@@ -36,7 +38,7 @@ let fp =
 let ci mean lo hi samples = { Artifact.mean; lo; hi; samples }
 
 let entry ?(structure = "lc") ?(workload = "pos") ?(domains = 2) ?ns_per_update ?write_amp
-    ~ns ~probes () =
+    ?minor_words_per_query ?major_collections ~ns ~probes () =
   {
     Artifact.structure;
     workload;
@@ -52,6 +54,8 @@ let entry ?(structure = "lc") ?(workload = "pos") ?(domains = 2) ?ns_per_update 
     probes = 60000;
     ns_per_update;
     write_amp;
+    minor_words_per_query;
+    major_collections;
   }
 
 let small_artifact () =
@@ -421,6 +425,156 @@ let test_postmortem_validation () =
   | Ok _ -> Alcotest.fail "future version accepted"
   | Error e -> checkb "version error mentions the number" true (contains "7" e)
 
+(* ------------------------------------------------------------------ *)
+(* GC fields on bench entries                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_artifact_gc_fields_roundtrip () =
+  (* An entry carrying the scaling-observatory GC fields round-trips
+     exactly — including the hot path's expected 0.0 words/query — and
+     one without them reads back as [None]. *)
+  let with_gc =
+    entry ~minor_words_per_query:0.0 ~major_collections:3
+      ~ns:(ci 100.0 98.0 102.0 [ 100.0; 102.0; 98.0 ])
+      ~probes:(ci 15.0 15.0 15.0 [ 15.0; 15.0; 15.0 ])
+      ()
+  in
+  let base = small_artifact () in
+  let art = { base with Artifact.entries = base.Artifact.entries @ [ with_gc ] } in
+  (match Artifact.of_string (Artifact.to_string art) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok art' ->
+    checkb "round-trip preserves GC fields" true (art = art');
+    let last = List.nth art'.Artifact.entries 2 in
+    checkb "Some 0.0 survives (not collapsed to None)" true
+      (last.Artifact.minor_words_per_query = Some 0.0
+      && last.Artifact.major_collections = Some 3);
+    let first = List.hd art'.Artifact.entries in
+    checkb "entries without GC fields read back as None" true
+      (first.Artifact.minor_words_per_query = None
+      && first.Artifact.major_collections = None));
+  (* Back-compat: the committed pre-observatory fixture has no GC
+     members and must decode with both fields [None]. *)
+  let old = load_fixture "bench_a.json" in
+  List.iter
+    (fun (e : Artifact.entry) ->
+      checkb "pre-observatory entry decodes to None" true
+        (e.Artifact.minor_words_per_query = None && e.Artifact.major_collections = None))
+    old.Artifact.entries
+
+(* ------------------------------------------------------------------ *)
+(* Scaling artifact                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One real sweep, shared by the scaling tests (the run itself asserts
+   phase/counter reconciliation internally, so merely completing is
+   already a check). *)
+let scaling_fixture =
+  lazy
+    (Scaling.run ~seed:11
+       {
+         Scaling.structure = "lc";
+         workload = "pos";
+         domain_counts = [ 1; 2; 3 ];
+         queries_per_domain = 300;
+         trials = 2;
+         n = 128;
+       })
+
+let test_scaling_run_reconciles () =
+  let t = Lazy.force scaling_fixture in
+  checki "one point per domain count" 3 (List.length t.Scaling.points);
+  List.iteri
+    (fun i (p : Scaling.point) ->
+      checki
+        (Printf.sprintf "points[%d] domains" i)
+        (i + 1) p.Scaling.p_domains;
+      checki
+        (Printf.sprintf "points[%d] queries" i)
+        ((i + 1) * 300 * 2)
+        p.Scaling.p_queries;
+      let ph = p.Scaling.p_phases in
+      checki
+        (Printf.sprintf "points[%d] phases sum to wall" i)
+        ph.Scaling.wall_ns
+        (ph.Scaling.probe_ns + ph.Scaling.tally_ns + ph.Scaling.publish_ns
+        + ph.Scaling.pin_ns + ph.Scaling.other_ns);
+      checkb (Printf.sprintf "points[%d] throughput positive" i) true
+        (p.Scaling.throughput.Artifact.mean > 0.0);
+      checkb (Printf.sprintf "points[%d] alloc gauge sane" i) true
+        (Float.is_finite p.Scaling.p_gc.Scaling.minor_words_per_query
+        && p.Scaling.p_gc.Scaling.minor_words_per_query >= 0.0))
+    t.Scaling.points;
+  checki "summary point count" 3 t.Scaling.summary.Scaling.s_points;
+  checkb "exactly one of fit / fit_error" true
+    (match (t.Scaling.fit, t.Scaling.fit_error) with
+    | Some _, None | None, Some _ -> true
+    | _ -> false);
+  (* The render never raises and carries the per-point table. *)
+  checkb "render mentions every domain count" true
+    (let s = Scaling.render t in
+     contains "1" s && contains "2" s && contains "3" s)
+
+let test_scaling_roundtrip () =
+  let t = Lazy.force scaling_fixture in
+  match Scaling.of_string (Scaling.to_string t) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok t' -> checkb "round-trip preserves the artifact exactly" true (t = t')
+
+let test_scaling_rejects_tampered_summary () =
+  let t = Lazy.force scaling_fixture in
+  let doctored =
+    {
+      t with
+      Scaling.summary =
+        {
+          t.Scaling.summary with
+          Scaling.s_peak_qps = (2.0 *. t.Scaling.summary.Scaling.s_peak_qps) +. 1.0;
+        };
+    }
+  in
+  match Scaling.of_string (Scaling.to_string doctored) with
+  | Ok _ -> Alcotest.fail "tampered summary was accepted"
+  | Error e -> checkb "error names the tampering" true (contains "summary" e)
+
+let test_scaling_fit_exclusivity () =
+  let t = Lazy.force scaling_fixture in
+  let dummy = { Usl.lambda = 1.0; sigma = 0.1; kappa = 0.01; r2 = 0.99 } in
+  (match
+     Scaling.of_string
+       (Scaling.to_string { t with Scaling.fit = Some dummy; fit_error = Some "x" })
+   with
+  | Ok _ -> Alcotest.fail "fit and fit_error together were accepted"
+  | Error e -> checkb "both rejected" true (contains "both" e));
+  match
+    Scaling.of_string (Scaling.to_string { t with Scaling.fit = None; fit_error = None })
+  with
+  | Ok _ -> Alcotest.fail "absent fit and fit_error were accepted"
+  | Error e -> checkb "neither rejected" true (contains "neither" e)
+
+let test_scaling_rejects_malformed () =
+  (match Scaling.of_string {|{"schema":"lowcon-bench","version":1}|} with
+  | Ok _ -> Alcotest.fail "bench schema accepted as scaling artifact"
+  | Error _ -> ());
+  let t = Lazy.force scaling_fixture in
+  (* Out-of-order points. *)
+  (match
+     Scaling.of_string (Scaling.to_string { t with Scaling.points = List.rev t.Scaling.points })
+   with
+  | Ok _ -> Alcotest.fail "descending domain counts accepted"
+  | Error e -> checkb "ordering error" true (contains "ascending" e));
+  (* A point whose phase attribution does not reconcile. *)
+  let broken =
+    match t.Scaling.points with
+    | p :: rest ->
+      { p with Scaling.p_phases = { p.Scaling.p_phases with Scaling.probe_ns = p.Scaling.p_phases.Scaling.probe_ns + 1 } }
+      :: rest
+    | [] -> assert false
+  in
+  match Scaling.of_string (Scaling.to_string { t with Scaling.points = broken }) with
+  | Ok _ -> Alcotest.fail "non-reconciling phases accepted"
+  | Error e -> checkb "reconciliation error" true (contains "reconcile" e)
+
 let () =
   Alcotest.run "lc_perf"
     [
@@ -459,5 +613,20 @@ let () =
           Alcotest.test_case "quiet on low contention" `Quick
             test_postmortem_quiet_on_low_contention;
           Alcotest.test_case "schema validation" `Quick test_postmortem_validation;
+        ] );
+      ( "gc-fields",
+        [
+          Alcotest.test_case "round-trip and back-compat" `Quick
+            test_artifact_gc_fields_roundtrip;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "sweep reconciles" `Quick test_scaling_run_reconciles;
+          Alcotest.test_case "strict round-trip" `Quick test_scaling_roundtrip;
+          Alcotest.test_case "rejects tampered summary" `Quick
+            test_scaling_rejects_tampered_summary;
+          Alcotest.test_case "fit exclusivity" `Quick test_scaling_fit_exclusivity;
+          Alcotest.test_case "rejects malformed documents" `Quick
+            test_scaling_rejects_malformed;
         ] );
     ]
