@@ -40,7 +40,9 @@ let dist_arg =
      'point' (a single hot key). For $(b,lowcon monitor) only, 'rw:F' selects a mixed \
      read-write op stream (read fraction F, updates split evenly between inserts and \
      deletes) served by the epoch-published dynamic dictionary — pair it with \
-     --structure lc-dyn."
+     --structure lc-dyn. 'flash:S' (also lc-dyn only) is a query-only flash crowd: flat \
+     for the first third of the stream, then one hot key absorbs share S of all queries \
+     — the workload $(b,--adaptive) exists to absorb."
   in
   Arg.(value & opt string "pos" & info [ "dist" ] ~docv:"DIST" ~doc)
 
@@ -278,8 +280,8 @@ let port_arg =
     & info [ "port" ] ~docv:"PORT"
         ~doc:
           "Serve /metrics, /snapshot.json, /cells.json, /windows.json, /updates.json, \
-           /scaling.json and /healthz on 127.0.0.1:$(docv) during the run (0 picks an \
-           ephemeral port).")
+           /scaling.json, /control.json and /healthz on 127.0.0.1:$(docv) during the run \
+           (0 picks an ephemeral port).")
 
 let top_k_arg =
   Arg.(value & opt int 16 & info [ "top-k" ] ~docv:"K" ~doc:"Hot-cell sketch capacity per worker.")
@@ -325,6 +327,39 @@ let journal_capacity_arg =
     & opt int 1024
     & info [ "journal-capacity" ] ~docv:"EVENTS"
         ~doc:"Flight-recorder ring capacity per recording domain (oldest events overwritten).")
+
+let adaptive_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Attach the replication controller (dynamic structure only): each window's sketch \
+           evidence steps a hysteresis policy that raises or lowers the small-level \
+           replication boost online, actuated through the builder's next epoch publication — \
+           readers are never blocked. Decisions land on their own flight-recorder ring, in \
+           /control.json and on the dashboard.")
+
+let control_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "control-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the final /control.json document (schema lowcon-control) to $(docv) after \
+           the run — validate it with $(b,lowcon validate).")
+
+let postmortem_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "postmortem-out" ] ~docv:"PATH"
+        ~doc:
+          "Attach a flight recorder and write a postmortem artifact to $(docv) at the end of \
+           the run, triggered by the final window — unlike $(b,--dump-on-alert), which \
+           captures at the first alert edge, this captures the whole story (for an adaptive \
+           run: every controller decision interleaved with the alerts). Replay it with \
+           $(b,lowcon postmortem).")
 
 let window_line (e : Window.entry) =
   let base =
@@ -376,26 +411,56 @@ let render_dashboard ~name ~domains ~port ~alert_factor mon (_ : Window.entry) =
          u.Window.u_epoch u.Window.u_retired u.Window.u_reader_lag u.Window.cum_updates
          u.Window.cum_cells)
   | _ -> ());
+  (* Controller panel: present only when --adaptive attached one. *)
+  (match Engine.Monitor.controller mon with
+  | None -> ()
+  | Some ctl ->
+    let module C = Lc_control.Controller in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "control   boost %d -> target %d (applied %d)   windowed ratio %6.1fx   score %-5d \
+          cooldown %d   decisions %d\n"
+         (C.base_boost ctl) (C.target_boost ctl) (C.applied_boost ctl) (C.last_ratio ctl)
+         (C.score ctl) (C.cooldown ctl) (C.decisions_total ctl));
+    match C.decisions ctl with
+    | [] -> ()
+    | ds ->
+      let d = List.nth ds (List.length ds - 1) in
+      Buffer.add_string buf
+        (Printf.sprintf "          last: #%d at w%d %s %d -> %d (ratio %.1fx, cell %d)\n"
+           d.C.d_id d.C.d_window
+           (match d.C.d_action with `Raise -> "RAISE" | `Lower -> "lower")
+           d.C.d_old_boost d.C.d_new_boost d.C.d_ratio d.C.d_cell));
   print_string (Buffer.contents buf);
   flush stdout
 
 let monitor_run seed n universe_opt dist structure domains queries cost_spec window_s port_opt
-    top_k alert_factor no_dashboard linger dump_on_alert journal_capacity =
+    top_k alert_factor no_dashboard linger dump_on_alert journal_capacity adaptive control_out
+    postmortem_out =
   with_errors @@ fun () ->
   let cost = parse_cost cost_spec in
   let rw = Lc_perf.Select.rw_fraction dist in
-  (match (rw, structure) with
-  | Some _, s when s <> Lc_perf.Select.dynamic_name ->
+  let flash = Lc_perf.Select.flash_share dist in
+  let dyn = rw <> None || flash <> None in
+  (match (dyn, structure) with
+  | true, s when s <> Lc_perf.Select.dynamic_name ->
     failwith
-      (Printf.sprintf "--dist %s is a read-write op stream; pair it with --structure %s" dist
+      (Printf.sprintf "--dist %s is an op stream; pair it with --structure %s" dist
          Lc_perf.Select.dynamic_name)
-  | None, s when s = Lc_perf.Select.dynamic_name ->
+  | false, s when s = Lc_perf.Select.dynamic_name ->
     failwith
-      (Printf.sprintf "--structure %s serves read-write op streams; pair it with --dist rw:F"
+      (Printf.sprintf
+         "--structure %s serves op streams; pair it with --dist rw:F or --dist flash:S"
          Lc_perf.Select.dynamic_name)
   | _ -> ());
-  (match (rw, cost) with
-  | Some _, Engine.Spinlock _ ->
+  if adaptive && not dyn then
+    failwith
+      (Printf.sprintf
+         "--adaptive actuates replication through epoch publication; pair it with --structure \
+          %s and --dist rw:F or flash:S"
+         Lc_perf.Select.dynamic_name);
+  (match (dyn, cost) with
+  | true, Engine.Spinlock _ ->
     failwith
       "the epoch read path takes no per-cell locks; --cost spin:H only applies to static \
        serving"
@@ -406,11 +471,15 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
   let journal =
     (* Ring layout: 0 = orchestrator, 1..domains = workers,
        domains+1 = monitor; a dynamic run gets one more ring
-       (domains+2) for the builder's publish/merge/reclaim events. *)
-    let writers = domains + 2 + if rw <> None then 1 else 0 in
-    Option.map
-      (fun _ -> Lc_obs.Journal.create ~writers ~capacity:journal_capacity)
-      dump_on_alert
+       (domains+2) for the builder's publish/merge/reclaim events, and
+       an adaptive run one more again (domains+3) for the controller's
+       decisions. *)
+    let writers =
+      domains + 2 + (if dyn then 1 else 0) + if adaptive then 1 else 0
+    in
+    if dump_on_alert <> None || postmortem_out <> None then
+      Some (Lc_obs.Journal.create ~writers ~capacity:journal_capacity)
+    else None
   in
   let stage name mark =
     Option.iter
@@ -419,22 +488,39 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
   in
   stage "build" `Begin;
   let prepared =
-    match rw with
-    | None ->
+    if not dyn then begin
       let inst = build_structure rng ~universe ~keys structure in
       let qd = parse_dist rng ~universe ~keys dist in
       `Static (inst, qd)
-    | Some read_fraction ->
+    end
+    else begin
       let epoch = Lc_dynamic.Epoch.create rng ~universe () in
-      Array.iter (fun k -> Lc_dynamic.Epoch.insert epoch k) keys;
-      Lc_dynamic.Epoch.publish epoch;
+      let length = domains * queries in
       let ops =
-        Lc_workload.Opstream.generate
-          ~mix:(Lc_workload.Opstream.read_write_mix ~read_fraction)
-          ~initial_pool:keys rng ~universe ~length:(domains * queries)
-          ~working_set:(min universe (2 * n))
+        match (rw, flash) with
+        | Some read_fraction, _ ->
+          Array.iter (fun k -> Lc_dynamic.Epoch.insert epoch k) keys;
+          Lc_dynamic.Epoch.publish epoch;
+          Lc_workload.Opstream.generate
+            ~mix:(Lc_workload.Opstream.read_write_mix ~read_fraction)
+            ~initial_pool:keys rng ~universe ~length
+            ~working_set:(min universe (2 * n))
+        | None, Some hot_share ->
+          (* Query-only flash crowd: the hot key is a member but stays
+             outside the base pool, so the first third of the stream
+             never touches it. *)
+          let hot_key = (Keyset.negatives rng ~universe ~keys ~count:1).(0) in
+          Array.iter (fun k -> Lc_dynamic.Epoch.insert epoch k) keys;
+          Lc_dynamic.Epoch.insert epoch hot_key;
+          Lc_dynamic.Epoch.publish epoch;
+          Lc_workload.Opstream.point_mass
+            ~mix:{ Lc_workload.Opstream.p_insert = 0.0; p_delete = 0.0 }
+            ~initial_pool:keys rng ~universe ~length ~working_set:n
+            ~hot_from:(length / 3) ~hot_share ~hot_key
+        | None, None -> assert false
       in
       `Dynamic (epoch, ops)
+    end
   in
   stage "build" `End;
   let display_name =
@@ -447,7 +533,9 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
      thread both through refs set before the run starts. *)
   let bound_port = ref None in
   let mon_ref = ref None in
+  let last_window = ref None in
   let on_window e =
+    last_window := Some e;
     if no_dashboard then begin
       print_endline (window_line e);
       flush stdout
@@ -493,6 +581,21 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
         ~max_probes:(Lc_dynamic.Epoch.max_probes s0) ()
   in
   mon_ref := Some mon;
+  (if adaptive then
+     match prepared with
+     | `Dynamic (epoch, _) ->
+       let s0 = Lc_dynamic.Epoch.current epoch in
+       let ctl =
+         Lc_control.Controller.create
+           ?journal:
+             (Option.map (fun j -> (j, Engine.Monitor.controller_writer ~domains)) journal)
+           ~space:(Lc_dynamic.Epoch.space s0)
+           ~max_probes:(Lc_dynamic.Epoch.max_probes s0)
+           ~boost:(Lc_dynamic.Dynamic.small_level_boost (Lc_dynamic.Epoch.inner epoch))
+           ()
+       in
+       Engine.Monitor.attach_controller mon ctl
+     | `Static _ -> assert false);
   let server =
     Option.map (fun p -> Lc_obs.Http.start ~port:p (Engine.Monitor.routes mon)) port_opt
   in
@@ -574,6 +677,38 @@ let monitor_run seed n universe_opt dist structure domains queries cost_spec win
       u.Engine.reclaim_lag_max;
     Printf.printf "Final snapshot: epoch %d, %d live keys; %d of %d queries hit.\n"
       u.Engine.final_epoch u.Engine.final_live u.Engine.query_hits r.queries);
+  (match Engine.Monitor.controller mon with
+  | None -> ()
+  | Some ctl ->
+    let module C = Lc_control.Controller in
+    Printf.printf
+      "Control: %d decision(s) over %d windows; boost %d -> %d (applied %d), final windowed \
+       ratio %.1fx.\n"
+      (C.decisions_total ctl) (C.windows_seen ctl) (C.base_boost ctl) (C.target_boost ctl)
+      (C.applied_boost ctl) (C.last_ratio ctl);
+    List.iter
+      (fun (d : C.decision) ->
+        Printf.printf "  #%d w%-3d %s %4d -> %-4d ratio %6.1fx cell %d (score %d, cooldown %d)\n"
+          d.C.d_id d.C.d_window
+          (match d.C.d_action with `Raise -> "RAISE" | `Lower -> "lower")
+          d.C.d_old_boost d.C.d_new_boost d.C.d_ratio d.C.d_cell d.C.d_score d.C.d_cooldown)
+      (C.decisions ctl));
+  (match control_out with
+  | None -> ()
+  | Some path ->
+    Lc_obs.Export.write_file ~path (Engine.Monitor.control_json mon);
+    Printf.printf "Control document: %s (check with 'lowcon validate %s').\n" path path);
+  (match (postmortem_out, !last_window) with
+  | None, _ -> ()
+  | Some _, None -> Printf.printf "No windows were cut; final postmortem not written.\n"
+  | Some path, Some e ->
+    let pm =
+      Lc_perf.Postmortem.capture
+        ~fingerprint:(Lc_perf.Artifact.fingerprint ~seed)
+        ~structure ~workload:dist ~domains ~trigger:e mon
+    in
+    Lc_perf.Postmortem.write ~path pm;
+    Printf.printf "Final postmortem: %s (replay with 'lowcon postmortem %s').\n" path path);
   List.iter
     (fun path ->
       Printf.printf "Postmortem dump: %s (inspect with 'lowcon postmortem %s').\n" path path)
@@ -600,7 +735,8 @@ let monitor_cmd =
       ret
         (const monitor_run $ seed_arg $ n_arg $ universe_arg $ dist_arg $ structure_arg
        $ domains_arg $ queries_arg $ cost_arg $ window_arg $ port_arg $ top_k_arg $ alert_arg
-       $ no_dashboard_arg $ linger_arg $ dump_on_alert_arg $ journal_capacity_arg))
+       $ no_dashboard_arg $ linger_arg $ dump_on_alert_arg $ journal_capacity_arg
+       $ adaptive_arg $ control_out_arg $ postmortem_out_arg))
 
 (* ------------------------------------------------------------------ *)
 
@@ -995,6 +1131,106 @@ let validate_scaling_live doc =
   in
   Ok (domains, List.length gws)
 
+(* The /control.json document ("lowcon-control" v1): the replication
+   controller's policy, live state and decision log. Beyond shape, the
+   decision log's internal invariants are checked: ids are 1..N with
+   N = decisions_total, every boost is a power of two inside the
+   policy's [min, max] band, and consecutive decisions chain (each
+   old_boost is the previous new_boost) — the same reconciliation the
+   postmortem replay performs against the journal. *)
+let validate_control doc =
+  let module J = Lc_obs.Json in
+  let module U = Lc_perf.Jsonu in
+  let ( let* ) = Result.bind in
+  let* () =
+    U.check_schema ~expect:Engine.Monitor.control_schema_name
+      ~version:Engine.Monitor.control_schema_version doc
+  in
+  let* attached = U.bool_field "attached" doc in
+  if not attached then Ok (false, 0)
+  else
+    let* boost = U.field "boost" doc in
+    let* base = U.in_context "boost" (U.int_field "base" boost) in
+    let* _ = U.in_context "boost" (U.int_field "target" boost) in
+    let* _ = U.in_context "boost" (U.int_field "applied" boost) in
+    let* policy = U.field "policy" doc in
+    let* () =
+      U.in_context "policy"
+        (let* _ = U.float_field "high_ratio" policy in
+         let* _ = U.float_field "low_ratio" policy in
+         let* _ = U.int_field "hot_contrib" policy in
+         let* _ = U.int_field "cool_contrib" policy in
+         let* _ = U.int_field "high_threshold" policy in
+         let* _ = U.int_field "low_threshold" policy in
+         let* _ = U.int_field "cooldown_windows" policy in
+         let* _ = U.int_field "step" policy in
+         Ok ())
+    in
+    let* min_boost = U.in_context "policy" (U.int_field "min_boost" policy) in
+    let* max_boost = U.in_context "policy" (U.int_field "max_boost" policy) in
+    let* state = U.field "state" doc in
+    let* () =
+      U.in_context "state"
+        (let* _ = U.int_field "score" state in
+         let* _ = U.int_field "cooldown" state in
+         let* _ = U.int_field "windows_seen" state in
+         let* _ = U.float_field "last_ratio" state in
+         Ok ())
+    in
+    let* total = U.int_field "decisions_total" doc in
+    let* ds = U.list_field "decisions" doc in
+    let pow2 b = b > 0 && b land (b - 1) = 0 in
+    let* decisions =
+      U.decode_list "decisions"
+        (fun d ->
+          let* id = U.int_field "id" d in
+          let* _ = U.int_field "window" d in
+          let* _ = U.float_field "ratio" d in
+          let* _ = U.int_field "cell" d in
+          let* _ = U.int_field "count" d in
+          let* _ = U.int_field "err" d in
+          let* _ = U.int_field "score" d in
+          let* action = U.str_field "action" d in
+          let* () =
+            if action = "raise" || action = "lower" then Ok ()
+            else Error (Printf.sprintf "decision %d: bad action %S" id action)
+          in
+          let* old_boost = U.int_field "old_boost" d in
+          let* new_boost = U.int_field "new_boost" d in
+          let* _ = U.int_field "cooldown" d in
+          let* () =
+            if pow2 old_boost && pow2 new_boost && new_boost >= min_boost
+               && new_boost <= max_boost
+            then Ok ()
+            else Error (Printf.sprintf "decision %d: boost %d -> %d outside the power-of-two \
+                                        [%d, %d] band" id old_boost new_boost min_boost
+                          max_boost)
+          in
+          Ok (id, old_boost, new_boost))
+        ds
+    in
+    let* () =
+      if List.length decisions <> total then
+        Error
+          (Printf.sprintf "decisions_total is %d but %d decision(s) listed" total
+             (List.length decisions))
+      else Ok ()
+    in
+    let* _ =
+      List.fold_left
+        (fun acc (id, old_boost, new_boost) ->
+          let* expect_id, expect_boost = acc in
+          if id <> expect_id then
+            Error (Printf.sprintf "decision ids not consecutive: expected %d, got %d" expect_id id)
+          else if old_boost <> expect_boost then
+            Error
+              (Printf.sprintf "decision %d: old_boost %d does not chain from %d" id old_boost
+                 expect_boost)
+          else Ok (id + 1, new_boost))
+        (Ok (1, base)) decisions
+    in
+    Ok (true, total)
+
 (* Per-file verdict: Ok describes what was recognised, Error what broke.
    Recognition is by content (the "schema" member), not by filename, so
    a renamed artifact still validates against the right grammar. *)
@@ -1080,6 +1316,15 @@ let validate_one path =
             (Printf.sprintf "%s v%d, %d domain(s), %d GC window(s)"
                Engine.Monitor.scaling_schema_name Engine.Monitor.scaling_schema_version domains
                gwindows)
+        | Error e -> Error e)
+      | Some (Lc_obs.Json.String s) when s = Engine.Monitor.control_schema_name -> (
+        match validate_control doc with
+        | Ok (attached, total) ->
+          Ok
+            (Printf.sprintf "%s v%d, %s"
+               Engine.Monitor.control_schema_name Engine.Monitor.control_schema_version
+               (if attached then Printf.sprintf "%d decision(s), chain reconciled" total
+                else "no controller attached"))
         | Error e -> Error e)
       | Some (Lc_obs.Json.String s) when s = Postmortem.schema_name -> (
         match Postmortem.of_json doc with

@@ -25,7 +25,7 @@ type build_info = {
 
 type t = {
   universe : int;
-  boost : int;
+  mutable boost : int;  (* effective small_level_boost; builder-owned *)
   rng : Rng.t;  (* private stream for rebuilds *)
   mutable levels : level option array;
   deleted : (int, unit) Hashtbl.t;
@@ -209,6 +209,34 @@ let delete t x =
 
 let size t = t.live
 let universe t = t.universe
+let small_level_boost t = t.boost
+
+(* Change the effective boost in place: only levels whose replica count
+   actually changes are rebuilt (through [build_level], so the rebuild
+   counters, write-amplification accounting and the build hook all fire,
+   and every touched level gets a fresh record — fresh physical identity
+   — which is exactly what lets Epoch publish the re-replicated levels
+   as new and retire the old ones). Returns the number of levels
+   rebuilt. *)
+let set_small_level_boost t boost =
+  if not (is_power_of_two boost) then
+    invalid_arg "Dynamic.set_small_level_boost: boost must be a power of two";
+  if boost = t.boost then 0
+  else begin
+    t.boost <- boost;
+    let rebuilt = ref 0 in
+    Array.iteri
+      (fun i lvl ->
+        match lvl with
+        | None -> ()
+        | Some l ->
+          if Array.length l.replicas <> replica_count t i then begin
+            t.levels.(i) <- Some (build_level t ~index:i l.keys);
+            incr rebuilt
+          end)
+      t.levels;
+    !rebuilt
+  end
 
 let space t =
   Array.fold_left

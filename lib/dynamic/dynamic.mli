@@ -67,6 +67,21 @@ val universe : t -> int
 val space : t -> int
 (** Total cells across all level tables and replicas. *)
 
+val small_level_boost : t -> int
+(** The effective replication boost [B]: level [i] keeps
+    [max 1 (B / 2^i)] replicas. Builder-owned plain field. *)
+
+val set_small_level_boost : t -> int -> int
+(** [set_small_level_boost t b] changes the effective boost in place —
+    the replication controller's actuation primitive. Must be a power of
+    two. Only levels whose replica count changes under the new boost are
+    rebuilt (through the same accounted build path as inserts: rebuild
+    counters, {!cells_written} and the build hook all fire), and each
+    rebuilt level gets a fresh record, so a following
+    {!Epoch.publish} retires the old replicas and publishes the new
+    ones without ever blocking readers. Returns the number of levels
+    rebuilt (0 when [b] equals the current boost). Builder-side only. *)
+
 val level_sizes : t -> (int * int * int) list
 (** [(level, keys, replicas)] for each non-empty level, ascending. *)
 

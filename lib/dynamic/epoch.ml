@@ -37,11 +37,19 @@ type snapshot = {
    announces the epoch of the snapshot it probes. *)
 let quiescent = max_int
 
+(* A replication-boost request from the controller domain: the builder
+   applies the request whose id it has not yet seen. The record is
+   immutable, so one Atomic holds both fields consistently. *)
+type boost_request = { br_id : int; br_boost : int }
+
 type t = {
   inner : Dynamic.t;
   current : snapshot Atomic.t;
   slots : int Atomic.t array;
   next_reader : int Atomic.t;
+  boost_request : boost_request Atomic.t;
+  applied_boost : int Atomic.t;  (* builder writes, anyone reads *)
+  mutable applied_request_id : int;  (* builder-owned *)
   (* Builder-owned bookkeeping (single-writer by protocol; never touched
      on the read path): *)
   mutable cache : (Dictionary.t array * elevel) list;
@@ -169,6 +177,10 @@ let create ?small_level_boost ?(max_readers = 64) rng ~universe () =
           };
       slots = Array.init max_readers (fun _ -> Atomic.make quiescent);
       next_reader = Atomic.make 0;
+      boost_request =
+        Atomic.make { br_id = 0; br_boost = Dynamic.small_level_boost inner };
+      applied_boost = Atomic.make (Dynamic.small_level_boost inner);
+      applied_request_id = 0;
       cache = [];
       retired = [];
       publications = 0;
@@ -241,6 +253,47 @@ let publish_stats t =
   }
 
 let publish t = ignore (publish_stats t : publish_info)
+
+(* --- Replication-boost actuation ---------------------------------- *)
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let request_boost t ~id ~boost =
+  if not (is_power_of_two boost) then
+    invalid_arg "Epoch.request_boost: boost must be a power of two";
+  Atomic.set t.boost_request { br_id = id; br_boost = boost }
+
+let requested_boost t = (Atomic.get t.boost_request).br_boost
+let applied_boost t = Atomic.get t.applied_boost
+let boost_pending t = (Atomic.get t.boost_request).br_id <> t.applied_request_id
+
+type boost_applied = {
+  ba_id : int;  (* the request id applied *)
+  ba_boost : int;
+  ba_levels : int;  (* levels rebuilt under the new boost *)
+  ba_cells : int;  (* cells written by those rebuilds *)
+  ba_ns : int;
+}
+
+let apply_boost_request t =
+  let req = Atomic.get t.boost_request in
+  if req.br_id = t.applied_request_id then None
+  else begin
+    let t0 = Monotonic_clock.now () in
+    let cells0 = Dynamic.cells_written t.inner in
+    let levels = Dynamic.set_small_level_boost t.inner req.br_boost in
+    t.applied_request_id <- req.br_id;
+    Atomic.set t.applied_boost req.br_boost;
+    let ns = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+    Some
+      {
+        ba_id = req.br_id;
+        ba_boost = req.br_boost;
+        ba_levels = levels;
+        ba_cells = Dynamic.cells_written t.inner - cells0;
+        ba_ns = ns;
+      }
+  end
 
 let min_announced t =
   Array.fold_left (fun acc s -> min acc (Atomic.get s)) quiescent t.slots

@@ -120,6 +120,56 @@ val inner : t -> Dynamic.t
     {!Dynamic.keys_rebuilt}, {!Dynamic.purges}, {!Dynamic.size}).
     Builder-side use only. *)
 
+(** {2 Replication-boost actuation}
+
+    The online-adaptation channel between the controller domain and the
+    builder. The controller {e requests} an effective
+    [small_level_boost] ({!request_boost} — one [Atomic.set] of an
+    immutable request record, safe from any domain); the builder, at a
+    point of its choosing, {e applies} the latest unapplied request
+    ({!apply_boost_request}: {!Dynamic.set_small_level_boost} on the
+    inner dictionary, rebuilding exactly the levels whose replica count
+    changes) and then publishes as usual — readers pick the
+    re-replicated levels up at the next snapshot and are never blocked.
+    Requests coalesce: only the newest matters. *)
+
+val request_boost : t -> id:int -> boost:int -> unit
+(** Ask the builder to move the effective boost to [boost] (a power of
+    two, or [Invalid_argument]). [id] must be a fresh nonzero monotone
+    request number (the controller's decision id); the builder applies
+    a request exactly once per id and echoes the id in its accounting.
+    Safe from any domain. *)
+
+val requested_boost : t -> int
+(** The most recently requested boost (the create-time boost before any
+    request). Safe from any domain. *)
+
+val applied_boost : t -> int
+(** The effective boost the builder last applied (the create-time boost
+    before any request) — the actuation gauge. Safe from any domain. *)
+
+val boost_pending : t -> bool
+(** Whether a request is waiting for the builder. Builder-side only
+    (it reads the builder-owned applied-request cursor). *)
+
+type boost_applied = {
+  ba_id : int;  (** The request id applied. *)
+  ba_boost : int;  (** The new effective boost. *)
+  ba_levels : int;  (** Levels rebuilt under the new boost. *)
+  ba_cells : int;  (** Cells written by those rebuilds. *)
+  ba_ns : int;  (** Wall ns of the re-replication pass. *)
+}
+(** One applied boost request — what the engine journals as
+    [Control_applied]. *)
+
+val apply_boost_request : t -> boost_applied option
+(** Apply the pending request, if any: rebuild the affected levels in
+    the inner dictionary (through the accounted build path, so the
+    rebuild counters and the build hook fire) and record the new
+    effective boost. The caller must follow with {!publish} to make the
+    re-replicated levels visible. [None] when no request is pending.
+    Builder-side only. *)
+
 (** {2 Reader side} *)
 
 val reader : t -> Lc_prim.Rng.t -> reader

@@ -1,0 +1,245 @@
+(* T18: flash-crowd recovery under contention-adaptive replication.
+   The sensing stack (windowed sketches, alerts) existed since T13-T17;
+   this experiment closes the loop. Two arms serve the *same*
+   seed-deterministic point-mass stream — flat for the first third,
+   then a 90% flash crowd on a single key — one with the replication
+   controller attached, one with the boost frozen at its create-time
+   value. The claim under test is asymmetric recovery: both arms see
+   the same windowed contention spike at onset, but only the adaptive
+   arm's controller trips, re-replicates the hot level through the
+   epoch publication protocol, and drives the windowed ratio back under
+   the trip threshold within a handful of windows, where it stays. *)
+
+module Rng = Lc_prim.Rng
+module Tablefmt = Lc_analysis.Tablefmt
+module Experiment = Lc_analysis.Experiment
+module Engine = Lc_parallel.Engine
+module Epoch = Lc_dynamic.Epoch
+module Opstream = Lc_workload.Opstream
+module Window = Lc_obs.Window
+module Heavy = Lc_obs.Heavy
+module Controller = Lc_control.Controller
+module Policy = Lc_control.Policy
+
+(* The controller's windowed estimator, replayed over the outcome's
+   window list so both arms are scored by the same signal the policy
+   acted on (see Controller's doc for why the cumulative hotspot_ratio
+   is too slow to measure recovery). *)
+let windowed_ratios ~space ~max_probes windows =
+  let prev = ref [] in
+  List.map
+    (fun (e : Window.entry) ->
+      let tally =
+        List.fold_left
+          (fun best (h : Heavy.entry) ->
+            let w =
+              match List.assoc_opt h.item !prev with
+              | Some (pc, pe) when pe = h.err -> max 0 (h.count - pc)
+              | Some (pc, _) -> max 0 (h.count - h.err - pc)
+              | None -> max 0 (h.count - h.err)
+            in
+            max best w)
+          0 e.Window.top_cells
+      in
+      prev :=
+        List.map (fun (h : Heavy.entry) -> (h.item, (h.count, h.err))) e.Window.top_cells;
+      let flat =
+        float_of_int e.Window.queries *. float_of_int max_probes /. float_of_int space
+      in
+      if flat > 0.0 then float_of_int tally /. flat else 0.0)
+    windows
+
+type arm_result = {
+  a_label : string;
+  a_queries : int;
+  a_nwindows : int;
+  a_onset : int option;  (* first window at or above the trip ratio *)
+  a_peak : float;
+  a_recovery : int option;  (* windows from onset to sustained sub-trip *)
+  a_hot_after : int;  (* post-onset windows at or above the trip ratio *)
+  a_final_boost : int;
+  a_decisions : Controller.decision list;
+}
+
+let run_arm ~seed ~adaptive ~domains ~n ~queries_per_domain ~hot_share ~interval_s =
+  let rng = Rng.create seed in
+  let universe = Common.universe_for n in
+  let keys = Lc_workload.Keyset.random rng ~universe ~n in
+  let hot_key = (Lc_workload.Keyset.negatives rng ~universe ~keys ~count:1).(0) in
+  let epoch = Epoch.create rng ~universe () in
+  Array.iter (Epoch.insert epoch) keys;
+  Epoch.insert epoch hot_key;
+  Epoch.publish epoch;
+  let length = domains * queries_per_domain in
+  let ops =
+    Opstream.point_mass
+      ~mix:{ Opstream.p_insert = 0.0; p_delete = 0.0 }
+      ~initial_pool:keys rng ~universe ~length ~working_set:n ~hot_from:(length / 3)
+      ~hot_share ~hot_key
+  in
+  let s0 = Epoch.current epoch in
+  let space = Epoch.space s0 and max_probes = Epoch.max_probes s0 in
+  (* top_k 64: a flash-crowd cell's probe-stream share is diluted by
+     the ~max_probes flat probes every query costs, so the sketch's
+     retention floor (~1/k) must sit below that share for the hot cell
+     to stay resident. *)
+  let mon =
+    Engine.Monitor.create_for ~interval_s ~top_k:64 ~domains ~space ~max_probes ()
+  in
+  let ctl =
+    if not adaptive then None
+    else begin
+      let c =
+        Controller.create ~space ~max_probes
+          ~boost:(Lc_dynamic.Dynamic.small_level_boost (Epoch.inner epoch))
+          ()
+      in
+      Engine.Monitor.attach_controller mon c;
+      Some c
+    end
+  in
+  let cfg = Engine.Config.make ~monitor:mon ~domains ~seed:(seed + 17) () in
+  let o = Engine.run cfg (Engine.Dynamic { epoch; ops; publish_every = 64 }) in
+  let ratios = Array.of_list (windowed_ratios ~space ~max_probes o.Engine.windows) in
+  let trip = Policy.default.Policy.high_ratio in
+  let nw = Array.length ratios in
+  let onset = ref None and peak = ref 0.0 in
+  Array.iteri
+    (fun i r ->
+      if r > !peak then peak := r;
+      if r >= trip && !onset = None then onset := Some i)
+    ratios;
+  (* Recovery: the first post-onset window opening a run of five
+     consecutive sub-trip windows (or sub-trip through the end of the
+     run), counted in windows after onset. The five-window run
+     distinguishes recovery from the one-window dips a cumulative
+     signal would smear over. *)
+  let recovery =
+    match !onset with
+    | None -> None
+    | Some on ->
+      let rec scan i =
+        if i >= nw then None
+        else begin
+          let stop = min nw (i + 5) in
+          let rec clean j = j >= stop || (ratios.(j) < trip && clean (j + 1)) in
+          if clean i then Some (i - on) else scan (i + 1)
+        end
+      in
+      scan (on + 1)
+  in
+  let hot_after =
+    match !onset with
+    | None -> 0
+    | Some on ->
+      let c = ref 0 in
+      Array.iteri (fun i r -> if i >= on && r >= trip then incr c) ratios;
+      !c
+  in
+  {
+    a_label = (if adaptive then "adaptive" else "frozen");
+    a_queries = o.Engine.result.Engine.queries;
+    a_nwindows = nw;
+    a_onset = !onset;
+    a_peak = !peak;
+    a_recovery = recovery;
+    a_hot_after = hot_after;
+    a_final_boost = Epoch.applied_boost epoch;
+    a_decisions = (match ctl with Some c -> Controller.decisions c | None -> []);
+  }
+
+let t18 =
+  {
+    Experiment.id = "T18";
+    title = "Flash crowd: adaptive re-replication recovers, frozen boost stays degraded";
+    claim =
+      "When a query stream shifts from flat to a 90% point mass on one key, the windowed \
+       contention ratio spikes identically in both arms, but only the arm with the \
+       replication controller attached recovers: its hysteresis trips within a few hot \
+       windows, each raise multiplies the small-level replication through the next epoch \
+       publication (one Atomic.set, readers never blocked) and divides the hot cell's \
+       per-replica traffic by the step, and the windowed ratio falls back under the trip \
+       threshold and stays there — while the frozen-boost arm's ratio remains pinned above \
+       the threshold for the rest of the run. Every controller decision in the adaptive arm \
+       is recorded with its sketch evidence and reproduced in the rendered timeline.";
+    run =
+      (fun ~seed ->
+        let domains = 2
+        and n = 256
+        and queries_per_domain = 400_000
+        and hot_share = 0.9
+        and interval_s = 0.03 in
+        let arms =
+          List.map
+            (fun adaptive ->
+              run_arm ~seed ~adaptive ~domains ~n ~queries_per_domain ~hot_share
+                ~interval_s)
+            [ false; true ]
+        in
+        let tbl =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf
+                 "T18: flash:%.1f point mass at 1/3 of %d ops, n = %d, %d domains, %.0f ms \
+                  windows, trip ratio %.1f"
+                 hot_share
+                 (domains * queries_per_domain)
+                 n domains (interval_s *. 1e3) Policy.default.Policy.high_ratio)
+            ~columns:
+              [
+                "arm"; "queries"; "windows"; "onset"; "peak ratio"; "recovery";
+                "hot windows after onset"; "final boost"; "decisions";
+              ]
+        in
+        List.iter
+          (fun a ->
+            let opt = function None -> "never" | Some v -> string_of_int v in
+            Tablefmt.add_row tbl
+              [
+                a.a_label;
+                string_of_int a.a_queries;
+                string_of_int a.a_nwindows;
+                opt a.a_onset;
+                Printf.sprintf "%.1fx" a.a_peak;
+                (match a.a_recovery with
+                | None -> "never"
+                | Some w -> Printf.sprintf "%d windows" w);
+                string_of_int a.a_hot_after;
+                string_of_int a.a_final_boost;
+                string_of_int (List.length a.a_decisions);
+              ])
+          arms;
+        let timeline =
+          match List.find_opt (fun a -> a.a_label = "adaptive") arms with
+          | None | Some { a_decisions = []; _ } -> "\n(no controller decisions recorded)"
+          | Some a ->
+            List.fold_left
+              (fun acc (d : Controller.decision) ->
+                acc
+                ^ Printf.sprintf
+                    "\n  #%d at window %d: %s boost %d -> %d (windowed ratio %.1fx, cell \
+                     %d tally %d±%d, score %d, cooldown %d)"
+                    d.Controller.d_id d.d_window
+                    (match d.d_action with `Raise -> "raise" | `Lower -> "lower")
+                    d.d_old_boost d.d_new_boost d.d_ratio d.d_cell d.d_count d.d_err
+                    d.d_score d.d_cooldown)
+              "\nAdaptive arm decision timeline:" a.a_decisions
+        in
+        Tablefmt.render tbl ^ timeline
+        ^ "\nExpected shape: onset lands about a third of the way into each arm's run (the \
+           crowd arrives at a fixed op index; windows are wall-clock, so the absolute \
+           window number differs with each arm's throughput), the peak ratio is far above \
+           the trip threshold, and then the arms diverge. The adaptive arm recovers — \
+           typically within ~15 windows of onset: four hot windows per raise times the \
+           three raises the crowd needs, separated by cooldowns, each raise announced in \
+           the timeline with the hot cell's sketched evidence — and its post-onset \
+           hot-window count stays small, while the frozen arm's ratio never re-crosses the \
+           threshold and nearly every post-onset window stays hot. Window counts are wall-clock (machine-dependent); \
+           the asymmetry between the arms is not. The final decisions may include slow \
+           decays (one per ~40 quiet windows): below the sketch's retention floor a \
+           suppressed crowd and a quiet stream are indistinguishable, so the policy probes \
+           downward rarely and relies on the fast raise path to re-absorb a flare."
+        ^ "\n");
+  }
+
+let register () = Experiment.register t18

@@ -20,5 +20,6 @@ let install () =
     Exp_perf.register ();
     Exp_epoch.register ();
     Exp_observatory.register ();
-    Exp_scaling.register ()
+    Exp_scaling.register ();
+    Exp_flashcrowd.register ()
   end

@@ -63,6 +63,12 @@ let default_manifest =
        between query batches, not per query, but still inside the
        serving loop, so they are audited like the publish path. *)
     ("lib/parallel/engine.ml", [ "flush_phases"; "sample_gc" ]);
+    (* The replication controller's sense→decide→act step runs on the
+       monitor domain once per window cut, inside the serving loop's
+       heartbeat — audited like the publish path. The policy step is
+       the pure hysteresis core of that path. *)
+    ("lib/control/controller.ml", [ "windowed_evidence"; "observe" ]);
+    ("lib/control/policy.ml", [ "step" ]);
     ("lib/obs/heavy.ml", [ "observe"; "min_count"; "copy_into" ]);
     ("lib/obs/window.ml", [ "publish" ]);
     ("lib/obs/journal.ml", [ "record" ]);
@@ -89,7 +95,10 @@ let default =
         has_prefix ~prefix:"lib/parallel/" p
         || has_prefix ~prefix:"lib/obs/" p
         || has_prefix ~prefix:"lib/dynamic/" p
-        || has_prefix ~prefix:"lib/workload/" p);
+        || has_prefix ~prefix:"lib/workload/" p
+        (* Controller state is written by the monitor domain and read
+           racily by the HTTP scrape domain (/control.json, gauges). *)
+        || has_prefix ~prefix:"lib/control/" p);
     hot_functions =
       (fun p -> match List.assoc_opt p default_manifest with Some fns -> fns | None -> []);
   }

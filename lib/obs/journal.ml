@@ -28,6 +28,27 @@ type kind =
       dur_ns : int;
     }
   | Reclaim of { epoch : int; freed : int; lag : int; pending : int }
+  | Control_decision of {
+      id : int;
+      window : int;
+      ratio : float;
+      cell : int;
+      count : int;
+      err : int;
+      score : int;
+      action : [ `Raise | `Lower ];
+      old_boost : int;
+      new_boost : int;
+      cooldown : int;
+    }
+  | Control_applied of {
+      id : int;
+      epoch : int;
+      boost : int;
+      levels : int;
+      cells : int;
+      dur_ns : int;
+    }
 
 type event = { t_ns : int64; writer : int; seq : int; kind : kind }
 

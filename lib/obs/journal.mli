@@ -65,6 +65,38 @@ type kind =
   | Reclaim of { epoch : int; freed : int; lag : int; pending : int }
       (** [try_reclaim] at published epoch [epoch] freed [freed] levels
           (max lag [lag] epochs), leaving [pending] still retired. *)
+  | Control_decision of {
+      id : int;
+      window : int;
+      ratio : float;
+      cell : int;
+      count : int;
+      err : int;
+      score : int;
+      action : [ `Raise | `Lower ];
+      old_boost : int;
+      new_boost : int;
+      cooldown : int;
+    }
+      (** The replication controller decided to actuate at window
+          [window]: hysteresis score [score] tripped on windowed
+          contention ratio [ratio], whose evidence is sketched cell
+          [cell] with tally bracket [count ± err]; the effective
+          small-level boost moves [old_boost] -> [new_boost] and the
+          controller enters a [cooldown]-window hold. [id] is the
+          controller's monotone decision number, echoed by the matching
+          {!Control_applied}. *)
+  | Control_applied of {
+      id : int;
+      epoch : int;
+      boost : int;
+      levels : int;
+      cells : int;
+      dur_ns : int;
+    }
+      (** The builder applied controller decision [id]: re-replicated
+          [levels] levels ([cells] cells written) to effective boost
+          [boost] in [dur_ns] wall ns, published as epoch [epoch]. *)
 
 type event = { t_ns : int64;  (** {!Clock.now_ns} at record time. *)
                writer : int;  (** Ring index of the recording domain. *)
@@ -78,7 +110,8 @@ val create : writers:int -> capacity:int -> t
     writer. For a monitored serve: writer 0 is the orchestrator, [1..m]
     the workers, [m+1] the monitor domain, and — for dynamic
     (read-write) runs given one more ring — [m+2] the builder domain's
-    update-path events. *)
+    update-path events. An adaptive run given yet one more ring records
+    the replication controller's decisions on [m+3]. *)
 
 val writers : t -> int
 val capacity : t -> int

@@ -444,6 +444,10 @@ module Monitor = struct
        monitor domain (ticks are serialised). *)
     mutable alert_was_firing : bool;
     mutable live_counts : int Atomic.t array option;
+    (* The replication controller, when this run is adaptive: attached
+       before serving starts, driven by [tick] (the monitor domain is
+       the controller domain), scraped by /control.json. *)
+    mutable controller : Lc_control.Controller.t option;
   }
 
   let create_for ?(ring = 512) ?(interval_s = 0.25) ?(publish_period = 256) ?(top_k = 16)
@@ -503,6 +507,7 @@ module Monitor = struct
       on_alert;
       alert_was_firing = false;
       live_counts = None;
+      controller = None;
     }
 
   let create ?ring ?interval_s ?publish_period ?top_k ?alert_factor ?on_window ?journal
@@ -515,6 +520,18 @@ module Monitor = struct
   let window t = t.window
   let interval_s t = t.interval_s
   let journal t = t.journal
+  let controller t = t.controller
+
+  (* Attach the replication controller before serving starts. The
+     monitor domain becomes the controller domain: every [tick] feeds
+     the cut window into [Controller.observe], whose decisions journal
+     on ring [domains + 3] (when the journal was sized for it) and fire
+     the actuator the serving path installed. *)
+  let attach_controller t ctl = t.controller <- Some ctl
+
+  (* The controller's journal ring index for a monitored run over
+     [domains] workers — next to the builder's [domains + 2]. *)
+  let controller_writer ~domains = domains + 3
 
   (* One monitor heartbeat: cut a window, journal it (plus the alert
      edge and a sketch snapshot), fire the hooks. Runs on the monitor
@@ -559,12 +576,56 @@ module Monitor = struct
     (if e.Window.alert && not t.alert_was_firing then
        match t.on_alert with None -> () | Some f -> ( try f e with _ -> ()));
     t.alert_was_firing <- e.Window.alert;
+    (* Sense → decide → act: the controller sees exactly the entry (and
+       merged top-k) this tick journaled, so a journaled decision's
+       evidence reconciles field-for-field with the window's own sketch
+       snapshot. Runs before [on_window] so the dashboard hook reads
+       post-decision controller state. *)
+    (match t.controller with
+    | None -> ()
+    | Some ctl ->
+      ignore
+        (Lc_control.Controller.observe ctl ~window:e.Window.index
+           ~queries:e.Window.queries e.Window.top_cells
+          : Lc_control.Controller.decision option));
     (match t.on_window with None -> () | Some f -> ( try f e with _ -> ()));
     e
+
+  (* engine_control_* gauges: appended exposition lines like
+     [Window.prometheus_gauges] — the controller's scalars are
+     monitor-domain-owned and racy-read tolerant, so the scrape domain
+     reads them directly instead of round-tripping through a metric
+     shard that would need its own publisher. *)
+  let control_gauges t =
+    match t.controller with
+    | None -> ""
+    | Some ctl ->
+      let module C = Lc_control.Controller in
+      let b = Buffer.create 512 in
+      let gauge name help v =
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n# TYPE %s gauge\n%s %s\n" name help name name v)
+      in
+      gauge "engine_control_applied_boost"
+        "Replication boost the builder last applied"
+        (string_of_int (C.applied_boost ctl));
+      gauge "engine_control_target_boost" "Replication boost the controller wants"
+        (string_of_int (C.target_boost ctl));
+      gauge "engine_control_score" "Hysteresis contention score"
+        (string_of_int (C.score ctl));
+      gauge "engine_control_cooldown_windows" "Cooldown windows remaining"
+        (string_of_int (C.cooldown ctl));
+      gauge "engine_control_decisions_total" "Actuation decisions so far"
+        (string_of_int (C.decisions_total ctl));
+      gauge "engine_control_windowed_ratio"
+        "Windowed contention ratio at the last controller observation"
+        (Printf.sprintf "%.6f" (C.last_ratio ctl));
+      Buffer.contents b
 
   let metrics_body t =
     Lc_obs.Export.prometheus (Window.live_snapshot t.window)
     ^ Window.prometheus_gauges t.window
+    ^ control_gauges t
 
   (* The co-heat JSON object shared by /cells.json and /scaling.json:
      per-cell tallies bucketed into cache-line groups (see
@@ -796,6 +857,84 @@ module Monitor = struct
            ("coheat", coheat_json (live_count_values t));
          ])
 
+  (* /control.json: the controller's sense→decide→act state, schema-
+     versioned ("lowcon-control" v1) so `lowcon validate` can check a
+     saved scrape. [attached] is false (and everything else absent) for
+     a run without a controller; otherwise the decision list carries
+     exactly the records the controller journaled, so a scrape, the
+     flight recorder and a postmortem replay reconcile one to one. *)
+  let control_schema_name = "lowcon-control"
+  let control_schema_version = 1
+
+  let control_body t =
+    let module J = Lc_obs.Json in
+    let module C = Lc_control.Controller in
+    let header =
+      [
+        ("schema", J.String control_schema_name);
+        ("version", J.Int control_schema_version);
+      ]
+    in
+    match t.controller with
+    | None -> J.to_string (J.Obj (header @ [ ("attached", J.Bool false) ]))
+    | Some ctl ->
+      let pc = C.policy_config ctl in
+      let decision (d : C.decision) =
+        J.Obj
+          [
+            ("id", J.Int d.C.d_id);
+            ("window", J.Int d.C.d_window);
+            ("ratio", J.Float d.C.d_ratio);
+            ("cell", J.Int d.C.d_cell);
+            ("count", J.Int d.C.d_count);
+            ("err", J.Int d.C.d_err);
+            ("score", J.Int d.C.d_score);
+            ("action", J.String (match d.C.d_action with `Raise -> "raise" | `Lower -> "lower"));
+            ("old_boost", J.Int d.C.d_old_boost);
+            ("new_boost", J.Int d.C.d_new_boost);
+            ("cooldown", J.Int d.C.d_cooldown);
+          ]
+      in
+      J.to_string
+        (J.Obj
+           (header
+           @ [
+               ("attached", J.Bool true);
+               ( "boost",
+                 J.Obj
+                   [
+                     ("base", J.Int (C.base_boost ctl));
+                     ("target", J.Int (C.target_boost ctl));
+                     ("applied", J.Int (C.applied_boost ctl));
+                   ] );
+               ( "policy",
+                 J.Obj
+                   [
+                     ("high_ratio", J.Float pc.Lc_control.Policy.high_ratio);
+                     ("low_ratio", J.Float pc.Lc_control.Policy.low_ratio);
+                     ("hot_contrib", J.Int pc.Lc_control.Policy.hot_contrib);
+                     ("cool_contrib", J.Int pc.Lc_control.Policy.cool_contrib);
+                     ("high_threshold", J.Int pc.Lc_control.Policy.high_threshold);
+                     ("low_threshold", J.Int pc.Lc_control.Policy.low_threshold);
+                     ("cooldown_windows", J.Int pc.Lc_control.Policy.cooldown_windows);
+                     ("min_boost", J.Int pc.Lc_control.Policy.min_boost);
+                     ("max_boost", J.Int pc.Lc_control.Policy.max_boost);
+                     ("step", J.Int pc.Lc_control.Policy.step);
+                   ] );
+               ( "state",
+                 J.Obj
+                   [
+                     ("score", J.Int (C.score ctl));
+                     ("cooldown", J.Int (C.cooldown ctl));
+                     ("windows_seen", J.Int (C.windows_seen ctl));
+                     ("last_ratio", J.Float (C.last_ratio ctl));
+                   ] );
+               ("decisions_total", J.Int (C.decisions_total ctl));
+               ("decisions", J.List (List.map decision (C.decisions ctl)));
+             ]))
+
+  let control_json = control_body
+
   let routes t : Http.route list =
     [
       ("/metrics", fun () -> Http.text (metrics_body t));
@@ -805,6 +944,7 @@ module Monitor = struct
       ("/windows.json", fun () -> Http.json (windows_body t));
       ("/updates.json", fun () -> Http.json (updates_body t));
       ("/scaling.json", fun () -> Http.json (scaling_body t));
+      ("/control.json", fun () -> Http.json (control_body t));
       ("/healthz", fun () -> Http.text "ok\n");
     ]
 end
@@ -1066,30 +1206,6 @@ let serve_internal ?(cost = Free) ?obs ?monitor ~domains ~queries_per_domain ~se
     },
     match setup with None -> None | Some _ -> Some phases )
 
-let serve ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist =
-  fst (serve_internal ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist)
-
-type windowed = {
-  result : result;
-  windows : Window.entry list;
-  cells : Heavy.merged option;
-  alert_windows : int;
-}
-
-let serve_windowed ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist =
-  let result, _phases =
-    serve_internal ?cost ?obs ?monitor ~domains ~queries_per_domain ~seed inst qdist
-  in
-  match monitor with
-  | None -> { result; windows = []; cells = None; alert_windows = 0 }
-  | Some m ->
-    {
-      result;
-      windows = Window.entries m.Monitor.window;
-      cells = Some (Window.live_cells m.Monitor.window);
-      alert_windows = Window.alert_fired_total m.Monitor.window;
-    }
-
 (* ------------------------------------------------------------------ *)
 (* The unified entry point                                              *)
 (* ------------------------------------------------------------------ *)
@@ -1182,6 +1298,17 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
          m.Monitor.domains domains)
   | _ -> ());
   let obs = match monitor with Some m -> Some m.Monitor.obs | None -> obs in
+  (* Adaptive runs: wire the controller's act step to the epoch's boost
+     request channel before anything spawns. The monitor domain decides
+     (Monitor.tick -> Controller.observe -> request_boost, one
+     Atomic.set); the builder domain applies at its next publication. *)
+  let controller = Option.bind monitor (fun m -> m.Monitor.controller) in
+  (match controller with
+  | None -> ()
+  | Some ctl ->
+    Lc_control.Controller.set_actuator ctl (fun ~id ~boost ->
+        Epoch.request_boost epoch ~id ~boost);
+    Lc_control.Controller.set_applied_reader ctl (fun () -> Epoch.applied_boost epoch));
   let updates, query_batches = Opstream.split ops ~domains in
   let total_queries = Array.fold_left (fun acc b -> acc + Array.length b) 0 query_batches in
   (* Readers are registered on the orchestrator so worker domains never
@@ -1266,6 +1393,10 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
     | _ -> None
   in
   let bwriter = domains + 2 in
+  (* One-way flag, like monitor_stop: the orchestrator sets it (once,
+     after joining the readers); an adaptive run's builder polls it to
+     end its keep-alive loop. *)
+  let readers_done = Atomic.make false in
   let builder () =
     let t_start = Lc_obs.Clock.now_ns () in
     (match setup with
@@ -1321,7 +1452,27 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
           Some (Window.publisher m.Monitor.window (domains + 1), m.Monitor.builder_sketch)
       in
       let publish_now () =
+        (* Act: a pending controller request re-replicates the affected
+           levels right here on the builder domain (through the
+           accounted build path — the Level_merge events and rebuild
+           counters above fire for each), and the publish just below
+           makes them visible. Readers are never blocked: they keep
+           serving the previous snapshot until the one Atomic.set. *)
+        let applied = Epoch.apply_boost_request epoch in
         let pi = Epoch.publish_stats epoch in
+        (match (applied, bjournal) with
+        | Some ba, Some j ->
+          Journal.record j ~writer:bwriter
+            (Journal.Control_applied
+               {
+                 id = ba.Epoch.ba_id;
+                 epoch = pi.Epoch.pi_epoch;
+                 boost = ba.Epoch.ba_boost;
+                 levels = ba.Epoch.ba_levels;
+                 cells = ba.Epoch.ba_cells;
+                 dur_ns = ba.Epoch.ba_ns;
+               })
+        | _ -> ());
         Metrics.incr bshard uids.u_pubs_c 1;
         Metrics.observe bshard uids.u_publish_h pi.Epoch.pi_dur_ns;
         Metrics.observe bshard uids.u_batch_h pi.Epoch.pi_batch;
@@ -1385,6 +1536,21 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
              table, and the monitor's last tick sees the complete
              builder shard. *)
           publish_now ());
+      (* Adaptive runs: the update stream may drain long before the
+         readers do, and without a builder no one could apply the
+         controller's requests — so keep the builder alive until the
+         orchestrator joins the readers, publishing whenever a boost
+         request lands and dozing (never spinning) otherwise. The final
+         check drains a request that raced the readers_done flag, so
+         the post-run /control.json shows applied = target. *)
+      (match controller with
+      | None -> ()
+      | Some _ ->
+        Span.with_span btl "boost-keepalive" (fun () ->
+            while not (Atomic.get readers_done) do
+              if Epoch.boost_pending epoch then publish_now () else Unix.sleepf 0.001
+            done;
+            if Epoch.boost_pending epoch then publish_now ()));
       Lc_dynamic.Dynamic.clear_build_hook (Epoch.inner epoch));
     b_ns := Int64.to_int (Int64.sub (Lc_obs.Clock.now_ns ()) t_start)
   in
@@ -1501,6 +1667,10 @@ let serve_dynamic (cfg : Config.t) ~epoch ~ops ~publish_every =
     let builder_d = Domain.spawn builder in
     let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
     Array.iter Domain.join spawned;
+    (* Readers gone: release an adaptive builder from its keep-alive
+       loop (a no-op flag for non-adaptive runs, whose builder exited
+       when the update stream drained). *)
+    Atomic.set readers_done true;
     Domain.join builder_d;
     Unix.gettimeofday () -. t0
   in

@@ -104,49 +104,6 @@ val gc_metric_names : Lc_obs.Window.gc_config
     and the scaling artifact read per-domain allocation without any
     cross-domain [Gc] call on the hot path. *)
 
-val serve :
-  ?cost:cost ->
-  ?obs:Lc_obs.Obs.t ->
-  domains:int ->
-  queries_per_domain:int ->
-  seed:int ->
-  Lc_dict.Instance.t ->
-  Lc_cellprobe.Qdist.t ->
-  result
-[@@deprecated "use Engine.run with a Static workload (Engine.Config.make + Engine.run)"]
-(** @deprecated Thin wrapper kept for mechanical migration; new code
-    should use {!run} with a {!Static} workload.
-
-    [serve ~domains ~queries_per_domain ~seed inst qdist] pre-samples
-    each domain's query batch from [qdist] (outside the timed section),
-    spawns the domains, serves every query through the core's reentrant
-    [mem] with per-cell atomic counting, and reports. [cost] defaults to
-    {!Free}. Deterministic per-cell counts for a fixed seed and
-    structure whenever probe {e placement} is deterministic; wall-clock
-    obviously varies.
-
-    [obs], when supplied, wires the run into the observability layer
-    with {e per-domain} metric shards and span timelines, so telemetry
-    adds no shared mutable state to the hot path. Recorded per worker
-    domain [w] (shard/timeline index [w + 1]; the orchestrator is 0):
-
-    - counters [engine_queries_total] and [engine_probes_total]
-      (reconciling exactly with [result.queries] / [result.total_probes]
-      on a fresh handle);
-    - histograms [engine_query_latency_ns] (every query),
-      [engine_probe_latency_ns] (1 in 64 probes, the sampled cost of the
-      cell read itself) and [engine_spinlock_wait_ns] (per acquisition
-      under {!Spinlock}; an observation of 0 means uncontended);
-    - spans [sample-batches] / [serve] / [merge] on the orchestrator
-      timeline and one [serve-batch] span per worker, exportable via
-      {!Lc_obs.Span.to_chrome_json}.
-
-    Passing the same handle to several runs accumulates; use a fresh
-    {!Lc_obs.Obs.create} per run for exact reconciliation. Without
-    [obs], the serving path performs no telemetry work at all — no
-    allocation, no atomics beyond the per-cell counters — and the result
-    is identical to PR 1's engine. *)
-
 (** Live monitoring for a serving run: a monitor domain that cuts
     {!Lc_obs.Window} snapshots on an interval while the workers are hot,
     per-worker {!Lc_obs.Heavy} hot-cell sketches published through the
@@ -168,7 +125,7 @@ module Monitor : sig
     domains:int ->
     Lc_dict.Instance.t ->
     t
-  (** A monitor for one {!serve_windowed} run over [inst] with [domains]
+  (** A monitor for one monitored {!run} over [inst] with [domains]
       workers. Registers the engine metrics on [obs] (a fresh handle is
       created when omitted) and sizes one window publisher per domain
       plus the orchestrator.
@@ -197,7 +154,10 @@ module Monitor : sig
         (epoch publish, level merge, reclaim) on ring [domains + 2]
         when the journal was sized with [domains + 3] writers — with
         fewer, the builder is simply silent and everything else works
-        as before. Recording is lock-free and allocation-light, so a
+        as before. An attached controller ({!attach_controller})
+        likewise records its decisions on ring [domains + 3] when the
+        journal has [domains + 4] writers, and is silent with fewer.
+        Recording is lock-free and allocation-light, so a
         journal can stay attached to production runs and be dumped only
         when something fires.
       - [on_alert]: called once per quiet->firing alert {e edge} (not
@@ -239,12 +199,33 @@ module Monitor : sig
   val journal : t -> Lc_obs.Journal.t option
   (** The attached flight recorder, if any. *)
 
+  val controller : t -> Lc_control.Controller.t option
+  (** The attached replication controller, if any. *)
+
+  val attach_controller : t -> Lc_control.Controller.t -> unit
+  (** Attach a {!Lc_control.Controller.t} before serving starts. The
+      monitor domain becomes the controller's observing domain: every
+      {!tick} feeds the cut window's sketch entries into
+      {!Lc_control.Controller.observe}, so decisions happen at window
+      granularity with no extra domain. A {!Dynamic} run wires the
+      controller's actuator to {!Lc_dynamic.Epoch.request_boost}
+      automatically; decisions are journaled on ring
+      [{!controller_writer} ~domains] when the monitor's journal is
+      sized for it. *)
+
+  val controller_writer : domains:int -> int
+  (** [domains + 3] — the journal ring an attached controller records
+      its decisions on (after orchestrator [0], workers [1..domains],
+      monitor [domains + 1] and builder [domains + 2]); size the
+      journal with at least [domains + 4] writers to capture them. *)
+
   val tick : t -> Lc_obs.Window.entry
   (** Cut one window now: {!Lc_obs.Window.tick} plus journal recording
-      (window cut, sketch snapshot, alert edges) and the [on_alert] /
-      [on_window] callbacks. {!serve_windowed} calls this from the
-      monitor domain every [interval_s] and once after the join; exposed
-      for tests and custom drivers. *)
+      (window cut, sketch snapshot, alert edges), the controller step
+      when one is attached, and the [on_alert] / [on_window] callbacks.
+      Monitored {!run}s call this from the monitor domain every
+      [interval_s] and once after the join; exposed for tests and
+      custom drivers. *)
 
   val updates_schema_name : string
   (** ["lowcon-updates"] — the [/updates.json] document's schema, so
@@ -259,6 +240,19 @@ module Monitor : sig
       fitted domain sweep. *)
 
   val scaling_schema_version : int
+
+  val control_schema_name : string
+  (** ["lowcon-control"] — the [/control.json] document's schema:
+      the controller's policy, live hysteresis state and full decision
+      log, reconciling field for field with the journaled
+      [Control_decision] events. *)
+
+  val control_schema_version : int
+
+  val control_json : t -> string
+  (** The [/control.json] body, also available without an HTTP server —
+      what [lowcon monitor --control-out] saves for offline
+      [lowcon validate] / reconciliation. *)
 
   val routes : t -> Lc_obs.Http.route list
   (** Scrape routes over the live (seqlock-read) state, safe to serve
@@ -283,50 +277,16 @@ module Monitor : sig
         per-phase time attribution, GC allocation counters with the
         per-window GC entries, and the cache-line co-heat diagnostic
         (null for runs without live per-cell counters);
+      - [/control.json] — the replication controller's view,
+        schema-versioned (["lowcon-control"] v1): policy constants,
+        live hysteresis state (score, cooldown, last windowed ratio)
+        and the complete decision log ([attached: false] when no
+        controller is attached);
       - [/healthz] — liveness.
 
       [/cells.json] additionally carries the same co-heat object next
       to its count histogram. *)
 end
-
-type windowed = {
-  result : result;  (** Exactly what {!serve} would have returned. *)
-  windows : Lc_obs.Window.entry list;
-      (** The window ring at completion, oldest first. The final entry
-          is cut after the workers join, so summing [queries] over
-          [windows] (when none were evicted) reconciles exactly with
-          [result.queries], and its [hotspot_ratio] agrees with
-          {!hotspot_ratio} of [result] to within the sketch error
-          bound. *)
-  cells : Lc_obs.Heavy.merged option;
-      (** Final merged hot-cell sketch ([None] without a monitor). *)
-  alert_windows : int;  (** Windows that fired the hotspot alert. *)
-}
-
-val serve_windowed :
-  ?cost:cost ->
-  ?obs:Lc_obs.Obs.t ->
-  ?monitor:Monitor.t ->
-  domains:int ->
-  queries_per_domain:int ->
-  seed:int ->
-  Lc_dict.Instance.t ->
-  Lc_cellprobe.Qdist.t ->
-  windowed
-[@@deprecated "use Engine.run with a Static workload (Engine.Config.make + Engine.run)"]
-(** @deprecated Thin wrapper kept for mechanical migration; new code
-    should use {!run} with a {!Static} workload.
-
-    {!serve} with live windows. Without [monitor] this {e is} [serve]
-    — same code path, including the telemetry-free hot path when [obs]
-    is also absent, so [result] stays byte-identical to the
-    uninstrumented engine. With [monitor] (which must have been created
-    for the same [domains]), workers publish their shards and sketches
-    every [publish_period] queries plus once at batch end, a monitor
-    domain cuts a window every [interval_s] while they run, and a final
-    authoritative window is cut after the join; [obs] is ignored in
-    favour of the monitor's handle. Start {!Lc_obs.Http.start}[ ~port
-    (Monitor.routes m)] before calling to scrape the run live. *)
 
 (** {1 The unified entry point}
 
@@ -335,15 +295,17 @@ val serve_windowed :
     (parallelism, seed, cost model, observability); the {!workload}
     variant describes {e what} to serve — a static instance under a
     query distribution, or an epoch-published dynamic dictionary under
-    a mixed insert/delete/query stream. {!serve} and {!serve_windowed}
-    remain as thin wrappers over the static path. *)
+    a mixed insert/delete/query stream. *)
 
 module Config : sig
   type t = {
     domains : int;  (** Worker (reader) domains, the paper's [m]. *)
     seed : int;  (** Seeds batch sampling and per-domain rngs. *)
     cost : cost;  (** Probe cost model; {!Static} workloads only. *)
-    obs : Lc_obs.Obs.t option;  (** Observability handle, as for {!serve}. *)
+    obs : Lc_obs.Obs.t option;
+        (** Observability handle: per-domain metric shards and span
+            timelines, so telemetry adds no shared mutable state to
+            the hot path. Absent = telemetry-free serving. *)
     monitor : Monitor.t option;
         (** Live monitoring; its handle supersedes [obs] when present. *)
   }
@@ -365,9 +327,9 @@ type workload =
       qdist : Lc_cellprobe.Qdist.t;
       queries_per_domain : int;
     }
-      (** Exactly the {!serve} / {!serve_windowed} serving mode: each
-          domain drains a pre-sampled batch of [queries_per_domain]
-          membership queries against a static instance. *)
+      (** The read-only serving mode: each domain drains a pre-sampled
+          batch of [queries_per_domain] membership queries against a
+          static instance. *)
   | Dynamic of {
       epoch : Lc_dynamic.Epoch.t;
       ops : Lc_workload.Opstream.op array;
@@ -427,9 +389,16 @@ type outcome = {
           [flat_bound] describe the {e final} snapshot's cells (probes
           to levels retired mid-run are preserved in [total_probes]
           but not in [counts]), and [name] is ["lc-dyn"]. *)
-  windows : Lc_obs.Window.entry list;  (** As {!windowed.windows}. *)
-  cells : Lc_obs.Heavy.merged option;  (** As {!windowed.cells}. *)
-  alert_windows : int;  (** As {!windowed.alert_windows}. *)
+  windows : Lc_obs.Window.entry list;
+      (** The window ring at completion, oldest first. The final entry
+          is cut after the workers join, so summing [queries] over
+          [windows] (when none were evicted) reconciles exactly with
+          [result.queries], and its [hotspot_ratio] agrees with
+          {!hotspot_ratio} of [result] to within the sketch error
+          bound. *)
+  cells : Lc_obs.Heavy.merged option;
+      (** Final merged hot-cell sketch ([None] without a monitor). *)
+  alert_windows : int;  (** Windows that fired the hotspot alert. *)
   updates : update_stats option;
       (** Builder-side statistics; [None] for {!Static} workloads. *)
   phases : phase_stats array option;
@@ -439,11 +408,13 @@ type outcome = {
 }
 
 val run : Config.t -> workload -> outcome
-(** The single entry point. [run config (Static ...)] is
-    {!serve_windowed} (same code path, telemetry-free when unobserved);
-    [run config (Dynamic ...)] is the epoch-published read-write mode.
-    Raises [Invalid_argument] on a monitor sized for a different domain
-    count, and for {!Dynamic} with a [Spinlock] cost. *)
+(** The single entry point. [run config (Static ...)] is the windowed
+    read-only mode (telemetry-free when unobserved); [run config
+    (Dynamic ...)] is the epoch-published read-write mode, with online
+    re-replication when the config's monitor carries an attached
+    controller. Raises [Invalid_argument] on a monitor sized for a
+    different domain count, and for {!Dynamic} with a [Spinlock]
+    cost. *)
 
 val probe_sample_period : int
 (** The engine samples 1 probe in this many for

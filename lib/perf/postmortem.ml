@@ -184,6 +184,32 @@ let json_of_kind = function
       ("lag", Json.Int lag);
       ("pending", Json.Int pending);
     ]
+  | Journal.Control_decision
+      { id; window; ratio; cell; count; err; score; action; old_boost; new_boost; cooldown } ->
+    [
+      ("type", Json.String "control_decision");
+      ("id", Json.Int id);
+      ("window", Json.Int window);
+      ("ratio", Json.Float ratio);
+      ("cell", Json.Int cell);
+      ("count", Json.Int count);
+      ("err", Json.Int err);
+      ("score", Json.Int score);
+      ("action", Json.String (match action with `Raise -> "raise" | `Lower -> "lower"));
+      ("old_boost", Json.Int old_boost);
+      ("new_boost", Json.Int new_boost);
+      ("cooldown", Json.Int cooldown);
+    ]
+  | Journal.Control_applied { id; epoch; boost; levels; cells; dur_ns } ->
+    [
+      ("type", Json.String "control_applied");
+      ("id", Json.Int id);
+      ("epoch", Json.Int epoch);
+      ("boost", Json.Int boost);
+      ("levels", Json.Int levels);
+      ("cells", Json.Int cells);
+      ("dur_ns", Json.Int dur_ns);
+    ]
 
 let json_of_event (e : Journal.event) =
   Json.Obj
@@ -412,6 +438,35 @@ let kind_of_json j =
     let* lag = Jsonu.int_field "lag" j in
     let* pending = Jsonu.int_field "pending" j in
     Ok (Journal.Reclaim { epoch; freed; lag; pending })
+  | "control_decision" ->
+    let* id = Jsonu.int_field "id" j in
+    let* window = Jsonu.int_field "window" j in
+    let* ratio = Jsonu.float_field "ratio" j in
+    let* cell = Jsonu.int_field "cell" j in
+    let* count = Jsonu.int_field "count" j in
+    let* err = Jsonu.int_field "err" j in
+    let* score = Jsonu.int_field "score" j in
+    let* action = Jsonu.str_field "action" j in
+    let* action =
+      match action with
+      | "raise" -> Ok `Raise
+      | "lower" -> Ok `Lower
+      | a -> Error (Printf.sprintf "field \"action\": expected \"raise\" or \"lower\", got %S" a)
+    in
+    let* old_boost = Jsonu.int_field "old_boost" j in
+    let* new_boost = Jsonu.int_field "new_boost" j in
+    let* cooldown = Jsonu.int_field "cooldown" j in
+    Ok
+      (Journal.Control_decision
+         { id; window; ratio; cell; count; err; score; action; old_boost; new_boost; cooldown })
+  | "control_applied" ->
+    let* id = Jsonu.int_field "id" j in
+    let* epoch = Jsonu.int_field "epoch" j in
+    let* boost = Jsonu.int_field "boost" j in
+    let* levels = Jsonu.int_field "levels" j in
+    let* cells = Jsonu.int_field "cells" j in
+    let* dur_ns = Jsonu.int_field "dur_ns" j in
+    Ok (Journal.Control_applied { id; epoch; boost; levels; cells; dur_ns })
   | ty -> Error (Printf.sprintf "unknown event type %S" ty)
 
 let event_of_json j =
@@ -512,12 +567,24 @@ let kind_line = function
   | Journal.Reclaim { epoch; freed; lag; pending } ->
     Printf.sprintf "reclaim at epoch %d: freed %d level(s) (max lag %d), %d still retired" epoch
       freed lag pending
+  | Journal.Control_decision { id; window; ratio; cell; score; action; old_boost; new_boost; cooldown; count; err } ->
+    Printf.sprintf
+      "CONTROL #%d at window %d: %s boost %d -> %d (ratio %.1fx, cell %d tally %d±%d, score %d, cooldown %d)"
+      id window
+      (match action with `Raise -> "RAISE" | `Lower -> "lower")
+      old_boost new_boost ratio cell count err score cooldown
+  | Journal.Control_applied { id; epoch; boost; levels; cells; dur_ns } ->
+    Printf.sprintf
+      "control #%d applied at epoch %d: boost %d, %d level(s) rebuilt (%d cells, %.1f us)" id
+      epoch boost levels cells
+      (float_of_int dur_ns /. 1e3)
 
 let writer_label ~domains w =
   if w = 0 then "orch "
   else if w <= domains then Printf.sprintf "wrk%-2d" w
   else if w = domains + 1 then "mon  "
-  else "bld  "
+  else if w = domains + 2 then "bld  "
+  else "ctl  "
 
 let analyze t =
   let buf = Buffer.create 4096 in

@@ -65,6 +65,14 @@ let rw_fraction spec =
     | _ -> failwith (Printf.sprintf "bad read fraction in %S (want rw:F, F in [0,1])" spec))
   | _ -> None
 
+let flash_share spec =
+  match String.split_on_char ':' spec with
+  | [ "flash"; s ] -> (
+    match float_of_string_opt s with
+    | Some r when r >= 0.0 && r <= 1.0 -> Some r
+    | _ -> failwith (Printf.sprintf "bad hot share in %S (want flash:S, S in [0,1])" spec))
+  | _ -> None
+
 let cost spec =
   match String.split_on_char ':' spec with
   | [ "free" ] -> Lc_parallel.Engine.Free

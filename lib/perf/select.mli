@@ -53,6 +53,14 @@ val rw_fraction : string -> float option
     [Failure] if the spec looks like [rw:...] but [F] is not a
     probability. *)
 
+val flash_share : string -> float option
+(** [flash_share "flash:S"] is [Some S] — the post-offset hot share of
+    a flash-crowd op stream ({!Lc_workload.Opstream.point_mass}), a
+    query-only stream for the dynamic structure that slams one key from
+    a third of the way in. [None] for any other spec shape; raises
+    [Failure] if the spec looks like [flash:...] but [S] is not a
+    probability. *)
+
 val cost : string -> Lc_parallel.Engine.cost
 (** Parse a probe cost model: ['free'] or ['spin:H] (per-cell spinlock
     held [H] extra relax loops). Raises [Failure] on a malformed

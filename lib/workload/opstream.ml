@@ -51,6 +51,51 @@ let generate ?(mix = default_mix) ?initial_pool rng ~universe ~length ~working_s
       else if u < mix.p_insert +. mix.p_delete then Delete (known_key ())
       else Query (known_key ()))
 
+let point_mass ?(mix = default_mix) ?initial_pool rng ~universe ~length ~working_set ~hot_from
+    ~hot_share ~hot_key =
+  if hot_from < 0 || hot_from > length then
+    invalid_arg "Opstream.point_mass: hot_from must be in [0, length]";
+  if hot_share < 0.0 || hot_share > 1.0 then
+    invalid_arg "Opstream.point_mass: hot_share must be in [0, 1]";
+  if hot_key < 0 || hot_key >= universe then
+    invalid_arg "Opstream.point_mass: hot_key outside universe";
+  (* Generate the base stream first, then rewrite in a second rng pass:
+     the prefix before [hot_from] is exactly what [generate] would have
+     produced from the same rng state. *)
+  let base = generate ~mix ?initial_pool rng ~universe ~length ~working_set in
+  Array.mapi
+    (fun i op ->
+      match op with
+      | Query _ when i >= hot_from && Rng.float rng < hot_share -> Query hot_key
+      | op -> op)
+    base
+
+let shifting_zipf ?(exponent = 1.0) rng ~pool ~length ~shift_every =
+  let n = Array.length pool in
+  if n = 0 then invalid_arg "Opstream.shifting_zipf: pool must be non-empty";
+  if shift_every < 1 then invalid_arg "Opstream.shifting_zipf: shift_every must be >= 1";
+  if exponent < 0.0 then invalid_arg "Opstream.shifting_zipf: exponent must be >= 0";
+  (* Cumulative harmonic weights over ranks; one binary search per op. *)
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for r = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (r + 1) ** exponent));
+    cum.(r) <- !total
+  done;
+  let sample_rank u =
+    let target = u *. !total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) >= target then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  Array.init length (fun i ->
+      let shift = i / shift_every in
+      let r = sample_rank (Rng.float rng) in
+      Query pool.((r + shift) mod n))
+
 let counts ops =
   let inserts = ref 0 and deletes = ref 0 and queries = ref 0 in
   Array.iter

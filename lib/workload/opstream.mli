@@ -44,6 +44,40 @@ val generate :
     the dictionary with these keys, so queries can hit from the very
     first operation instead of warming up from an empty pool. *)
 
+val point_mass :
+  ?mix:mix ->
+  ?initial_pool:int array ->
+  Lc_prim.Rng.t ->
+  universe:int ->
+  length:int ->
+  working_set:int ->
+  hot_from:int ->
+  hot_share:float ->
+  hot_key:int ->
+  op array
+(** A flash crowd: {!generate}'s stream with a point mass injected at a
+    configurable offset. Every query at index [>= hot_from] targets
+    [hot_key] with probability [hot_share] (the remainder keep their
+    base key), so the stream is flat until the offset and then slams
+    one key — the workload the replication controller exists to absorb.
+
+    The base stream is drawn first and rewritten in a second rng pass,
+    so the prefix before [hot_from] is {e exactly} what {!generate}
+    would have produced from the same rng state; with an
+    [initial_pool] that fills [working_set] and excludes [hot_key], the
+    hot key appears zero times before the offset. Deterministic given
+    the rng seed. *)
+
+val shifting_zipf :
+  ?exponent:float -> Lc_prim.Rng.t -> pool:int array -> length:int -> shift_every:int -> op array
+(** A query-only stream whose hot set {e moves}: ranks follow a Zipf
+    law with [exponent] (default 1.0, higher = more skewed) over the
+    key pool, and the rank-to-key mapping rotates by one every
+    [shift_every] operations ([pool.((rank + i / shift_every) mod n)]),
+    so the hottest key walks through the pool. Exercises a controller's
+    cool-down: each shift is a fresh mini-crowd, and a policy without
+    hysteresis would thrash. Deterministic given the rng seed. *)
+
 val counts : op array -> int * int * int
 (** [(inserts, deletes, queries)] in the stream — the totals a serving
     run reconciles its telemetry against. *)

@@ -215,10 +215,10 @@ let test_registry_complete () =
     (fun id -> checkb (Printf.sprintf "%s registered" id) true (List.mem id ids))
     [
       "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "T7"; "T8"; "T9"; "T10"; "F1"; "F2"; "F3"; "F4";
-      "T11"; "T12"; "T13"; "T14"; "T15"; "T16"; "T17"; "F5"; "F6"; "F7"; "F8"; "F9";
+      "T11"; "T12"; "T13"; "T14"; "T15"; "T16"; "T17"; "T18"; "F5"; "F6"; "F7"; "F8"; "F9";
       "F10"; "F11";
     ];
-  checki "exactly 28 experiments" 28 (List.length ids)
+  checki "exactly 29 experiments" 29 (List.length ids)
 
 let test_registry_lookup_case_insensitive () =
   Lc_experiments.Registry.install ();
@@ -230,7 +230,7 @@ let test_registry_order () =
   Lc_experiments.Registry.install ();
   let ids = List.map (fun (e : Experiment.t) -> e.id) (Experiment.all ()) in
   checkb "tables before figures, numeric order" true
-    (List.nth ids 0 = "T1" && List.nth ids 16 = "T17" && List.nth ids 17 = "F1")
+    (List.nth ids 0 = "T1" && List.nth ids 17 = "T18" && List.nth ids 18 = "F1")
 
 (* A fast smoke run of two cheap experiments end to end (the full suite
    is exercised by bench/main.exe). *)

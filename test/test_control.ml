@@ -1,0 +1,249 @@
+(* Tests for the replication controller: policy hysteresis (trip
+   cadence, cooldown spacing, no oscillation), the controller's
+   windowed evidence and actuation, and exact reconciliation between
+   the journaled decisions and the /control.json document. *)
+
+module Policy = Lc_control.Policy
+module Controller = Lc_control.Controller
+module Heavy = Lc_obs.Heavy
+module Journal = Lc_obs.Journal
+module Json = Lc_obs.Json
+module Engine = Lc_parallel.Engine
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_policy_validation () =
+  let expect_invalid name f =
+    checkb name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  expect_invalid "boost not a power of two" (fun () -> Policy.create ~boost:3 ());
+  expect_invalid "step of one" (fun () ->
+      Policy.create ~config:{ Policy.default with step = 1 } ~boost:1 ());
+  expect_invalid "inverted ratios" (fun () ->
+      Policy.create ~config:{ Policy.default with high_ratio = 1.0; low_ratio = 2.0 } ~boost:1 ());
+  expect_invalid "threshold on wrong side" (fun () ->
+      Policy.create ~config:{ Policy.default with low_threshold = 5 } ~boost:1 ());
+  expect_invalid "min above max" (fun () ->
+      Policy.create ~config:{ Policy.default with min_boost = 8; max_boost = 4 } ~boost:8 ())
+
+(* Under constant heat the default policy trips every
+   high_threshold/hot_contrib hot windows, cooldown included in the
+   cadence because the score keeps accumulating while the cooldown
+   absorbs trips. *)
+let test_policy_trip_cadence () =
+  let p = Policy.create ~boost:1 () in
+  let hold = ref 0 in
+  let rec drive w =
+    match Policy.step p ~ratio:100.0 with
+    | Policy.Hold ->
+      incr hold;
+      if w > 20 then Alcotest.fail "never tripped" else drive (w + 1)
+    | Policy.Raise { from_boost; to_boost; score } ->
+      checki "windows before first trip" 3 !hold;
+      checki "from base" 1 from_boost;
+      checki "to base * step" Policy.default.Policy.step to_boost;
+      checki "score at threshold" Policy.default.Policy.high_threshold score;
+      checki "cooldown armed" Policy.default.Policy.cooldown_windows (Policy.cooldown p)
+    | Policy.Lower _ -> Alcotest.fail "lowered under heat"
+  in
+  drive 0
+
+(* Alternating hot/cold windows must not thrash: the asymmetric
+   contributions mean a 50% duty cycle only ever raises, and
+   consecutive decisions stay at least cooldown_windows + 1 apart. *)
+let test_policy_no_oscillation () =
+  let p = Policy.create ~boost:1 () in
+  let decisions = ref [] in
+  for w = 0 to 399 do
+    let ratio = if w mod 2 = 0 then 100.0 else 0.0 in
+    match Policy.step p ~ratio with
+    | Policy.Hold -> ()
+    | Policy.Raise _ as a -> decisions := (w, a) :: !decisions
+    | Policy.Lower _ as a -> decisions := (w, a) :: !decisions
+  done;
+  let ds = List.rev !decisions in
+  checkb "tripped at least twice" true (List.length ds >= 2);
+  checkb "no lowers on a 50% duty cycle" true
+    (List.for_all (function _, Policy.Lower _ -> false | _ -> true) ds);
+  let rec spaced = function
+    | (w1, _) :: ((w2, _) :: _ as rest) ->
+      w2 - w1 > Policy.default.Policy.cooldown_windows && spaced rest
+    | _ -> true
+  in
+  checkb "decisions respect the cooldown" true (spaced ds);
+  checkb "boost never exceeds the clamp" true
+    (Policy.boost p <= Policy.default.Policy.max_boost)
+
+(* A planted hot cell: synthetic sketch snapshots with one cell whose
+   resident count grows every window. The controller must derive the
+   windowed tally, trip on schedule, report the planted cell as
+   evidence, and fire the actuator with the new target. *)
+let test_controller_raise_on_hot_cell () =
+  let ctl = Controller.create ~space:1024 ~max_probes:8 ~boost:1 () in
+  let fired = ref [] in
+  Controller.set_actuator ctl (fun ~id ~boost -> fired := (id, boost) :: !fired);
+  let decision = ref None in
+  for w = 0 to 3 do
+    let top = [ { Heavy.item = 7; count = (w + 1) * 5000; err = 0 } ] in
+    match Controller.observe ctl ~window:w ~queries:1000 top with
+    | None -> ()
+    | Some d -> decision := Some d
+  done;
+  (match !decision with
+  | None -> Alcotest.fail "no decision after four hot windows"
+  | Some d ->
+    checki "decision id" 1 d.Controller.d_id;
+    checki "trip window" 3 d.Controller.d_window;
+    checki "planted cell as evidence" 7 d.Controller.d_cell;
+    checkb "raise" true (d.Controller.d_action = `Raise);
+    checki "old boost" 1 d.Controller.d_old_boost;
+    checki "new boost" Policy.default.Policy.step d.Controller.d_new_boost;
+    (* flat bound is 1000 * 8 / 1024; the windowed tally is the exact
+       resident delta 5000. *)
+    checkb "windowed ratio from the resident delta" true
+      (abs_float (d.Controller.d_ratio -. (5000.0 /. 7.8125)) < 1e-9));
+  checkb "actuator fired once with the target" true
+    (!fired = [ (1, Policy.default.Policy.step) ]);
+  checki "windows seen" 4 (Controller.windows_seen ctl);
+  checki "decisions total" 1 (Controller.decisions_total ctl)
+
+(* Quiet windows decay the boost back to the floor — slowly (the decay
+   is a probe, one step per low_threshold/cool_contrib windows) — and
+   stop at min_boost. *)
+let test_controller_decay_to_baseline () =
+  let ctl = Controller.create ~space:1024 ~max_probes:8 ~boost:64 () in
+  let lowers = ref [] in
+  for w = 0 to 199 do
+    match Controller.observe ctl ~window:w ~queries:1000 [] with
+    | None -> ()
+    | Some d -> lowers := d :: !lowers
+  done;
+  let ds = List.rev !lowers in
+  checkb "all decisions are lowers" true
+    (List.for_all (fun d -> d.Controller.d_action = `Lower) ds);
+  Alcotest.check (Alcotest.list Alcotest.int) "boost walks down to the floor"
+    [ 16; 4; 1 ]
+    (List.map (fun d -> d.Controller.d_new_boost) ds);
+  checki "rests at min_boost" Policy.default.Policy.min_boost (Controller.target_boost ctl);
+  checkb "empty sketch reports no evidence" true
+    (List.for_all (fun d -> d.Controller.d_cell = -1) ds)
+
+(* Every decision must appear identically in three places: the
+   controller's own log, the flight-recorder journal, and the
+   /control.json document the monitor serves. Drive a journaled
+   controller attached to a monitor through a raise and a decay, then
+   reconcile all three field by field. *)
+let test_journal_control_json_reconcile () =
+  let domains = 1 in
+  let writer = Engine.Monitor.controller_writer ~domains in
+  let journal = Journal.create ~writers:(writer + 1) ~capacity:512 in
+  let mon =
+    Engine.Monitor.create_for ~interval_s:3600.0 ~domains ~space:1024 ~max_probes:8 ()
+  in
+  let ctl =
+    Controller.create ~journal:(journal, writer) ~space:1024 ~max_probes:8 ~boost:1 ()
+  in
+  Engine.Monitor.attach_controller mon ctl;
+  checkb "controller visible on the monitor" true
+    (match Engine.Monitor.controller mon with Some c -> c == ctl | None -> false);
+  (* Eight hot windows: two raises. Then enough quiet ones for a lower. *)
+  let w = ref 0 in
+  let feed top =
+    ignore (Controller.observe ctl ~window:!w ~queries:1000 top : Controller.decision option);
+    incr w
+  in
+  for i = 1 to 8 do
+    feed [ { Heavy.item = 42; count = i * 4000; err = 3 } ]
+  done;
+  for _ = 1 to 60 do feed [] done;
+  let ds = Controller.decisions ctl in
+  checki "raises then a lower" 3 (List.length ds);
+  (* Journal view. *)
+  let journaled =
+    List.filter_map
+      (fun (e : Journal.event) ->
+        match e.Journal.kind with
+        | Journal.Control_decision
+            { id; window; ratio; cell; count; err; score; action; old_boost; new_boost;
+              cooldown } ->
+          Some
+            ( e.Journal.writer,
+              (id, window, ratio, cell, count, err, score, action, old_boost, new_boost,
+               cooldown) )
+        | _ -> None)
+      (Journal.events journal)
+  in
+  checki "every decision journaled" (List.length ds) (List.length journaled);
+  checkb "on the controller's own ring" true
+    (List.for_all (fun (rw, _) -> rw = writer) journaled);
+  List.iter2
+    (fun (d : Controller.decision)
+         (_, (id, window, ratio, cell, count, err, score, action, old_boost, new_boost,
+              cooldown)) ->
+      checki "journal id" d.Controller.d_id id;
+      checki "journal window" d.Controller.d_window window;
+      checki "journal cell" d.Controller.d_cell cell;
+      checki "journal count" d.Controller.d_count count;
+      checki "journal err" d.Controller.d_err err;
+      checki "journal score" d.Controller.d_score score;
+      checkb "journal action" true (d.Controller.d_action = action);
+      checki "journal old boost" d.Controller.d_old_boost old_boost;
+      checki "journal new boost" d.Controller.d_new_boost new_boost;
+      checki "journal cooldown" d.Controller.d_cooldown cooldown;
+      checkb "journal ratio" true (abs_float (d.Controller.d_ratio -. ratio) < 1e-9))
+    ds journaled;
+  (* /control.json view. *)
+  let doc =
+    match Json.parse (Engine.Monitor.control_json mon) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "control.json does not parse: %s" e
+  in
+  let str k j = Option.get (Json.string_value (Option.get (Json.member k j))) in
+  let int k j = Option.get (Json.int_value (Option.get (Json.member k j))) in
+  let flt k j = Option.get (Json.float_value (Option.get (Json.member k j))) in
+  Alcotest.check Alcotest.string "schema" Engine.Monitor.control_schema_name (str "schema" doc);
+  checki "version" Engine.Monitor.control_schema_version (int "version" doc);
+  checkb "attached" true
+    (Json.member "attached" doc = Some (Json.Bool true));
+  checki "decisions_total" (List.length ds) (int "decisions_total" doc);
+  let jds = Json.to_list (Option.get (Json.member "decisions" doc)) in
+  checki "decision list length" (List.length ds) (List.length jds);
+  List.iter2
+    (fun (d : Controller.decision) jd ->
+      checki "json id" d.Controller.d_id (int "id" jd);
+      checki "json window" d.Controller.d_window (int "window" jd);
+      checki "json cell" d.Controller.d_cell (int "cell" jd);
+      checki "json count" d.Controller.d_count (int "count" jd);
+      checki "json err" d.Controller.d_err (int "err" jd);
+      checki "json score" d.Controller.d_score (int "score" jd);
+      Alcotest.check Alcotest.string "json action"
+        (match d.Controller.d_action with `Raise -> "raise" | `Lower -> "lower")
+        (str "action" jd);
+      checki "json old boost" d.Controller.d_old_boost (int "old_boost" jd);
+      checki "json new boost" d.Controller.d_new_boost (int "new_boost" jd);
+      checki "json cooldown" d.Controller.d_cooldown (int "cooldown" jd);
+      checkb "json ratio" true (abs_float (d.Controller.d_ratio -. flt "ratio" jd) < 1e-9))
+    ds jds;
+  let boost = Option.get (Json.member "boost" doc) in
+  checki "base boost" 1 (int "base" boost);
+  checki "target boost" (Controller.target_boost ctl) (int "target" boost)
+
+let () =
+  Alcotest.run "lc_control"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "validation" `Quick test_policy_validation;
+          Alcotest.test_case "trip cadence" `Quick test_policy_trip_cadence;
+          Alcotest.test_case "no oscillation" `Quick test_policy_no_oscillation;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "raise on planted hot cell" `Quick
+            test_controller_raise_on_hot_cell;
+          Alcotest.test_case "decay to baseline" `Quick test_controller_decay_to_baseline;
+          Alcotest.test_case "journal and control.json reconcile" `Quick
+            test_journal_control_json_reconcile;
+        ] );
+    ]

@@ -22,9 +22,7 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checks = Alcotest.check Alcotest.string
 
-(* Static serving through the unified entry point. Only
-   [test_engine_obs_off_is_byte_identical] below still drives the
-   deprecated [serve]/[serve_windowed] wrappers, deliberately. *)
+(* Static serving through the unified entry point. *)
 let run_serve ?cost ?obs ~domains ~queries_per_domain ~seed inst qdist =
   (Engine.run
      (Engine.Config.make ?cost ?obs ~domains ~seed ())
@@ -813,34 +811,21 @@ let marshal r = Marshal.to_string (normalized r) []
 let test_engine_obs_off_is_byte_identical () =
   let keys, inst = lc_fixture 21 in
   let keys_dist = Qdist.uniform ~name:"pos" keys in
-  (* The deprecated wrappers are exercised on purpose here — this test
-     pins their byte-level equivalence with the unified [Engine.run]
-     path — so the deprecation alert is silenced for these bindings
-     only. *)
-  let[@alert "-deprecated"] serve ?obs () =
-    Engine.serve ?obs ~domains:2 ~queries_per_domain:600 ~seed:33 inst keys_dist
-  in
-  let r1 = serve () in
-  let r2 = serve () in
-  checks "two uninstrumented runs marshal identically" (marshal r1) (marshal r2);
-  let r3 = serve ~obs:(Obs.create ()) () in
-  checks "telemetry does not perturb the result record" (marshal r1) (marshal r3);
-  let o =
+  let serve ?obs () =
     Engine.run
-      (Engine.Config.make ~domains:2 ~seed:33 ())
+      (Engine.Config.make ?obs ~domains:2 ~seed:33 ())
       (Engine.Static { inst; qdist = keys_dist; queries_per_domain = 600 })
   in
-  checks "Engine.run matches the wrapper byte for byte" (marshal r1) (marshal o.Engine.result);
-  (* serve_windowed without a monitor is the same code path: same bytes,
-     and no window machinery engages. *)
-  let[@alert "-deprecated"] windowed () =
-    Engine.serve_windowed ~domains:2 ~queries_per_domain:600 ~seed:33 inst keys_dist
-  in
-  let w = windowed () in
-  checks "serve_windowed without a monitor stays byte-identical" (marshal r1)
-    (marshal w.Engine.result);
+  let w1 = serve () in
+  let w2 = serve () in
+  checks "two uninstrumented runs marshal identically" (marshal w1.Engine.result)
+    (marshal w2.Engine.result);
+  let w3 = serve ~obs:(Obs.create ()) () in
+  checks "telemetry does not perturb the result record" (marshal w1.Engine.result)
+    (marshal w3.Engine.result);
+  (* Without a monitor no window machinery engages. *)
   checkb "no windows without a monitor" true
-    (w.Engine.windows = [] && w.Engine.cells = None && w.Engine.alert_windows = 0)
+    (w1.Engine.windows = [] && w1.Engine.cells = None && w1.Engine.alert_windows = 0)
 
 let test_engine_obs_reconciles () =
   let keys, inst = lc_fixture 22 in

@@ -14,8 +14,7 @@ module Engine = Lc_parallel.Engine
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
-(* Static serving through the unified entry point; the deprecated
-   [Engine.serve] wrapper is pinned against this path in test_obs.ml. *)
+(* Static serving through the unified entry point. *)
 let serve ?cost ~domains ~queries_per_domain ~seed inst qdist =
   (Engine.run
      (Engine.Config.make ?cost ~domains ~seed ())

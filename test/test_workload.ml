@@ -232,6 +232,97 @@ let test_opstream_validates () =
   in
   checkb "mix must be sub-stochastic" true raised
 
+let test_point_mass () =
+  let pool = Keyset.random (Rng.create 31) ~universe ~n:64 in
+  let hot_key =
+    let rec find c = if Array.mem c pool then find (c + 1) else c in
+    find 0
+  in
+  let length = 4_000 and hot_from = 2_000 and hot_share = 0.9 in
+  let qmix = { Opstream.p_insert = 0.0; p_delete = 0.0 } in
+  let mk seed =
+    Opstream.point_mass ~mix:qmix ~initial_pool:pool (Rng.create seed) ~universe ~length
+      ~working_set:64 ~hot_from ~hot_share ~hot_key
+  in
+  let ops = mk 5 in
+  (* The base stream is drawn before the rewrite pass touches the rng,
+     so the pre-offset prefix is exactly generate's output. *)
+  let base =
+    Opstream.generate ~mix:qmix ~initial_pool:pool (Rng.create 5) ~universe ~length
+      ~working_set:64
+  in
+  checkb "prefix is exactly the base stream" true
+    (Array.sub ops 0 hot_from = Array.sub base 0 hot_from);
+  let hot_before = ref 0 and hot_after = ref 0 in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Opstream.Query x when x = hot_key ->
+        if i < hot_from then incr hot_before else incr hot_after
+      | _ -> ())
+    ops;
+  (* The pool fills the working set and excludes the hot key, so the
+     crowd is silent until the offset... *)
+  checki "silent before the offset" 0 !hot_before;
+  (* ...and ~hot_share of post-offset queries after it. *)
+  let f = float_of_int !hot_after /. float_of_int (length - hot_from) in
+  checkb "~hot_share after the offset" true (f > 0.85 && f < 0.95);
+  checkb "seed-deterministic" true (mk 5 = mk 5);
+  checkb "distinct seeds differ" true (mk 5 <> mk 6);
+  checkb "hot_from out of range rejected" true
+    (try
+       ignore
+         (Opstream.point_mass ~mix:qmix ~initial_pool:pool (Rng.create 5) ~universe ~length
+            ~working_set:64 ~hot_from:(length + 1) ~hot_share ~hot_key);
+       false
+     with Invalid_argument _ -> true);
+  checkb "hot_share above one rejected" true
+    (try
+       ignore
+         (Opstream.point_mass ~mix:qmix ~initial_pool:pool (Rng.create 5) ~universe ~length
+            ~working_set:64 ~hot_from ~hot_share:1.5 ~hot_key);
+       false
+     with Invalid_argument _ -> true)
+
+let test_shifting_zipf () =
+  let n = 16 in
+  let pool = Array.init n (fun i -> 100 + (7 * i)) in
+  let shift_every = 1_600 in
+  let mk () =
+    Opstream.shifting_zipf ~exponent:1.2 (Rng.create 7) ~pool ~length:(4 * shift_every)
+      ~shift_every
+  in
+  let ops = mk () in
+  let ins, del, qry = Opstream.counts ops in
+  checki "query-only" (4 * shift_every) qry;
+  checki "no inserts" 0 ins;
+  checki "no deletes" 0 del;
+  checkb "queries drawn from the pool" true
+    (Array.for_all (function Opstream.Query x -> Array.mem x pool | _ -> false) ops);
+  (* The rank-to-key rotation moves the mode: segment s's most frequent
+     key is pool.(s mod n). *)
+  let hottest seg =
+    let tally = Hashtbl.create 16 in
+    for i = seg * shift_every to ((seg + 1) * shift_every) - 1 do
+      match ops.(i) with
+      | Opstream.Query x ->
+        Hashtbl.replace tally x (1 + Option.value ~default:0 (Hashtbl.find_opt tally x))
+      | _ -> ()
+    done;
+    fst (Hashtbl.fold (fun k v (bk, bv) -> if v > bv then (k, v) else (bk, bv)) tally (-1, 0))
+  in
+  let ok = ref true in
+  for seg = 0 to 3 do
+    if hottest seg <> pool.(seg mod n) then ok := false
+  done;
+  checkb "hot key walks the pool" true !ok;
+  checkb "seed-deterministic" true (mk () = mk ());
+  checkb "empty pool rejected" true
+    (try
+       ignore (Opstream.shifting_zipf (Rng.create 7) ~pool:[||] ~length:10 ~shift_every:5);
+       false
+     with Invalid_argument _ -> true)
+
 let prop_random_any_size =
   QCheck.Test.make ~name:"random keyset: distinct, in-universe" ~count:100
     QCheck.(int_range 1 400)
@@ -272,6 +363,11 @@ let () =
           Alcotest.test_case "split round-robin" `Quick test_opstream_split_round_robin;
           Alcotest.test_case "initial pool" `Quick test_opstream_initial_pool;
           Alcotest.test_case "uniform ops handle" `Quick test_apply_handle_uniform;
+        ] );
+      ( "time-varying",
+        [
+          Alcotest.test_case "point mass" `Quick test_point_mass;
+          Alcotest.test_case "shifting zipf" `Quick test_shifting_zipf;
         ] );
       ( "properties",
         List.map (QCheck_alcotest.to_alcotest ~long:false)
