@@ -1339,11 +1339,18 @@ let validate_one path =
       | Some (Lc_obs.Json.String s) -> Error (Printf.sprintf "unknown schema %S" s)
       | Some _ -> Error "\"schema\" member is not a string"
       | None -> (
-        (* Legacy unversioned artifacts from lowcon profile. *)
-        match Lc_obs.Json.member "counters" doc with
-        | Some (Lc_obs.Json.Obj _) -> Ok "metrics snapshot (valid JSON with counters)"
-        | Some _ -> Error "\"counters\" member is not an object"
-        | None -> Ok "valid JSON"))
+        match (Lc_obs.Json.member "version" doc, Lc_obs.Json.member "runs" doc) with
+        | Some (Lc_obs.Json.String v), Some _ when v = Lc_lint.Sarif.version -> (
+          (* SARIF has "$schema"/"version", not our "schema" member. *)
+          match Lc_lint.Sarif.validate doc with
+          | Ok () -> Ok (Printf.sprintf "SARIF %s, structurally valid" Lc_lint.Sarif.version)
+          | Error e -> Error ("invalid SARIF — " ^ e))
+        | _ -> (
+          (* Legacy unversioned artifacts from lowcon profile. *)
+          match Lc_obs.Json.member "counters" doc with
+          | Some (Lc_obs.Json.Obj _) -> Ok "metrics snapshot (valid JSON with counters)"
+          | Some _ -> Error "\"counters\" member is not an object"
+          | None -> Ok "valid JSON")))
 
 let validate files =
   with_errors @@ fun () ->
@@ -1406,7 +1413,9 @@ let lint_baseline_arg =
     & info [ "baseline" ] ~docv:"PATH"
         ~doc:
           "Allowlist of suppressed findings (default: ROOT/lint-baseline.txt when present). \
-           Each line: '<RULE> <file> <context> [expires=YYYY-MM-DD] -- <justification>'.")
+           Each line: '<RULE> <file> <context> [owner=M.f] [protocol=NAME] \
+           [expires=YYYY-MM-DD] -- <justification>'. owner= claims are verified by LC006; \
+           entries with neither tag warn as prose-only.")
 
 let lint_no_baseline_arg =
   Arg.(
@@ -1425,8 +1434,18 @@ let lint_self_check_arg =
     & flag
     & info [ "self-check" ]
         ~doc:
-          "Instead of linting, parse every .ml and .mli in the repository and exit 2 if any \
-           fails — proof the AST rules saw the whole tree.")
+          "Instead of linting, parse every .ml and .mli in the repository, load every .cmt \
+           under lib/, and check every lib/ module is covered by one; exit 2 on any failure \
+           — proof the typed rules saw the whole tree.")
+
+let lint_sarif_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "sarif" ] ~docv:"PATH"
+        ~doc:
+          "Also emit the report as SARIF 2.1.0 to $(docv) ('-' or no value: stdout) for \
+           GitHub code scanning; baseline-suppressed findings carry external suppressions.")
 
 let lint_gh_summary_arg =
   Arg.(
@@ -1446,19 +1465,20 @@ let usage_error msg =
   prerr_endline ("lowcon: lint: " ^ msg);
   exit 2
 
-let lint root json_out baseline_path no_baseline rules_opt self_check gh_summary show_suppressed
-    =
+let lint root json_out sarif_out baseline_path no_baseline rules_opt self_check gh_summary
+    show_suppressed =
   `Ok
     (if self_check then begin
-       let files, errors = Lint_driver.self_check ~root in
+       let sc = Lint_driver.self_check ~root () in
        List.iter
          (fun (pe : Lint_report.parse_error) ->
            Printf.printf "%s:%d:%d: parse error: %s\n" pe.pe_file pe.pe_line pe.pe_col
              pe.pe_message)
-         errors;
-       Printf.printf "self-check: %d file(s) parsed, %d failure(s)\n" files
-         (List.length errors);
-       exit (if errors = [] then 0 else 2)
+         sc.Lint_driver.sc_errors;
+       Printf.printf "self-check: %d file(s) parsed, %d .cmt(s) loaded, %d failure(s)\n"
+         sc.Lint_driver.sc_parsed sc.Lint_driver.sc_cmts
+         (List.length sc.Lint_driver.sc_errors);
+       exit (if sc.Lint_driver.sc_errors = [] then 0 else 2)
      end
      else begin
        let rules =
@@ -1485,12 +1505,19 @@ let lint root json_out baseline_path no_baseline rules_opt self_check gh_summary
              | Error e -> usage_error ("bad baseline: " ^ e))
        in
        let report = Lint_driver.run ~rules ?baseline ~root () in
-       let json_to_stdout = json_out = Some "-" in
+       let json_to_stdout = json_out = Some "-" || sarif_out = Some "-" in
        (match json_out with
        | Some "-" -> print_endline (Lc_obs.Json.to_string (Lint_report.to_json report))
        | Some path ->
          Lc_obs.Export.write_file ~path
            (Lc_obs.Json.to_string (Lint_report.to_json report) ^ "\n")
+       | None -> ());
+       (match sarif_out with
+       | Some "-" ->
+         print_endline (Lc_obs.Json.to_string (Lc_lint.Sarif.of_report report))
+       | Some path ->
+         Lc_obs.Export.write_file ~path
+           (Lc_obs.Json.to_string (Lc_lint.Sarif.of_report report) ^ "\n")
        | None -> ());
        if not json_to_stdout then
          print_string (Lint_report.render_text ~show_suppressed report);
@@ -1508,16 +1535,19 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Static concurrency and hot-path analysis over lib/: non-atomic read-modify-writes \
-          (LC001), blocking primitives on hot paths (LC002), un-Atomic shared mutable state \
-          (LC003), allocation in manifest hot functions (LC004), Obj.magic (LC005). Exits 0 \
-          when clean or fully suppressed by the committed baseline, 1 on active findings, 2 \
-          on usage or parse errors.")
+         "Typed static concurrency and hot-path analysis over the .cmt files dune emits for \
+          lib/: non-atomic read-modify-writes (LC001), blocking primitives on hot paths \
+          (LC002), un-Atomic shared mutable state (LC003), allocation in manifest hot \
+          functions (LC004), Obj.magic (LC005), call-graph verification of baseline owner= \
+          single-writer claims (LC006), published-state reads without a dominating pin \
+          (LC007), and transitive hot-path allocation accounting (LC008). Exits 0 when clean \
+          or fully suppressed by the committed baseline, 1 on active findings, 2 on usage \
+          errors or .cmt files that are missing or do not load.")
     Term.(
       ret
-        (const lint $ lint_root_arg $ lint_json_arg $ lint_baseline_arg $ lint_no_baseline_arg
-       $ lint_rules_arg $ lint_self_check_arg $ lint_gh_summary_arg $ lint_show_suppressed_arg
-        ))
+        (const lint $ lint_root_arg $ lint_json_arg $ lint_sarif_arg $ lint_baseline_arg
+       $ lint_no_baseline_arg $ lint_rules_arg $ lint_self_check_arg $ lint_gh_summary_arg
+       $ lint_show_suppressed_arg))
 
 let () =
   let doc = "Workbench for low-contention static dictionaries (SPAA 2010)" in

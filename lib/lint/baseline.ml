@@ -1,16 +1,35 @@
-(* The committed allowlist. Every suppression names its rule, its span
-   (file + enclosing definition), and a one-line justification — the
-   single-writer or seqlock argument that makes the flagged construct
-   safe. Entries may expire: after [expires=YYYY-MM-DD] the suppression
-   goes inert and the finding resurfaces, which is how "temporarily
-   accepted" debt is kept honest.
+(* The committed allowlist, baseline grammar v2. Every suppression names
+   its rule, its span (file + enclosing definition), a *typed claim*
+   (owner=/protocol= tags) and a one-line justification. The tags are
+   machine-readable: an [owner=] tag turns the prose "single writer"
+   argument into an LC006-checked fact (the call graph must show every
+   non-harness path to the store passing through the declared owners),
+   and a [protocol=] tag classifies the discipline that makes the
+   construct safe. Entries with neither tag are prose-only and warn:
+   the allowlist is supposed to be a ledger of checked claims, not a
+   pile of assertions.
 
    Grammar, one entry per line ('#' starts a comment):
 
-     <RULE> <file> <context> [expires=YYYY-MM-DD] -- <justification>
+     <RULE> <file> <context> [owner=M.f[,M.g...]] [protocol=NAME]
+            [expires=YYYY-MM-DD] -- <justification>
+
+   Tags may appear in any order between the context and the ' -- '.
+   Protocol vocabulary (closed set):
+     seqlock        — readers retry under an epoch-validated seqlock copy
+     epoch          — RCU/epoch publication: immutable snapshots behind
+                      one Atomic, reclamation gated on announced epochs
+     monitor-domain — written only by the monitor/scrape domain
+     domain-local   — per-domain/per-record ownership (shards, readers,
+                      rings): one owner per instance, not per function
+     lock           — control-plane mutex, never on the probe path
+     setup-once     — written before domains spawn / after they join
+     bounded-alloc  — allocation accepted with a bounded per-call size
 
    Matching is on (rule, file, context), not line numbers, so baseline
-   entries survive edits that only move code around. *)
+   entries survive edits that only move code around. Entries may expire:
+   after [expires=YYYY-MM-DD] the suppression goes inert and the finding
+   resurfaces, which is how "temporarily accepted" debt is kept honest. *)
 
 type date = { y : int; m : int; d : int }
 
@@ -18,12 +37,21 @@ type entry = {
   rule : Rule.t;
   file : string;
   context : string;
+  owner : string list;  (* [] = no owner claim; else qualified Module.fn names *)
+  protocol : string option;
   expires : date option;  (* None = never *)
   justification : string;
   line_no : int;  (* in the baseline file, for diagnostics *)
 }
 
 type t = { path : string; entries : entry list }
+
+let protocols =
+  [ "seqlock"; "epoch"; "monitor-domain"; "domain-local"; "lock"; "setup-once"; "bounded-alloc" ]
+
+(* A tagged entry carries a machine-readable claim; a prose-only entry
+   does not and is warned about by the driver. *)
+let tagged e = e.owner <> [] || e.protocol <> None
 
 let date_to_string d = Printf.sprintf "%04d-%02d-%02d" d.y d.m d.d
 
@@ -43,7 +71,9 @@ let matches e (f : Finding.t) =
   e.rule = f.rule && e.file = f.file && e.context = f.context
 
 let entry_to_string e =
-  Printf.sprintf "%s %s %s%s" (Rule.id e.rule) e.file e.context
+  Printf.sprintf "%s %s %s%s%s%s" (Rule.id e.rule) e.file e.context
+    (match e.owner with [] -> "" | os -> " owner=" ^ String.concat "," os)
+    (match e.protocol with None -> "" | Some p -> " protocol=" ^ p)
     (match e.expires with None -> "" | Some d -> " expires=" ^ date_to_string d)
 
 (* Split "head -- justification" on the first " -- ". *)
@@ -57,6 +87,30 @@ let split_justification line =
   match find 0 with
   | None -> None
   | Some i -> Some (String.sub line 0 i, String.trim (String.sub line (i + 4) (n - i - 4)))
+
+let tag_value ~tag tok =
+  let p = tag ^ "=" in
+  if String.length tok > String.length p && String.sub tok 0 (String.length p) = p then
+    Some (String.sub tok (String.length p) (String.length tok - String.length p))
+  else None
+
+(* Owners are comma-separated qualified names: each must look like
+   Module.fn (at least one dot, capitalised head) so typos fail at
+   parse time, not as a silently-unverifiable LC006 claim. *)
+let parse_owner s =
+  let names = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
+  if names = [] then Error "empty owner list"
+  else if
+    List.for_all
+      (fun n ->
+        match String.split_on_char '.' n with
+        | [] | [ _ ] -> false
+        | parts ->
+          List.for_all (fun p -> p <> "") parts
+          && (match (List.hd parts).[0] with 'A' .. 'Z' -> true | _ -> false))
+      names
+  then Ok names
+  else Error (Printf.sprintf "bad owner %S (want Module.fn[,Module.fn...])" s)
 
 let parse_line ~line_no line =
   let line = String.trim line in
@@ -75,21 +129,44 @@ let parse_line ~line_no line =
         match Rule.of_id rule_s with
         | None -> err (Printf.sprintf "unknown rule %S" rule_s)
         | Some rule -> (
-          let expires =
-            match rest with
-            | [] -> Ok None
-            | [ tok ] when String.length tok > 8 && String.sub tok 0 8 = "expires=" -> (
-              let ds = String.sub tok 8 (String.length tok - 8) in
-              match date_of_string ds with
-              | Some d -> Ok (Some d)
-              | None -> Error (Printf.sprintf "bad expiry date %S (want YYYY-MM-DD)" ds))
-            | tok :: _ -> Error (Printf.sprintf "unexpected token %S" tok)
+          let rec tags owner protocol expires = function
+            | [] -> Ok (owner, protocol, expires)
+            | tok :: rest -> (
+              match tag_value ~tag:"owner" tok with
+              | Some v -> (
+                if owner <> [] then Error "duplicate owner= tag"
+                else
+                  match parse_owner v with
+                  | Ok os -> tags os protocol expires rest
+                  | Error e -> Error e)
+              | None -> (
+                match tag_value ~tag:"protocol" tok with
+                | Some v ->
+                  if protocol <> None then Error "duplicate protocol= tag"
+                  else if not (List.mem v protocols) then
+                    Error
+                      (Printf.sprintf "unknown protocol %S (want %s)" v
+                         (String.concat "|" protocols))
+                  else tags owner (Some v) expires rest
+                | None -> (
+                  match tag_value ~tag:"expires" tok with
+                  | Some ds -> (
+                    if expires <> None then Error "duplicate expires= tag"
+                    else
+                      match date_of_string ds with
+                      | Some d -> tags owner protocol (Some d) rest
+                      | None ->
+                        Error (Printf.sprintf "bad expiry date %S (want YYYY-MM-DD)" ds))
+                  | None -> Error (Printf.sprintf "unexpected token %S" tok))))
           in
-          match expires with
+          match tags [] None None rest with
           | Error msg -> err msg
-          | Ok expires ->
-            Ok (Some { rule; file; context; expires; justification; line_no })))
-      | _ -> err "want '<RULE> <file> <context> [expires=DATE] -- <justification>'")
+          | Ok (owner, protocol, expires) ->
+            Ok (Some { rule; file; context; owner; protocol; expires; justification; line_no })))
+      | _ ->
+        err
+          "want '<RULE> <file> <context> [owner=M.f] [protocol=NAME] [expires=DATE] -- \
+           <justification>'")
 
 let parse ~path content =
   let lines = String.split_on_char '\n' content in

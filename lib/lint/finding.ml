@@ -1,6 +1,9 @@
 (* One diagnostic: a rule, a source span, the enclosing top-level
    definition ([context] — the stable key baselines suppress on, since
-   names survive edits that shift line numbers), and an explanation. *)
+   names survive edits that shift line numbers), and an explanation.
+   LC008 findings additionally carry [words], the estimated words
+   allocated per call at the flagged site, so reports can aggregate the
+   hot-path allocation debt per manifest root. *)
 
 type t = {
   rule : Rule.t;
@@ -9,13 +12,20 @@ type t = {
   col : int;  (* 0-based, like compiler diagnostics *)
   context : string;  (* enclosing top-level definition or type *)
   message : string;
+  words : int option;  (* LC008: estimated words allocated per call *)
 }
+
+let make ~rule ~file ~line ~col ~context ~message =
+  { rule; file; line; col; context; message; words = None }
 
 let compare a b =
   match String.compare a.file b.file with
   | 0 -> (
     match Stdlib.compare (a.line, a.col) (b.line, b.col) with
-    | 0 -> String.compare (Rule.id a.rule) (Rule.id b.rule)
+    | 0 -> (
+      match String.compare (Rule.id a.rule) (Rule.id b.rule) with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
     | c -> c)
   | c -> c
 

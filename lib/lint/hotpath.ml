@@ -8,23 +8,45 @@
      modules of lib/obs. lib/obs modules that run on the monitor/export
      side (span registry, HTTP server, exporters, JSON) are warm, not
      hot: they may block.
-   - [shared_scope] (LC003): libraries whose values are reachable from
-     more than one domain at once — the multicore engine, the
+   - [shared_scope] (LC003, LC007): libraries whose values are reachable
+     from more than one domain at once — the multicore engine, the
      observability layer it publishes into, the epoch-published dynamic
-     dictionary (readers and builder share it by design) and the op
-     streams the engine deals across domains.
-   - [hot_functions] (LC004): the per-module manifest of functions that
-     must stay allocation-free (or carry a documented suppression).
-     Factory functions that *build* hot closures (Engine.make_probe,
-     make_obs_probe) are deliberately absent: closure construction there
-     is per-run setup, and the closures' per-probe callees (Metrics.incr,
-     Heavy.observe, Window.publish, Journal.record, Table.peek) are the
-     manifest entries that audit the actual loop. *)
+     dictionary (readers and builder share it by design), the op streams
+     the engine deals across domains and the controller state scraped
+     over HTTP.
+   - [harness] (LC006 caller scan): single-domain driver code — the
+     experiment registry, offline analysis, the perf suite and the
+     lower-bound simulations. These build private instances and may call
+     builder entry points freely; a "second writer" there is a
+     sequential harness, not a race, so the ownership scan skips them.
+     Everything else under lib/ participates: a stray writer in the
+     dictionary or engine layers is exactly what LC006 exists to catch.
+   - [hot_functions] (LC004 direct audit, LC008 roots): the per-module
+     manifest of functions that must stay allocation-free (or carry a
+     documented suppression). LC008 closes this manifest over the call
+     graph, so helpers no longer need to be listed by hand — only the
+     roots do. Factory functions that *build* hot closures
+     (Engine.make_probe, make_obs_probe) are deliberately absent:
+     closure construction there is per-run setup, and the closures'
+     per-probe callees (Metrics.incr, Heavy.observe, Window.publish,
+     Journal.record, Table.peek) are the manifest entries that audit
+     the actual loop.
+   - [published_types] (LC007): record types whose values are published
+     across domains by the epoch/seqlock protocols. A plain field read
+     of such a record must be dominated by a pin ([pin_functions]) —
+     locally, or on every shared-scope caller path.
+   - [pin_functions] (LC007): qualified names of the functions that
+     establish a pin (epoch announcement or seqlock-validated copy). A
+     read inside one of these, or inside a function that calls one
+     before the read, or reachable only through them, is safe. *)
 
 type t = {
   hot_module : string -> bool;
   shared_scope : string -> bool;
+  harness : string -> bool;
   hot_functions : string -> string list;
+  published_types : string list;  (* qualified "Module.type" names *)
+  pin_functions : string list;  (* qualified "Module.fn" names *)
 }
 
 let has_prefix ~prefix s =
@@ -99,6 +121,17 @@ let default =
         (* Controller state is written by the monitor domain and read
            racily by the HTTP scrape domain (/control.json, gauges). *)
         || has_prefix ~prefix:"lib/control/" p);
+    harness =
+      (fun p ->
+        has_prefix ~prefix:"lib/experiments/" p
+        || has_prefix ~prefix:"lib/analysis/" p
+        || has_prefix ~prefix:"lib/perf/" p
+        || has_prefix ~prefix:"lib/lowerbound/" p);
     hot_functions =
       (fun p -> match List.assoc_opt p default_manifest with Some fns -> fns | None -> []);
+    (* Epoch snapshots and their levels are published by one Atomic.set
+       and reclaimed against announced epochs; Window publishers are the
+       worker-side seqlock slots that stable_read copies out. *)
+    published_types = [ "Epoch.snapshot"; "Epoch.elevel"; "Window.publisher" ];
+    pin_functions = [ "Epoch.pin"; "Epoch.acquire"; "Window.stable_read" ];
   }

@@ -1,6 +1,9 @@
 (* The lint report: findings annotated with their suppression status,
    parse errors, baseline accounting, and the schema-versioned JSON
-   encoding ("lowcon-lint" v1) that `lowcon validate` checks.
+   encoding ("lowcon-lint" v2) that `lowcon validate` checks. v2 over
+   v1: findings may carry "words" (LC008's estimated words allocated
+   per call) and the baseline summary carries "untagged" (prose-only
+   entries that declare neither owner= nor protocol=).
 
    Exit-code contract (shared with the CLI and documented in
    `lowcon --help`): 0 = clean or fully suppressed, 1 = active
@@ -10,7 +13,7 @@
 module Json = Lc_obs.Json
 
 let schema_name = "lowcon-lint"
-let schema_version = 1
+let schema_version = 2
 
 type suppression = {
   justification : string;
@@ -28,6 +31,7 @@ type baseline_summary = {
   used : int;
   unused : (string * int) list;  (* entry text, baseline line *)
   expired : (string * int) list;
+  untagged : (string * int) list;  (* prose-only entries: no owner=/protocol= *)
 }
 
 type t = {
@@ -60,6 +64,7 @@ let annotated_to_json a =
       ("context", Json.String f.Finding.context);
       ("message", Json.String f.Finding.message);
     ]
+    @ (match f.Finding.words with None -> [] | Some w -> [ ("words", Json.Int w) ])
   in
   let supp =
     match a.suppressed with
@@ -133,6 +138,7 @@ let to_json r =
               ("used", Json.Int b.used);
               ("unused", Json.List (List.map unused_to_json b.unused));
               ("expired", Json.List (List.map unused_to_json b.expired));
+              ("untagged", Json.List (List.map unused_to_json b.untagged));
             ] );
       ])
 
@@ -163,7 +169,8 @@ let annotated_of_json j =
       let* entry_line = int_m "entry_line" s in
       Some (Some { justification; expires = str_m "expires" s; entry_line })
   in
-  Some { finding = { Finding.rule; file; line; col; context; message }; suppressed }
+  let f = Finding.make ~rule ~file ~line ~col ~context ~message in
+  Some { finding = { f with Finding.words = int_m "words" j }; suppressed }
 
 let pe_of_json j =
   let* pe_file = str_m "file" j in
@@ -184,9 +191,11 @@ let baseline_of_json j =
   let* unused_j = Json.member "unused" j in
   let* expired_j = Json.member "expired" j in
   let all_some xs = if List.exists Option.is_none xs then None else Some (List.map Option.get xs) in
+  let* untagged_j = Json.member "untagged" j in
   let* unused = all_some (List.map entry_line_of_json (Json.to_list unused_j)) in
   let* expired = all_some (List.map entry_line_of_json (Json.to_list expired_j)) in
-  Some { baseline_path; entries; used; unused; expired }
+  let* untagged = all_some (List.map entry_line_of_json (Json.to_list untagged_j)) in
+  Some { baseline_path; entries; used; unused; expired; untagged }
 
 let of_json j =
   let fail msg = Error msg in
@@ -286,7 +295,14 @@ let render_text ?(show_suppressed = false) r =
         Buffer.add_string buf
           (Printf.sprintf "%s:%d: note: expired baseline entry (finding resurfaces): %s\n"
              b.baseline_path line text))
-      b.expired
+      b.expired;
+    List.iter
+      (fun (text, line) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%s:%d: warning: prose-only baseline entry (add owner= or protocol=): %s\n"
+             b.baseline_path line text))
+      b.untagged
   | None -> ());
   let n_active = List.length (active r) in
   Buffer.add_string buf
@@ -314,6 +330,18 @@ let render_markdown r =
       r.parse_errors;
     Buffer.add_char buf '\n'
   end;
+  Buffer.add_string buf "### Active findings by rule\n\n";
+  Buffer.add_string buf "| Rule | Title | Active | Suppressed |\n|------|-------|-------:|-----------:|\n";
+  List.iter
+    (fun rule ->
+      if List.mem rule r.rules then begin
+        let of_list l = List.length (List.filter (fun a -> a.finding.Finding.rule = rule) l) in
+        Buffer.add_string buf
+          (Printf.sprintf "| %s | %s | %d | %d |\n" (Rule.id rule) (Rule.title rule)
+             (of_list (active r)) (of_list (suppressed r)))
+      end)
+    Rule.all;
+  Buffer.add_char buf '\n';
   if n_active > 0 then begin
     Buffer.add_string buf "| Rule | Location | Context | Message |\n";
     Buffer.add_string buf "|------|----------|---------|--------|\n";

@@ -1,0 +1,249 @@
+(* SARIF 2.1.0 export of a lint report, for GitHub code scanning.
+
+   One run, one driver ("lowcon-lint"), one rule descriptor per LC
+   rule, one result per finding. Suppressed findings are exported with
+   a [suppressions] entry of kind "external" (the baseline file is
+   external to the source), which code-scanning UIs render as resolved
+   rather than dropping silently — the allowlist stays visible. Parse
+   errors become tool-execution notifications on the invocation, and
+   flip [executionSuccessful] to false.
+
+   [validate] is the structural checker behind `lowcon validate`: it
+   enforces the subset of the SARIF schema this producer relies on
+   (version string, run/tool/driver shape, every result's ruleId
+   declared by the driver, 1-based regions, known suppression kinds),
+   so CI catches a malformed export before the upload step does. *)
+
+module Json = Lc_obs.Json
+
+let version = "2.1.0"
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let rule_descriptor rule =
+  Json.Obj
+    [
+      ("id", Json.String (Rule.id rule));
+      ("name", Json.String (Rule.id rule));
+      ("shortDescription", Json.Obj [ ("text", Json.String (Rule.title rule)) ]);
+      ("fullDescription", Json.Obj [ ("text", Json.String (Rule.intent rule)) ]);
+      ("defaultConfiguration", Json.Obj [ ("level", Json.String "error") ]);
+    ]
+
+let location (file : string) ~line ~col =
+  Json.Obj
+    [
+      ( "physicalLocation",
+        Json.Obj
+          [
+            ("artifactLocation", Json.Obj [ ("uri", Json.String file) ]);
+            ( "region",
+              Json.Obj
+                [
+                  ("startLine", Json.Int (max 1 line));
+                  (* SARIF columns are 1-based; findings carry
+                     compiler-style 0-based columns. *)
+                  ("startColumn", Json.Int (col + 1));
+                ] );
+          ] );
+    ]
+
+let result_of (rules : Rule.t list) (a : Report.annotated) =
+  let f = a.Report.finding in
+  let rule_index =
+    let rec idx i = function
+      | [] -> None
+      | r :: _ when r = f.Finding.rule -> Some i
+      | _ :: tl -> idx (i + 1) tl
+    in
+    idx 0 rules
+  in
+  Json.Obj
+    ([
+       ("ruleId", Json.String (Rule.id f.Finding.rule));
+     ]
+    @ (match rule_index with None -> [] | Some i -> [ ("ruleIndex", Json.Int i) ])
+    @ [
+        ("level", Json.String "error");
+        ("message", Json.Obj [ ("text", Json.String f.Finding.message) ]);
+        ( "locations",
+          Json.List [ location f.Finding.file ~line:f.Finding.line ~col:f.Finding.col ]
+        );
+        ( "properties",
+          Json.Obj
+            ([ ("context", Json.String f.Finding.context) ]
+            @
+            match f.Finding.words with
+            | None -> []
+            | Some w -> [ ("wordsPerCall", Json.Int w) ]) );
+      ]
+    @
+    match a.Report.suppressed with
+    | None -> []
+    | Some s ->
+      [
+        ( "suppressions",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("kind", Json.String "external");
+                  ("justification", Json.String s.Report.justification);
+                ];
+            ] );
+      ])
+
+let notification_of (pe : Report.parse_error) =
+  Json.Obj
+    [
+      ("level", Json.String "error");
+      ("message", Json.Obj [ ("text", Json.String pe.Report.pe_message) ]);
+      ( "locations",
+        Json.List [ location pe.Report.pe_file ~line:pe.Report.pe_line ~col:pe.Report.pe_col ]
+      );
+    ]
+
+let of_report (r : Report.t) =
+  let rules = r.Report.rules in
+  Json.Obj
+    [
+      ("$schema", Json.String schema_uri);
+      ("version", Json.String version);
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String Report.schema_name);
+                            ( "version",
+                              Json.String (string_of_int Report.schema_version) );
+                            ("rules", Json.List (List.map rule_descriptor rules));
+                          ] );
+                    ] );
+                ( "invocations",
+                  let notifications =
+                    if r.Report.parse_errors = [] then []
+                    else
+                      [
+                        ( "toolExecutionNotifications",
+                          Json.List (List.map notification_of r.Report.parse_errors) );
+                      ]
+                  in
+                  Json.List
+                    [
+                      Json.Obj
+                        ([
+                           ( "executionSuccessful",
+                             Json.Bool (r.Report.parse_errors = []) );
+                           ("exitCode", Json.Int (Report.exit_code r));
+                         ]
+                        @ notifications);
+                    ] );
+                ("results", Json.List (List.map (result_of rules) r.Report.results));
+              ];
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let str_m k j =
+  match Option.bind (Json.member k j) Json.string_value with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or ill-typed %S" k)
+
+let list_m k j =
+  match Json.member k j with
+  | Some (Json.List l) -> Ok l
+  | _ -> Error (Printf.sprintf "missing or ill-typed %S (want array)" k)
+
+let obj_m k j =
+  match Json.member k j with
+  | Some (Json.Obj _ as o) -> Ok o
+  | _ -> Error (Printf.sprintf "missing or ill-typed %S (want object)" k)
+
+let levels = [ "none"; "note"; "warning"; "error" ]
+let suppression_kinds = [ "inSource"; "external" ]
+
+let validate_location j =
+  let* pl = obj_m "physicalLocation" j in
+  let* al = obj_m "artifactLocation" pl in
+  let* _uri = str_m "uri" al in
+  match Json.member "region" pl with
+  | None -> Ok ()
+  | Some region -> (
+    match Option.bind (Json.member "startLine" region) Json.int_value with
+    | Some l when l >= 1 -> (
+      match Option.bind (Json.member "startColumn" region) Json.int_value with
+      | Some c when c < 1 -> Error "region.startColumn must be 1-based"
+      | _ -> Ok ())
+    | Some _ -> Error "region.startLine must be 1-based"
+    | None -> Error "region without startLine")
+
+let validate_result ~rule_ids j =
+  let* rule_id = str_m "ruleId" j in
+  if not (List.mem rule_id rule_ids) then
+    Error (Printf.sprintf "result ruleId %S not declared by the driver" rule_id)
+  else
+    let* msg = obj_m "message" j in
+    let* _text = str_m "text" msg in
+    let* () =
+      match Option.bind (Json.member "level" j) Json.string_value with
+      | Some l when not (List.mem l levels) ->
+        Error (Printf.sprintf "unknown result level %S" l)
+      | _ -> Ok ()
+    in
+    let* locs = list_m "locations" j in
+    let* () =
+      List.fold_left
+        (fun acc l -> Result.bind acc (fun () -> validate_location l))
+        (Ok ()) locs
+    in
+    match Json.member "suppressions" j with
+    | None -> Ok ()
+    | Some (Json.List sups) ->
+      List.fold_left
+        (fun acc s ->
+          Result.bind acc (fun () ->
+              let* kind = str_m "kind" s in
+              if List.mem kind suppression_kinds then Ok ()
+              else Error (Printf.sprintf "unknown suppression kind %S" kind)))
+        (Ok ()) sups
+    | Some _ -> Error "suppressions must be an array"
+
+let validate_run j =
+  let* tool = obj_m "tool" j in
+  let* driver = obj_m "driver" tool in
+  let* _name = str_m "name" driver in
+  let* rules = list_m "rules" driver in
+  let* rule_ids =
+    List.fold_left
+      (fun acc r ->
+        let* ids = acc in
+        let* id = str_m "id" r in
+        Ok (id :: ids))
+      (Ok []) rules
+  in
+  let* results = list_m "results" j in
+  List.fold_left
+    (fun acc r -> Result.bind acc (fun () -> validate_result ~rule_ids r))
+    (Ok ()) results
+
+let validate j =
+  let* v = str_m "version" j in
+  if v <> version then Error (Printf.sprintf "version is %S, want %S" v version)
+  else
+    let* runs = list_m "runs" j in
+    if runs = [] then Error "runs is empty"
+    else
+      List.fold_left
+        (fun acc r -> Result.bind acc (fun () -> validate_run r))
+        (Ok ()) runs

@@ -1,0 +1,36 @@
+(* Version-specific view of the Typedtree, OCaml < 5.2 flavour.
+
+   OCaml 5.2 reshaped [Texp_function] (a params list + function_body
+   instead of one case list per arrow) and widened [Tpat_var]/
+   [Tpat_alias] with a [Uid.t]. Everything else lc_lint consumes
+   (idents, applications, setfield, field access, let/match/if, record
+   type declarations) is stable across 5.1–5.3, so these are the only
+   seams; a dune rule copies the matching implementation to tcompat.ml
+   based on %{ocaml_version}. *)
+
+open Typedtree
+
+(* If [e] is a lambda, the expressions its body can evaluate to (one
+   per match case for [function]); [None] otherwise. In 5.1 a curried
+   [fun a b -> e] is nested [Texp_function] nodes, which the spine walk
+   in Checks handles by recursing through the returned bodies. *)
+let lambda_bodies (e : expression) : expression list option =
+  match e.exp_desc with
+  | Texp_function { cases; _ } -> Some (List.map (fun c -> c.c_rhs) cases)
+  | _ -> None
+
+(* The bound ident of a simple binding pattern ([let f = ...],
+   [let f : t = ...], [let f as g = ...]); [None] for destructuring
+   patterns, which never name a top-level definition in this codebase. *)
+let rec pat_ident (p : pattern) : (Ident.t * string) option =
+  match p.pat_desc with
+  | Tpat_var (id, name) -> Some (id, name.txt)
+  | Tpat_alias (p', id, name) -> (
+    match pat_ident p' with Some r -> Some r | None -> Some (id, name.txt))
+  | _ -> None
+
+(* Typecheck one parsed implementation in [env], returning only the
+   typed structure. *)
+let type_structure env ast =
+  let str, _sig, _names, _shape, _env = Typemod.type_structure env ast in
+  str

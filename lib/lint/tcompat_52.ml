@@ -1,0 +1,50 @@
+(* Version-specific view of the Typedtree, OCaml >= 5.2 flavour.
+
+   OCaml 5.2 reshaped [Texp_function] into a [function_param list] plus
+   a [function_body] (mirroring the 5.2 Parsetree change) and widened
+   [Tpat_var]/[Tpat_alias] with a [Uid.t]. Everything else lc_lint
+   consumes is stable across 5.1–5.3; a dune rule copies the matching
+   implementation to tcompat.ml based on %{ocaml_version}. *)
+
+open Typedtree
+
+(* If [e] is a lambda, the expressions its body can evaluate to (one
+   per match case for [function]); [None] otherwise. In 5.2+ the whole
+   curried prefix is one [Texp_function] node, so the bodies returned
+   here are already past the spine of parameters. Parameters with
+   default expressions evaluate those per call; they are returned as
+   additional bodies so allocation checks still see them. *)
+let lambda_bodies (e : expression) : expression list option =
+  match e.exp_desc with
+  | Texp_function { params; body; _ } ->
+    let defaults =
+      List.filter_map
+        (fun p ->
+          match p.fp_kind with
+          | Tparam_optional_default (_, d) -> Some d
+          | Tparam_pat _ -> None)
+        params
+    in
+    let bodies =
+      match body with
+      | Tfunction_body b -> [ b ]
+      | Tfunction_cases { cases; _ } -> List.map (fun c -> c.c_rhs) cases
+    in
+    Some (defaults @ bodies)
+  | _ -> None
+
+(* The bound ident of a simple binding pattern ([let f = ...],
+   [let f : t = ...], [let f as g = ...]); [None] for destructuring
+   patterns, which never name a top-level definition in this codebase. *)
+let rec pat_ident (p : pattern) : (Ident.t * string) option =
+  match p.pat_desc with
+  | Tpat_var (id, name, _uid) -> Some (id, name.txt)
+  | Tpat_alias (p', id, name, _uid) -> (
+    match pat_ident p' with Some r -> Some r | None -> Some (id, name.txt))
+  | _ -> None
+
+(* Typecheck one parsed implementation in [env], returning only the
+   typed structure. *)
+let type_structure env ast =
+  let str, _sig, _names, _shape, _env = Typemod.type_structure env ast in
+  str

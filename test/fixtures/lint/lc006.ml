@@ -1,0 +1,12 @@
+(* Planted LC006: builder-owned mutable state with a declared owner and
+   a second, unaccounted write path. Linted under the logical path
+   lib/dynamic/fake6.ml (shared multi-domain scope) with the baseline
+   claim "LC003 lib/dynamic/fake6.ml apply owner=Fake6.serve": [serve]
+   is the declared single writer, and [sneak] is the planted path into
+   [apply] from outside the owner's call tree. *)
+
+type t = { mutable size : int }
+
+let apply t = t.size <- t.size + 1
+let serve t = apply t
+let sneak t = apply t

@@ -1,0 +1,18 @@
+(* Planted LC007: an epoch-published snapshot read without a pin.
+   Linted under the logical path lib/dynamic/fake7.ml with a hot config
+   declaring Fake7.snapshot published and Fake7.pin the pin function.
+   [good] pins before its plain field read; [bad] reads a snapshot it
+   grabbed straight off the Atomic, with no pinning caller. *)
+
+type snapshot = { level : int; epoch : int }
+
+let state : snapshot Atomic.t = Atomic.make { level = 0; epoch = 0 }
+let pin () = Atomic.get state
+
+let good () =
+  let s = pin () in
+  s.level
+
+let bad () =
+  let s = Atomic.get state in
+  s.epoch

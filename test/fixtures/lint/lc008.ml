@@ -1,0 +1,10 @@
+(* Planted LC008: allocation two calls below a manifest root. The
+   test's manifest declares [probe] hot (logical path lib/misc/hot8.ml);
+   [helper] is clean glue, and [deep] — which LC004's direct audit of
+   [probe] never sees — allocates a closure and calls List.map per
+   call. The call-graph closure must reach through [helper] and flag
+   both sites in [deep]. *)
+
+let deep xs = List.map (fun x -> x + 1) xs
+let helper xs = deep xs
+let probe xs = helper xs
